@@ -1,0 +1,68 @@
+// Ablation of the methodology's core claim: developing test routines in
+// test-priority order (largest, most accessible components first) buys
+// the steepest fault-coverage-per-word curve. We accumulate routines one
+// at a time in priority order and in reverse order and grade each prefix
+// (statistical fault sample).
+#include "core/routines.h"
+#include "fault/faultsim.h"
+#include "netlist/fault.h"
+#include "plasma/testbench.h"
+
+#include "bench_common.h"
+
+using namespace sbst;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::header("Ablation", "Test-priority ordering (greedy) vs reverse");
+  bench::Context ctx;
+  const nl::FaultList faults = nl::enumerate_faults(ctx.cpu.netlist);
+  fault::FaultSimOptions opt;
+  opt.sample = quick ? 1260 : 2520;
+  opt.max_cycles = 100000;
+
+  // Functional components in priority order (Phase A definition).
+  const auto funcs =
+      core::components_of_class(ctx.classified, core::ComponentClass::kFunctional);
+  std::vector<plasma::PlasmaComponent> priority;
+  for (const auto& c : funcs) priority.push_back(c.component);
+  std::vector<plasma::PlasmaComponent> reverse(priority.rbegin(),
+                                               priority.rend());
+
+  auto curve = [&](const std::vector<plasma::PlasmaComponent>& order,
+                   const char* label) {
+    std::printf("\n%s:\n", label);
+    std::printf("  %-28s %8s %8s %10s\n", "routines", "words", "cycles",
+                "FC (est)");
+    std::vector<double> fcs;
+    for (std::size_t k = 1; k <= order.size(); ++k) {
+      core::SelfTestProgramBuilder b;
+      std::string names;
+      for (std::size_t i = 0; i < k; ++i) {
+        b.add_component(order[i]);
+        names += std::string(plasma::plasma_component_name(order[i])) + " ";
+      }
+      const core::SelfTestProgram p = b.build("prefix");
+      const fault::FaultSimResult res = fault::run_fault_sim(
+          ctx.cpu.netlist, faults,
+          plasma::make_cpu_env_factory(ctx.cpu, p.image), opt);
+      const double fc = fault::overall_coverage(faults, res).percent();
+      fcs.push_back(fc);
+      std::printf("  %-28s %8zu %8llu %9.2f%%\n", names.c_str(), p.words,
+                  (unsigned long long)p.cycles, fc);
+    }
+    return fcs;
+  };
+
+  const std::vector<double> greedy = curve(priority, "priority order (paper)");
+  const std::vector<double> rev = curve(reverse, "reverse order (ablation)");
+
+  std::printf("\nshape check: the first priority-ordered routine alone must"
+              " beat the first\nreverse-ordered routine by a wide margin"
+              " (the greedy claim):\n");
+  std::printf("  after 1 routine: %.2f%% (priority) vs %.2f%% (reverse)\n",
+              greedy[0], rev[0]);
+  const bool ok = greedy[0] > rev[0] + 10.0;
+  std::printf("  -> %s\n", ok ? "reproduced" : "NOT met");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// Shared helpers for the table-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/classify.h"
+#include "core/program.h"
+#include "plasma/cpu.h"
+
+namespace sbst::bench {
+
+struct Context {
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  std::vector<core::ComponentInfo> classified = core::classify_plasma(cpu);
+};
+
+inline void header(const char* table, const char* title) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", table, title);
+  std::printf("  (paper: Kranitis et al., \"Low-Cost Software-Based Self-Testing\n");
+  std::printf("   of RISC Processor Cores\", DATE 2003)\n");
+  std::printf("==================================================================\n");
+}
+
+}  // namespace sbst::bench

@@ -1,0 +1,106 @@
+// Microbenchmark kernels (google-benchmark): the simulator and tooling
+// throughput numbers behind the table benches.
+#include <benchmark/benchmark.h>
+
+#include "core/program.h"
+#include "fault/faultsim.h"
+#include "iss/iss.h"
+#include "netlist/fault.h"
+#include "plasma/cpu.h"
+#include "plasma/testbench.h"
+#include "sim/logicsim.h"
+
+namespace {
+
+using namespace sbst;
+
+struct Shared {
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  std::vector<core::ComponentInfo> classified = core::classify_plasma(cpu);
+  core::SelfTestProgram pa = core::build_phase_a(classified);
+  nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+};
+
+Shared& shared() {
+  static auto* s = new Shared;
+  return *s;
+}
+
+void BM_BuildCpuNetlist(benchmark::State& state) {
+  for (auto _ : state) {
+    plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+    benchmark::DoNotOptimize(cpu.netlist.size());
+  }
+}
+BENCHMARK(BM_BuildCpuNetlist)->Unit(benchmark::kMillisecond);
+
+void BM_LogicSimCycle(benchmark::State& state) {
+  Shared& s = shared();
+  sim::LogicSim sim(s.cpu.netlist);
+  sim.reset();
+  std::uint64_t gates = 0;
+  for (auto _ : state) {
+    sim.eval();
+    sim.step_clock();
+    gates += sim.levelization().comb_order.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(gates));
+  state.SetLabel("gate-evals/s in items");
+}
+BENCHMARK(BM_LogicSimCycle);
+
+void BM_GateLevelSelfTestRun(benchmark::State& state) {
+  Shared& s = shared();
+  for (auto _ : state) {
+    const plasma::GateRunResult r = plasma::run_gate_cpu(s.cpu, s.pa.image);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetLabel("full Phase A program on the gate-level CPU");
+}
+BENCHMARK(BM_GateLevelSelfTestRun)->Unit(benchmark::kMillisecond);
+
+void BM_IssSelfTestRun(benchmark::State& state) {
+  Shared& s = shared();
+  for (auto _ : state) {
+    iss::Iss iss(s.pa.image);
+    benchmark::DoNotOptimize(iss.run(100000).cycles);
+  }
+}
+BENCHMARK(BM_IssSelfTestRun)->Unit(benchmark::kMicrosecond);
+
+void BM_FaultSimGroup(benchmark::State& state) {
+  Shared& s = shared();
+  fault::FaultSimOptions opt;
+  opt.sample = 63;  // exactly one 63-fault group
+  opt.max_cycles = 100000;
+  for (auto _ : state) {
+    const fault::FaultSimResult r = fault::run_fault_sim(
+        s.cpu.netlist, s.faults,
+        plasma::make_cpu_env_factory(s.cpu, s.pa.image), opt);
+    benchmark::DoNotOptimize(r.detected.size());
+  }
+  state.SetLabel("63 faults x full Phase A program");
+}
+BENCHMARK(BM_FaultSimGroup)->Unit(benchmark::kMillisecond);
+
+void BM_AssembleSelfTest(benchmark::State& state) {
+  Shared& s = shared();
+  for (auto _ : state) {
+    const isa::Program p = isa::assemble(s.pa.source);
+    benchmark::DoNotOptimize(p.words.size());
+  }
+}
+BENCHMARK(BM_AssembleSelfTest)->Unit(benchmark::kMicrosecond);
+
+void BM_EnumerateFaults(benchmark::State& state) {
+  Shared& s = shared();
+  for (auto _ : state) {
+    const nl::FaultList fl = nl::enumerate_faults(s.cpu.netlist);
+    benchmark::DoNotOptimize(fl.size());
+  }
+}
+BENCHMARK(BM_EnumerateFaults)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// §4 comparison: deterministic library routines vs pseudorandom software
+// self-test (the [2]-[6] style baseline). Reports fault coverage (on a
+// fixed statistical fault sample) against program size and execution
+// time for increasing pseudorandom pattern budgets.
+#include <chrono>
+
+#include "baseline/prand.h"
+#include "core/costmodel.h"
+#include "fault/faultsim.h"
+#include "netlist/fault.h"
+#include "plasma/testbench.h"
+
+#include "bench_common.h"
+
+using namespace sbst;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::header("Comparison", "Deterministic SBST vs pseudorandom baseline");
+  bench::Context ctx;
+  const nl::FaultList faults = nl::enumerate_faults(ctx.cpu.netlist);
+
+  fault::FaultSimOptions opt;
+  opt.sample = quick ? 1260 : 3150;
+  opt.max_cycles = 200000;
+  std::printf("statistical fault sample: %zu of %zu collapsed faults\n\n",
+              opt.sample, faults.size());
+
+  struct Row {
+    std::string name;
+    std::size_t words;
+    std::uint64_t cycles;
+    double fc;
+  };
+  std::vector<Row> rows;
+
+  auto grade = [&](const core::SelfTestProgram& p) {
+    const fault::FaultSimResult res = fault::run_fault_sim(
+        ctx.cpu.netlist, faults,
+        plasma::make_cpu_env_factory(ctx.cpu, p.image), opt);
+    return fault::overall_coverage(faults, res).percent();
+  };
+
+  const core::SelfTestProgram det = core::build_phase_a(ctx.classified);
+  rows.push_back({"deterministic Phase A", det.words, det.cycles, grade(det)});
+
+  for (const std::uint32_t n : {std::uint32_t{32}, std::uint32_t{128},
+                                std::uint32_t{quick ? 256u : 512u}}) {
+    baseline::PseudoRandomOptions po;
+    po.patterns = n;
+    const core::SelfTestProgram p = baseline::build_pseudorandom_program(po);
+    rows.push_back({p.name, p.words, p.cycles, grade(p)});
+  }
+
+  std::printf("%-26s %8s %10s %10s %14s\n", "program", "words", "cycles",
+              "FC (est)", "test time (us)");
+  for (const Row& r : rows) {
+    const core::TestTime t = core::test_application_time(r.words, r.cycles);
+    std::printf("%-26s %8zu %10llu %9.2f%% %14.1f\n", r.name.c_str(), r.words,
+                (unsigned long long)r.cycles, r.fc, t.total_us());
+  }
+
+  const Row& d = rows[0];
+  const Row& largest = rows.back();
+  std::printf("\nshape check (paper §4): the deterministic program reaches"
+              " higher coverage\nthan the largest pseudorandom budget while"
+              " executing in far fewer cycles:\n");
+  std::printf("  FC %.2f%% vs %.2f%%, cycles %llu vs %llu (%.1fx)\n", d.fc,
+              largest.fc, (unsigned long long)d.cycles,
+              (unsigned long long)largest.cycles,
+              double(largest.cycles) / double(d.cycles));
+  const bool ok = d.fc > largest.fc && largest.cycles > 3 * d.cycles;
+  std::printf("  -> %s\n", ok ? "reproduced" : "NOT met");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Table 2: classification of the Plasma/MIPS components.
+#include "bench_common.h"
+
+using namespace sbst;
+
+int main() {
+  bench::header("Table 2", "Plasma/MIPS components classification");
+  bench::Context ctx;
+  std::printf("%-24s %-12s %s\n", "Component Name", "This repo", "Paper");
+  struct PaperRow {
+    const char* name;
+    const char* cls;
+  };
+  const PaperRow paper[] = {
+      {"RegF", "Functional"}, {"MulD", "Functional"}, {"ALU", "Functional"},
+      {"BSH", "Functional"},  {"MCTRL", "Control"},   {"PCL", "Control"},
+      {"CTRL", "Control"},    {"BMUX", "Control"},    {"PLN", "Hidden"},
+      {"GL", "(glue)"},
+  };
+  bool all_match = true;
+  for (const core::ComponentInfo& c : ctx.classified) {
+    const char* paper_cls = "?";
+    for (const PaperRow& p : paper) {
+      if (c.name == p.name) paper_cls = p.cls;
+    }
+    const std::string mine(core::component_class_name(c.cls));
+    const bool match =
+        mine == paper_cls || (mine == "Glue" && std::string(paper_cls) == "(glue)");
+    all_match = all_match && match;
+    std::printf("%-24s %-12s %-12s %s\n", c.name.c_str(), mine.c_str(),
+                paper_cls, match ? "" : "  <-- MISMATCH");
+  }
+  std::printf("\nclassification %s the paper's Table 2\n",
+              all_match ? "matches" : "DOES NOT match");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Table 3: per-component gate counts (2-input-NAND units). Absolute
+// numbers differ from the paper's 0.35um Leonardo mapping (our netlist
+// comes from structural elaboration, see DESIGN.md); the experiment
+// checks the *relative* shape the methodology consumes.
+#include "netlist/cost.h"
+
+#include "bench_common.h"
+
+using namespace sbst;
+
+int main() {
+  bench::header("Table 3", "Plasma/MIPS components gate counts (NAND2 units)");
+  bench::Context ctx;
+  const nl::CostReport cost = nl::compute_cost(ctx.cpu.netlist);
+
+  struct PaperRow {
+    const char* name;
+    double gates;
+  };
+  const PaperRow paper[] = {
+      {"RegF", 9906},  {"MulD", 3044}, {"ALU", 491},  {"BSH", 682},
+      {"MCTRL", 1112}, {"PCL", 444},   {"CTRL", 223}, {"BMUX", 453},
+      {"PLN", 885},    {"GL", 219},
+  };
+  std::printf("%-10s %12s %12s %10s %10s\n", "Component", "measured",
+              "paper", "meas. %", "paper %");
+  double paper_total = 0;
+  for (const PaperRow& p : paper) paper_total += p.gates;
+  for (const PaperRow& p : paper) {
+    double mine = 0;
+    for (int i = 0; i < plasma::kNumPlasmaComponents; ++i) {
+      const auto pc = static_cast<plasma::PlasmaComponent>(i);
+      if (std::string(plasma::plasma_component_name(pc)) == p.name) {
+        mine = cost.components[ctx.cpu.component_id(pc)].nand2_equiv;
+      }
+    }
+    std::printf("%-10s %12.0f %12.0f %9.1f%% %9.1f%%\n", p.name, mine,
+                p.gates, 100.0 * mine / cost.total_nand2,
+                100.0 * p.gates / paper_total);
+  }
+  std::printf("%-10s %12.0f %12.0f\n", "Total", cost.total_nand2, paper_total);
+
+  // Shape assertions (what the methodology actually uses).
+  const auto sorted = cost.by_descending_size();
+  std::printf("\nmeasured size order:");
+  for (const auto& c : sorted) std::printf(" %s", c.name.c_str());
+  std::printf("\nshape checks: RegF largest: %s, MulD second: %s, "
+              "functional share > 50%%: %s\n",
+              sorted[0].name == "RegF" ? "yes" : "NO",
+              sorted[1].name == "MulD" ? "yes" : "NO",
+              [&] {
+                double func = 0;
+                for (const auto& c : ctx.classified) {
+                  if (c.cls == core::ComponentClass::kFunctional)
+                    func += c.nand2;
+                }
+                return func > cost.total_nand2 * 0.5 ? "yes" : "NO";
+              }());
+  return 0;
+}

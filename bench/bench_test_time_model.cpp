@@ -1,0 +1,32 @@
+// §1/§4: total test application time decomposition. Download from a
+// low-speed tester dominates, which is why small test programs (not short
+// runtimes) are the primary cost lever for SBST.
+#include "core/costmodel.h"
+
+#include "bench_common.h"
+
+using namespace sbst;
+
+int main() {
+  bench::header("Test-time model", "Download vs execution time");
+  bench::Context ctx;
+  const core::SelfTestProgram pab = core::build_phase_ab(ctx.classified);
+  std::printf("Phase A+B program: %zu words, %llu cycles\n\n", pab.words,
+              (unsigned long long)pab.cycles);
+  std::printf("%-12s %-10s %12s %12s %12s %10s\n", "tester MHz", "cpu MHz",
+              "download us", "execute us", "total us", "download%");
+  for (const double tester : {5.0, 10.0, 25.0, 50.0}) {
+    core::TestTimeParams params;
+    params.tester_mhz = tester;
+    params.cpu_mhz = 66.0;
+    const core::TestTime t =
+        core::test_application_time(pab.words, pab.cycles, 64, params);
+    std::printf("%-12.0f %-10.0f %12.2f %12.2f %12.2f %9.1f%%\n", tester,
+                params.cpu_mhz, t.download_us, t.execute_us, t.total_us(),
+                100.0 * t.download_fraction());
+  }
+  std::printf("\nshape check: at low tester speeds the download dominates"
+              " -> minimizing WORDS is the lever (the paper's objective"
+              " (b))\n");
+  return 0;
+}

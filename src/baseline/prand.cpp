@@ -1,0 +1,78 @@
+#include "baseline/prand.h"
+
+#include <cstdio>
+
+namespace sbst::baseline {
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08X", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint32_t lfsr_step(std::uint32_t x) {
+  // xorshift32: the exact sequence the generated MIPS code produces.
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return x;
+}
+
+core::SelfTestProgram build_pseudorandom_program(
+    const PseudoRandomOptions& opt) {
+  const std::uint32_t seed_b = opt.seed ^ 0x9E3779B9u;
+  std::string s;
+  s += "# software-LFSR pseudorandom self-test (baseline)\n";
+  s += "li $30, " + hex(core::kResultBufferBase) + "\n";
+  s += "li $8, " + hex(opt.seed) + "\n";
+  s += "li $9, " + hex(seed_b) + "\n";
+  s += "li $14, " + std::to_string(opt.patterns) + "\n";
+  s += "li $13, 0\n";
+  s += "Lpr_loop:\n";
+  // Advance both software LFSRs (xorshift32).
+  for (const char* reg : {"$8", "$9"}) {
+    s += std::string("sll $12, ") + reg + ", 13\n";
+    s += std::string("xor ") + reg + ", " + reg + ", $12\n";
+    s += std::string("srl $12, ") + reg + ", 17\n";
+    s += std::string("xor ") + reg + ", " + reg + ", $12\n";
+    s += std::string("sll $12, ") + reg + ", 5\n";
+    s += std::string("xor ") + reg + ", " + reg + ", $12\n";
+  }
+  // Apply the pseudorandom operands to the functional units.
+  for (const char* op : {"addu", "subu", "and", "or", "xor", "nor", "slt",
+                         "sltu"}) {
+    s += std::string(op) + " $12, $8, $9\n";
+    s += "xor $13, $13, $12\n";
+  }
+  for (const char* op : {"sllv", "srlv", "srav"}) {
+    s += std::string(op) + " $12, $8, $9\n";
+    s += "xor $13, $13, $12\n";
+  }
+  if (opt.with_muldiv) {
+    // Every 8th pattern (mult/div dominate runtime otherwise).
+    s += "andi $12, $14, 7\n";
+    s += "bne $12, $0, Lpr_skipmd\n";
+    s += "nop\n";
+    s += "mult $8, $9\n";
+    s += "mflo $12\nxor $13, $13, $12\n";
+    s += "mfhi $12\nxor $13, $13, $12\n";
+    s += "divu $8, $9\n";
+    s += "mflo $12\nxor $13, $13, $12\n";
+    s += "mfhi $12\nxor $13, $13, $12\n";
+    s += "Lpr_skipmd:\n";
+  }
+  s += "addiu $14, $14, -1\n";
+  s += "bne $14, $0, Lpr_loop\n";
+  s += "sw $13, 0($30)\n";  // delay slot: signature store
+
+  core::SelfTestProgramBuilder b;
+  b.add_routine(core::RoutineSpec{"prand", plasma::PlasmaComponent::kAlu,
+                                  std::move(s), ""});
+  return b.build("pseudorandom-" + std::to_string(opt.patterns));
+}
+
+}  // namespace sbst::baseline

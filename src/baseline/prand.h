@@ -1,0 +1,31 @@
+// Pseudorandom software self-test baseline (the prior art the paper
+// argues against, in the spirit of [2]-[6]): a software-emulated LFSR
+// expands a seed into pseudorandom operands that are applied to the
+// functional units in a loop, with responses XOR-compacted to memory.
+//
+// Program size is small and fixed; test quality is bought with execution
+// time (pattern count), which is the trade-off the comparison bench
+// (bench_pseudorandom_comparison) measures against the deterministic
+// library routines.
+#pragma once
+
+#include <cstdint>
+
+#include "core/program.h"
+
+namespace sbst::baseline {
+
+struct PseudoRandomOptions {
+  std::uint32_t patterns = 256;     // LFSR expansion count
+  std::uint32_t seed = 0xACE1ACE1;  // initial LFSR state (non-zero)
+  bool with_muldiv = true;          // include mult/div each 8th pattern
+};
+
+/// Builds the complete pseudorandom self-test program.
+core::SelfTestProgram build_pseudorandom_program(
+    const PseudoRandomOptions& options = {});
+
+/// The 32-bit Galois LFSR the generated code emulates (for tests).
+std::uint32_t lfsr_step(std::uint32_t state);
+
+}  // namespace sbst::baseline

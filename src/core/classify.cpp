@@ -1,0 +1,153 @@
+#include "core/classify.h"
+
+#include <algorithm>
+
+#include "netlist/cost.h"
+
+namespace sbst::core {
+
+std::string_view component_class_name(ComponentClass c) {
+  switch (c) {
+    case ComponentClass::kFunctional: return "Functional";
+    case ComponentClass::kControl:    return "Control";
+    case ComponentClass::kHidden:     return "Hidden";
+    case ComponentClass::kGlue:       return "Glue";
+  }
+  return "?";
+}
+
+std::string_view access_level_name(AccessLevel a) {
+  switch (a) {
+    case AccessLevel::kHigh:   return "High";
+    case AccessLevel::kMedium: return "Medium";
+    case AccessLevel::kLow:    return "Low";
+  }
+  return "?";
+}
+
+std::vector<ClassProperties> class_priority_table() {
+  return {
+      {ComponentClass::kFunctional, AccessLevel::kHigh, AccessLevel::kHigh},
+      {ComponentClass::kControl, AccessLevel::kMedium, AccessLevel::kMedium},
+      {ComponentClass::kHidden, AccessLevel::kLow, AccessLevel::kLow},
+  };
+}
+
+AccessLevel ComponentInfo::access() const {
+  switch (cls) {
+    case ComponentClass::kFunctional: return AccessLevel::kHigh;
+    case ComponentClass::kControl:    return AccessLevel::kMedium;
+    default:                          return AccessLevel::kLow;
+  }
+}
+
+namespace {
+
+using plasma::PlasmaComponent;
+
+ComponentClass plasma_class(PlasmaComponent c) {
+  switch (c) {
+    case PlasmaComponent::kRegF:
+    case PlasmaComponent::kMulD:
+    case PlasmaComponent::kAlu:
+    case PlasmaComponent::kBsh:
+      return ComponentClass::kFunctional;
+    case PlasmaComponent::kMctrl:
+    case PlasmaComponent::kPcl:
+    case PlasmaComponent::kCtrl:
+    case PlasmaComponent::kBmux:
+      return ComponentClass::kControl;
+    case PlasmaComponent::kPln:
+      return ComponentClass::kHidden;
+    case PlasmaComponent::kGl:
+      return ComponentClass::kGlue;
+  }
+  return ComponentClass::kGlue;
+}
+
+/// Shortest instruction sequences per the paper's §2.2 definitions,
+/// modelled statically for the Plasma ISA:
+///  - RegF: ori writes any pattern (1); sw exposes it (1).
+///  - MulD: mult applies operands (1); mflo + sw exposes results (2).
+///  - ALU/BSH: one register op applies a pattern (1); sw exposes (1).
+///  - MCTRL: a load/store applies data patterns directly (1), but control
+///    inputs (size/lane selects) need specific opcodes around it (2-3).
+///  - PCL: branches/jumps drive it (2 incl. condition setup); the fetch
+///    address is a primary output (1).
+///  - CTRL/BMUX: driven only indirectly through opcode encodings (3);
+///    observed through whichever datapath result they steer (2-3).
+///  - PLN: no instruction addresses pipeline registers; only multi-
+///    instruction scenarios (pause, bubbles) exercise them (6).
+struct AccessModel {
+  int c;
+  int o;
+};
+
+AccessModel access_model(PlasmaComponent c) {
+  switch (c) {
+    case PlasmaComponent::kRegF:  return {1, 1};
+    case PlasmaComponent::kMulD:  return {1, 2};
+    case PlasmaComponent::kAlu:   return {1, 1};
+    case PlasmaComponent::kBsh:   return {1, 1};
+    case PlasmaComponent::kMctrl: return {2, 2};
+    case PlasmaComponent::kPcl:   return {2, 1};
+    case PlasmaComponent::kCtrl:  return {3, 3};
+    case PlasmaComponent::kBmux:  return {3, 3};
+    case PlasmaComponent::kPln:   return {6, 6};
+    case PlasmaComponent::kGl:    return {4, 4};
+  }
+  return {0, 0};
+}
+
+int class_rank(ComponentClass c) {
+  switch (c) {
+    case ComponentClass::kFunctional: return 0;
+    case ComponentClass::kControl:    return 1;
+    case ComponentClass::kHidden:     return 2;
+    case ComponentClass::kGlue:       return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+std::vector<ComponentInfo> classify_plasma(const plasma::PlasmaCpu& cpu) {
+  const nl::CostReport cost = nl::compute_cost(cpu.netlist);
+  std::vector<ComponentInfo> out;
+  out.reserve(plasma::kNumPlasmaComponents);
+  for (int i = 0; i < plasma::kNumPlasmaComponents; ++i) {
+    const auto pc = static_cast<PlasmaComponent>(i);
+    ComponentInfo info;
+    info.component = pc;
+    info.name = std::string(plasma::plasma_component_name(pc));
+    info.cls = plasma_class(pc);
+    info.nand2 = cost.components[cpu.component_id(pc)].nand2_equiv;
+    const AccessModel am = access_model(pc);
+    info.controllability_len = am.c;
+    info.observability_len = am.o;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void sort_by_test_priority(std::vector<ComponentInfo>& components) {
+  std::stable_sort(components.begin(), components.end(),
+                   [](const ComponentInfo& a, const ComponentInfo& b) {
+                     const int ra = class_rank(a.cls);
+                     const int rb = class_rank(b.cls);
+                     if (ra != rb) return ra < rb;
+                     return a.nand2 > b.nand2;
+                   });
+}
+
+std::vector<ComponentInfo> components_of_class(
+    const std::vector<ComponentInfo>& all, ComponentClass cls) {
+  std::vector<ComponentInfo> out;
+  for (const ComponentInfo& c : all) {
+    if (c.cls == cls) out.push_back(c);
+  }
+  sort_by_test_priority(out);
+  return out;
+}
+
+}  // namespace sbst::core

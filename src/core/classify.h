@@ -1,0 +1,63 @@
+// Step 1+2 of the paper's methodology (Figure 2): classification of
+// processor components into functional / control / hidden classes, and
+// ordering by test priority (class first, then descending relative size;
+// the controllability/observability metrics justify the class ranking —
+// Table 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plasma/cpu.h"
+
+namespace sbst::core {
+
+enum class ComponentClass { kFunctional, kControl, kHidden, kGlue };
+
+std::string_view component_class_name(ComponentClass c);
+
+/// Table 1's qualitative accessibility level.
+enum class AccessLevel { kHigh, kMedium, kLow };
+
+std::string_view access_level_name(AccessLevel a);
+
+/// Class-level properties from the paper's Table 1.
+struct ClassProperties {
+  ComponentClass cls;
+  AccessLevel controllability_observability;
+  AccessLevel test_priority;
+};
+
+/// The three rows of Table 1 (glue logic is not a class of its own).
+std::vector<ClassProperties> class_priority_table();
+
+struct ComponentInfo {
+  plasma::PlasmaComponent component{};
+  std::string name;
+  ComponentClass cls = ComponentClass::kGlue;
+  double nand2 = 0.0;  // measured size from the elaborated netlist
+
+  /// Paper §2.2 metrics: length (in instructions) of the shortest
+  /// sequence that applies a pattern to the component's inputs /
+  /// propagates its outputs to the processor primary outputs. Encoded as
+  /// a static model of the Plasma ISA (see classify.cpp).
+  int controllability_len = 0;
+  int observability_len = 0;
+
+  AccessLevel access() const;
+};
+
+/// Classifies the Plasma components (Table 2) and attaches measured
+/// NAND2-equivalent sizes (Table 3).
+std::vector<ComponentInfo> classify_plasma(const plasma::PlasmaCpu& cpu);
+
+/// Sorts in test-priority order: functional before control before hidden
+/// (before glue), descending size within a class. This is the order test
+/// routines are developed in (Figure 3 phases).
+void sort_by_test_priority(std::vector<ComponentInfo>& components);
+
+/// Components of one class, already priority-sorted.
+std::vector<ComponentInfo> components_of_class(
+    const std::vector<ComponentInfo>& all, ComponentClass cls);
+
+}  // namespace sbst::core

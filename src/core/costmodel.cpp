@@ -1,0 +1,15 @@
+#include "core/costmodel.h"
+
+namespace sbst::core {
+
+TestTime test_application_time(std::size_t words, std::uint64_t cycles,
+                               std::size_t response_words,
+                               const TestTimeParams& params) {
+  TestTime t;
+  t.download_us = static_cast<double>(words) / params.tester_mhz;
+  t.execute_us = static_cast<double>(cycles) / params.cpu_mhz;
+  t.upload_us = static_cast<double>(response_words) / params.tester_mhz;
+  return t;
+}
+
+}  // namespace sbst::core

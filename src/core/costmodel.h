@@ -1,0 +1,34 @@
+// Test application time model (§1/§4 of the paper): total test time is
+// dominated by downloading the test program from the low-speed external
+// tester into on-chip memory; execution happens at processor speed.
+#pragma once
+
+#include <cstdint>
+
+namespace sbst::core {
+
+struct TestTimeParams {
+  double tester_mhz = 10.0;  // low-cost tester, one word per cycle
+  double cpu_mhz = 66.0;     // the paper's synthesized Plasma frequency
+};
+
+struct TestTime {
+  double download_us = 0.0;
+  double execute_us = 0.0;
+  double upload_us = 0.0;  // reading back the response signature
+
+  double total_us() const { return download_us + execute_us + upload_us; }
+  /// Fraction of total time spent on the tester-speed download.
+  double download_fraction() const {
+    const double t = total_us();
+    return t == 0.0 ? 0.0 : download_us / t;
+  }
+};
+
+/// words: program+data words downloaded; cycles: execution clock cycles;
+/// response_words: signature words read back by the tester.
+TestTime test_application_time(std::size_t words, std::uint64_t cycles,
+                               std::size_t response_words = 0,
+                               const TestTimeParams& params = {});
+
+}  // namespace sbst::core

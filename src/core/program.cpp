@@ -1,0 +1,79 @@
+#include "core/program.h"
+
+#include <stdexcept>
+
+#include "iss/iss.h"
+
+namespace sbst::core {
+
+void SelfTestProgramBuilder::add_component(plasma::PlasmaComponent component) {
+  add_routine(routine_for(component, next_buf_));
+}
+
+void SelfTestProgramBuilder::add_routine(RoutineSpec spec) {
+  routines_.push_back(std::move(spec));
+  next_buf_ += kResultBufferStride;
+}
+
+SelfTestProgram SelfTestProgramBuilder::build(std::string name) const {
+  SelfTestProgram p;
+  p.name = std::move(name);
+  std::string src;
+  src += "# Software-based self-test program: " + p.name + "\n";
+  for (const RoutineSpec& r : routines_) {
+    src += "\n# ======== routine: " + r.name + " ========\n";
+    src += r.code;
+    p.routines.push_back(r.name);
+  }
+  src += "\nhalt\n";
+  for (const RoutineSpec& r : routines_) {
+    if (!r.data.empty()) {
+      src += "\n# data for " + r.name + "\n" + r.data;
+    }
+  }
+  p.source = std::move(src);
+  p.image = isa::assemble(p.source);
+  p.words = p.image.size_words();
+
+  iss::Iss iss(p.image);
+  const iss::RunResult run = iss.run(1'000'000);
+  p.cycles = run.cycles;
+  p.instructions = run.instructions;
+  p.halted = run.halted;
+  if (!p.halted) {
+    throw std::runtime_error("self-test program '" + p.name +
+                             "' did not halt");
+  }
+  return p;
+}
+
+namespace {
+
+SelfTestProgram build_phases(const std::vector<ComponentInfo>& classified,
+                             bool with_b, bool with_c,
+                             const std::string& name) {
+  SelfTestProgramBuilder b;
+  for (const ComponentInfo& c :
+       components_of_class(classified, ComponentClass::kFunctional)) {
+    b.add_component(c.component);
+  }
+  if (with_b) b.add_component(plasma::PlasmaComponent::kMctrl);
+  if (with_c) b.add_component(plasma::PlasmaComponent::kPcl);
+  return b.build(name);
+}
+
+}  // namespace
+
+SelfTestProgram build_phase_a(const std::vector<ComponentInfo>& classified) {
+  return build_phases(classified, false, false, "Phase A");
+}
+
+SelfTestProgram build_phase_ab(const std::vector<ComponentInfo>& classified) {
+  return build_phases(classified, true, false, "Phase A+B");
+}
+
+SelfTestProgram build_phase_abc(const std::vector<ComponentInfo>& classified) {
+  return build_phases(classified, true, true, "Phase A+B+C");
+}
+
+}  // namespace sbst::core

@@ -1,0 +1,60 @@
+// Self-test program assembly: stitches component routines (in test
+// priority order) into one downloadable program, assembles it, and
+// measures the Table 4 statistics (program words, execution clock
+// cycles) on the ISS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/routines.h"
+#include "isa/assembler.h"
+
+namespace sbst::core {
+
+struct SelfTestProgram {
+  std::string name;
+  std::string source;                 // complete assembly listing
+  isa::Program image;                 // assembled memory image
+  std::vector<std::string> routines;  // routine names, in order
+
+  // Table 4 statistics.
+  std::size_t words = 0;      // program+data words downloaded by the tester
+  std::uint64_t cycles = 0;   // execution clock cycles (ISS, pipeline-exact)
+  std::uint64_t instructions = 0;
+  bool halted = false;
+};
+
+/// Base byte address of the first routine's result buffer; each routine
+/// gets a 0x200-byte window.
+inline constexpr std::uint32_t kResultBufferBase = 0x3000;
+inline constexpr std::uint32_t kResultBufferStride = 0x400;
+
+class SelfTestProgramBuilder {
+ public:
+  /// Appends a routine for `component`, allocating its result buffer.
+  void add_component(plasma::PlasmaComponent component);
+  void add_routine(RoutineSpec spec);
+
+  /// Assembles (prologue + routines + halt + data tables), runs the ISS
+  /// for the timing statistics, and verifies the program halts.
+  SelfTestProgram build(std::string name) const;
+
+ private:
+  std::vector<RoutineSpec> routines_;
+  std::uint32_t next_buf_ = kResultBufferBase;
+};
+
+/// Phase A: the functional components in test-priority order (descending
+/// measured size).
+SelfTestProgram build_phase_a(const std::vector<ComponentInfo>& classified);
+/// Phase A+B: Phase A plus the highest-priority control component routine
+/// (the memory controller).
+SelfTestProgram build_phase_ab(const std::vector<ComponentInfo>& classified);
+/// Extension: Phase A+B plus the control-flow routine for the remaining
+/// control components (PCL/CTRL/BMUX).
+SelfTestProgram build_phase_abc(const std::vector<ComponentInfo>& classified);
+
+}  // namespace sbst::core

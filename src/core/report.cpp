@@ -1,0 +1,61 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace sbst::core {
+
+CoverageReport make_coverage_report(const plasma::PlasmaCpu& cpu,
+                                    const nl::FaultList& faults,
+                                    const fault::FaultSimResult& result) {
+  CoverageReport rep;
+  rep.overall = fault::overall_coverage(faults, result);
+  const std::vector<fault::Coverage> per_comp =
+      fault::component_coverage(cpu.netlist, faults, result);
+  const std::vector<ComponentInfo> classified = classify_plasma(cpu);
+
+  for (const ComponentInfo& info : classified) {
+    ComponentCoverageRow row;
+    row.name = info.name;
+    row.cls = info.cls;
+    row.coverage = per_comp[cpu.component_id(info.component)];
+    row.mofc = rep.overall.total == 0
+                   ? 0.0
+                   : 100.0 *
+                         static_cast<double>(row.coverage.total -
+                                             row.coverage.detected) /
+                         static_cast<double>(rep.overall.total);
+    rep.rows.push_back(std::move(row));
+  }
+  return rep;
+}
+
+void print_coverage_table(std::ostream& os, const CoverageReport& phase_a,
+                          const CoverageReport* phase_ab) {
+  os << std::fixed;
+  os << "Component   Class        Phase A FC   MOFC";
+  if (phase_ab) os << "     Phase A+B FC   MOFC";
+  os << "\n";
+  for (std::size_t i = 0; i < phase_a.rows.size(); ++i) {
+    const ComponentCoverageRow& a = phase_a.rows[i];
+    os << std::left << std::setw(12) << a.name << std::setw(13)
+       << component_class_name(a.cls) << std::right << std::setw(9)
+       << std::setprecision(2) << a.coverage.percent() << "%" << std::setw(7)
+       << a.mofc << "%";
+    if (phase_ab) {
+      const ComponentCoverageRow& b = phase_ab->rows[i];
+      os << std::setw(13) << b.coverage.percent() << "%" << std::setw(7)
+         << b.mofc << "%";
+    }
+    os << "\n";
+  }
+  os << std::left << std::setw(25) << "Processor overall" << std::right
+     << std::setw(9) << phase_a.overall.percent() << "%" << std::setw(8)
+     << " ";
+  if (phase_ab) {
+    os << std::setw(13) << phase_ab->overall.percent() << "%";
+  }
+  os << "\n";
+}
+
+}  // namespace sbst::core

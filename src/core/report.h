@@ -1,0 +1,37 @@
+// Coverage reporting in the paper's Table 5 format: per-component fault
+// coverage (FC) and missed overall fault coverage (MOFC — the share of
+// the processor's total faults left undetected inside that component).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "fault/faultsim.h"
+#include "netlist/fault.h"
+#include "plasma/cpu.h"
+
+namespace sbst::core {
+
+struct ComponentCoverageRow {
+  std::string name;
+  ComponentClass cls = ComponentClass::kGlue;
+  fault::Coverage coverage;
+  double mofc = 0.0;  // 100 * undetected_in_component / total_processor
+};
+
+struct CoverageReport {
+  std::vector<ComponentCoverageRow> rows;  // Table 2/3 component order
+  fault::Coverage overall;
+};
+
+CoverageReport make_coverage_report(const plasma::PlasmaCpu& cpu,
+                                    const nl::FaultList& faults,
+                                    const fault::FaultSimResult& result);
+
+/// Prints one or two phases side by side in the Table 5 layout.
+void print_coverage_table(std::ostream& os, const CoverageReport& phase_a,
+                          const CoverageReport* phase_ab);
+
+}  // namespace sbst::core

@@ -1,0 +1,515 @@
+#include "core/routines.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/testlib.h"
+
+namespace sbst::core {
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08X", v);
+  return buf;
+}
+
+std::string dec(std::uint32_t v) { return std::to_string(v); }
+
+}  // namespace
+
+RoutineSpec regfile_routine(std::uint32_t buf) {
+  // March-inspired: write a background into every register, read all of
+  // them back through BOTH read ports — stores read through the rt port,
+  // an xor-accumulation chain reads through the rs port; repeat with the
+  // complement using a different pointer register so the pointer
+  // registers themselves get tested; finish with an address-in-data pass
+  // that detects read/write decoder faults.
+  const auto bg = regfile_backgrounds();
+  std::string s;
+  s += "# --- RegF: register file march + address-in-data ---\n";
+
+  // Reads every pass register through the rs port (xor rd, rs, rt) and
+  // stores the accumulated signature.
+  auto rs_port_read = [&s](int lo, int hi, int skip, const char* ptr,
+                           int off) {
+    s += "addu $12, $0, $0\n";  // clear accumulator (also reads $0)
+    for (int r = lo; r <= hi; ++r) {
+      if (r == skip || r == 12) continue;
+      s += "xor $12, $" + dec(r) + ", $12\n";
+    }
+    s += std::string("sw $12, ") + dec(off) + "(" + ptr + ")\n";
+  };
+
+  // Pass A: pointer $30, background bg[0] in $1..$29,$31.
+  s += "li $30, " + hex(buf) + "\n";
+  s += "li $1, " + hex(bg[0]) + "\n";
+  for (int r = 2; r <= 31; ++r) {
+    if (r == 30) continue;
+    s += "move $" + dec(r) + ", $1\n";
+  }
+  int off = 0;
+  for (int r = 1; r <= 31; ++r) {
+    if (r == 30) continue;
+    s += "sw $" + dec(r) + ", " + dec(off) + "($30)\n";
+    off += 4;
+  }
+  rs_port_read(1, 31, 30, "$30", off);
+
+  // Pass B: pointer $1, complement background in $2..$31.
+  s += "li $1, " + hex(buf + 160) + "\n";
+  s += "li $2, " + hex(bg[1]) + "\n";
+  for (int r = 3; r <= 31; ++r) {
+    s += "move $" + dec(r) + ", $2\n";
+  }
+  off = 0;
+  for (int r = 2; r <= 31; ++r) {
+    s += "sw $" + dec(r) + ", " + dec(off) + "($1)\n";
+    off += 4;
+  }
+  rs_port_read(2, 31, 1, "$1", off);
+
+  // Pass C: address-in-data, pointer $30.
+  s += "li $30, " + hex(buf + 320) + "\n";
+  off = 0;
+  for (int r = 1; r <= 31; ++r) {
+    if (r == 30) continue;
+    s += "ori $" + dec(r) + ", $0, " + hex(regfile_address_pattern(r)) + "\n";
+  }
+  for (int r = 1; r <= 31; ++r) {
+    if (r == 30) continue;
+    s += "sw $" + dec(r) + ", " + dec(off) + "($30)\n";
+    off += 4;
+  }
+  // rs-port read-decoder check: per-register signature stores (an
+  // xor chain would mask aliased pairs of decoder faults).
+  for (int r = 1; r <= 31; ++r) {
+    if (r == 30) continue;
+    s += "addiu $12, $" + dec(r) + ", 0\n";  // rs-port read of $r
+    s += "sw $12, " + dec(off) + "($30)\n";
+    off += 4;
+  }
+
+  // Pass E: parity-complement backgrounds. Registers with odd index
+  // parity get 0x0000FFFF, even parity 0xFFFF0000: two registers whose
+  // indices differ in any single bit hold complementary words, so every
+  // read-mux select fault produces a full-width difference at whichever
+  // tree level it sits. Individual stores (no xor chain) prevent the
+  // pairwise cancellation a compacted read would suffer.
+  s += "li $30, " + hex(buf + 640) + "\n";
+  off = 0;
+  // Descending write order: combined with pass C's ascending order this
+  // catches spurious write-enable (decoder) faults in both directions.
+  for (int r = 31; r >= 1; --r) {
+    if (r == 30) continue;
+    const bool odd = __builtin_parity(static_cast<unsigned>(r)) != 0;
+    s += odd ? ("ori $" + dec(r) + ", $0, 0xFFFF\n")
+             : ("lui $" + dec(r) + ", 0xFFFF\n");
+  }
+  for (int r = 1; r <= 31; ++r) {
+    if (r == 30) continue;
+    s += "sw $" + dec(r) + ", " + dec(off) + "($30)\n";
+    off += 4;
+  }
+  for (int r = 1; r <= 31; ++r) {
+    if (r == 30) continue;
+    s += "addiu $12, $" + dec(r) + ", 0\n";  // rs-port read of $r
+    s += "sw $12, " + dec(off) + "($30)\n";
+    off += 4;
+  }
+  // $30 itself with both parity values, via pointer $2.
+  s += "li $2, " + hex(buf + 1000) + "\n";
+  s += "lui $30, 0xFFFF\n";
+  s += "sw $30, 0($2)\n";
+  s += "ori $30, $0, 0xFFFF\n";
+  s += "sw $30, 4($2)\n";
+
+  // Pass D: cover the cells the pointer roles shadowed ($30 never saw
+  // bg[0], $1 never saw bg[1]).
+  s += "li $2, " + hex(buf + 576) + "\n";
+  s += "li $30, " + hex(bg[0]) + "\n";
+  s += "sw $30, 0($2)\n";
+  s += "li $30, " + hex(bg[1]) + "\n";
+  s += "sw $30, 4($2)\n";
+  s += "addiu $12, $30, 0\n";  // rs-port read of $30
+  s += "sw $12, 8($2)\n";
+  s += "li $1, " + hex(bg[1]) + "\n";
+  s += "sw $1, 12($2)\n";
+  s += "addiu $12, $1, 0\n";   // rs-port read of $1
+  s += "sw $12, 16($2)\n";
+  s += "lui $1, 0xFFFF\n";     // complement of $1's parity-pass value
+  s += "sw $1, 20($2)\n";
+  s += "addiu $12, $1, 0\n";
+  s += "sw $12, 24($2)\n";
+  s += "ori $30, $0, " + hex(regfile_address_pattern(30)) + "\n";
+  s += "sw $30, 28($2)\n";
+  s += "addiu $12, $30, 0\n";
+  s += "sw $12, 32($2)\n";
+
+  return RoutineSpec{"regf", plasma::PlasmaComponent::kRegF, std::move(s), ""};
+}
+
+RoutineSpec alu_routine(std::uint32_t buf) {
+  const auto pairs = alu_test_pairs();
+  std::string s;
+  s += "# --- ALU: deterministic operand pairs through every operation ---\n";
+  s += "li $30, " + hex(buf) + "\n";
+  s += "la $8, Lalu_tab\n";
+  s += "li $9, " + dec(static_cast<std::uint32_t>(pairs.size())) + "\n";
+  s += "li $13, 0\n";
+  s += "Lalu_loop:\n";
+  s += "lw $10, 0($8)\n";
+  s += "lw $11, 4($8)\n";
+  // Each result is stored individually: XOR compaction would alias
+  // correlated responses (add/addu produce identical words, so a common
+  // fault effect cancels out of an XOR chain).
+  {
+    int slot = 0;
+    for (const char* op : {"addu", "subu", "and", "or", "xor", "nor", "slt",
+                           "sltu", "add", "sub"}) {
+      s += std::string(op) + " $12, $10, $11\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(4 * slot++)) +
+           "($30)\n";
+    }
+  }
+  s += "addiu $8, $8, 8\n";
+  s += "addiu $9, $9, -1\n";
+  s += "bne $9, $0, Lalu_loop\n";
+  s += "nop\n";
+
+  // Immediate-format operations against complementary backgrounds.
+  s += "li $10, " + hex(0x5A5AA5A5u) + "\n";
+  s += "li $11, " + hex(0xA5A55A5Au) + "\n";
+  int off = 40;
+  for (const std::uint16_t imm : alu_imm_patterns()) {
+    const std::string i = hex(imm);
+    const std::string si =
+        dec(static_cast<std::uint32_t>(static_cast<std::int16_t>(imm) >= 0
+                                           ? imm
+                                           : 0x7FFF & imm));
+    for (const std::string& stmt :
+         {"andi $12, $10, " + i, "ori  $12, $11, " + i,
+          "xori $12, $10, " + i, "addiu $12, $11, " + si,
+          "slti $12, $10, " + si, "sltiu $12, $11, " + si}) {
+      s += stmt + "\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+      off += 4;
+    }
+  }
+  s += "lui $12, 0xA53C\n";
+  s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+  off += 4;
+  s += "lui $12, 0x5AC3\n";
+  s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+
+  std::string data = "Lalu_tab:\n";
+  for (const OperandPair& p : pairs) {
+    data += ".word " + hex(p.a) + ", " + hex(p.b) + "\n";
+  }
+  return RoutineSpec{"alu", plasma::PlasmaComponent::kAlu, std::move(s),
+                     std::move(data)};
+}
+
+RoutineSpec shifter_routine(std::uint32_t buf) {
+  const auto bgs = shifter_backgrounds();
+  std::string s;
+  s += "# --- BSH: all 32 amounts x {sll,srl,sra} x backgrounds ---\n";
+  s += "li $30, " + hex(buf) + "\n";
+  s += "li $8, 0\n";
+  s += "li $9, 32\n";
+  s += "li $10, " + hex(bgs[0]) + "\n";
+  s += "li $11, " + hex(bgs[1]) + "\n";
+  s += "li $13, 0\n";
+  s += "Lbsh_loop:\n";
+  // Per-op result slots (an XOR chain aliases: at amount 0 all three
+  // shift flavours return the operand unchanged and fault effects cancel
+  // pairwise).
+  {
+    int slot = 0;
+    for (const char* op : {"sllv", "srlv", "srav"}) {
+      s += std::string(op) + " $12, $10, $8\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(4 * slot++)) +
+           "($30)\n";
+      s += std::string(op) + " $12, $11, $8\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(4 * slot++)) +
+           "($30)\n";
+    }
+  }
+  s += "addiu $8, $8, 1\n";
+  s += "bne $8, $9, Lbsh_loop\n";
+  s += "nop\n";
+  // Constant-shamt forms (exercise the shamt-field path of the amount
+  // mux).
+  int off = 24;
+  for (const char* op : {"sll", "srl", "sra"}) {
+    for (const int amt : {1, 7, 13, 31}) {
+      s += std::string(op) + " $12, $10, " +
+           dec(static_cast<std::uint32_t>(amt)) + "\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+      off += 4;
+      s += std::string(op) + " $12, $11, " +
+           dec(static_cast<std::uint32_t>(amt)) + "\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+      off += 4;
+    }
+  }
+  // Stage-select block: for each shifter level k, a pattern with period
+  // 2^(k+1) shifted by exactly 2^k (select stuck-at-0 visible) and by 0
+  // (select stuck-at-1 visible). See testlib.h.
+  for (const ShifterStagePattern& sp : shifter_stage_patterns()) {
+    s += "li $10, " + hex(sp.pattern) + "\n";
+    for (const char* op : {"sll", "srl", "sra"}) {
+      s += std::string(op) + " $12, $10, " +
+           dec(static_cast<std::uint32_t>(sp.amount)) + "\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+      off += 4;
+    }
+    s += "srl $12, $10, 0\n";
+    s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+    off += 4;
+    // Variable-amount flavour of the same stage.
+    s += "li $8, " + dec(static_cast<std::uint32_t>(sp.amount)) + "\n";
+    s += "srlv $12, $10, $8\n";
+    s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+    off += 4;
+  }
+
+  return RoutineSpec{"bsh", plasma::PlasmaComponent::kBsh, std::move(s), ""};
+}
+
+RoutineSpec muldiv_routine(std::uint32_t buf) {
+  const auto pairs = muldiv_test_pairs();
+  std::string s;
+  s += "# --- MulD: corner operands through mult/multu/div/divu ---\n";
+  s += "li $30, " + hex(buf) + "\n";
+  s += "la $8, Lmd_tab\n";
+  s += "li $9, " + dec(static_cast<std::uint32_t>(pairs.size())) + "\n";
+  s += "li $13, 0\n";
+  s += "Lmd_loop:\n";
+  s += "lw $10, 0($8)\n";
+  s += "lw $11, 4($8)\n";
+  // Individual result slots: mult and multu agree on non-negative
+  // operands, so a shared XOR signature would cancel common fault
+  // effects.
+  {
+    int slot = 0;
+    for (const char* op : {"mult", "multu", "div", "divu"}) {
+      s += std::string(op) + " $10, $11\n";
+      s += "mflo $12\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(4 * slot++)) +
+           "($30)\n";
+      s += "mfhi $12\n";
+      s += "sw $12, " + dec(static_cast<std::uint32_t>(4 * slot++)) +
+           "($30)\n";
+    }
+  }
+  s += "addiu $8, $8, 8\n";
+  s += "addiu $9, $9, -1\n";
+  s += "bne $9, $0, Lmd_loop\n";
+  s += "nop\n";
+  // Direct HI/LO register access.
+  s += "li $10, " + hex(0x0F0F0F0Fu) + "\n";
+  s += "mthi $10\n";
+  s += "li $11, " + hex(0xF0C33C0Fu) + "\n";
+  s += "mtlo $11\n";
+  s += "mfhi $12\n";
+  s += "sw $12, 32($30)\n";
+  s += "mflo $12\n";
+  s += "sw $12, 36($30)\n";
+  // Signed corners: negative operands with long trailing-zero runs drive
+  // the full carry chains of the operand-rectification and sign-fix
+  // incrementers (abs at issue, 64-bit product / quotient / remainder
+  // negation at completion).
+  {
+    int off = 40;
+    const OperandPair signed_corners[] = {
+        // |q| = 0x40000000 and |product| = 2^32: 30+ bit carry chains in
+        // the quotient/product negators.
+        {0x80000000u, 0x00000002u},
+        // remainder 0x10000 with sign(a)=1: 16-bit chain in the
+        // remainder negator.
+        {0xFFFF0000u, 0x00010001u},
+    };
+    for (const OperandPair& p : signed_corners) {
+      s += "li $10, " + hex(p.a) + "\n";
+      s += "li $11, " + hex(p.b) + "\n";
+      for (const char* op : {"mult", "div"}) {
+        s += std::string(op) + " $10, $11\n";
+        s += "mflo $12\n";
+        s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+        off += 4;
+        s += "mfhi $12\n";
+        s += "sw $12, " + dec(static_cast<std::uint32_t>(off)) + "($30)\n";
+        off += 4;
+      }
+    }
+  }
+
+  std::string data = "Lmd_tab:\n";
+  for (const OperandPair& p : pairs) {
+    data += ".word " + hex(p.a) + ", " + hex(p.b) + "\n";
+  }
+  return RoutineSpec{"muld", plasma::PlasmaComponent::kMulD, std::move(s),
+                     std::move(data)};
+}
+
+RoutineSpec memctrl_routine(std::uint32_t buf) {
+  const auto pats = memctrl_patterns();
+  std::string s;
+  s += "# --- MCTRL: byte/half lanes, sign extension, address walk ---\n";
+  s += "li $30, " + hex(buf) + "\n";
+  s += "li $13, 0\n";
+  // Store-lane tests: distinct byte per lane, distinct half per lane.
+  s += "li $9, " + hex(pats[0]) + "\n";
+  s += "sw $9, 0($30)\n";
+  int v = 0x11;
+  for (int lane = 0; lane < 4; ++lane) {
+    s += "li $9, " + hex(static_cast<std::uint32_t>(v)) + "\n";
+    s += "sb $9, " + dec(static_cast<std::uint32_t>(4 + lane)) + "($30)\n";
+    v += 0x33;
+  }
+  s += "li $9, " + hex(0x5AA5u) + "\n";
+  s += "sh $9, 8($30)\n";
+  s += "li $9, " + hex(0xC33Cu) + "\n";
+  s += "sh $9, 10($30)\n";
+  // Read everything back word-wise (exposes the stored lanes on the bus).
+  for (int w = 0; w < 3; ++w) {
+    s += "lw $10, " + dec(static_cast<std::uint32_t>(4 * w)) + "($30)\n";
+    s += "xor $13, $13, $10\n";
+  }
+  // Load-lane tests: a word with mixed sign bytes, read through every
+  // flavour of load.
+  s += "li $9, " + hex(pats[1]) + "\n";  // 0x80FF7F01
+  s += "sw $9, 12($30)\n";
+  {
+    int slot = 0;  // individual stores: lb/lbu agree on positive bytes
+    for (const char* op : {"lb", "lbu"}) {
+      for (int lane = 0; lane < 4; ++lane) {
+        s += std::string(op) + " $10, " +
+             dec(static_cast<std::uint32_t>(12 + lane)) + "($30)\n";
+        s += "sw $10, " + dec(static_cast<std::uint32_t>(320 + 4 * slot++)) +
+             "($30)\n";
+      }
+    }
+    for (const char* op : {"lh", "lhu"}) {
+      for (int lane = 0; lane < 4; lane += 2) {
+        s += std::string(op) + " $10, " +
+             dec(static_cast<std::uint32_t>(12 + lane)) + "($30)\n";
+        s += "sw $10, " + dec(static_cast<std::uint32_t>(320 + 4 * slot++)) +
+             "($30)\n";
+      }
+    }
+    s += "lw $10, 12($30)\n";
+    s += "sw $10, " + dec(static_cast<std::uint32_t>(320 + 4 * slot++)) +
+         "($30)\n";
+  }
+  // Address walk: markers at power-of-two offsets, read back.
+  int marker = 1;
+  for (const int step : {32, 64, 128, 256}) {
+    s += "li $9, " + dec(static_cast<std::uint32_t>(marker)) + "\n";
+    s += "sw $9, " + dec(static_cast<std::uint32_t>(step)) + "($30)\n";
+    marker <<= 3;
+  }
+  for (const int step : {32, 64, 128, 256}) {
+    s += "lw $10, " + dec(static_cast<std::uint32_t>(step)) + "($30)\n";
+    s += "xor $13, $13, $10\n";
+  }
+  // Negative-offset addressing.
+  s += "li $8, " + hex(buf + 512) + "\n";
+  s += "li $9, " + hex(0x7E57DA7Au) + "\n";
+  s += "sw $9, -4($8)\n";
+  s += "lw $10, -4($8)\n";
+  s += "xor $13, $13, $10\n";
+  s += "sw $13, 20($30)\n";
+  return RoutineSpec{"mctrl", plasma::PlasmaComponent::kMctrl, std::move(s),
+                     ""};
+}
+
+RoutineSpec control_flow_routine(std::uint32_t buf) {
+  std::string s;
+  s += "# --- CTRL/PCL: every branch polarity, jumps, links ---\n";
+  s += "li $30, " + hex(buf) + "\n";
+  s += "li $13, 0\n";
+  s += "li $8, -1\n";
+  s += "li $9, 1\n";
+  int marker = 1;
+  auto taken_pair = [&](const std::string& br_taken,
+                        const std::string& br_not) {
+    const std::string l1 = "Lcf_" + dec(static_cast<std::uint32_t>(marker));
+    s += br_not + "\n";                                   // must fall through
+    s += "addiu $13, $13, " + dec(static_cast<std::uint32_t>(marker)) + "\n";
+    s += br_taken.substr(0, br_taken.find('@')) + l1 +
+         br_taken.substr(br_taken.find('@') + 1) + "\n";  // must skip
+    s += "addiu $13, $13, " + dec(static_cast<std::uint32_t>(marker * 2)) + "\n";  // delay slot
+    s += "addiu $13, $13, " + dec(static_cast<std::uint32_t>(marker * 4)) + "\n";  // skipped when taken
+    s += l1 + ":\n";
+    marker <<= 1;
+  };
+  // $8 = -1, $9 = 1.
+  taken_pair("beq $8, $8, @", "beq $8, $9, Lcf_never");
+  taken_pair("bne $8, $9, @", "bne $9, $9, Lcf_never");
+  taken_pair("bltz $8, @", "bltz $9, Lcf_never");
+  taken_pair("bgez $9, @", "bgez $8, Lcf_never");
+  taken_pair("blez $8, @", "blez $9, Lcf_never");
+  taken_pair("bgtz $9, @", "bgtz $8, Lcf_never");
+  s += "blez $0, Lcf_zero\n";  // zero is <= 0: taken
+  s += "addiu $13, $13, 1\n";
+  s += "addiu $13, $13, " + hex(0x4000u) + "\n";
+  s += "Lcf_zero:\n";
+  // Linking branches.
+  s += "bltzal $8, Lcf_link1\n";
+  s += "addiu $13, $13, 2\n";
+  s += "addiu $13, $13, " + hex(0x1000u) + "\n";
+  s += "Lcf_link1:\n";
+  s += "sw $31, 0($30)\n";
+  s += "bgezal $9, Lcf_link2\n";
+  s += "addiu $13, $13, 3\n";
+  s += "addiu $13, $13, " + hex(0x2000u) + "\n";
+  s += "Lcf_link2:\n";
+  s += "sw $31, 4($30)\n";
+  // Backward branch: small countdown loop.
+  s += "li $8, 3\n";
+  s += "Lcf_loop:\n";
+  s += "addiu $8, $8, -1\n";
+  s += "bne $8, $0, Lcf_loop\n";
+  s += "addiu $13, $13, 16\n";
+  // jal / jr / jalr / j.
+  s += "jal Lcf_sub\n";
+  s += "addiu $13, $13, 32\n";
+  s += "sw $31, 8($30)\n";
+  s += "la $9, Lcf_sub\n";
+  s += "jalr $31, $9\n";  // link into $31 so Lcf_sub's jr $31 returns here
+  s += "addiu $13, $13, 64\n";
+  s += "sw $31, 12($30)\n";
+  s += "j Lcf_done\n";
+  s += "addiu $13, $13, 128\n";
+  s += "Lcf_never:\n";
+  s += "addiu $13, $13, " + hex(0x7000u) + "\n";  // only reached on fault
+  s += "Lcf_sub:\n";
+  s += "jr $31\n";
+  s += "addiu $13, $13, 256\n";
+  s += "Lcf_done:\n";
+  s += "sw $13, 16($30)\n";
+  return RoutineSpec{"cflow", plasma::PlasmaComponent::kPcl, std::move(s), ""};
+}
+
+RoutineSpec routine_for(plasma::PlasmaComponent component, std::uint32_t buf) {
+  using plasma::PlasmaComponent;
+  switch (component) {
+    case PlasmaComponent::kRegF:  return regfile_routine(buf);
+    case PlasmaComponent::kMulD:  return muldiv_routine(buf);
+    case PlasmaComponent::kAlu:   return alu_routine(buf);
+    case PlasmaComponent::kBsh:   return shifter_routine(buf);
+    case PlasmaComponent::kMctrl: return memctrl_routine(buf);
+    case PlasmaComponent::kPcl:
+    case PlasmaComponent::kCtrl:
+    case PlasmaComponent::kBmux:  return control_flow_routine(buf);
+    default:
+      throw std::invalid_argument(
+          "no library routine for component (hidden components are tested "
+          "collaterally)");
+  }
+}
+
+}  // namespace sbst::core

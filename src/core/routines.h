@@ -1,0 +1,47 @@
+// Step 3 of the methodology (Figure 4): compact self-test routines per
+// component. Each routine is an assembly fragment built around small
+// loops applying the library test sets; every response is compacted into
+// a running XOR signature that is stored to the result buffer each
+// iteration (stores are the observation mechanism — the memory bus is the
+// processor's primary output).
+//
+// Register conventions inside a routine (no cross-routine contract):
+//   $30        result-buffer base (reloaded by every routine)
+//   $8..$13    scratch / loop counters / signature
+// Labels are prefixed with the routine name; operand tables are emitted
+// into a separate data section placed after the program's halt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "plasma/cpu.h"
+
+namespace sbst::core {
+
+struct RoutineSpec {
+  std::string name;
+  plasma::PlasmaComponent target{};
+  std::string code;  // executable fragment
+  std::string data;  // .word tables, placed after the final halt
+};
+
+/// Phase A routines (functional components).
+RoutineSpec regfile_routine(std::uint32_t result_buf);
+RoutineSpec muldiv_routine(std::uint32_t result_buf);
+RoutineSpec alu_routine(std::uint32_t result_buf);
+RoutineSpec shifter_routine(std::uint32_t result_buf);
+
+/// Phase B routine: memory controller (the largest / highest-MOFC control
+/// component).
+RoutineSpec memctrl_routine(std::uint32_t result_buf);
+
+/// Extension routine for the remaining control components (PCL/CTRL):
+/// exercises every branch polarity, jumps, links and backward loops.
+RoutineSpec control_flow_routine(std::uint32_t result_buf);
+
+/// Routine targeting a given functional/control component.
+RoutineSpec routine_for(plasma::PlasmaComponent component,
+                        std::uint32_t result_buf);
+
+}  // namespace sbst::core

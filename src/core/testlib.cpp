@@ -1,0 +1,78 @@
+#include "core/testlib.h"
+
+namespace sbst::core {
+
+std::vector<OperandPair> alu_test_pairs() {
+  return {
+      // carry chains: full propagate, generate at bit 0, kill everywhere
+      {0x00000000u, 0x00000000u},
+      {0xFFFFFFFFu, 0x00000001u},
+      {0xFFFFFFFFu, 0xFFFFFFFFu},
+      {0x00000001u, 0xFFFFFFFFu},
+      // alternating generate/propagate
+      {0x55555555u, 0x55555555u},
+      {0xAAAAAAAAu, 0xAAAAAAAAu},
+      {0x33333333u, 0x33333333u},
+      {0xCCCCCCCCu, 0xCCCCCCCCu},
+      // minterm-complete logic backgrounds
+      {0x55555555u, 0x33333333u},
+      {0xAAAAAAAAu, 0xCCCCCCCCu},
+      {0x55555555u, 0xCCCCCCCCu},
+      {0xAAAAAAAAu, 0x33333333u},
+      // sign / overflow corners for slt, sltu and sub
+      {0x80000000u, 0x7FFFFFFFu},
+      {0x7FFFFFFFu, 0x80000000u},
+      {0x80000000u, 0xFFFFFFFFu},
+      {0x0F0F0F0Fu, 0xF0F0F0F0u},
+  };
+}
+
+std::vector<std::uint16_t> alu_imm_patterns() {
+  return {0x5555u, 0xAAAAu, 0xFFFFu, 0x0001u, 0x8000u};
+}
+
+std::vector<std::uint32_t> shifter_backgrounds() {
+  return {0x55555555u, 0xAAAAAAAAu};
+}
+
+std::vector<ShifterStagePattern> shifter_stage_patterns() {
+  return {
+      {0, 0x55555555u, 1},
+      {1, 0x33333333u, 2},
+      {2, 0x0F0F0F0Fu, 4},
+      {3, 0x00FF00FFu, 8},
+      {4, 0x0000FFFFu, 16},
+  };
+}
+
+std::vector<std::uint32_t> regfile_backgrounds() {
+  return {0x55555555u, 0xAAAAAAAAu};
+}
+
+std::uint16_t regfile_address_pattern(int reg) {
+  // r | r<<5 | r<<10: distinct per register, fits 15 bits, and differs
+  // from its own complemented-address variants in several positions.
+  const unsigned r = static_cast<unsigned>(reg) & 31u;
+  return static_cast<std::uint16_t>(r | (r << 5) | (r << 10));
+}
+
+std::vector<OperandPair> muldiv_test_pairs() {
+  return {
+      {0x00000000u, 0x00000000u},  // also divide-by-zero path
+      {0x00000001u, 0xFFFFFFFFu},
+      {0xFFFFFFFFu, 0xFFFFFFFFu},
+      {0x80000000u, 0x7FFFFFFFu},  // INT_MIN rectification
+      {0x55555555u, 0xAAAAAAAAu},  // alternating add/skip iterations
+      {0x0000FFFFu, 0xFFFF0000u},
+      {0x12345678u, 0x9ABCDEF0u},
+      {0x00010001u, 0x0000FFFEu},
+      {0x7FFFFFFFu, 0x00000002u},
+      {0xDEADBEEFu, 0x00000007u},
+  };
+}
+
+std::vector<std::uint32_t> memctrl_patterns() {
+  return {0xC3A55A3Cu, 0x80FF7F01u, 0x00000000u, 0xFFFFFFFFu};
+}
+
+}  // namespace sbst::core

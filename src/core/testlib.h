@@ -1,0 +1,62 @@
+// The "component test set library" (Figure 4): small deterministic test
+// sets that exploit the regular structure of datapath components. Each
+// set is validated standalone by component-level fault grading in
+// tests/core/testlib_test.cpp, mirroring the paper's claim that a small
+// library of regular patterns achieves very high structural coverage on
+// most component architectures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sbst::core {
+
+struct OperandPair {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Operand pairs for the ALU routine. The set combines:
+///  - carry-chain patterns for the ripple adder/subtractor
+///    (carry-propagate, generate and kill alternations),
+///  - minterm-complete backgrounds for the bitwise unit: over the four
+///    pairs (0x5,0x3),(0xA,0xC),(0x5,0xC),(0xA,0x3) every bit position
+///    sees all four input combinations,
+///  - sign/overflow corners for slt/sltu.
+std::vector<OperandPair> alu_test_pairs();
+
+/// Immediate values for the I-format ALU ops (andi/ori/xori/addiu/slti/
+/// sltiu); applied against complementary register backgrounds.
+std::vector<std::uint16_t> alu_imm_patterns();
+
+/// Background words shifted through every amount 0..31 by the shifter
+/// routine. Complementary checkerboards toggle every mux path of the
+/// logarithmic shifter; the negative value exercises the sra sign fill.
+std::vector<std::uint32_t> shifter_backgrounds();
+
+/// Per-stage pattern for the logarithmic shifter's level-k select faults:
+/// a word with period 2^(k+1), so bit i and bit i+2^k always differ and a
+/// wrong per-bit stage decision is visible for every output bit.
+struct ShifterStagePattern {
+  int stage = 0;                 // 0..4
+  std::uint32_t pattern = 0;     // period 2^(stage+1)
+  int amount = 0;                // == 1 << stage
+};
+std::vector<ShifterStagePattern> shifter_stage_patterns();
+
+/// Register-file background patterns (complementary pair).
+std::vector<std::uint32_t> regfile_backgrounds();
+
+/// Address-in-data value for register r (fits an ori immediate, distinct
+/// per register): catches read/write decoder addressing faults.
+std::uint16_t regfile_address_pattern(int reg);
+
+/// Operand pairs pushed through MULT/MULTU/DIV/DIVU. Corners (0, +-1,
+/// INT_MIN, alternating) plus regular patterns that keep the add/sub-shift
+/// datapath busy in every one of the 32 iterations.
+std::vector<OperandPair> muldiv_test_pairs();
+
+/// Word patterns for the memory-controller routine's lane tests.
+std::vector<std::uint32_t> memctrl_patterns();
+
+}  // namespace sbst::core

@@ -1,0 +1,322 @@
+#include "dsl/builder.h"
+
+#include <stdexcept>
+
+namespace sbst::dsl {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw nl::NetlistError(what);
+}
+
+}  // namespace
+
+GateId Builder::not_(GateId a) {
+  if (a == nl_->const0()) return nl_->const1();
+  if (a == nl_->const1()) return nl_->const0();
+  if (nl_->gate(a).kind == nl::GateKind::kNot) return nl_->gate(a).in[0];
+  return nl_->add_gate(nl::GateKind::kNot, a);
+}
+
+GateId Builder::and_(GateId a, GateId b) {
+  const GateId c0 = nl_->const0();
+  const GateId c1 = nl_->const1();
+  if (a == c0 || b == c0) return c0;
+  if (a == c1) return b;
+  if (b == c1) return a;
+  if (a == b) return a;
+  return nl_->add_gate(nl::GateKind::kAnd2, a, b);
+}
+
+GateId Builder::or_(GateId a, GateId b) {
+  const GateId c0 = nl_->const0();
+  const GateId c1 = nl_->const1();
+  if (a == c1 || b == c1) return c1;
+  if (a == c0) return b;
+  if (b == c0) return a;
+  if (a == b) return a;
+  return nl_->add_gate(nl::GateKind::kOr2, a, b);
+}
+
+GateId Builder::nand_(GateId a, GateId b) {
+  const GateId c0 = nl_->const0();
+  const GateId c1 = nl_->const1();
+  if (a == c0 || b == c0) return c1;
+  if (a == c1) return not_(b);
+  if (b == c1) return not_(a);
+  if (a == b) return not_(a);
+  return nl_->add_gate(nl::GateKind::kNand2, a, b);
+}
+
+GateId Builder::nor_(GateId a, GateId b) {
+  const GateId c0 = nl_->const0();
+  const GateId c1 = nl_->const1();
+  if (a == c1 || b == c1) return c0;
+  if (a == c0) return not_(b);
+  if (b == c0) return not_(a);
+  if (a == b) return not_(a);
+  return nl_->add_gate(nl::GateKind::kNor2, a, b);
+}
+
+GateId Builder::xor_(GateId a, GateId b) {
+  const GateId c0 = nl_->const0();
+  const GateId c1 = nl_->const1();
+  if (a == c0) return b;
+  if (b == c0) return a;
+  if (a == c1) return not_(b);
+  if (b == c1) return not_(a);
+  if (a == b) return c0;
+  return nl_->add_gate(nl::GateKind::kXor2, a, b);
+}
+
+GateId Builder::xnor_(GateId a, GateId b) {
+  const GateId c0 = nl_->const0();
+  const GateId c1 = nl_->const1();
+  if (a == c1) return b;
+  if (b == c1) return a;
+  if (a == c0) return not_(b);
+  if (b == c0) return not_(a);
+  if (a == b) return c1;
+  return nl_->add_gate(nl::GateKind::kXnor2, a, b);
+}
+
+GateId Builder::mux(GateId sel, GateId a, GateId b) {
+  const GateId c0 = nl_->const0();
+  const GateId c1 = nl_->const1();
+  if (a == b) return a;
+  if (sel == c0) return a;
+  if (sel == c1) return b;
+  if (a == c0 && b == c1) return sel;
+  if (a == c1 && b == c0) return not_(sel);
+  if (a == c0) return and_(sel, b);
+  if (b == c0) return and_(not_(sel), a);
+  if (a == c1) return or_(not_(sel), b);
+  if (b == c1) return or_(sel, a);
+  return nl_->add_gate(nl::GateKind::kMux2, a, b, sel);
+}
+
+GateId Builder::reduce(std::span<const GateId> bits, nl::GateKind kind) {
+  require(!bits.empty(), "reduce over empty bus");
+  // Balanced tree keeps logic depth logarithmic.
+  std::vector<GateId> cur(bits.begin(), bits.end());
+  while (cur.size() > 1) {
+    std::vector<GateId> next;
+    next.reserve((cur.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+      next.push_back(nl_->add_gate(kind, cur[i], cur[i + 1]));
+    }
+    if (cur.size() % 2 != 0) next.push_back(cur.back());
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+GateId Builder::reduce_and(std::span<const GateId> bits) {
+  return reduce(bits, nl::GateKind::kAnd2);
+}
+GateId Builder::reduce_or(std::span<const GateId> bits) {
+  return reduce(bits, nl::GateKind::kOr2);
+}
+GateId Builder::reduce_xor(std::span<const GateId> bits) {
+  return reduce(bits, nl::GateKind::kXor2);
+}
+
+Bus Builder::constant(std::uint64_t value, int width) const {
+  Bus b(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) b[static_cast<std::size_t>(i)] = lit((value >> i) & 1u);
+  return b;
+}
+
+Bus Builder::not_bus(const Bus& a) {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = not_(a[i]);
+  return r;
+}
+
+#define SBST_DSL_BITWISE(name, op)                              \
+  Bus Builder::name(const Bus& a, const Bus& b) {               \
+    require(a.size() == b.size(), #name ": width mismatch");    \
+    Bus r(a.size());                                            \
+    for (std::size_t i = 0; i < a.size(); ++i) r[i] = op(a[i], b[i]); \
+    return r;                                                   \
+  }
+
+SBST_DSL_BITWISE(and_bus, and_)
+SBST_DSL_BITWISE(or_bus, or_)
+SBST_DSL_BITWISE(xor_bus, xor_)
+SBST_DSL_BITWISE(nor_bus, nor_)
+#undef SBST_DSL_BITWISE
+
+Bus Builder::mask_bus(const Bus& a, GateId en) {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = and_(a[i], en);
+  return r;
+}
+
+Bus Builder::mux_bus(GateId sel, const Bus& a, const Bus& b) {
+  require(a.size() == b.size(), "mux_bus: width mismatch");
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = mux(sel, a[i], b[i]);
+  return r;
+}
+
+Bus Builder::mux_tree(const Bus& sel, std::span<const Bus> choices) {
+  require(!choices.empty(), "mux_tree: no choices");
+  const std::size_t width = choices[0].size();
+  for (const Bus& c : choices) {
+    require(c.size() == width, "mux_tree: choice width mismatch");
+  }
+  std::vector<Bus> cur(choices.begin(), choices.end());
+  // Pad to full 2^k with the last choice so unused select codes produce a
+  // defined value.
+  const std::size_t full = std::size_t{1} << sel.size();
+  require(cur.size() <= full, "mux_tree: too many choices for select width");
+  while (cur.size() < full) cur.push_back(cur.back());
+
+  for (std::size_t level = 0; level < sel.size(); ++level) {
+    std::vector<Bus> next;
+    next.reserve(cur.size() / 2);
+    for (std::size_t i = 0; i < cur.size(); i += 2) {
+      next.push_back(mux_bus(sel[level], cur[i], cur[i + 1]));
+    }
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+Bus Builder::decoder(const Bus& sel, GateId enable) {
+  const std::size_t n = std::size_t{1} << sel.size();
+  Bus inv(sel.size());
+  for (std::size_t i = 0; i < sel.size(); ++i) inv[i] = not_(sel[i]);
+  Bus out(n);
+  for (std::size_t code = 0; code < n; ++code) {
+    Bus terms(sel.size());
+    for (std::size_t b = 0; b < sel.size(); ++b) {
+      terms[b] = ((code >> b) & 1u) ? sel[b] : inv[b];
+    }
+    GateId hit = reduce_and(terms);
+    if (enable != nl::kNoGate) hit = and_(hit, enable);
+    out[code] = hit;
+  }
+  return out;
+}
+
+Builder::AddResult Builder::add(const Bus& a, const Bus& b, GateId carry_in) {
+  require(a.size() == b.size() && !a.empty(), "add: width mismatch");
+  AddResult r;
+  r.sum.resize(a.size());
+  GateId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i + 1 == a.size()) r.carry_msb = carry;
+    const GateId axb = xor_(a[i], b[i]);
+    r.sum[i] = xor_(axb, carry);
+    // carry' = a&b | carry&(a^b)
+    carry = or_(and_(a[i], b[i]), and_(carry, axb));
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+Builder::AddResult Builder::sub(const Bus& a, const Bus& b) {
+  return add(a, not_bus(b), lit(true));
+}
+
+Bus Builder::inc(const Bus& a) {
+  // Half-adder chain: cheaper than full add with a constant.
+  Bus r(a.size());
+  GateId carry = lit(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    r[i] = xor_(a[i], carry);
+    if (i + 1 < a.size()) carry = and_(a[i], carry);
+  }
+  return r;
+}
+
+Bus Builder::negate(const Bus& a) { return inc(not_bus(a)); }
+
+GateId Builder::eq(const Bus& a, const Bus& b) {
+  require(a.size() == b.size(), "eq: width mismatch");
+  Bus x(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) x[i] = xnor_(a[i], b[i]);
+  return reduce_and(x);
+}
+
+GateId Builder::is_zero(const Bus& a) { return not_(reduce_or(a)); }
+
+GateId Builder::ult(const Bus& a, const Bus& b) {
+  // a < b  <=>  borrow out of a - b  <=>  !carry_out.
+  return not_(sub(a, b).carry_out);
+}
+
+GateId Builder::slt(const Bus& a, const Bus& b) {
+  const AddResult d = sub(a, b);
+  const GateId sign = d.sum.back();
+  const GateId overflow = xor_(d.carry_out, d.carry_msb);
+  return xor_(sign, overflow);
+}
+
+Bus Builder::shift_right_var(const Bus& data, const Bus& amount, GateId fill) {
+  Bus cur = data;
+  for (std::size_t level = 0; level < amount.size(); ++level) {
+    const std::size_t dist = std::size_t{1} << level;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      shifted[i] = (i + dist < cur.size()) ? cur[i + dist] : fill;
+    }
+    cur = mux_bus(amount[level], cur, shifted);
+  }
+  return cur;
+}
+
+Bus Builder::reverse(const Bus& a) { return Bus(a.rbegin(), a.rend()); }
+
+Bus Builder::reg(int width, std::uint64_t reset_value) {
+  Bus q(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    q[static_cast<std::size_t>(i)] =
+        nl_->add_dff(nl::kNoGate, (reset_value >> i) & 1u);
+  }
+  return q;
+}
+
+void Builder::connect_reg(const Bus& q, const Bus& d) {
+  require(q.size() == d.size(), "connect_reg: width mismatch");
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    require(nl_->gate(q[i]).kind == nl::GateKind::kDff,
+            "connect_reg: q bit is not a DFF");
+    nl_->set_gate_input(q[i], 0, d[i]);
+  }
+}
+
+Bus Builder::dff_bus(const Bus& d, std::uint64_t reset_value) {
+  Bus q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    q[i] = nl_->add_dff(d[i], (reset_value >> i) & 1u);
+  }
+  return q;
+}
+
+Bus Builder::slice(const Bus& a, int lo, int n) {
+  return Bus(a.begin() + lo, a.begin() + lo + n);
+}
+
+Bus Builder::cat(const Bus& lo, const Bus& hi) {
+  Bus r = lo;
+  r.insert(r.end(), hi.begin(), hi.end());
+  return r;
+}
+
+Bus Builder::zero_extend(const Bus& a, int width) const {
+  Bus r = a;
+  while (static_cast<int>(r.size()) < width) r.push_back(lit(false));
+  return r;
+}
+
+Bus Builder::sign_extend(const Bus& a, int width) const {
+  Bus r = a;
+  while (static_cast<int>(r.size()) < width) r.push_back(a.back());
+  return r;
+}
+
+}  // namespace sbst::dsl

@@ -1,0 +1,37 @@
+// Vector-driven fault grading for standalone components.
+//
+// Used to validate the deterministic component test-set library at the
+// component level (the paper's "Component test set library" box in
+// Figure 4): a test set is a sequence of input assignments; every output
+// is observed every cycle. Sequential components (register file, mul/div
+// unit) are graded the same way — one vector per clock cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/faultsim.h"
+
+namespace sbst::fault {
+
+struct PortValue {
+  std::string port;
+  std::uint64_t value = 0;
+};
+
+/// One clock cycle's input assignment. Ports not mentioned hold their
+/// previous value (initially 0).
+using TestVector = std::vector<PortValue>;
+using VectorSet = std::vector<TestVector>;
+
+/// Grades `vectors` against the collapsed fault list of `netlist`.
+FaultSimResult grade_vectors(const nl::Netlist& netlist,
+                             const nl::FaultList& faults,
+                             const VectorSet& vectors,
+                             const FaultSimOptions& options = {});
+
+/// Convenience: enumerate faults, grade, and return overall coverage.
+Coverage grade_vectors_coverage(const nl::Netlist& netlist,
+                                const VectorSet& vectors);
+
+}  // namespace sbst::fault

@@ -1,0 +1,95 @@
+// PROOFS-style 63-faults-per-word sequential stuck-at fault simulator.
+//
+// Each 64-bit simulation word carries 63 faulty machines (bits 0..62) and
+// the good machine (bit 63). A fault is detected when any primary-output
+// bit of its machine differs from the good machine in any cycle. Because
+// the primary outputs include the complete memory interface, a
+// not-yet-detected machine has by definition issued the identical memory
+// traffic as the good machine, so the environment (memory model) only
+// needs to be simulated once, from the good machine's outputs — see
+// DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netlist/fault.h"
+#include "sim/logicsim.h"
+
+namespace sbst::fault {
+
+/// Closed-loop environment around the netlist (memory model, testbench).
+/// One fresh instance is created per fault group; it must be
+/// deterministic.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Drives primary inputs for cycle `cycle` (broadcast values only).
+  /// Called before combinational evaluation.
+  virtual void drive(sim::LogicSim& sim, std::uint64_t cycle) = 0;
+
+  /// Observes good-machine outputs after evaluation of cycle `cycle`
+  /// (read with machine=63). Returns false to stop the run (e.g. the
+  /// program under simulation halted).
+  virtual bool observe(const sim::LogicSim& sim, std::uint64_t cycle) = 0;
+};
+
+using EnvFactory = std::function<std::unique_ptr<Environment>()>;
+
+struct FaultSimOptions {
+  std::uint64_t max_cycles = 1'000'000;
+  /// If non-zero, simulate only a pseudo-random sample of this many
+  /// representative faults (statistical fault grading); coverage is then
+  /// an estimate over the sample.
+  std::size_t sample = 0;
+  std::uint64_t sample_seed = 0x5eed5bd7u;
+  /// Optional progress callback: (groups_done, groups_total).
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+struct FaultSimResult {
+  /// detected[i] == 1 iff representative fault i was detected. For sampled
+  /// runs, unsampled faults have simulated[i] == 0.
+  std::vector<std::uint8_t> detected;
+  std::vector<std::uint8_t> simulated;
+  /// Cycle of first detection (or -1).
+  std::vector<std::int64_t> detect_cycle;
+  /// Cycles the good machine ran for (environment stop or max_cycles).
+  std::uint64_t good_cycles = 0;
+};
+
+/// Runs sequential fault simulation of `faults` on `netlist` inside the
+/// environment produced by `make_env`. The engine performs fault dropping
+/// (a group stops as soon as all of its faults are detected).
+FaultSimResult run_fault_sim(const nl::Netlist& netlist,
+                             const nl::FaultList& faults,
+                             const EnvFactory& make_env,
+                             const FaultSimOptions& options = {});
+
+// --- coverage aggregation --------------------------------------------------
+
+struct Coverage {
+  std::size_t total = 0;     // uncollapsed faults considered
+  std::size_t detected = 0;  // uncollapsed faults detected
+
+  double percent() const {
+    return total == 0 ? 100.0 : 100.0 * static_cast<double>(detected) /
+                                    static_cast<double>(total);
+  }
+};
+
+/// Overall coverage in uncollapsed-fault terms (each representative
+/// weighted by its equivalence-class size), counting only simulated
+/// faults.
+Coverage overall_coverage(const nl::FaultList& faults,
+                          const FaultSimResult& result);
+
+/// Per-component coverage, indexed by ComponentId.
+std::vector<Coverage> component_coverage(const nl::Netlist& netlist,
+                                         const nl::FaultList& faults,
+                                         const FaultSimResult& result);
+
+}  // namespace sbst::fault

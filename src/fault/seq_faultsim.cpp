@@ -1,0 +1,276 @@
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "fault/faultsim.h"
+
+namespace sbst::fault {
+
+namespace {
+
+using sim::Word;
+
+/// One injected fault inside the active group.
+struct Injection {
+  nl::GateId gate;
+  std::uint8_t pin;    // 0 = output, 1..3 = input branch
+  std::uint8_t stuck;  // forced value
+  Word mask;           // single machine bit
+};
+
+/// Applies output-style forcing of `stuck` on `mask` bits of `w`.
+inline Word force(Word w, Word mask, std::uint8_t stuck) {
+  return stuck ? (w | mask) : (w & ~mask);
+}
+
+/// Per-group injection table with O(1) "is this gate faulty" checks.
+class InjectionTable {
+ public:
+  explicit InjectionTable(std::size_t num_gates) : flag_(num_gates, 0) {}
+
+  void clear() {
+    for (const Injection& inj : list_) flag_[inj.gate] = 0;
+    list_.clear();
+    source_list_.clear();
+    dff_d_list_.clear();
+    dff_q_list_.clear();
+  }
+
+  void add(const nl::Netlist& netlist, const nl::Fault& f, int machine_bit) {
+    Injection inj{f.gate, f.pin, f.stuck, Word{1} << machine_bit};
+    const nl::GateKind kind = netlist.gate(f.gate).kind;
+    const bool is_source = kind == nl::GateKind::kInput ||
+                           kind == nl::GateKind::kConst0 ||
+                           kind == nl::GateKind::kConst1;
+    if (kind == nl::GateKind::kDff) {
+      if (f.pin == 0) {
+        dff_q_list_.push_back(inj);
+      } else {
+        dff_d_list_.push_back(inj);
+      }
+    } else if (is_source) {
+      source_list_.push_back(inj);  // output faults on PIs/constants
+    } else {
+      list_.push_back(inj);
+      flag_[f.gate] = 1;
+    }
+  }
+
+  bool flagged(nl::GateId g) const { return flag_[g] != 0; }
+  const std::vector<Injection>& comb() const { return list_; }
+  const std::vector<Injection>& sources() const { return source_list_; }
+  const std::vector<Injection>& dff_d() const { return dff_d_list_; }
+  const std::vector<Injection>& dff_q() const { return dff_q_list_; }
+
+ private:
+  std::vector<std::uint8_t> flag_;
+  std::vector<Injection> list_;
+  std::vector<Injection> source_list_;
+  std::vector<Injection> dff_d_list_;
+  std::vector<Injection> dff_q_list_;
+};
+
+/// Fault-aware evaluation sweep. Identical to LogicSim::eval() except that
+/// flagged gates apply input-branch and output-stem forcing.
+void eval_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
+  const nl::Netlist& netlist = s.netlist();
+  const auto& order = s.levelization().comb_order;
+  Word* const v = s.values().data();
+  for (nl::GateId g : order) {
+    const nl::Gate& gate = netlist.gate(g);
+    Word a = v[gate.in[0]];
+    Word b = gate.in[1] == nl::kNoGate ? 0 : v[gate.in[1]];
+    Word c = gate.in[2] == nl::kNoGate ? 0 : v[gate.in[2]];
+    if (inj.flagged(g)) [[unlikely]] {
+      for (const Injection& i : inj.comb()) {
+        if (i.gate != g || i.pin == 0) continue;
+        if (i.pin == 1) a = force(a, i.mask, i.stuck);
+        if (i.pin == 2) b = force(b, i.mask, i.stuck);
+        if (i.pin == 3) c = force(c, i.mask, i.stuck);
+      }
+      Word w = sim::eval_gate(gate.kind, a, b, c);
+      for (const Injection& i : inj.comb()) {
+        if (i.gate == g && i.pin == 0) w = force(w, i.mask, i.stuck);
+      }
+      v[g] = w;
+    } else {
+      v[g] = sim::eval_gate(gate.kind, a, b, c);
+    }
+  }
+}
+
+/// Applies stuck-at forcing on source gates (PIs, constants) and DFF
+/// outputs; must run after inputs are driven / DFFs updated.
+void apply_state_injections(sim::LogicSim& s, const InjectionTable& inj) {
+  Word* const v = s.values().data();
+  for (const Injection& i : inj.sources()) {
+    v[i.gate] = force(v[i.gate], i.mask, i.stuck);
+  }
+  for (const Injection& i : inj.dff_q()) {
+    v[i.gate] = force(v[i.gate], i.mask, i.stuck);
+  }
+}
+
+/// Clocks DFFs with D-pin fault forcing, then re-applies Q-output faults.
+void step_clock_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
+  const nl::Netlist& netlist = s.netlist();
+  const auto& dffs = s.levelization().dffs;
+  Word* const v = s.values().data();
+  thread_local std::vector<Word> next;
+  next.resize(dffs.size());
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    next[i] = v[netlist.gate(dffs[i]).in[0]];
+  }
+  if (!inj.dff_d().empty()) {
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      for (const Injection& f : inj.dff_d()) {
+        if (f.gate == dffs[i]) next[i] = force(next[i], f.mask, f.stuck);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dffs.size(); ++i) v[dffs[i]] = next[i];
+  for (const Injection& f : inj.dff_q()) {
+    v[f.gate] = force(v[f.gate], f.mask, f.stuck);
+  }
+}
+
+/// Detection word: bits where a machine's PO differs from the good
+/// machine (bit 63).
+inline Word po_diff(const sim::LogicSim& s, const nl::Netlist& netlist) {
+  Word diff = 0;
+  const Word* const v = s.values().data();
+  for (const nl::Port& p : netlist.outputs()) {
+    for (nl::GateId b : p.bits) {
+      const Word w = v[b];
+      // Arithmetic right shift replicates bit 63 across the word.
+      const Word good =
+          static_cast<Word>(static_cast<std::int64_t>(w) >> 63);
+      diff |= w ^ good;
+    }
+  }
+  return diff & ~(Word{1} << 63);
+}
+
+std::vector<std::size_t> choose_sample(std::size_t universe, std::size_t n,
+                                       std::uint64_t seed) {
+  std::vector<std::size_t> idx(universe);
+  for (std::size_t i = 0; i < universe; ++i) idx[i] = i;
+  // Fisher-Yates with a splitmix64 generator (deterministic, seedable).
+  std::uint64_t state = seed;
+  auto next_u64 = [&state]() {
+    state += 0x9E3779B97f4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  for (std::size_t i = 0; i < n && i + 1 < universe; ++i) {
+    const std::size_t j = i + next_u64() % (universe - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(std::min(n, universe));
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace
+
+FaultSimResult run_fault_sim(const nl::Netlist& netlist,
+                             const nl::FaultList& faults,
+                             const EnvFactory& make_env,
+                             const FaultSimOptions& options) {
+  FaultSimResult res;
+  res.detected.assign(faults.size(), 0);
+  res.simulated.assign(faults.size(), 0);
+  res.detect_cycle.assign(faults.size(), -1);
+
+  std::vector<std::size_t> active;
+  if (options.sample != 0 && options.sample < faults.size()) {
+    active = choose_sample(faults.size(), options.sample, options.sample_seed);
+  } else {
+    active.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) active[i] = i;
+  }
+  for (std::size_t i : active) res.simulated[i] = 1;
+
+  sim::LogicSim s(netlist);
+  InjectionTable inj(netlist.size());
+  constexpr int kFaultsPerGroup = 63;
+  const std::size_t num_groups =
+      (active.size() + kFaultsPerGroup - 1) / kFaultsPerGroup;
+
+  for (std::size_t group = 0; group < num_groups; ++group) {
+    const std::size_t base = group * kFaultsPerGroup;
+    const int count = static_cast<int>(
+        std::min<std::size_t>(kFaultsPerGroup, active.size() - base));
+
+    inj.clear();
+    for (int i = 0; i < count; ++i) {
+      inj.add(netlist, faults.faults[active[base + i]], i);
+    }
+    const Word all_mask =
+        count == 64 ? ~Word{0} : ((Word{1} << count) - 1);
+
+    s.reset();
+    apply_state_injections(s, inj);
+    std::unique_ptr<Environment> env = make_env();
+
+    Word detected = 0;
+    std::uint64_t cycle = 0;
+    for (; cycle < options.max_cycles; ++cycle) {
+      env->drive(s, cycle);
+      apply_state_injections(s, inj);
+      eval_with_injections(s, inj);
+
+      const Word diff = po_diff(s, netlist) & all_mask & ~detected;
+      if (diff != 0) {
+        Word d = diff;
+        while (d != 0) {
+          const int bit = std::countr_zero(d);
+          d &= d - 1;
+          const std::size_t fi = active[base + static_cast<std::size_t>(bit)];
+          res.detected[fi] = 1;
+          res.detect_cycle[fi] = static_cast<std::int64_t>(cycle);
+        }
+        detected |= diff;
+        if (detected == all_mask) break;  // fault dropping: group done
+      }
+
+      const bool keep_going = env->observe(s, cycle);
+      step_clock_with_injections(s, inj);
+      if (!keep_going) {
+        ++cycle;
+        break;
+      }
+    }
+    res.good_cycles = std::max(res.good_cycles, cycle);
+    if (options.progress) options.progress(group + 1, num_groups);
+  }
+  return res;
+}
+
+Coverage overall_coverage(const nl::FaultList& faults,
+                          const FaultSimResult& result) {
+  Coverage cov;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!result.simulated[i]) continue;
+    cov.total += faults.class_size[i];
+    if (result.detected[i]) cov.detected += faults.class_size[i];
+  }
+  return cov;
+}
+
+std::vector<Coverage> component_coverage(const nl::Netlist& netlist,
+                                         const nl::FaultList& faults,
+                                         const FaultSimResult& result) {
+  std::vector<Coverage> cov(static_cast<std::size_t>(netlist.num_components()));
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!result.simulated[i]) continue;
+    const nl::ComponentId c = fault_component(netlist, faults.faults[i]);
+    cov[c].total += faults.class_size[i];
+    if (result.detected[i]) cov[c].detected += faults.class_size[i];
+  }
+  return cov;
+}
+
+}  // namespace sbst::fault

@@ -1,0 +1,476 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+
+#include "isa/mips.h"
+
+namespace sbst::isa {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string strip(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string strip_comment(std::string_view line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '#' || line[i] == ';') return std::string(line.substr(0, i));
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      return std::string(line.substr(0, i));
+    }
+  }
+  return std::string(line);
+}
+
+std::vector<std::string> split_commas(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ',') {
+      const std::string part = strip(s.substr(start, i - start));
+      if (!part.empty()) out.push_back(part);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return std::nullopt;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, base);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  std::int64_t sv = static_cast<std::int64_t>(value);
+  return neg ? -sv : sv;
+}
+
+struct Statement {
+  int line = 0;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::uint32_t address = 0;   // byte address assigned in pass 1
+  int words = 0;               // emitted size
+};
+
+class AssemblerImpl {
+ public:
+  Program run(std::string_view source) {
+    pass1(source);
+    pass2();
+    return std::move(prog_);
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& msg) {
+    throw AsmError("asm line " + std::to_string(line) + ": " + msg);
+  }
+
+  int instruction_words(const Statement& st) {
+    // Everything is 1 word except li (1-2) and la (always 2).
+    if (st.mnemonic == "la") return 2;
+    if (st.mnemonic == "li") {
+      if (st.operands.size() != 2) fail(st.line, "li needs 2 operands");
+      const auto v = parse_int(st.operands[1]);
+      if (!v) fail(st.line, "li immediate must be a constant");
+      const std::int64_t imm = *v;
+      if (imm >= -32768 && imm < 32768) return 1;          // addiu
+      if (imm >= 0 && imm <= 0xFFFF) return 1;             // ori
+      if ((imm & 0xFFFF) == 0 && imm >= 0 && imm <= static_cast<std::int64_t>(0xFFFF0000)) return 1;  // lui
+      return 2;                                            // lui+ori
+    }
+    return 1;
+  }
+
+  void pass1(std::string_view source) {
+    std::uint32_t loc = 0;  // byte address
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t nl = source.find('\n', pos);
+      std::string_view raw =
+          source.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                          : nl - pos);
+      pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+      ++line_no;
+      std::string text = strip(strip_comment(raw));
+
+      // Labels (possibly several on one line).
+      while (true) {
+        const std::size_t colon = text.find(':');
+        if (colon == std::string::npos) break;
+        const std::string label = strip(text.substr(0, colon));
+        if (label.empty()) fail(line_no, "empty label");
+        if (prog_.symbols.count(label) != 0) {
+          fail(line_no, "duplicate label '" + label + "'");
+        }
+        prog_.symbols[label] = loc;
+        text = strip(text.substr(colon + 1));
+      }
+      if (text.empty()) continue;
+
+      Statement st;
+      st.line = line_no;
+      const std::size_t sp = text.find_first_of(" \t");
+      st.mnemonic = text.substr(0, sp);
+      for (char& c : st.mnemonic) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (sp != std::string::npos) {
+        st.operands = split_commas(text.substr(sp + 1));
+      }
+
+      if (st.mnemonic == ".org") {
+        if (st.operands.size() != 1) fail(line_no, ".org needs one operand");
+        const auto v = parse_int(st.operands[0]);
+        if (!v || *v < 0 || (*v % 4) != 0) {
+          fail(line_no, ".org needs a non-negative word-aligned address");
+        }
+        loc = static_cast<std::uint32_t>(*v);
+        st.address = loc;
+        st.words = 0;
+      } else if (st.mnemonic == ".word") {
+        st.address = loc;
+        st.words = static_cast<int>(st.operands.size());
+        loc += 4u * static_cast<std::uint32_t>(st.words);
+      } else if (st.mnemonic == ".space") {
+        if (st.operands.size() != 1) fail(line_no, ".space needs one operand");
+        const auto v = parse_int(st.operands[0]);
+        if (!v || *v < 0 || (*v % 4) != 0) {
+          fail(line_no, ".space needs a non-negative multiple of 4");
+        }
+        st.address = loc;
+        st.words = static_cast<int>(*v / 4);
+        loc += static_cast<std::uint32_t>(*v);
+      } else {
+        st.address = loc;
+        st.words = instruction_words(st);
+        loc += 4u * static_cast<std::uint32_t>(st.words);
+      }
+      statements_.push_back(std::move(st));
+    }
+  }
+
+  void emit(std::uint32_t address, std::uint32_t word, int line) {
+    if (address % 4 != 0) fail(line, "unaligned emit");
+    const std::size_t index = address / 4;
+    if (index >= prog_.words.size()) prog_.words.resize(index + 1, 0);
+    prog_.words[index] = word;
+  }
+
+  int reg_operand(const Statement& st, std::size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing register operand");
+    const auto r = parse_register(st.operands[i]);
+    if (!r) fail(st.line, "bad register '" + st.operands[i] + "'");
+    return *r;
+  }
+
+  std::int64_t int_operand(const Statement& st, std::size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing operand");
+    const auto v = parse_int(st.operands[i]);
+    if (!v) fail(st.line, "bad integer '" + st.operands[i] + "'");
+    return *v;
+  }
+
+  /// Integer constant or label address.
+  std::int64_t value_operand(const Statement& st, std::size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing operand");
+    const auto v = parse_int(st.operands[i]);
+    if (v) return *v;
+    const auto it = prog_.symbols.find(st.operands[i]);
+    if (it == prog_.symbols.end()) {
+      fail(st.line, "undefined symbol '" + st.operands[i] + "'");
+    }
+    return it->second;
+  }
+
+  std::uint16_t imm16(const Statement& st, std::int64_t v, bool allow_signed,
+                      bool allow_unsigned) {
+    if (allow_signed && v >= -32768 && v < 32768) {
+      return static_cast<std::uint16_t>(v & 0xFFFF);
+    }
+    if (allow_unsigned && v >= 0 && v <= 0xFFFF) {
+      return static_cast<std::uint16_t>(v);
+    }
+    fail(st.line, "immediate out of range: " + std::to_string(v));
+  }
+
+  std::uint16_t branch_offset(const Statement& st, std::size_t i) {
+    const std::int64_t target = value_operand(st, i);
+    const std::int64_t delta =
+        (target - (static_cast<std::int64_t>(st.address) + 4)) / 4;
+    if ((target - (static_cast<std::int64_t>(st.address) + 4)) % 4 != 0) {
+      fail(st.line, "branch target not word aligned");
+    }
+    if (delta < -32768 || delta >= 32768) {
+      fail(st.line, "branch target out of range");
+    }
+    return static_cast<std::uint16_t>(delta & 0xFFFF);
+  }
+
+  void pass2() {
+    for (const Statement& st : statements_) {
+      if (st.mnemonic == ".org") continue;
+      if (st.mnemonic == ".word") {
+        for (std::size_t i = 0; i < st.operands.size(); ++i) {
+          const std::int64_t v = value_operand(st, i);
+          emit(st.address + 4u * static_cast<std::uint32_t>(i),
+               static_cast<std::uint32_t>(v & 0xFFFFFFFF), st.line);
+        }
+        continue;
+      }
+      if (st.mnemonic == ".space") {
+        for (int i = 0; i < st.words; ++i) {
+          emit(st.address + 4u * static_cast<std::uint32_t>(i), 0, st.line);
+        }
+        continue;
+      }
+      encode_statement(st);
+    }
+  }
+
+  void encode_statement(const Statement& st) {
+    const std::string& m = st.mnemonic;
+
+    // Pseudo-instructions.
+    if (m == "nop") {
+      emit(st.address, kNop, st.line);
+      return;
+    }
+    if (m == "move") {
+      emit(st.address,
+           encode_r(Mnemonic::kAddu, reg_operand(st, 0), reg_operand(st, 1), 0),
+           st.line);
+      return;
+    }
+    if (m == "b") {
+      emit(st.address, encode_i(Mnemonic::kBeq, 0, 0, branch_offset(st, 0)),
+           st.line);
+      return;
+    }
+    if (m == "halt") {
+      emit(st.address,
+           encode_i(Mnemonic::kSw, 0, 0, static_cast<std::uint16_t>(0xFFFC)),
+           st.line);
+      return;
+    }
+    if (m == "li" || m == "la") {
+      const int rt = reg_operand(st, 0);
+      const std::int64_t v = value_operand(st, 1);
+      const std::uint32_t uv = static_cast<std::uint32_t>(v & 0xFFFFFFFF);
+      if (m == "la" || st.words == 2) {
+        emit(st.address,
+             encode_i(Mnemonic::kLui, rt, 0,
+                      static_cast<std::uint16_t>(uv >> 16)),
+             st.line);
+        emit(st.address + 4,
+             encode_i(Mnemonic::kOri, rt, rt,
+                      static_cast<std::uint16_t>(uv & 0xFFFF)),
+             st.line);
+      } else if (v >= -32768 && v < 32768) {
+        emit(st.address,
+             encode_i(Mnemonic::kAddiu, rt, 0,
+                      static_cast<std::uint16_t>(uv & 0xFFFF)),
+             st.line);
+      } else if (v >= 0 && v <= 0xFFFF) {
+        emit(st.address,
+             encode_i(Mnemonic::kOri, rt, 0, static_cast<std::uint16_t>(uv)),
+             st.line);
+      } else {
+        emit(st.address,
+             encode_i(Mnemonic::kLui, rt, 0,
+                      static_cast<std::uint16_t>(uv >> 16)),
+             st.line);
+      }
+      return;
+    }
+
+    const auto mn = mnemonic_from_name(m);
+    if (!mn) fail(st.line, "unknown mnemonic '" + m + "'");
+
+    switch (*mn) {
+      case Mnemonic::kSll:
+      case Mnemonic::kSrl:
+      case Mnemonic::kSra: {
+        const int rd = reg_operand(st, 0);
+        const int rt = reg_operand(st, 1);
+        const std::int64_t sh = int_operand(st, 2);
+        if (sh < 0 || sh > 31) fail(st.line, "shift amount out of range");
+        emit(st.address, encode_r(*mn, rd, 0, rt, static_cast<int>(sh)),
+             st.line);
+        return;
+      }
+      case Mnemonic::kSllv:
+      case Mnemonic::kSrlv:
+      case Mnemonic::kSrav: {
+        const int rd = reg_operand(st, 0);
+        const int rt = reg_operand(st, 1);
+        const int rs = reg_operand(st, 2);
+        emit(st.address, encode_r(*mn, rd, rs, rt), st.line);
+        return;
+      }
+      case Mnemonic::kJr:
+        emit(st.address, encode_r(*mn, 0, reg_operand(st, 0), 0), st.line);
+        return;
+      case Mnemonic::kJalr: {
+        // jalr $rs  (rd defaults to $ra) or jalr $rd, $rs.
+        if (st.operands.size() == 1) {
+          emit(st.address, encode_r(*mn, 31, reg_operand(st, 0), 0), st.line);
+        } else {
+          emit(st.address,
+               encode_r(*mn, reg_operand(st, 0), reg_operand(st, 1), 0),
+               st.line);
+        }
+        return;
+      }
+      case Mnemonic::kMfhi:
+      case Mnemonic::kMflo:
+        emit(st.address, encode_r(*mn, reg_operand(st, 0), 0, 0), st.line);
+        return;
+      case Mnemonic::kMthi:
+      case Mnemonic::kMtlo:
+        emit(st.address, encode_r(*mn, 0, reg_operand(st, 0), 0), st.line);
+        return;
+      case Mnemonic::kMult:
+      case Mnemonic::kMultu:
+      case Mnemonic::kDiv:
+      case Mnemonic::kDivu:
+        emit(st.address,
+             encode_r(*mn, 0, reg_operand(st, 0), reg_operand(st, 1)),
+             st.line);
+        return;
+      case Mnemonic::kAdd:
+      case Mnemonic::kAddu:
+      case Mnemonic::kSub:
+      case Mnemonic::kSubu:
+      case Mnemonic::kAnd:
+      case Mnemonic::kOr:
+      case Mnemonic::kXor:
+      case Mnemonic::kNor:
+      case Mnemonic::kSlt:
+      case Mnemonic::kSltu:
+        emit(st.address,
+             encode_r(*mn, reg_operand(st, 0), reg_operand(st, 1),
+                      reg_operand(st, 2)),
+             st.line);
+        return;
+      case Mnemonic::kBltz:
+      case Mnemonic::kBgez:
+      case Mnemonic::kBltzal:
+      case Mnemonic::kBgezal:
+      case Mnemonic::kBlez:
+      case Mnemonic::kBgtz:
+        emit(st.address,
+             encode_i(*mn, 0, reg_operand(st, 0), branch_offset(st, 1)),
+             st.line);
+        return;
+      case Mnemonic::kBeq:
+      case Mnemonic::kBne:
+        emit(st.address,
+             encode_i(*mn, reg_operand(st, 1), reg_operand(st, 0),
+                      branch_offset(st, 2)),
+             st.line);
+        return;
+      case Mnemonic::kJ:
+      case Mnemonic::kJal: {
+        const std::int64_t target = value_operand(st, 0);
+        if (target % 4 != 0) fail(st.line, "jump target not aligned");
+        emit(st.address,
+             encode_j(*mn, static_cast<std::uint32_t>(target >> 2)), st.line);
+        return;
+      }
+      case Mnemonic::kAddi:
+      case Mnemonic::kAddiu:
+      case Mnemonic::kSlti:
+      case Mnemonic::kSltiu: {
+        const int rt = reg_operand(st, 0);
+        const int rs = reg_operand(st, 1);
+        emit(st.address,
+             encode_i(*mn, rt, rs, imm16(st, int_operand(st, 2), true, false)),
+             st.line);
+        return;
+      }
+      case Mnemonic::kAndi:
+      case Mnemonic::kOri:
+      case Mnemonic::kXori: {
+        const int rt = reg_operand(st, 0);
+        const int rs = reg_operand(st, 1);
+        emit(st.address,
+             encode_i(*mn, rt, rs, imm16(st, int_operand(st, 2), false, true)),
+             st.line);
+        return;
+      }
+      case Mnemonic::kLui:
+        emit(st.address,
+             encode_i(*mn, reg_operand(st, 0), 0,
+                      imm16(st, int_operand(st, 1), false, true)),
+             st.line);
+        return;
+      case Mnemonic::kLb:
+      case Mnemonic::kLh:
+      case Mnemonic::kLw:
+      case Mnemonic::kLbu:
+      case Mnemonic::kLhu:
+      case Mnemonic::kSb:
+      case Mnemonic::kSh:
+      case Mnemonic::kSw: {
+        const int rt = reg_operand(st, 0);
+        if (st.operands.size() != 2) fail(st.line, "memory op needs 2 operands");
+        // offset($base)
+        const std::string& mem = st.operands[1];
+        const std::size_t lp = mem.find('(');
+        const std::size_t rp = mem.rfind(')');
+        if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+          fail(st.line, "expected offset($base)");
+        }
+        const std::string off_str = strip(mem.substr(0, lp));
+        const std::string base_str = strip(mem.substr(lp + 1, rp - lp - 1));
+        std::int64_t off = 0;
+        if (!off_str.empty()) {
+          const auto v = parse_int(off_str);
+          if (!v) fail(st.line, "bad offset '" + off_str + "'");
+          off = *v;
+        }
+        const auto base = parse_register(base_str);
+        if (!base) fail(st.line, "bad base register '" + base_str + "'");
+        emit(st.address,
+             encode_i(*mn, rt, *base, imm16(st, off, true, false)), st.line);
+        return;
+      }
+      default:
+        fail(st.line, "unsupported mnemonic '" + m + "'");
+    }
+  }
+
+  Program prog_;
+  std::vector<Statement> statements_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) {
+  AssemblerImpl impl;
+  return impl.run(source);
+}
+
+}  // namespace sbst::isa

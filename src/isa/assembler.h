@@ -1,0 +1,49 @@
+// Two-pass MIPS I subset assembler.
+//
+// Supported syntax (one statement per line, '#', ';' or '//' comments):
+//   label:                      — define a label
+//   .org ADDR                   — set location counter (byte address)
+//   .word V, V, ...             — emit literal 32-bit words
+//   .space N                    — reserve N bytes (zero-filled)
+//   <mnemonic> operands         — any instruction from isa/mips.h
+// Pseudo-instructions:
+//   nop                         — sll $0,$0,0
+//   move $d, $s                 — addu $d,$s,$0
+//   li $r, IMM32                — addiu/ori or lui+ori as needed
+//   la $r, LABEL                — lui+ori (always two words)
+//   b LABEL                     — beq $0,$0,LABEL
+//   halt                        — sw $0,-4($0): store to the testbench's
+//                                 halt address 0xFFFFFFFC
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbst::isa {
+
+class AsmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Byte address whose store terminates simulation (see iss/iss.h and
+/// plasma/testbench.h).
+inline constexpr std::uint32_t kHaltAddress = 0xFFFFFFFCu;
+
+struct Program {
+  /// Memory image from address 0, one entry per 32-bit word.
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint32_t> symbols;  // label -> byte address
+
+  std::size_t size_words() const { return words.size(); }
+};
+
+/// Assembles `source`; throws AsmError with a line-numbered message on any
+/// syntax or range error.
+Program assemble(std::string_view source);
+
+}  // namespace sbst::isa

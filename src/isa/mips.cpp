@@ -1,0 +1,298 @@
+#include "isa/mips.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+
+namespace sbst::isa {
+
+namespace {
+
+// Primary opcodes.
+constexpr std::uint32_t kOpSpecial = 0x00;
+constexpr std::uint32_t kOpRegimm = 0x01;
+
+struct OpInfo {
+  Mnemonic mn;
+  std::string_view name;
+  std::uint32_t opcode;  // primary opcode
+  std::uint32_t funct;   // SPECIAL funct or REGIMM rt code
+  enum class Fmt : std::uint8_t {
+    kShift,      // mn rd, rt, shamt
+    kShiftVar,   // mn rd, rt, rs
+    kJumpReg,    // jr rs / jalr rd, rs
+    kMoveFrom,   // mfhi rd / mflo rd
+    kMoveTo,     // mthi rs / mtlo rs
+    kMulDiv,     // mult rs, rt
+    kAlu3,       // mn rd, rs, rt
+    kRegimm,     // mn rs, offset
+    kJump,       // j target
+    kBranch2,    // beq rs, rt, offset
+    kBranch1,    // blez rs, offset
+    kAluImm,     // mn rt, rs, imm
+    kLui,        // lui rt, imm
+    kMem,        // mn rt, offset(rs)
+  } fmt;
+};
+
+using Fmt = OpInfo::Fmt;
+
+constexpr std::array<OpInfo, 52> kOps = {{
+    {Mnemonic::kSll, "sll", kOpSpecial, 0x00, Fmt::kShift},
+    {Mnemonic::kSrl, "srl", kOpSpecial, 0x02, Fmt::kShift},
+    {Mnemonic::kSra, "sra", kOpSpecial, 0x03, Fmt::kShift},
+    {Mnemonic::kSllv, "sllv", kOpSpecial, 0x04, Fmt::kShiftVar},
+    {Mnemonic::kSrlv, "srlv", kOpSpecial, 0x06, Fmt::kShiftVar},
+    {Mnemonic::kSrav, "srav", kOpSpecial, 0x07, Fmt::kShiftVar},
+    {Mnemonic::kJr, "jr", kOpSpecial, 0x08, Fmt::kJumpReg},
+    {Mnemonic::kJalr, "jalr", kOpSpecial, 0x09, Fmt::kJumpReg},
+    {Mnemonic::kMfhi, "mfhi", kOpSpecial, 0x10, Fmt::kMoveFrom},
+    {Mnemonic::kMthi, "mthi", kOpSpecial, 0x11, Fmt::kMoveTo},
+    {Mnemonic::kMflo, "mflo", kOpSpecial, 0x12, Fmt::kMoveFrom},
+    {Mnemonic::kMtlo, "mtlo", kOpSpecial, 0x13, Fmt::kMoveTo},
+    {Mnemonic::kMult, "mult", kOpSpecial, 0x18, Fmt::kMulDiv},
+    {Mnemonic::kMultu, "multu", kOpSpecial, 0x19, Fmt::kMulDiv},
+    {Mnemonic::kDiv, "div", kOpSpecial, 0x1A, Fmt::kMulDiv},
+    {Mnemonic::kDivu, "divu", kOpSpecial, 0x1B, Fmt::kMulDiv},
+    {Mnemonic::kAdd, "add", kOpSpecial, 0x20, Fmt::kAlu3},
+    {Mnemonic::kAddu, "addu", kOpSpecial, 0x21, Fmt::kAlu3},
+    {Mnemonic::kSub, "sub", kOpSpecial, 0x22, Fmt::kAlu3},
+    {Mnemonic::kSubu, "subu", kOpSpecial, 0x23, Fmt::kAlu3},
+    {Mnemonic::kAnd, "and", kOpSpecial, 0x24, Fmt::kAlu3},
+    {Mnemonic::kOr, "or", kOpSpecial, 0x25, Fmt::kAlu3},
+    {Mnemonic::kXor, "xor", kOpSpecial, 0x26, Fmt::kAlu3},
+    {Mnemonic::kNor, "nor", kOpSpecial, 0x27, Fmt::kAlu3},
+    {Mnemonic::kSlt, "slt", kOpSpecial, 0x2A, Fmt::kAlu3},
+    {Mnemonic::kSltu, "sltu", kOpSpecial, 0x2B, Fmt::kAlu3},
+    {Mnemonic::kBltz, "bltz", kOpRegimm, 0x00, Fmt::kRegimm},
+    {Mnemonic::kBgez, "bgez", kOpRegimm, 0x01, Fmt::kRegimm},
+    {Mnemonic::kBltzal, "bltzal", kOpRegimm, 0x10, Fmt::kRegimm},
+    {Mnemonic::kBgezal, "bgezal", kOpRegimm, 0x11, Fmt::kRegimm},
+    {Mnemonic::kJ, "j", 0x02, 0, Fmt::kJump},
+    {Mnemonic::kJal, "jal", 0x03, 0, Fmt::kJump},
+    {Mnemonic::kBeq, "beq", 0x04, 0, Fmt::kBranch2},
+    {Mnemonic::kBne, "bne", 0x05, 0, Fmt::kBranch2},
+    {Mnemonic::kBlez, "blez", 0x06, 0, Fmt::kBranch1},
+    {Mnemonic::kBgtz, "bgtz", 0x07, 0, Fmt::kBranch1},
+    {Mnemonic::kAddi, "addi", 0x08, 0, Fmt::kAluImm},
+    {Mnemonic::kAddiu, "addiu", 0x09, 0, Fmt::kAluImm},
+    {Mnemonic::kSlti, "slti", 0x0A, 0, Fmt::kAluImm},
+    {Mnemonic::kSltiu, "sltiu", 0x0B, 0, Fmt::kAluImm},
+    {Mnemonic::kAndi, "andi", 0x0C, 0, Fmt::kAluImm},
+    {Mnemonic::kOri, "ori", 0x0D, 0, Fmt::kAluImm},
+    {Mnemonic::kXori, "xori", 0x0E, 0, Fmt::kAluImm},
+    {Mnemonic::kLui, "lui", 0x0F, 0, Fmt::kLui},
+    {Mnemonic::kLb, "lb", 0x20, 0, Fmt::kMem},
+    {Mnemonic::kLh, "lh", 0x21, 0, Fmt::kMem},
+    {Mnemonic::kLw, "lw", 0x23, 0, Fmt::kMem},
+    {Mnemonic::kLbu, "lbu", 0x24, 0, Fmt::kMem},
+    {Mnemonic::kLhu, "lhu", 0x25, 0, Fmt::kMem},
+    {Mnemonic::kSb, "sb", 0x28, 0, Fmt::kMem},
+    {Mnemonic::kSh, "sh", 0x29, 0, Fmt::kMem},
+    {Mnemonic::kSw, "sw", 0x2B, 0, Fmt::kMem},
+}};
+
+const OpInfo* find_op(Mnemonic mn) {
+  for (const OpInfo& op : kOps) {
+    if (op.mn == mn) return &op;
+  }
+  return nullptr;
+}
+
+const OpInfo* find_op_by_name(std::string_view name) {
+  for (const OpInfo& op : kOps) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+const OpInfo* find_op_by_encoding(std::uint32_t opcode, std::uint32_t funct,
+                                  std::uint32_t rt) {
+  auto match = [&](const OpInfo& op) {
+    if (op.opcode != opcode) return false;
+    if (opcode == kOpSpecial) return op.funct == funct;
+    if (opcode == kOpRegimm) return op.funct == rt;
+    return true;
+  };
+  for (const OpInfo& op : kOps) {
+    if (match(op)) return &op;
+  }
+  return nullptr;
+}
+
+constexpr std::array<std::string_view, 32> kRegNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2",
+    "t3",   "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+
+}  // namespace
+
+Decoded decode(std::uint32_t word) {
+  Decoded d;
+  const std::uint32_t opcode = word >> 26;
+  d.rs = static_cast<std::uint8_t>((word >> 21) & 31);
+  d.rt = static_cast<std::uint8_t>((word >> 16) & 31);
+  d.rd = static_cast<std::uint8_t>((word >> 11) & 31);
+  d.shamt = static_cast<std::uint8_t>((word >> 6) & 31);
+  d.imm = static_cast<std::uint16_t>(word & 0xFFFF);
+  d.target = word & 0x03FFFFFF;
+  const OpInfo* op = find_op_by_encoding(opcode, word & 0x3F, d.rt);
+  d.mn = op ? op->mn : Mnemonic::kInvalid;
+  return d;
+}
+
+std::uint32_t encode_r(Mnemonic mn, int rd, int rs, int rt, int shamt) {
+  const OpInfo* op = find_op(mn);
+  return (op->opcode << 26) | (static_cast<std::uint32_t>(rs) << 21) |
+         (static_cast<std::uint32_t>(rt) << 16) |
+         (static_cast<std::uint32_t>(rd) << 11) |
+         (static_cast<std::uint32_t>(shamt) << 6) | op->funct;
+}
+
+std::uint32_t encode_i(Mnemonic mn, int rt, int rs, std::uint16_t imm) {
+  const OpInfo* op = find_op(mn);
+  std::uint32_t rt_field = static_cast<std::uint32_t>(rt);
+  if (op->opcode == kOpRegimm) rt_field = op->funct;  // branch code in rt
+  return (op->opcode << 26) | (static_cast<std::uint32_t>(rs) << 21) |
+         (rt_field << 16) | imm;
+}
+
+std::uint32_t encode_j(Mnemonic mn, std::uint32_t target26) {
+  const OpInfo* op = find_op(mn);
+  return (op->opcode << 26) | (target26 & 0x03FFFFFF);
+}
+
+std::string_view mnemonic_name(Mnemonic mn) {
+  const OpInfo* op = find_op(mn);
+  return op ? op->name : "<invalid>";
+}
+
+std::optional<Mnemonic> mnemonic_from_name(std::string_view name) {
+  const OpInfo* op = find_op_by_name(name);
+  if (!op) return std::nullopt;
+  return op->mn;
+}
+
+std::optional<int> parse_register(std::string_view token) {
+  if (token.empty() || token[0] != '$') return std::nullopt;
+  token.remove_prefix(1);
+  if (token.empty()) return std::nullopt;
+  if (std::isdigit(static_cast<unsigned char>(token[0]))) {
+    int value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      return std::nullopt;
+    }
+    if (value < 0 || value > 31) return std::nullopt;
+    return value;
+  }
+  if (token == "s8") return 30;
+  for (int i = 0; i < 32; ++i) {
+    if (token == kRegNames[static_cast<std::size_t>(i)]) return i;
+  }
+  return std::nullopt;
+}
+
+std::string_view register_name(int index) {
+  return kRegNames[static_cast<std::size_t>(index & 31)];
+}
+
+std::string disassemble(std::uint32_t word) {
+  if (word == kNop) return "nop";
+  const Decoded d = decode(word);
+  const OpInfo* op = find_op(d.mn);
+  if (!op) return "<invalid 0x" + std::to_string(word) + ">";
+  auto reg = [](int r) { return "$" + std::string(register_name(r)); };
+  const std::string name(op->name);
+  switch (op->fmt) {
+    case Fmt::kShift:
+      return name + " " + reg(d.rd) + ", " + reg(d.rt) + ", " +
+             std::to_string(d.shamt);
+    case Fmt::kShiftVar:
+      return name + " " + reg(d.rd) + ", " + reg(d.rt) + ", " + reg(d.rs);
+    case Fmt::kJumpReg:
+      if (d.mn == Mnemonic::kJalr) {
+        return name + " " + reg(d.rd) + ", " + reg(d.rs);
+      }
+      return name + " " + reg(d.rs);
+    case Fmt::kMoveFrom: return name + " " + reg(d.rd);
+    case Fmt::kMoveTo:   return name + " " + reg(d.rs);
+    case Fmt::kMulDiv:   return name + " " + reg(d.rs) + ", " + reg(d.rt);
+    case Fmt::kAlu3:
+      return name + " " + reg(d.rd) + ", " + reg(d.rs) + ", " + reg(d.rt);
+    case Fmt::kRegimm:
+    case Fmt::kBranch1:
+      return name + " " + reg(d.rs) + ", " + std::to_string(d.simm());
+    case Fmt::kJump:
+      return name + " 0x" + std::to_string(d.target << 2);
+    case Fmt::kBranch2:
+      return name + " " + reg(d.rs) + ", " + reg(d.rt) + ", " +
+             std::to_string(d.simm());
+    case Fmt::kAluImm:
+      return name + " " + reg(d.rt) + ", " + reg(d.rs) + ", " +
+             std::to_string(d.simm());
+    case Fmt::kLui:
+      return name + " " + reg(d.rt) + ", " + std::to_string(d.imm);
+    case Fmt::kMem:
+      return name + " " + reg(d.rt) + ", " + std::to_string(d.simm()) + "(" +
+             reg(d.rs) + ")";
+  }
+  return name;
+}
+
+bool is_load(Mnemonic mn) {
+  switch (mn) {
+    case Mnemonic::kLb:
+    case Mnemonic::kLbu:
+    case Mnemonic::kLh:
+    case Mnemonic::kLhu:
+    case Mnemonic::kLw:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_store(Mnemonic mn) {
+  return mn == Mnemonic::kSb || mn == Mnemonic::kSh || mn == Mnemonic::kSw;
+}
+
+bool is_branch(Mnemonic mn) {
+  switch (mn) {
+    case Mnemonic::kBeq:
+    case Mnemonic::kBne:
+    case Mnemonic::kBlez:
+    case Mnemonic::kBgtz:
+    case Mnemonic::kBltz:
+    case Mnemonic::kBgez:
+    case Mnemonic::kBltzal:
+    case Mnemonic::kBgezal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_jump(Mnemonic mn) {
+  return mn == Mnemonic::kJ || mn == Mnemonic::kJal || mn == Mnemonic::kJr ||
+         mn == Mnemonic::kJalr;
+}
+
+bool is_muldiv_access(Mnemonic mn) {
+  switch (mn) {
+    case Mnemonic::kMult:
+    case Mnemonic::kMultu:
+    case Mnemonic::kDiv:
+    case Mnemonic::kDivu:
+    case Mnemonic::kMfhi:
+    case Mnemonic::kMflo:
+    case Mnemonic::kMthi:
+    case Mnemonic::kMtlo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sbst::isa

@@ -1,0 +1,79 @@
+// MIPS I instruction set: encodings, decoder, disassembler.
+//
+// Scope matches the Plasma CPU core the paper evaluates: all MIPS I
+// user-mode instructions except the patented unaligned loads/stores
+// (LWL/LWR/SWL/SWR) and exceptions/coprocessor instructions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sbst::isa {
+
+enum class Mnemonic : std::uint8_t {
+  kInvalid,
+  // shifts
+  kSll, kSrl, kSra, kSllv, kSrlv, kSrav,
+  // jumps (register)
+  kJr, kJalr,
+  // hi/lo
+  kMfhi, kMthi, kMflo, kMtlo,
+  // multiply/divide
+  kMult, kMultu, kDiv, kDivu,
+  // 3-register ALU
+  kAdd, kAddu, kSub, kSubu, kAnd, kOr, kXor, kNor, kSlt, kSltu,
+  // regimm branches
+  kBltz, kBgez, kBltzal, kBgezal,
+  // jumps (immediate)
+  kJ, kJal,
+  // branches
+  kBeq, kBne, kBlez, kBgtz,
+  // ALU immediate
+  kAddi, kAddiu, kSlti, kSltiu, kAndi, kOri, kXori, kLui,
+  // loads/stores
+  kLb, kLh, kLw, kLbu, kLhu, kSb, kSh, kSw,
+};
+
+/// Decoded instruction fields (all fields extracted regardless of format).
+struct Decoded {
+  Mnemonic mn = Mnemonic::kInvalid;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t shamt = 0;
+  std::uint16_t imm = 0;       // raw 16-bit immediate
+  std::uint32_t target = 0;    // 26-bit jump target field
+
+  std::int32_t simm() const { return static_cast<std::int16_t>(imm); }
+};
+
+Decoded decode(std::uint32_t word);
+
+/// Field-level encoders.
+std::uint32_t encode_r(Mnemonic mn, int rd, int rs, int rt, int shamt = 0);
+std::uint32_t encode_i(Mnemonic mn, int rt, int rs, std::uint16_t imm);
+std::uint32_t encode_j(Mnemonic mn, std::uint32_t target26);
+
+/// The canonical NOP (sll $0,$0,0).
+inline constexpr std::uint32_t kNop = 0;
+
+std::string_view mnemonic_name(Mnemonic mn);
+std::optional<Mnemonic> mnemonic_from_name(std::string_view name);
+
+/// Register name ($t0, $sp, $4, ...) to index.
+std::optional<int> parse_register(std::string_view token);
+std::string_view register_name(int index);
+
+/// Human-readable disassembly of one instruction word.
+std::string disassemble(std::uint32_t word);
+
+// --- classification helpers used by the ISS and the SBST generators ------
+bool is_load(Mnemonic mn);
+bool is_store(Mnemonic mn);
+bool is_branch(Mnemonic mn);     // conditional branches (incl. regimm)
+bool is_jump(Mnemonic mn);       // J/JAL/JR/JALR
+bool is_muldiv_access(Mnemonic mn);  // touches the mul/div unit or HI/LO
+
+}  // namespace sbst::isa

@@ -1,0 +1,290 @@
+#include "iss/iss.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sbst::iss {
+
+using isa::Mnemonic;
+
+DivResult divu_model(std::uint32_t a, std::uint32_t b) {
+  // Restoring division; with b == 0 every step "subtracts" successfully,
+  // yielding q = all-ones and r = a (matches the gate-level unit).
+  if (b == 0) return {0xFFFFFFFFu, a};
+  return {a / b, a % b};
+}
+
+DivResult div_model(std::uint32_t a, std::uint32_t b) {
+  const bool sa = (a >> 31) != 0;
+  const bool sb = (b >> 31) != 0;
+  const std::uint32_t ua = sa ? (0u - a) : a;
+  const std::uint32_t ub = sb ? (0u - b) : b;
+  const DivResult u = divu_model(ua, ub);
+  DivResult r;
+  r.q = (sa != sb) ? (0u - u.q) : u.q;
+  r.r = sa ? (0u - u.r) : u.r;
+  return r;
+}
+
+Iss::Iss(const isa::Program& program, std::size_t mem_bytes) {
+  if (mem_bytes < 16 || (mem_bytes & (mem_bytes - 1)) != 0) {
+    throw std::invalid_argument("mem_bytes must be a power of two >= 16");
+  }
+  mem_.assign(mem_bytes / 4, 0);
+  mask_ = static_cast<std::uint32_t>(mem_bytes - 1);
+  if (program.words.size() > mem_.size()) {
+    throw std::invalid_argument("program does not fit in memory");
+  }
+  for (std::size_t i = 0; i < program.words.size(); ++i) {
+    mem_[i] = program.words[i];
+  }
+}
+
+void Iss::do_store(std::uint32_t addr, std::uint32_t data,
+                   std::uint8_t byte_en) {
+  writes_.push_back(WriteOp{addr, data, byte_en});
+  std::uint32_t& w = mem_[word_index(addr)];
+  for (int lane = 0; lane < 4; ++lane) {
+    if (byte_en & (1u << lane)) {
+      const std::uint32_t m = 0xFFu << (8 * lane);
+      w = (w & ~m) | (data & m);
+    }
+  }
+  if (addr == isa::kHaltAddress) halted_ = true;
+}
+
+std::uint32_t Iss::shifter(Mnemonic mn, std::uint32_t value,
+                           std::uint32_t amount) const {
+  amount &= 31;
+  switch (mn) {
+    case Mnemonic::kSll:
+    case Mnemonic::kSllv:
+      return value << amount;
+    case Mnemonic::kSrl:
+    case Mnemonic::kSrlv:
+      return value >> amount;
+    case Mnemonic::kSra:
+    case Mnemonic::kSrav:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(value) >> amount);
+    default:
+      return value;
+  }
+}
+
+bool Iss::step() {
+  if (halted_) return false;
+  const std::uint32_t word = mem_[word_index(pc_)];
+  const isa::Decoded d = isa::decode(word);
+  const std::uint32_t this_pc = pc_;
+  std::uint32_t new_npc = npc_ + 4;
+
+  // Timing: this instruction enters EX at cycle `cycles_`, or later if it
+  // touches the mul/div unit while it is busy (the pipeline pauses).
+  std::uint64_t stall = 0;
+  if (isa::is_muldiv_access(d.mn) && muldiv_ready_ > cycles_) {
+    stall = muldiv_ready_ - cycles_;
+  }
+  const std::uint64_t exec_cycle = cycles_ + stall;
+  const std::uint64_t base_cost =
+      (isa::is_load(d.mn) || isa::is_store(d.mn)) ? 2 : 1;
+  const std::uint64_t cost = stall + base_cost;
+
+  const std::uint32_t rs = regs_[d.rs];
+  const std::uint32_t rt = regs_[d.rt];
+  const std::int32_t srs = static_cast<std::int32_t>(rs);
+  const std::int32_t srt = static_cast<std::int32_t>(rt);
+  const std::uint32_t simm = static_cast<std::uint32_t>(d.simm());
+  const std::uint32_t link = this_pc + 8;
+
+  switch (d.mn) {
+    case Mnemonic::kSll:
+    case Mnemonic::kSrl:
+    case Mnemonic::kSra:
+      write_reg(d.rd, shifter(d.mn, rt, d.shamt));
+      break;
+    case Mnemonic::kSllv:
+    case Mnemonic::kSrlv:
+    case Mnemonic::kSrav:
+      write_reg(d.rd, shifter(d.mn, rt, rs));
+      break;
+    case Mnemonic::kJr:
+      new_npc = rs;
+      break;
+    case Mnemonic::kJalr:
+      write_reg(d.rd, link);
+      new_npc = rs;
+      break;
+    case Mnemonic::kMfhi: write_reg(d.rd, hi_); break;
+    case Mnemonic::kMflo: write_reg(d.rd, lo_); break;
+    case Mnemonic::kMthi: hi_ = rs; break;
+    case Mnemonic::kMtlo: lo_ = rs; break;
+    case Mnemonic::kMult: {
+      const std::int64_t p = static_cast<std::int64_t>(srs) *
+                             static_cast<std::int64_t>(srt);
+      hi_ = static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+      lo_ = static_cast<std::uint32_t>(p);
+      muldiv_ready_ = exec_cycle + kMulDivBusy + 1;
+      break;
+    }
+    case Mnemonic::kMultu: {
+      const std::uint64_t p = static_cast<std::uint64_t>(rs) *
+                              static_cast<std::uint64_t>(rt);
+      hi_ = static_cast<std::uint32_t>(p >> 32);
+      lo_ = static_cast<std::uint32_t>(p);
+      muldiv_ready_ = exec_cycle + kMulDivBusy + 1;
+      break;
+    }
+    case Mnemonic::kDiv: {
+      const DivResult r = div_model(rs, rt);
+      lo_ = r.q;
+      hi_ = r.r;
+      muldiv_ready_ = exec_cycle + kMulDivBusy + 1;
+      break;
+    }
+    case Mnemonic::kDivu: {
+      const DivResult r = divu_model(rs, rt);
+      lo_ = r.q;
+      hi_ = r.r;
+      muldiv_ready_ = exec_cycle + kMulDivBusy + 1;
+      break;
+    }
+    case Mnemonic::kAdd:   // no overflow traps (Plasma has no exceptions)
+    case Mnemonic::kAddu:
+      write_reg(d.rd, rs + rt);
+      break;
+    case Mnemonic::kSub:
+    case Mnemonic::kSubu:
+      write_reg(d.rd, rs - rt);
+      break;
+    case Mnemonic::kAnd:  write_reg(d.rd, rs & rt); break;
+    case Mnemonic::kOr:   write_reg(d.rd, rs | rt); break;
+    case Mnemonic::kXor:  write_reg(d.rd, rs ^ rt); break;
+    case Mnemonic::kNor:  write_reg(d.rd, ~(rs | rt)); break;
+    case Mnemonic::kSlt:  write_reg(d.rd, srs < srt ? 1 : 0); break;
+    case Mnemonic::kSltu: write_reg(d.rd, rs < rt ? 1 : 0); break;
+    case Mnemonic::kBltz:
+      if (srs < 0) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kBgez:
+      if (srs >= 0) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kBltzal:
+      write_reg(31, link);
+      if (srs < 0) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kBgezal:
+      write_reg(31, link);
+      if (srs >= 0) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kJ:
+      new_npc = (npc_ & 0xF0000000u) | (d.target << 2);
+      break;
+    case Mnemonic::kJal:
+      write_reg(31, link);
+      new_npc = (npc_ & 0xF0000000u) | (d.target << 2);
+      break;
+    case Mnemonic::kBeq:
+      if (rs == rt) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kBne:
+      if (rs != rt) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kBlez:
+      if (srs <= 0) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kBgtz:
+      if (srs > 0) new_npc = this_pc + 4 + (simm << 2);
+      break;
+    case Mnemonic::kAddi:
+    case Mnemonic::kAddiu:
+      write_reg(d.rt, rs + simm);
+      break;
+    case Mnemonic::kSlti:
+      write_reg(d.rt, srs < static_cast<std::int32_t>(simm) ? 1 : 0);
+      break;
+    case Mnemonic::kSltiu:
+      write_reg(d.rt, rs < simm ? 1 : 0);
+      break;
+    case Mnemonic::kAndi: write_reg(d.rt, rs & d.imm); break;
+    case Mnemonic::kOri:  write_reg(d.rt, rs | d.imm); break;
+    case Mnemonic::kXori: write_reg(d.rt, rs ^ d.imm); break;
+    case Mnemonic::kLui:
+      write_reg(d.rt, static_cast<std::uint32_t>(d.imm) << 16);
+      break;
+    case Mnemonic::kLb:
+    case Mnemonic::kLbu: {
+      const std::uint32_t addr = rs + simm;
+      const std::uint32_t w = mem_[word_index(addr)];
+      const std::uint32_t byte = (w >> (8 * (addr & 3))) & 0xFF;
+      write_reg(d.rt, d.mn == Mnemonic::kLb
+                          ? static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(
+                                    static_cast<std::int8_t>(byte)))
+                          : byte);
+      break;
+    }
+    case Mnemonic::kLh:
+    case Mnemonic::kLhu: {
+      const std::uint32_t addr = rs + simm;
+      const std::uint32_t w = mem_[word_index(addr)];
+      const std::uint32_t half = (w >> (8 * (addr & 2))) & 0xFFFF;
+      write_reg(d.rt, d.mn == Mnemonic::kLh
+                          ? static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(
+                                    static_cast<std::int16_t>(half)))
+                          : half);
+      break;
+    }
+    case Mnemonic::kLw: {
+      const std::uint32_t addr = rs + simm;
+      write_reg(d.rt, mem_[word_index(addr)]);
+      break;
+    }
+    case Mnemonic::kSb: {
+      const std::uint32_t addr = rs + simm;
+      const std::uint32_t b = rt & 0xFF;
+      do_store(addr, b | (b << 8) | (b << 16) | (b << 24),
+               static_cast<std::uint8_t>(1u << (addr & 3)));
+      break;
+    }
+    case Mnemonic::kSh: {
+      const std::uint32_t addr = rs + simm;
+      const std::uint32_t h = rt & 0xFFFF;
+      do_store(addr, h | (h << 16),
+               static_cast<std::uint8_t>(0x3u << (addr & 2)));
+      break;
+    }
+    case Mnemonic::kSw: {
+      const std::uint32_t addr = rs + simm;
+      do_store(addr, rt, 0xF);
+      break;
+    }
+    case Mnemonic::kInvalid:
+      // Undefined opcodes execute as NOP (the gate-level control decodes
+      // them to no-ops as well).
+      break;
+  }
+
+  pc_ = npc_;
+  npc_ = new_npc;
+  if (halted_) {
+    // Align with the gate-level testbench, which stops counting at the
+    // cycle the halt store appears on the bus.
+    cycles_ = exec_cycle + 1;
+  } else {
+    cycles_ += cost;
+  }
+  ++instructions_;
+  return !halted_;
+}
+
+RunResult Iss::run(std::uint64_t max_instructions) {
+  const std::uint64_t start = instructions_;
+  while (!halted_ && instructions_ - start < max_instructions) {
+    step();
+  }
+  return RunResult{instructions_, cycles_, halted_};
+}
+
+}  // namespace sbst::iss

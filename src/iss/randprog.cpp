@@ -1,0 +1,204 @@
+#include "iss/randprog.h"
+
+#include <vector>
+
+#include "isa/mips.h"
+
+namespace sbst::iss {
+
+namespace {
+
+class SplitMix {
+ public:
+  explicit SplitMix(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ += 0x9E3779B97f4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+  bool chance(int percent) { return below(100) < static_cast<std::uint32_t>(percent); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+isa::Program random_program(std::uint64_t seed,
+                            const RandProgOptions& opt) {
+  using isa::Mnemonic;
+  SplitMix rng(seed);
+  std::vector<std::uint32_t> code;
+
+  constexpr int kBaseReg = 29;  // data window base, never overwritten
+  auto any_reg = [&]() { return static_cast<int>(1 + rng.below(25)); };
+
+  // Prologue: load the data base, then seed $1..$25 with random values.
+  auto emit_li32 = [&](int r, std::uint32_t v) {
+    code.push_back(isa::encode_i(Mnemonic::kLui, r, 0,
+                                 static_cast<std::uint16_t>(v >> 16)));
+    code.push_back(isa::encode_i(Mnemonic::kOri, r, r,
+                                 static_cast<std::uint16_t>(v & 0xFFFF)));
+  };
+  emit_li32(kBaseReg, opt.data_base);
+  for (int r = 1; r <= 25; ++r) {
+    emit_li32(r, static_cast<std::uint32_t>(rng.next()));
+  }
+
+  const std::size_t body_start = code.size();
+  const std::size_t body_end =
+      body_start + static_cast<std::size_t>(opt.body_instructions);
+  bool in_delay_slot = false;  // previous emitted instruction branches
+
+  auto emit_alu = [&]() {
+    static constexpr Mnemonic kAlu3[] = {
+        Mnemonic::kAdd, Mnemonic::kAddu, Mnemonic::kSub, Mnemonic::kSubu,
+        Mnemonic::kAnd, Mnemonic::kOr,   Mnemonic::kXor, Mnemonic::kNor,
+        Mnemonic::kSlt, Mnemonic::kSltu};
+    static constexpr Mnemonic kAluI[] = {
+        Mnemonic::kAddi, Mnemonic::kAddiu, Mnemonic::kSlti,
+        Mnemonic::kSltiu, Mnemonic::kAndi, Mnemonic::kOri, Mnemonic::kXori};
+    static constexpr Mnemonic kShiftC[] = {Mnemonic::kSll, Mnemonic::kSrl,
+                                           Mnemonic::kSra};
+    static constexpr Mnemonic kShiftV[] = {Mnemonic::kSllv, Mnemonic::kSrlv,
+                                           Mnemonic::kSrav};
+    const std::uint32_t pick = rng.below(100);
+    if (pick < 45) {
+      code.push_back(isa::encode_r(kAlu3[rng.below(10)], any_reg(), any_reg(),
+                                   any_reg()));
+    } else if (pick < 75) {
+      code.push_back(isa::encode_i(kAluI[rng.below(7)], any_reg(), any_reg(),
+                                   static_cast<std::uint16_t>(rng.next())));
+    } else if (pick < 85) {
+      code.push_back(isa::encode_i(Mnemonic::kLui, any_reg(), 0,
+                                   static_cast<std::uint16_t>(rng.next())));
+    } else if (pick < 93) {
+      code.push_back(isa::encode_r(kShiftC[rng.below(3)], any_reg(), 0,
+                                   any_reg(), static_cast<int>(rng.below(32))));
+    } else {
+      code.push_back(isa::encode_r(kShiftV[rng.below(3)], any_reg(),
+                                   any_reg(), any_reg()));
+    }
+  };
+
+  auto emit_mem = [&]() {
+    const std::uint32_t kind = rng.below(6);
+    std::uint32_t offset = rng.below(opt.data_window);
+    switch (kind) {
+      case 0:
+        code.push_back(isa::encode_i(Mnemonic::kSb, any_reg(), kBaseReg,
+                                     static_cast<std::uint16_t>(offset)));
+        break;
+      case 1:
+        code.push_back(isa::encode_i(Mnemonic::kSh, any_reg(), kBaseReg,
+                                     static_cast<std::uint16_t>(offset & ~1u)));
+        break;
+      case 2:
+        code.push_back(isa::encode_i(Mnemonic::kSw, any_reg(), kBaseReg,
+                                     static_cast<std::uint16_t>(offset & ~3u)));
+        break;
+      case 3: {
+        static constexpr Mnemonic kB[] = {Mnemonic::kLb, Mnemonic::kLbu};
+        code.push_back(isa::encode_i(kB[rng.below(2)], any_reg(), kBaseReg,
+                                     static_cast<std::uint16_t>(offset)));
+        break;
+      }
+      case 4: {
+        static constexpr Mnemonic kH[] = {Mnemonic::kLh, Mnemonic::kLhu};
+        code.push_back(isa::encode_i(kH[rng.below(2)], any_reg(), kBaseReg,
+                                     static_cast<std::uint16_t>(offset & ~1u)));
+        break;
+      }
+      default:
+        code.push_back(isa::encode_i(Mnemonic::kLw, any_reg(), kBaseReg,
+                                     static_cast<std::uint16_t>(offset & ~3u)));
+        break;
+    }
+  };
+
+  auto emit_muldiv = [&]() {
+    const std::uint32_t kind = rng.below(8);
+    switch (kind) {
+      case 0: code.push_back(isa::encode_r(Mnemonic::kMult, 0, any_reg(), any_reg())); break;
+      case 1: code.push_back(isa::encode_r(Mnemonic::kMultu, 0, any_reg(), any_reg())); break;
+      case 2: code.push_back(isa::encode_r(Mnemonic::kDiv, 0, any_reg(), any_reg())); break;
+      case 3: code.push_back(isa::encode_r(Mnemonic::kDivu, 0, any_reg(), any_reg())); break;
+      case 4: code.push_back(isa::encode_r(Mnemonic::kMfhi, any_reg(), 0, 0)); break;
+      case 5: code.push_back(isa::encode_r(Mnemonic::kMflo, any_reg(), 0, 0)); break;
+      case 6: code.push_back(isa::encode_r(Mnemonic::kMthi, 0, any_reg(), 0)); break;
+      default: code.push_back(isa::encode_r(Mnemonic::kMtlo, 0, any_reg(), 0)); break;
+    }
+  };
+
+  auto emit_branch = [&]() {
+    // Forward skip of 1..4 instructions: offset counts from the delay
+    // slot, so skipping k instructions after the delay slot is offset k.
+    const std::uint16_t offset = static_cast<std::uint16_t>(1 + rng.below(4));
+    const std::uint32_t kind = rng.below(8);
+    switch (kind) {
+      case 0: code.push_back(isa::encode_i(Mnemonic::kBeq, any_reg(), any_reg(), offset)); break;
+      case 1: code.push_back(isa::encode_i(Mnemonic::kBne, any_reg(), any_reg(), offset)); break;
+      case 2: code.push_back(isa::encode_i(Mnemonic::kBlez, 0, any_reg(), offset)); break;
+      case 3: code.push_back(isa::encode_i(Mnemonic::kBgtz, 0, any_reg(), offset)); break;
+      case 4: code.push_back(isa::encode_i(Mnemonic::kBltz, 0, any_reg(), offset)); break;
+      case 5: code.push_back(isa::encode_i(Mnemonic::kBgez, 0, any_reg(), offset)); break;
+      case 6: code.push_back(isa::encode_i(Mnemonic::kBltzal, 0, any_reg(), offset)); break;
+      default: code.push_back(isa::encode_i(Mnemonic::kBgezal, 0, any_reg(), offset)); break;
+    }
+  };
+
+  auto emit_jump = [&]() {
+    // Forward jump over 1..4 instructions past the delay slot.
+    const std::uint32_t target_word =
+        static_cast<std::uint32_t>(code.size()) + 2 + rng.below(4);
+    const Mnemonic mn = rng.chance(50) ? Mnemonic::kJ : Mnemonic::kJal;
+    code.push_back(isa::encode_j(mn, target_word));
+  };
+
+  while (code.size() < body_end) {
+    if (in_delay_slot) {
+      emit_alu();  // a branch's delay slot must not branch
+      in_delay_slot = false;
+      continue;
+    }
+    const std::uint32_t pick = rng.below(100);
+    // Keep 5 instruction slots of headroom so forward branches/jumps stay
+    // inside the body.
+    const bool headroom = code.size() + 7 < body_end;
+    if (opt.with_branches && headroom && pick < 12) {
+      emit_branch();
+      in_delay_slot = true;
+    } else if (opt.with_jumps && headroom && pick < 18) {
+      emit_jump();
+      in_delay_slot = true;
+    } else if (opt.with_memory && pick < 38) {
+      emit_mem();
+    } else if (opt.with_muldiv && pick < 50) {
+      emit_muldiv();
+    } else {
+      emit_alu();
+    }
+  }
+  if (in_delay_slot) emit_alu();
+
+  // Epilogue: flush every register to memory (observability), then halt.
+  for (int r = 1; r <= 25; ++r) {
+    code.push_back(isa::encode_i(Mnemonic::kSw, r, kBaseReg,
+                                 static_cast<std::uint16_t>(
+                                     opt.data_window + 4u *
+                                         static_cast<std::uint32_t>(r))));
+  }
+  code.push_back(isa::encode_i(Mnemonic::kSw, 0, 0,
+                               static_cast<std::uint16_t>(0xFFFC)));  // halt
+
+  isa::Program prog;
+  prog.words = std::move(code);
+  return prog;
+}
+
+}  // namespace sbst::iss

@@ -1,0 +1,31 @@
+// Constrained-random MIPS program generator.
+//
+// Used for design validation: co-simulation property tests run the same
+// random program on the ISS and on the gate-level CPU and require
+// identical memory-write traces, final architectural state and cycle
+// counts. The generator only emits architecturally well-defined programs:
+// forward branches/jumps, no branch in a delay slot, aligned memory
+// accesses within a private data window, and a final halt.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/assembler.h"
+
+namespace sbst::iss {
+
+struct RandProgOptions {
+  int body_instructions = 200;
+  /// Base byte address of the load/store window.
+  std::uint32_t data_base = 0x2000;
+  std::uint32_t data_window = 1024;  // bytes
+  bool with_muldiv = true;
+  bool with_branches = true;
+  bool with_memory = true;
+  bool with_jumps = true;
+};
+
+isa::Program random_program(std::uint64_t seed,
+                            const RandProgOptions& options = {});
+
+}  // namespace sbst::iss

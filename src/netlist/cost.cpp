@@ -1,0 +1,72 @@
+#include "netlist/cost.h"
+
+#include <algorithm>
+
+#include "netlist/levelize.h"
+
+namespace sbst::nl {
+
+double nand2_cost(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+    case GateKind::kBuf:
+      return 0.0;
+    case GateKind::kNot:
+      return 0.5;
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+      return 1.0;
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+      return 1.5;
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      return 2.5;
+    case GateKind::kMux2:
+      return 2.5;
+    case GateKind::kDff:
+      return 5.0;
+  }
+  return 0.0;
+}
+
+CostReport compute_cost(const Netlist& nl) {
+  CostReport rep;
+  rep.components.resize(static_cast<std::size_t>(nl.num_components()));
+  for (int c = 0; c < nl.num_components(); ++c) {
+    rep.components[static_cast<std::size_t>(c)].component =
+        static_cast<ComponentId>(c);
+    rep.components[static_cast<std::size_t>(c)].name =
+        nl.component_name(static_cast<ComponentId>(c));
+  }
+  const std::vector<std::uint8_t> live = live_mask(nl);
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (!live[g]) continue;  // synthesis would sweep dead logic
+    const Gate& gate = nl.gate(g);
+    ComponentCost& cc = rep.components[gate.component];
+    const double cost = nand2_cost(gate.kind);
+    if (cost == 0.0 && gate.kind != GateKind::kBuf) continue;
+    ++cc.gates;
+    ++rep.total_gates;
+    if (gate.kind == GateKind::kDff) ++cc.dffs;
+    cc.nand2_equiv += cost;
+    rep.total_nand2 += cost;
+  }
+  return rep;
+}
+
+std::vector<ComponentCost> CostReport::by_descending_size() const {
+  std::vector<ComponentCost> out;
+  for (const ComponentCost& cc : components) {
+    if (cc.component == kNoComponent && cc.gates == 0) continue;
+    out.push_back(cc);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.nand2_equiv > b.nand2_equiv;
+  });
+  return out;
+}
+
+}  // namespace sbst::nl

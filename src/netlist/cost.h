@@ -1,0 +1,39 @@
+// NAND2-equivalent gate-count model, mirroring the paper's Table 3 metric
+// ("A 2-input NAND gate is the gate count unit").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sbst::nl {
+
+/// NAND2-equivalent cost of one gate kind. The weights approximate a
+/// typical standard-cell library mapping (INV=0.5, NAND/NOR=1, AND/OR=1.5,
+/// XOR/XNOR=2.5, MUX2=2.5, DFF=5). INPUT/CONST/BUF cost nothing — they are
+/// modelling artefacts, not silicon.
+double nand2_cost(GateKind k);
+
+struct ComponentCost {
+  ComponentId component = kNoComponent;
+  std::string name;
+  std::size_t gates = 0;       // primitive instances
+  std::size_t dffs = 0;        // flip-flops among them
+  double nand2_equiv = 0.0;    // summed NAND2-equivalent cost
+};
+
+struct CostReport {
+  std::vector<ComponentCost> components;  // indexed by ComponentId
+  double total_nand2 = 0.0;
+  std::size_t total_gates = 0;
+
+  /// Component costs sorted by descending NAND2-equivalent size,
+  /// excluding the untagged bucket when it is empty.
+  std::vector<ComponentCost> by_descending_size() const;
+};
+
+/// Aggregates per-component NAND2-equivalent gate counts.
+CostReport compute_cost(const Netlist& nl);
+
+}  // namespace sbst::nl

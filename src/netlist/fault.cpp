@@ -1,0 +1,168 @@
+#include "netlist/fault.h"
+
+#include <numeric>
+
+#include "netlist/levelize.h"
+
+namespace sbst::nl {
+
+namespace {
+
+// Union-find over fault keys: key = gate*8 + pin*2 + stuck.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::size_t key(GateId g, int pin, int stuck) {
+  return static_cast<std::size_t>(g) * 8 +
+         static_cast<std::size_t>(pin) * 2 + static_cast<std::size_t>(stuck);
+}
+
+// Returns the output fault value equivalent to input stuck-at `v` on a
+// gate of kind `k`, or -1 if not collapsible.
+int collapsed_output_value(GateKind k, int v) {
+  switch (k) {
+    case GateKind::kAnd2:  return v == 0 ? 0 : -1;
+    case GateKind::kNand2: return v == 0 ? 1 : -1;
+    case GateKind::kOr2:   return v == 1 ? 1 : -1;
+    case GateKind::kNor2:  return v == 1 ? 0 : -1;
+    case GateKind::kNot:   return v == 0 ? 1 : 0;
+    case GateKind::kBuf:   return v;
+    default:               return -1;
+  }
+}
+
+bool fault_sites_on(GateKind k) {
+  // BUF is transparent (all its faults collapse); CONST/INPUT output
+  // faults are handled explicitly.
+  return k != GateKind::kBuf;
+}
+
+}  // namespace
+
+ComponentId fault_component(const Netlist& nl, const Fault& f) {
+  return nl.gate(f.gate).component;
+}
+
+FaultList enumerate_faults(const Netlist& nl) {
+  const std::size_t n = nl.size();
+  const std::vector<std::uint8_t> live = live_mask(nl);
+
+  // Fan-out counts over live logic (DFF D-pins count as fan-out).
+  std::vector<std::uint32_t> fanout(n, 0);
+  for (GateId g = 0; g < n; ++g) {
+    if (!live[g]) continue;
+    const Gate& gate = nl.gate(g);
+    const int arity = fanin_count(gate.kind);
+    for (int pin = 0; pin < arity; ++pin) {
+      ++fanout[gate.in[static_cast<std::size_t>(pin)]];
+    }
+  }
+  // Output-port bits are also observers of a stem.
+  for (const Port& p : nl.outputs()) {
+    for (GateId b : p.bits) ++fanout[b];
+  }
+
+  // Candidate universe + equivalence pairs.
+  std::vector<std::uint8_t> candidate(n * 8, 0);
+  auto add_candidate = [&](GateId g, int pin, int stuck) {
+    candidate[key(g, pin, stuck)] = 1;
+  };
+
+  for (GateId g = 0; g < n; ++g) {
+    if (!live[g]) continue;
+    const Gate& gate = nl.gate(g);
+    if (!fault_sites_on(gate.kind)) continue;
+    // A net nobody consumes (e.g. an unused constant) has no observable
+    // faults; synthesis would not even emit it.
+    if (fanout[g] == 0) continue;
+    for (int v = 0; v < 2; ++v) {
+      // Output stem faults. Skip faults identical to the fault-free value
+      // of constants.
+      if (gate.kind == GateKind::kConst0 && v == 0) continue;
+      if (gate.kind == GateKind::kConst1 && v == 1) continue;
+      add_candidate(g, 0, v);
+    }
+    const int arity = fanin_count(gate.kind);
+    for (int pin = 0; pin < arity; ++pin) {
+      for (int v = 0; v < 2; ++v) add_candidate(g, pin + 1, v);
+    }
+  }
+
+  UnionFind uf(n * 8);
+  for (GateId g = 0; g < n; ++g) {
+    if (!live[g]) continue;
+    const Gate& gate = nl.gate(g);
+    const int arity = fanin_count(gate.kind);
+    for (int pin = 0; pin < arity; ++pin) {
+      const GateId driver = gate.in[static_cast<std::size_t>(pin)];
+      for (int v = 0; v < 2; ++v) {
+        if (!candidate[key(g, pin + 1, v)]) continue;
+        // Rule 2: single-fanout branch == stem.
+        if (fanout[driver] == 1 && candidate[key(driver, 0, v)]) {
+          uf.unite(key(driver, 0, v), key(g, pin + 1, v));
+        }
+        // Rule 1: controlling-value input == output fault.
+        const int ov = collapsed_output_value(gate.kind, v);
+        if (ov >= 0 && candidate[key(g, 0, ov)]) {
+          uf.unite(key(g, 0, ov), key(g, pin + 1, v));
+        }
+        // BUF transparency: branch faults through a BUF chain collapse to
+        // the BUF's driver.
+        if (nl.gate(driver).kind == GateKind::kBuf) {
+          GateId stem = driver;
+          while (nl.gate(stem).kind == GateKind::kBuf) {
+            stem = nl.gate(stem).in[0];
+          }
+          if (candidate[key(stem, 0, v)]) {
+            uf.unite(key(stem, 0, v), key(g, pin + 1, v));
+          }
+        }
+      }
+    }
+  }
+
+  // Collect one representative per class. Prefer output-stem sites as
+  // representatives: iterate pins outer so stems claim classes first.
+  FaultList fl;
+  std::vector<std::size_t> rep_index(n * 8, SIZE_MAX);
+  for (int pin = 0; pin <= 3; ++pin) {
+    for (GateId g = 0; g < n; ++g) {
+      for (int v = 0; v < 2; ++v) {
+        const std::size_t k = key(g, pin, v);
+        if (!candidate[k]) continue;
+        const std::size_t root = uf.find(k);
+        if (rep_index[root] == SIZE_MAX) {
+          rep_index[root] = fl.faults.size();
+          fl.faults.push_back(Fault{g, static_cast<std::uint8_t>(pin),
+                                    static_cast<std::uint8_t>(v)});
+          fl.class_size.push_back(1);
+        } else {
+          ++fl.class_size[rep_index[root]];
+        }
+        ++fl.total_uncollapsed;
+      }
+    }
+  }
+  return fl;
+}
+
+}  // namespace sbst::nl

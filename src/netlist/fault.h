@@ -1,0 +1,58 @@
+// Single stuck-at fault model with structural equivalence collapsing.
+//
+// Faults are placed on gate output stems (pin 0) and on gate input
+// branches (pins 1..3 = input pin index + 1). Two classical equivalence
+// rules collapse the universe:
+//
+//  1. Controlling-value input faults of elementary gates are equivalent to
+//     the corresponding output fault (AND: in-SA0 == out-SA0, NAND:
+//     in-SA0 == out-SA1, OR: in-SA1 == out-SA1, NOR: in-SA1 == out-SA0,
+//     NOT/BUF: both input faults map to output faults).
+//  2. When a stem has fan-out 1, each branch fault is equivalent to the
+//     stem fault.
+//
+// Dominance collapsing is deliberately not applied: equivalence-only
+// collapsing keeps per-component fault attribution exact, which Table 5's
+// per-component coverage report relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sbst::nl {
+
+struct Fault {
+  GateId gate = kNoGate;
+  std::uint8_t pin = 0;    // 0 = output stem, 1..3 = input branch (pin-1)
+  std::uint8_t stuck = 0;  // stuck-at value, 0 or 1
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+struct FaultList {
+  /// Collapsed representative faults.
+  std::vector<Fault> faults;
+  /// Number of uncollapsed faults each representative stands for.
+  std::vector<std::uint32_t> class_size;
+  /// Total uncollapsed fault count (sum of class_size).
+  std::size_t total_uncollapsed = 0;
+
+  std::size_t size() const { return faults.size(); }
+};
+
+/// Enumerates the collapsed single stuck-at fault list of a netlist.
+///
+/// Faults are only placed on live logic (see live_mask) and never on
+/// CONST/INPUT-modelling artefacts' unobservable sides: CONST0 out-SA0 and
+/// CONST1 out-SA1 are identical to the fault-free circuit and are skipped,
+/// as are all faults on BUF gates (transparent, fully collapsed) and on
+/// dead gates.
+FaultList enumerate_faults(const Netlist& nl);
+
+/// Component a representative fault is attributed to (the component of the
+/// gate carrying the fault site).
+ComponentId fault_component(const Netlist& nl, const Fault& f);
+
+}  // namespace sbst::nl

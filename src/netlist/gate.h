@@ -1,0 +1,104 @@
+// Gate-level primitives for the SBST netlist model.
+//
+// The netlist is a flat list of gates. Gate fan-in is restricted to at most
+// three pins (two data pins plus a select pin for MUX2) so the simulator's
+// evaluation kernel stays branch-light; wider functions are elaborated as
+// trees by the construction DSL (src/dsl).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sbst::nl {
+
+/// Index of a gate inside a Netlist. Doubles as the "net" driven by that
+/// gate: every gate drives exactly one net, so GateId identifies both.
+using GateId = std::uint32_t;
+
+/// Sentinel for "no gate / unconnected pin".
+inline constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+/// Primitive gate kinds. Pin conventions:
+///   - in0/in1 are the data inputs for 2-input gates,
+///   - MUX2: in0 = value when sel==0, in1 = value when sel==1, in2 = sel,
+///   - DFF:  in0 = D input; reset value is Gate::reset_val,
+///   - INPUT gates have no fan-in and are driven by the environment.
+enum class GateKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kBuf,
+  kNot,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,
+  kDff,
+};
+
+inline constexpr int kNumGateKinds = static_cast<int>(GateKind::kDff) + 1;
+
+/// Number of fan-in pins for a gate kind.
+constexpr int fanin_count(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kDff:
+      return 1;
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      return 2;
+    case GateKind::kMux2:
+      return 3;
+  }
+  return 0;
+}
+
+constexpr std::string_view gate_kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0: return "CONST0";
+    case GateKind::kConst1: return "CONST1";
+    case GateKind::kInput:  return "INPUT";
+    case GateKind::kBuf:    return "BUF";
+    case GateKind::kNot:    return "NOT";
+    case GateKind::kAnd2:   return "AND2";
+    case GateKind::kOr2:    return "OR2";
+    case GateKind::kNand2:  return "NAND2";
+    case GateKind::kNor2:   return "NOR2";
+    case GateKind::kXor2:   return "XOR2";
+    case GateKind::kXnor2:  return "XNOR2";
+    case GateKind::kMux2:   return "MUX2";
+    case GateKind::kDff:    return "DFF";
+  }
+  return "?";
+}
+
+/// Identifier of the RT-level component a gate belongs to (e.g. the
+/// register file, the ALU). Component 0 is reserved for "untagged".
+using ComponentId = std::uint16_t;
+inline constexpr ComponentId kNoComponent = 0;
+
+/// One gate instance. Kept POD-sized (16 bytes) — netlists reach tens of
+/// thousands of gates and the simulator walks them every cycle.
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  std::uint8_t reset_val = 0;  // DFF only: value after reset
+  ComponentId component = kNoComponent;
+  std::array<GateId, 3> in = {kNoGate, kNoGate, kNoGate};
+};
+
+static_assert(sizeof(Gate) == 16);
+
+}  // namespace sbst::nl

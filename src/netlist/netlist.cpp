@@ -1,0 +1,167 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace sbst::nl {
+
+Netlist::Netlist() {
+  component_names_.push_back("(untagged)");
+  const0_ = add_gate(GateKind::kConst0);
+  const1_ = add_gate(GateKind::kConst1);
+}
+
+ComponentId Netlist::declare_component(std::string name) {
+  if (component_names_.size() >= 0xFFFF) {
+    throw NetlistError("too many components");
+  }
+  component_names_.push_back(std::move(name));
+  return static_cast<ComponentId>(component_names_.size() - 1);
+}
+
+void Netlist::set_current_component(ComponentId c) {
+  if (c >= component_names_.size()) {
+    throw NetlistError("set_current_component: unknown component id");
+  }
+  current_component_ = c;
+}
+
+const std::string& Netlist::component_name(ComponentId c) const {
+  if (c >= component_names_.size()) {
+    throw NetlistError("component_name: unknown component id");
+  }
+  return component_names_[c];
+}
+
+GateId Netlist::add_gate(GateKind kind, GateId a, GateId b, GateId c) {
+  Gate g;
+  g.kind = kind;
+  g.component = current_component_;
+  g.in = {a, b, c};
+  const int arity = fanin_count(kind);
+  for (int pin = 0; pin < 3; ++pin) {
+    const GateId driver = g.in[static_cast<std::size_t>(pin)];
+    if (pin < arity) {
+      if (driver != kNoGate && driver >= gates_.size()) {
+        throw NetlistError("add_gate: input pin references unknown gate");
+      }
+    } else if (driver != kNoGate) {
+      throw NetlistError("add_gate: too many inputs for gate kind");
+    }
+  }
+  if (kind == GateKind::kDff) ++num_dffs_;
+  if (kind == GateKind::kInput) ++num_inputs_;
+  gates_.push_back(g);
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId Netlist::add_dff(GateId d, bool reset_val) {
+  const GateId g = add_gate(GateKind::kDff, d);
+  gates_[g].reset_val = reset_val ? 1 : 0;
+  return g;
+}
+
+void Netlist::set_gate_input(GateId g, int pin, GateId driver) {
+  if (g >= gates_.size()) throw NetlistError("set_gate_input: unknown gate");
+  if (driver >= gates_.size()) {
+    throw NetlistError("set_gate_input: unknown driver");
+  }
+  if (pin < 0 || pin >= fanin_count(gates_[g].kind)) {
+    throw NetlistError("set_gate_input: pin out of range for gate kind");
+  }
+  gates_[g].in[static_cast<std::size_t>(pin)] = driver;
+}
+
+Port Netlist::add_input(std::string name, int width) {
+  if (has_input(name)) throw NetlistError("duplicate input port: " + name);
+  Port p;
+  p.name = std::move(name);
+  p.bits.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    p.bits.push_back(add_gate(GateKind::kInput));
+  }
+  inputs_.push_back(std::move(p));
+  return inputs_.back();
+}
+
+Port Netlist::register_input_port(std::string name,
+                                  std::vector<GateId> bits) {
+  if (has_input(name)) throw NetlistError("duplicate input port: " + name);
+  for (GateId b : bits) {
+    if (b >= gates_.size() || gates_[b].kind != GateKind::kInput) {
+      throw NetlistError("register_input_port: bit is not an INPUT gate");
+    }
+  }
+  inputs_.push_back(Port{std::move(name), std::move(bits)});
+  return inputs_.back();
+}
+
+void Netlist::set_dff_reset(GateId g, bool reset_val) {
+  if (g >= gates_.size() || gates_[g].kind != GateKind::kDff) {
+    throw NetlistError("set_dff_reset: not a DFF");
+  }
+  gates_[g].reset_val = reset_val ? 1 : 0;
+}
+
+Port Netlist::add_output(std::string name, std::vector<GateId> bits) {
+  if (has_output(name)) throw NetlistError("duplicate output port: " + name);
+  for (GateId b : bits) {
+    if (b >= gates_.size()) {
+      throw NetlistError("add_output: bit references unknown gate");
+    }
+  }
+  outputs_.push_back(Port{std::move(name), std::move(bits)});
+  return outputs_.back();
+}
+
+namespace {
+const Port* find_port(const std::vector<Port>& ports, std::string_view name) {
+  auto it = std::find_if(ports.begin(), ports.end(),
+                         [&](const Port& p) { return p.name == name; });
+  return it == ports.end() ? nullptr : &*it;
+}
+}  // namespace
+
+const Port& Netlist::input(std::string_view name) const {
+  const Port* p = find_port(inputs_, name);
+  if (!p) throw NetlistError("unknown input port: " + std::string(name));
+  return *p;
+}
+
+const Port& Netlist::output(std::string_view name) const {
+  const Port* p = find_port(outputs_, name);
+  if (!p) throw NetlistError("unknown output port: " + std::string(name));
+  return *p;
+}
+
+bool Netlist::has_input(std::string_view name) const {
+  return find_port(inputs_, name) != nullptr;
+}
+
+bool Netlist::has_output(std::string_view name) const {
+  return find_port(outputs_, name) != nullptr;
+}
+
+void Netlist::check() const {
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const int arity = fanin_count(g.kind);
+    for (int pin = 0; pin < arity; ++pin) {
+      const GateId driver = g.in[static_cast<std::size_t>(pin)];
+      if (driver == kNoGate) {
+        throw NetlistError("gate " + std::to_string(i) + " (" +
+                           std::string(gate_kind_name(g.kind)) + ") pin " +
+                           std::to_string(pin) + " unconnected");
+      }
+      if (driver >= gates_.size()) {
+        throw NetlistError("gate " + std::to_string(i) +
+                           " pin references unknown gate");
+      }
+    }
+    if (g.component >= component_names_.size()) {
+      throw NetlistError("gate " + std::to_string(i) +
+                         " has unknown component tag");
+    }
+  }
+}
+
+}  // namespace sbst::nl

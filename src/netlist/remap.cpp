@@ -1,0 +1,106 @@
+#include "netlist/remap.h"
+
+#include <vector>
+
+namespace sbst::nl {
+
+Netlist remap_to_nand(const Netlist& source) {
+  Netlist out;
+  std::vector<GateId> map(source.size(), kNoGate);
+  // Gate ids are append-only and inputs always reference earlier gates or
+  // (for DFF feedback) later ones; handle feedback with a fix-up pass.
+  struct Fixup {
+    GateId dff;
+    GateId source_d;
+  };
+  std::vector<Fixup> fixups;
+
+  for (ComponentId c = 1; c < source.num_components(); ++c) {
+    const ComponentId nc = out.declare_component(source.component_name(c));
+    (void)nc;  // ids align because declaration order is identical
+  }
+
+  auto nand = [&out](GateId a, GateId b) {
+    return out.add_gate(GateKind::kNand2, a, b);
+  };
+  auto inv = [&out](GateId a) { return out.add_gate(GateKind::kNot, a); };
+
+  for (GateId g = 0; g < source.size(); ++g) {
+    const Gate& gate = source.gate(g);
+    out.set_current_component(gate.component);
+    const GateId a = gate.in[0] == kNoGate ? kNoGate : map[gate.in[0]];
+    const GateId b = gate.in[1] == kNoGate ? kNoGate : map[gate.in[1]];
+    const GateId s = gate.in[2] == kNoGate ? kNoGate : map[gate.in[2]];
+    switch (gate.kind) {
+      case GateKind::kConst0: map[g] = out.const0(); break;
+      case GateKind::kConst1: map[g] = out.const1(); break;
+      case GateKind::kInput:  map[g] = out.add_gate(GateKind::kInput); break;
+      case GateKind::kBuf:    map[g] = out.add_gate(GateKind::kBuf, a); break;
+      case GateKind::kNot:    map[g] = inv(a); break;
+      case GateKind::kNand2:  map[g] = nand(a, b); break;
+      case GateKind::kAnd2:   map[g] = inv(nand(a, b)); break;
+      case GateKind::kOr2:    map[g] = nand(inv(a), inv(b)); break;
+      case GateKind::kNor2:   map[g] = inv(nand(inv(a), inv(b))); break;
+      case GateKind::kXor2: {
+        // Classic 4-NAND XOR.
+        const GateId m = nand(a, b);
+        map[g] = nand(nand(a, m), nand(b, m));
+        break;
+      }
+      case GateKind::kXnor2: {
+        const GateId m = nand(a, b);
+        map[g] = inv(nand(nand(a, m), nand(b, m)));
+        break;
+      }
+      case GateKind::kMux2: {
+        // out = nand(nand(a, !s), nand(b, s))
+        map[g] = nand(nand(a, inv(s)), nand(b, s));
+        break;
+      }
+      case GateKind::kDff: {
+        const GateId q = out.add_gate(GateKind::kDff);
+        // reset value is carried over below; D may reference a gate that
+        // has not been mapped yet (feedback), so defer connection.
+        map[g] = q;
+        fixups.push_back(Fixup{q, gate.in[0]});
+        // Copy reset value via a dedicated setter path: re-add as dff?
+        // Gate fields are private; use add_dff semantics instead:
+        break;
+      }
+    }
+  }
+
+  // DFF D connections + reset values.
+  for (const Fixup& f : fixups) {
+    out.set_gate_input(f.dff, 0, map[f.source_d]);
+  }
+
+  // Ports.
+  for (const Port& p : source.inputs()) {
+    std::vector<GateId> bits;
+    bits.reserve(p.bits.size());
+    for (GateId g : p.bits) bits.push_back(map[g]);
+    // add_input would create fresh INPUT gates; register mapped ones via
+    // a dedicated path: reuse add_output-style registration is not
+    // available for inputs, so patch through the public API:
+    out.register_input_port(p.name, std::move(bits));
+  }
+  for (const Port& p : source.outputs()) {
+    std::vector<GateId> bits;
+    bits.reserve(p.bits.size());
+    for (GateId g : p.bits) bits.push_back(map[g]);
+    out.add_output(p.name, std::move(bits));
+  }
+
+  // Reset values.
+  for (GateId g = 0; g < source.size(); ++g) {
+    if (source.gate(g).kind == GateKind::kDff) {
+      out.set_dff_reset(map[g], source.gate(g).reset_val != 0);
+    }
+  }
+
+  out.check();
+  return out;
+}
+
+}  // namespace sbst::nl

@@ -1,0 +1,18 @@
+// Technology remapping: re-expresses a netlist in a NAND2+NOT(+DFF)
+// library. The paper reports that re-synthesizing the processor in a
+// different technology library yields very similar fault coverage, because
+// the methodology exploits RT-level regularity rather than a particular
+// gate mapping; bench_tech_remap reproduces that experiment by fault
+// grading the same self-test program against this remapped netlist.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sbst::nl {
+
+/// Returns a functionally identical netlist using only
+/// {NAND2, NOT, DFF, INPUT, CONST} primitives. Ports, component tags and
+/// DFF reset values are preserved.
+Netlist remap_to_nand(const Netlist& source);
+
+}  // namespace sbst::nl

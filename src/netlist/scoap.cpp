@@ -1,0 +1,233 @@
+#include "netlist/scoap.h"
+
+#include <algorithm>
+
+#include "netlist/levelize.h"
+
+namespace sbst::nl {
+
+namespace {
+
+using U = std::uint32_t;
+constexpr U kInf = ScoapMeasures::kSaturation;
+
+U sadd(U a, U b) { return ScoapMeasures::saturating_add(a, b); }
+U sadd(U a, U b, U c) { return sadd(sadd(a, b), c); }
+
+}  // namespace
+
+ScoapMeasures compute_scoap(const Netlist& netlist,
+                            const ScoapOptions& options) {
+  const std::size_t n = netlist.size();
+  const Levelization lv = levelize(netlist);
+
+  ScoapMeasures m;
+  m.cc0.assign(n, kInf);
+  m.cc1.assign(n, kInf);
+  m.co.assign(n, kInf);
+
+  // Fan-out map for the observability pass.
+  struct Sink {
+    GateId gate;
+    int pin;
+  };
+  std::vector<std::vector<Sink>> fanout(n);
+  for (GateId g = 0; g < n; ++g) {
+    const Gate& gate = netlist.gate(g);
+    for (int pin = 0; pin < fanin_count(gate.kind); ++pin) {
+      fanout[gate.in[static_cast<std::size_t>(pin)]].push_back(Sink{g, pin});
+    }
+  }
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // --- controllability: forward over sources + topological order ------
+    for (GateId g = 0; g < n; ++g) {
+      const Gate& gate = netlist.gate(g);
+      switch (gate.kind) {
+        case GateKind::kConst0: m.cc0[g] = 0; m.cc1[g] = kInf; break;
+        case GateKind::kConst1: m.cc1[g] = 0; m.cc0[g] = kInf; break;
+        case GateKind::kInput:  m.cc0[g] = 1; m.cc1[g] = 1; break;
+        case GateKind::kDff: {
+          // Reset provides the base case (cost 1 for the reset value);
+          // the other value costs one clock on top of controlling D.
+          const GateId d = gate.in[0];
+          const U via_d0 = sadd(m.cc0[d], 1);
+          const U via_d1 = sadd(m.cc1[d], 1);
+          m.cc0[g] = gate.reset_val == 0 ? std::min<U>(1, via_d0) : via_d0;
+          m.cc1[g] = gate.reset_val != 0 ? std::min<U>(1, via_d1) : via_d1;
+          break;
+        }
+        default:
+          break;  // combinational: handled in order below
+      }
+    }
+    for (GateId g : lv.comb_order) {
+      const Gate& gate = netlist.gate(g);
+      const GateId a = gate.in[0];
+      const GateId b = gate.in[1];
+      const GateId s = gate.in[2];
+      switch (gate.kind) {
+        case GateKind::kBuf:
+          m.cc0[g] = sadd(m.cc0[a], 1);
+          m.cc1[g] = sadd(m.cc1[a], 1);
+          break;
+        case GateKind::kNot:
+          m.cc0[g] = sadd(m.cc1[a], 1);
+          m.cc1[g] = sadd(m.cc0[a], 1);
+          break;
+        case GateKind::kAnd2:
+          m.cc1[g] = sadd(m.cc1[a], m.cc1[b], 1);
+          m.cc0[g] = sadd(std::min(m.cc0[a], m.cc0[b]), 1);
+          break;
+        case GateKind::kNand2:
+          m.cc0[g] = sadd(m.cc1[a], m.cc1[b], 1);
+          m.cc1[g] = sadd(std::min(m.cc0[a], m.cc0[b]), 1);
+          break;
+        case GateKind::kOr2:
+          m.cc0[g] = sadd(m.cc0[a], m.cc0[b], 1);
+          m.cc1[g] = sadd(std::min(m.cc1[a], m.cc1[b]), 1);
+          break;
+        case GateKind::kNor2:
+          m.cc1[g] = sadd(m.cc0[a], m.cc0[b], 1);
+          m.cc0[g] = sadd(std::min(m.cc1[a], m.cc1[b]), 1);
+          break;
+        case GateKind::kXor2:
+          m.cc1[g] = sadd(std::min(sadd(m.cc1[a], m.cc0[b]),
+                                   sadd(m.cc0[a], m.cc1[b])), 1);
+          m.cc0[g] = sadd(std::min(sadd(m.cc0[a], m.cc0[b]),
+                                   sadd(m.cc1[a], m.cc1[b])), 1);
+          break;
+        case GateKind::kXnor2:
+          m.cc0[g] = sadd(std::min(sadd(m.cc1[a], m.cc0[b]),
+                                   sadd(m.cc0[a], m.cc1[b])), 1);
+          m.cc1[g] = sadd(std::min(sadd(m.cc0[a], m.cc0[b]),
+                                   sadd(m.cc1[a], m.cc1[b])), 1);
+          break;
+        case GateKind::kMux2: {
+          // out=1: (sel=0 & a=1) | (sel=1 & b=1); dual for 0.
+          m.cc1[g] = sadd(std::min(sadd(m.cc0[s], m.cc1[a]),
+                                   sadd(m.cc1[s], m.cc1[b])), 1);
+          m.cc0[g] = sadd(std::min(sadd(m.cc0[s], m.cc0[a]),
+                                   sadd(m.cc1[s], m.cc0[b])), 1);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // --- observability: outputs backward --------------------------------
+    std::vector<U> co(n, kInf);
+    for (const Port& p : netlist.outputs()) {
+      for (GateId g : p.bits) co[g] = 0;
+    }
+    // Compute sink-driven CO in reverse topological order (so sinks are
+    // final before their drivers); DFFs pass CO from Q (previous
+    // iteration) to D with unit cost.
+    auto sink_cost = [&](const Sink& snk, GateId net, const std::vector<U>& co_now) -> U {
+      const Gate& gate = netlist.gate(snk.gate);
+      const U down = gate.kind == GateKind::kDff ? sadd(m.co[snk.gate], 1)
+                                                 : co_now[snk.gate];
+      const GateId a = gate.in[0];
+      const GateId bb = gate.in[1];
+      const GateId s = gate.in[2];
+      switch (gate.kind) {
+        case GateKind::kBuf:
+        case GateKind::kNot:
+          return sadd(down, 1);
+        case GateKind::kDff:
+          return down;
+        case GateKind::kAnd2:
+        case GateKind::kNand2: {
+          const GateId other = snk.pin == 0 ? bb : a;
+          return sadd(down, m.cc1[other], 1);
+        }
+        case GateKind::kOr2:
+        case GateKind::kNor2: {
+          const GateId other = snk.pin == 0 ? bb : a;
+          return sadd(down, m.cc0[other], 1);
+        }
+        case GateKind::kXor2:
+        case GateKind::kXnor2: {
+          const GateId other = snk.pin == 0 ? bb : a;
+          return sadd(down, std::min(m.cc0[other], m.cc1[other]), 1);
+        }
+        case GateKind::kMux2: {
+          if (snk.pin == 2) {
+            // Select observable when the data inputs differ.
+            const U d01 = sadd(m.cc0[a], m.cc1[bb]);
+            const U d10 = sadd(m.cc1[a], m.cc0[bb]);
+            return sadd(down, std::min(d01, d10), 1);
+          }
+          // Data pin: requires the select to route it.
+          const U route = snk.pin == 0 ? m.cc0[s] : m.cc1[s];
+          return sadd(down, route, 1);
+        }
+        default:
+          (void)net;
+          return kInf;
+      }
+    };
+
+    // Walk nets from high level to low so sinks' CO is final first.
+    std::vector<GateId> order = lv.comb_order;
+    std::reverse(order.begin(), order.end());
+    // Also refresh source nets (PIs, DFF outputs, constants) after the
+    // combinational sweep.
+    auto relax_net = [&](GateId g) {
+      U best = co[g];
+      for (const Sink& snk : fanout[g]) {
+        best = std::min(best, sink_cost(snk, g, co));
+      }
+      co[g] = best;
+    };
+    for (GateId g : order) relax_net(g);
+    for (GateId g = 0; g < n; ++g) {
+      const GateKind k = netlist.gate(g).kind;
+      if (k == GateKind::kInput || k == GateKind::kDff ||
+          k == GateKind::kConst0 || k == GateKind::kConst1) {
+        relax_net(g);
+      }
+    }
+    m.co = std::move(co);
+  }
+  return m;
+}
+
+std::vector<ComponentScoap> component_scoap(const Netlist& netlist,
+                                            const ScoapMeasures& m) {
+  const std::vector<std::uint8_t> live = live_mask(netlist);
+  std::vector<ComponentScoap> out(
+      static_cast<std::size_t>(netlist.num_components()));
+  for (int c = 0; c < netlist.num_components(); ++c) {
+    out[static_cast<std::size_t>(c)].component = static_cast<ComponentId>(c);
+    out[static_cast<std::size_t>(c)].name =
+        netlist.component_name(static_cast<ComponentId>(c));
+  }
+  for (GateId g = 0; g < netlist.size(); ++g) {
+    if (!live[g]) continue;
+    const Gate& gate = netlist.gate(g);
+    if (gate.kind == GateKind::kConst0 || gate.kind == GateKind::kConst1 ||
+        gate.kind == GateKind::kBuf) {
+      continue;
+    }
+    ComponentScoap& cs = out[gate.component];
+    const double cc = std::max(m.cc0[g], m.cc1[g]) >= ScoapMeasures::kSaturation
+                          ? ScoapMeasures::kSaturation
+                          : std::max(m.cc0[g], m.cc1[g]);
+    cs.mean_controllability += cc;
+    cs.mean_observability += m.co[g];
+    cs.mean_difficulty += m.difficulty(g);
+    ++cs.nets;
+  }
+  for (ComponentScoap& cs : out) {
+    if (cs.nets != 0) {
+      cs.mean_controllability /= static_cast<double>(cs.nets);
+      cs.mean_observability /= static_cast<double>(cs.nets);
+      cs.mean_difficulty /= static_cast<double>(cs.nets);
+    }
+  }
+  return out;
+}
+
+}  // namespace sbst::nl

@@ -1,0 +1,69 @@
+// SCOAP (Sandia Controllability/Observability Analysis Program)
+// testability measures over the gate netlist.
+//
+// The paper's §2.2 ranks component classes by how easily processor
+// instructions control and observe them (Table 1). SCOAP provides the
+// classic structural counterpart: per-net difficulty counts whose
+// per-component aggregates reproduce the same functional < control <
+// hidden ordering from pure netlist structure — see bench_table1_priority
+// and the Scoap tests.
+//
+// Definitions (Goldstein 1979, combinational measures):
+//   CC0(n)/CC1(n)  minimum number of net assignments to force net n to
+//                  0/1 (primary inputs cost 1),
+//   CO(n)          assignments needed to propagate net n to an output
+//                  (outputs cost 0).
+// Sequential elements are approximated as unit-cost pass-throughs and the
+// measures are iterated to a (saturating) fixpoint across the DFF
+// boundary — adequate for comparing regions of one design, which is the
+// only use here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sbst::nl {
+
+struct ScoapMeasures {
+  std::vector<std::uint32_t> cc0;  // per net (GateId-indexed)
+  std::vector<std::uint32_t> cc1;
+  std::vector<std::uint32_t> co;
+
+  /// Combined testability difficulty of a fault site on net n:
+  /// controllability of the harder value plus observability.
+  std::uint32_t difficulty(GateId n) const {
+    const std::uint32_t c = cc0[n] > cc1[n] ? cc0[n] : cc1[n];
+    return saturating_add(c, co[n]);
+  }
+
+  static std::uint32_t saturating_add(std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t s = std::uint64_t{a} + b;
+    return s > kSaturation ? kSaturation : static_cast<std::uint32_t>(s);
+  }
+  static constexpr std::uint32_t kSaturation = 1'000'000;
+};
+
+struct ScoapOptions {
+  /// Fixpoint iterations across the sequential boundary.
+  int iterations = 8;
+};
+
+ScoapMeasures compute_scoap(const Netlist& netlist,
+                            const ScoapOptions& options = {});
+
+struct ComponentScoap {
+  ComponentId component = kNoComponent;
+  std::string name;
+  double mean_controllability = 0.0;  // mean of max(CC0, CC1) over nets
+  double mean_observability = 0.0;    // mean CO over nets
+  double mean_difficulty = 0.0;
+  std::size_t nets = 0;
+};
+
+/// Aggregates SCOAP measures per RT component (live nets only).
+std::vector<ComponentScoap> component_scoap(const Netlist& netlist,
+                                            const ScoapMeasures& m);
+
+}  // namespace sbst::nl

@@ -1,0 +1,214 @@
+#include "parwan/cpu.h"
+
+#include "parwan/isa.h"
+
+namespace sbst::parwan {
+
+using dsl::Builder;
+using dsl::Bus;
+using dsl::GateId;
+
+std::string_view parwan_component_name(ParwanComponent c) {
+  switch (c) {
+    case ParwanComponent::kAc:   return "AC";
+    case ParwanComponent::kAlu:  return "ALU";
+    case ParwanComponent::kShu:  return "SHU";
+    case ParwanComponent::kSr:   return "SR";
+    case ParwanComponent::kPcl:  return "PCL";
+    case ParwanComponent::kCtrl: return "CTRL";
+    case ParwanComponent::kGl:   return "GL";
+  }
+  return "?";
+}
+
+ParwanCpu build_parwan_cpu() {
+  ParwanCpu cpu;
+  Builder b(cpu.netlist);
+  for (int i = 0; i < kNumParwanComponents; ++i) {
+    cpu.components[static_cast<std::size_t>(i)] = cpu.netlist.declare_component(
+        std::string(parwan_component_name(static_cast<ParwanComponent>(i))));
+  }
+  auto comp = [&](ParwanComponent c) { b.set_component(cpu.component_id(c)); };
+
+  comp(ParwanComponent::kGl);
+  const Bus rdata = b.input("rdata", 8);
+
+  // --- registers ----------------------------------------------------------
+  comp(ParwanComponent::kCtrl);
+  // One-hot FSM state: S0 fetch-issue, S1 opcode, S2 operand byte,
+  // S3 memory operand. Reset in S0.
+  const Bus state = b.reg(4, 1);
+  const GateId s0 = state[0], s1 = state[1], s2 = state[2], s3 = state[3];
+  const Bus ir = b.reg(8, 0);
+
+  comp(ParwanComponent::kAc);
+  const Bus ac = b.reg(8, 0);
+
+  comp(ParwanComponent::kPcl);
+  const Bus pc = b.reg(12, 0);
+
+  comp(ParwanComponent::kSr);
+  const GateId f_v = b.reg(1, 0)[0];
+  const GateId f_c = b.reg(1, 0)[0];
+  const GateId f_z = b.reg(1, 0)[0];
+  const GateId f_n = b.reg(1, 0)[0];
+
+  // --- decode ---------------------------------------------------------------
+  comp(ParwanComponent::kCtrl);
+  // In S1 the opcode is on rdata; from S2 on it is in IR.
+  auto decode = [&](const Bus& w) {
+    struct Dec {
+      GateId unary, branch, memread, jmp, sta;
+      GateId u_cla, u_cma, u_cmc, u_asl, u_asr;
+      GateId op_and, op_addsub, op_sub;
+    } d;
+    const GateId top7 = b.and_(w[7], b.and_(w[6], w[5]));
+    d.unary = b.and_(top7, b.not_(w[4]));
+    d.branch = b.and_(top7, w[4]);
+    d.memread = b.not_(w[7]);                        // 000..011
+    d.jmp = b.and3(w[7], b.not_(w[6]), b.not_(w[5]));  // 100
+    d.sta = b.and3(w[7], b.not_(w[6]), w[5]);          // 101
+    // unary selects (low nibble)
+    const Bus u = b.decoder(Builder::slice(w, 0, 4));
+    d.u_cla = b.and_(d.unary, u[1]);
+    d.u_cma = b.and_(d.unary, u[2]);
+    d.u_cmc = b.and_(d.unary, u[3]);
+    d.u_asl = b.and_(d.unary, u[4]);
+    d.u_asr = b.and_(d.unary, u[5]);
+    d.op_and = b.and_(b.not_(w[6]), w[5]);   // 001 (given memread)
+    d.op_addsub = w[6];                      // 01x (given memread)
+    d.op_sub = b.and_(w[6], w[5]);           // 011
+    return d;
+  };
+  const auto d1 = decode(rdata);  // valid in S1
+  const auto d2 = decode(ir);     // valid in S2/S3
+
+  // FSM next state.
+  const GateId to_s2 = b.and_(s1, b.not_(d1.unary));
+  const GateId to_s3 = b.and_(s2, d2.memread);
+  const GateId to_s0 = b.or3(b.and_(s1, d1.unary),
+                             b.and_(s2, b.not_(d2.memread)), s3);
+  b.connect_reg(state, Bus{to_s0, s0, to_s2, to_s3});
+
+  // IR latches the opcode in S1.
+  b.connect_reg(ir, b.mux_bus(s1, ir, rdata));
+
+  // Effective address: IR page nibble + operand byte (valid in S2).
+  const Bus ea = Builder::cat(rdata, Builder::slice(ir, 0, 4));
+
+  // Branch taken = (mask & flags) != 0, mask in IR[3:0] as V,C,Z,N.
+  const GateId taken =
+      b.or_(b.or_(b.and_(ir[kFlagN], f_n), b.and_(ir[kFlagZ], f_z)),
+            b.or_(b.and_(ir[kFlagC], f_c), b.and_(ir[kFlagV], f_v)));
+
+  // --- ALU --------------------------------------------------------------------
+  // Executes memory ops in S3 (b = memory byte on rdata) and unary ops in
+  // S1 (operating on AC only).
+  comp(ParwanComponent::kAlu);
+  const GateId exec_addsub = b.and_(s3, d2.op_addsub);
+  const GateId sub_mode = b.and_(exec_addsub, d2.op_sub);
+  Bus b_eff(8);
+  for (int i = 0; i < 8; ++i) {
+    b_eff[static_cast<std::size_t>(i)] =
+        b.xor_(rdata[static_cast<std::size_t>(i)], sub_mode);
+  }
+  const Builder::AddResult sum = b.add(ac, b_eff, sub_mode);
+  const GateId overflow = b.xor_(sum.carry_out, sum.carry_msb);
+  const Bus and_r = b.and_bus(ac, rdata);
+  const Bus not_a = b.not_bus(ac);
+
+  // Result select: S3: pass_b (lda) / and / sum; S1: 0 (cla), ~AC (cma),
+  // AC otherwise. Built as a priority chain starting from AC.
+  const GateId exec_unary = b.and_(s1, d1.unary);
+  Bus alu_out = ac;                                    // pass_a default
+  alu_out = b.mux_bus(b.and_(exec_unary, d1.u_cma), alu_out, not_a);
+  alu_out = b.mux_bus(b.and_(exec_unary, d1.u_cla), alu_out,
+                      b.constant(0, 8));
+  alu_out = b.mux_bus(b.and_(s3, b.not_(d2.op_addsub)),
+                      alu_out, b.mux_bus(d2.op_and, rdata, and_r));
+  alu_out = b.mux_bus(exec_addsub, alu_out, sum.sum);
+
+  // --- SHU ----------------------------------------------------------------------
+  comp(ParwanComponent::kShu);
+  const GateId do_asl = b.and_(exec_unary, d1.u_asl);
+  const GateId do_asr = b.and_(exec_unary, d1.u_asr);
+  Bus shifted_l(8);
+  Bus shifted_r(8);
+  for (int i = 0; i < 8; ++i) {
+    shifted_l[static_cast<std::size_t>(i)] =
+        i == 0 ? b.lit(false) : alu_out[static_cast<std::size_t>(i - 1)];
+    shifted_r[static_cast<std::size_t>(i)] =
+        i == 7 ? alu_out[7] : alu_out[static_cast<std::size_t>(i + 1)];
+  }
+  Bus shu_out = b.mux_bus(do_asl, alu_out, shifted_l);
+  shu_out = b.mux_bus(do_asr, shu_out, shifted_r);
+
+  // --- AC write ---------------------------------------------------------------------
+  comp(ParwanComponent::kAc);
+  const GateId ac_we =
+      b.or_(s3, b.and_(exec_unary,
+                       b.or_(b.or_(d1.u_cla, d1.u_cma),
+                             b.or_(d1.u_asl, d1.u_asr))));
+  b.connect_reg(ac, b.mux_bus(ac_we, ac, shu_out));
+
+  // --- SR -------------------------------------------------------------------------
+  comp(ParwanComponent::kSr);
+  const GateId new_z = b.is_zero(shu_out);
+  const GateId new_n = shu_out[7];
+  b.netlist().set_gate_input(f_z, 0, b.mux(ac_we, f_z, new_z));
+  b.netlist().set_gate_input(f_n, 0, b.mux(ac_we, f_n, new_n));
+  // Carry: add/sub carry-out, ASL shift-out, CMC complement.
+  GateId next_c = f_c;
+  next_c = b.mux(b.and_(exec_unary, d1.u_cmc), next_c, b.not_(f_c));
+  next_c = b.mux(do_asl, next_c, ac[7]);
+  next_c = b.mux(exec_addsub, next_c, sum.carry_out);
+  b.netlist().set_gate_input(f_c, 0, next_c);
+  // Overflow: add/sub signed overflow, ASL sign change.
+  GateId next_v = f_v;
+  next_v = b.mux(do_asl, next_v, b.xor_(ac[7], ac[6]));
+  next_v = b.mux(exec_addsub, next_v, overflow);
+  b.netlist().set_gate_input(f_v, 0, next_v);
+
+  // --- PC ---------------------------------------------------------------------------
+  comp(ParwanComponent::kPcl);
+  const Bus pc_plus1 = b.inc(pc);
+  const Bus branch_target =
+      Builder::cat(rdata, Builder::slice(pc, 8, 4));  // page of operand byte
+  Bus next_pc = pc;
+  // S1: step past the opcode.
+  next_pc = b.mux_bus(s1, next_pc, pc_plus1);
+  // S2: step past the operand byte, overridden by jmp/taken branch.
+  Bus s2_pc = pc_plus1;
+  s2_pc = b.mux_bus(b.and_(d2.branch, taken), s2_pc, branch_target);
+  s2_pc = b.mux_bus(d2.jmp, s2_pc, ea);
+  next_pc = b.mux_bus(s2, next_pc, s2_pc);
+  b.connect_reg(pc, next_pc);
+
+  // --- memory bus ---------------------------------------------------------------------
+  comp(ParwanComponent::kCtrl);
+  const GateId data_cycle =
+      b.and_(s2, b.or_(d2.memread, d2.sta));
+  const GateId we = b.and_(s2, d2.sta);
+  comp(ParwanComponent::kGl);
+  // S0: fetch the opcode at PC; S1: fetch the operand byte at PC+1 (PC
+  // itself increments at the end of S1); S2 data cycles use the
+  // effective address.
+  Bus addr = b.mux_bus(s1, pc, pc_plus1);
+  addr = b.mux_bus(data_cycle, addr, ea);
+  const Bus wdata = b.mask_bus(ac, we);
+  const GateId rd_en = b.not_(we);
+
+  b.output("addr", addr);
+  b.output("wdata", wdata);
+  b.output("we", {we});
+  b.output("rd_en", {rd_en});
+
+  cpu.debug.ac = ac;
+  cpu.debug.pc = pc;
+  cpu.debug.flags = {f_n, f_z, f_c, f_v};
+
+  cpu.netlist.check();
+  return cpu;
+}
+
+}  // namespace sbst::parwan

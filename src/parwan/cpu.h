@@ -1,0 +1,54 @@
+// Gate-level Parwan core: 8-bit accumulator datapath around a 4-state
+// fetch/execute FSM with a single synchronous byte-wide memory port
+// (rdata arrives one cycle after the address, like the Plasma testbench).
+//
+// Ports:
+//   input  "rdata" [8]
+//   output "addr" [12], "wdata" [8], "we" [1], "rd_en" [1]
+//
+// RT components (tags), following the component lists used for Parwan in
+// the paper's predecessors [6][7]: AC, ALU, SHU (shifter unit), SR
+// (status register), PCL (program counter logic), CTRL (IR + FSM +
+// decode), GL. The MAR of the original design is folded into CTRL's
+// effective-address path (our bus issues addresses combinationally).
+#pragma once
+
+#include <array>
+
+#include "dsl/builder.h"
+#include "netlist/netlist.h"
+
+namespace sbst::parwan {
+
+enum class ParwanComponent : int {
+  kAc = 0,
+  kAlu,
+  kShu,
+  kSr,
+  kPcl,
+  kCtrl,
+  kGl,
+};
+
+inline constexpr int kNumParwanComponents = 7;
+
+std::string_view parwan_component_name(ParwanComponent c);
+
+struct ParwanCpu {
+  nl::Netlist netlist;
+  std::array<nl::ComponentId, kNumParwanComponents> components{};
+
+  struct DebugNets {
+    dsl::Bus ac;
+    dsl::Bus pc;
+    dsl::Bus flags;  // {n, z, c, v} at bits 0..3
+  } debug;
+
+  nl::ComponentId component_id(ParwanComponent c) const {
+    return components[static_cast<std::size_t>(c)];
+  }
+};
+
+ParwanCpu build_parwan_cpu();
+
+}  // namespace sbst::parwan

@@ -1,0 +1,110 @@
+#include "parwan/isa.h"
+
+namespace sbst::parwan {
+
+void Assembler::mem_op(Op op, std::uint16_t addr) {
+  emitted_ += 2;
+  code_.push_back(static_cast<std::uint8_t>(
+      (static_cast<unsigned>(op) << 5) | ((addr >> 8) & 0xF)));
+  code_.push_back(static_cast<std::uint8_t>(addr & 0xFF));
+}
+
+void Assembler::unary(Unary u) {
+  emitted_ += 1;
+  code_.push_back(static_cast<std::uint8_t>(0xE0 | static_cast<unsigned>(u)));
+}
+
+void Assembler::jmp(const std::string& label) {
+  emitted_ += 2;
+  code_.push_back(static_cast<std::uint8_t>(static_cast<unsigned>(Op::kJmp)
+                                            << 5));
+  patches_.push_back(Patch{code_.size(), label, false});
+  code_.push_back(0);
+}
+
+void Assembler::bra(std::uint8_t mask, const std::string& label) {
+  emitted_ += 2;
+  code_.push_back(static_cast<std::uint8_t>(0xF0 | (mask & 0xF)));
+  patches_.push_back(Patch{code_.size(), label, true});
+  code_.push_back(0);
+}
+
+void Assembler::label(const std::string& name) {
+  if (labels_.count(name) != 0) {
+    throw std::runtime_error("parwan asm: duplicate label " + name);
+  }
+  labels_[name] = static_cast<std::uint16_t>(code_.size());
+}
+
+void Assembler::org(std::uint16_t addr) {
+  if (addr < code_.size()) {
+    throw std::runtime_error("parwan asm: .org goes backwards");
+  }
+  code_.resize(addr, 0xE0);  // pad with NOP
+}
+
+void Assembler::byte(std::uint8_t value) {
+  emitted_ += 1;
+  code_.push_back(value);
+}
+
+std::vector<std::uint8_t> Assembler::assemble() const {
+  std::vector<std::uint8_t> image = code_;
+  for (const Patch& p : patches_) {
+    const auto it = labels_.find(p.label);
+    if (it == labels_.end()) {
+      throw std::runtime_error("parwan asm: undefined label " + p.label);
+    }
+    const std::uint16_t target = it->second;
+    if (p.is_branch) {
+      // In-page branch: the target must share the page of the operand
+      // byte's address.
+      if ((target >> 8) != (p.at >> 8)) {
+        throw std::runtime_error("parwan asm: branch to other page: " +
+                                 p.label);
+      }
+      image[p.at] = static_cast<std::uint8_t>(target & 0xFF);
+    } else {
+      image[p.at - 1] = static_cast<std::uint8_t>(
+          (image[p.at - 1] & 0xF0) | ((target >> 8) & 0xF));
+      image[p.at] = static_cast<std::uint8_t>(target & 0xFF);
+    }
+  }
+  if (image.size() > 4096) {
+    throw std::runtime_error("parwan asm: program exceeds 4KB");
+  }
+  image.resize(4096, 0xE0);
+  return image;
+}
+
+std::string disassemble(std::uint8_t byte1, std::uint8_t byte2) {
+  const unsigned top = byte1 >> 5;
+  if (top < 6) {
+    static constexpr const char* kNames[] = {"lda", "and", "add",
+                                             "sub", "jmp", "sta"};
+    const unsigned addr = ((byte1 & 0xFu) << 8) | byte2;
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%s 0x%03X", kNames[top], addr);
+    return buf;
+  }
+  if ((byte1 & 0xF0) == 0xE0) {
+    switch (byte1 & 0xF) {
+      case 0: return "nop";
+      case 1: return "cla";
+      case 2: return "cma";
+      case 3: return "cmc";
+      case 4: return "asl";
+      case 5: return "asr";
+      default: return "nop?";
+    }
+  }
+  if ((byte1 & 0xF0) == 0xF0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "bra mask=%X, off=0x%02X", byte1 & 0xF,
+                  byte2);
+    return buf;
+  }
+  return "<invalid>";
+}
+
+}  // namespace sbst::parwan

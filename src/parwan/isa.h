@@ -1,0 +1,115 @@
+// Parwan: the 8-bit accumulator-based educational processor (Navabi) used
+// as the evaluation vehicle by the paper's predecessors — Chen & Dey's
+// software BIST [6] and the authors' own DATE'02/VTS'02 methodology
+// [7][8], all of which report "slightly higher than 91%" stuck-at
+// coverage. Building Parwan and applying the same component-based
+// methodology reproduces that comparison row.
+//
+// Architecture (reconstructed from the literature; indirect addressing is
+// omitted — it is orthogonal to the methodology):
+//   AC   8-bit accumulator        PC  12-bit program counter
+//   SR   4 flags: V, C, Z, N      4KB byte-addressed memory
+//
+// Encoding (two-byte full-address instructions, one-byte others):
+//   byte1[7:5] = opcode for LDA 000, AND 001, ADD 010, SUB 011, JMP 100,
+//                STA 101
+//   byte1[3:0] = address page (bits 11:8), byte2 = offset (bits 7:0)
+//   byte1 = 1110 ssss : unary — NOP 0, CLA 1, CMA 2, CMC 3, ASL 4, ASR 5
+//   byte1 = 1111 vczn : branch within the current page when
+//                       (flags & mask) != 0; byte2 = in-page offset
+//
+// A store to address 0xFFF halts the testbench (mirrors the Plasma
+// convention).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sbst::parwan {
+
+inline constexpr std::uint16_t kHaltAddress = 0xFFF;
+
+enum class Op : std::uint8_t {
+  kLda = 0,
+  kAnd = 1,
+  kAdd = 2,
+  kSub = 3,
+  kJmp = 4,
+  kSta = 5,
+};
+
+enum class Unary : std::uint8_t {
+  kNop = 0,
+  kCla = 1,
+  kCma = 2,
+  kCmc = 3,
+  kAsl = 4,
+  kAsr = 5,
+};
+
+// Flag bit positions inside SR and inside a branch mask.
+inline constexpr unsigned kFlagV = 3;
+inline constexpr unsigned kFlagC = 2;
+inline constexpr unsigned kFlagZ = 1;
+inline constexpr unsigned kFlagN = 0;
+
+/// Programmatic two-pass assembler: Parwan programs are small enough that
+/// a builder API (with labels for branches/jumps) beats a text assembler.
+class Assembler {
+ public:
+  // Full-address instructions.
+  void lda(std::uint16_t addr) { mem_op(Op::kLda, addr); }
+  void and_(std::uint16_t addr) { mem_op(Op::kAnd, addr); }
+  void add(std::uint16_t addr) { mem_op(Op::kAdd, addr); }
+  void sub(std::uint16_t addr) { mem_op(Op::kSub, addr); }
+  void sta(std::uint16_t addr) { mem_op(Op::kSta, addr); }
+  void jmp(std::uint16_t addr) { mem_op(Op::kJmp, addr); }
+  void jmp(const std::string& label);
+
+  // Unary instructions.
+  void nop() { unary(Unary::kNop); }
+  void cla() { unary(Unary::kCla); }
+  void cma() { unary(Unary::kCma); }
+  void cmc() { unary(Unary::kCmc); }
+  void asl() { unary(Unary::kAsl); }
+  void asr() { unary(Unary::kAsr); }
+  void halt() { sta(kHaltAddress); }
+
+  /// Branch when (flags & mask) != 0; target must be a label in the same
+  /// page as the branch's second byte.
+  void bra(std::uint8_t mask, const std::string& label);
+
+  void label(const std::string& name);
+  /// Moves the location counter (forward only).
+  void org(std::uint16_t addr);
+  void byte(std::uint8_t value);
+
+  std::uint16_t here() const { return static_cast<std::uint16_t>(code_.size()); }
+  /// Bytes actually emitted (instructions + data), excluding org padding:
+  /// the download volume for a segment-aware loader.
+  std::size_t emitted_bytes() const { return emitted_; }
+
+  /// Resolves labels; returns the 4KB image (zero-filled).
+  std::vector<std::uint8_t> assemble() const;
+
+ private:
+  void mem_op(Op op, std::uint16_t addr);
+  void unary(Unary u);
+
+  struct Patch {
+    std::size_t at;      // byte index of the branch/jump operand
+    std::string label;
+    bool is_branch;      // branch: in-page offset; jmp: full address
+  };
+  std::vector<std::uint8_t> code_;
+  std::map<std::string, std::uint16_t> labels_;
+  std::vector<Patch> patches_;
+  std::size_t emitted_ = 0;
+};
+
+std::string disassemble(std::uint8_t byte1, std::uint8_t byte2);
+
+}  // namespace sbst::parwan

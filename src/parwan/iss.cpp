@@ -1,0 +1,128 @@
+#include "parwan/iss.h"
+
+namespace sbst::parwan {
+
+Iss::Iss(const std::vector<std::uint8_t>& image) : mem_(image) {
+  mem_.resize(4096, 0xE0);
+}
+
+std::uint8_t Iss::flags() const {
+  return static_cast<std::uint8_t>((v_ << kFlagV) | (c_ << kFlagC) |
+                                   (z_ << kFlagZ) | (n_ << kFlagN));
+}
+
+void Iss::set_zn(std::uint8_t value) {
+  z_ = value == 0;
+  n_ = (value & 0x80) != 0;
+}
+
+bool Iss::step() {
+  if (halted_) return false;
+  const std::uint8_t b1 = mem_[pc_ & 0xFFF];
+  const unsigned top = b1 >> 5;
+
+  if (top == 7 && (b1 & 0x10) == 0) {
+    // Unary, 2 cycles.
+    switch (static_cast<Unary>(b1 & 0xF)) {
+      case Unary::kNop: break;
+      case Unary::kCla:
+        ac_ = 0;
+        set_zn(ac_);
+        break;
+      case Unary::kCma:
+        ac_ = static_cast<std::uint8_t>(~ac_);
+        set_zn(ac_);
+        break;
+      case Unary::kCmc:
+        c_ = !c_;
+        break;
+      case Unary::kAsl: {
+        c_ = (ac_ & 0x80) != 0;
+        v_ = ((ac_ >> 7) & 1) != ((ac_ >> 6) & 1);
+        ac_ = static_cast<std::uint8_t>(ac_ << 1);
+        set_zn(ac_);
+        break;
+      }
+      case Unary::kAsr:
+        ac_ = static_cast<std::uint8_t>(
+            static_cast<std::int8_t>(ac_) >> 1);
+        set_zn(ac_);
+        break;
+      default: break;  // undefined unary codes execute as NOP
+    }
+    pc_ = static_cast<std::uint16_t>((pc_ + 1) & 0xFFF);
+    cycles_ += 2;
+  } else if (top == 7) {
+    // Conditional branch, 3 cycles. Target page = page of the operand
+    // byte.
+    const std::uint16_t operand_addr =
+        static_cast<std::uint16_t>((pc_ + 1) & 0xFFF);
+    const std::uint8_t off = mem_[operand_addr];
+    const bool taken = (flags() & (b1 & 0xF)) != 0;
+    pc_ = taken ? static_cast<std::uint16_t>((operand_addr & 0xF00) | off)
+                : static_cast<std::uint16_t>((pc_ + 2) & 0xFFF);
+    cycles_ += 3;
+  } else {
+    const std::uint16_t operand_addr =
+        static_cast<std::uint16_t>((pc_ + 1) & 0xFFF);
+    const std::uint16_t ea = static_cast<std::uint16_t>(
+        ((b1 & 0xF) << 8) | mem_[operand_addr]);
+    switch (static_cast<Op>(top)) {
+      case Op::kLda:
+        ac_ = mem_[ea];
+        set_zn(ac_);
+        pc_ = static_cast<std::uint16_t>((pc_ + 2) & 0xFFF);
+        cycles_ += 4;
+        break;
+      case Op::kAnd:
+        ac_ &= mem_[ea];
+        set_zn(ac_);
+        pc_ = static_cast<std::uint16_t>((pc_ + 2) & 0xFFF);
+        cycles_ += 4;
+        break;
+      case Op::kAdd: {
+        const std::uint8_t m = mem_[ea];
+        const unsigned r = unsigned(ac_) + m;
+        c_ = r > 0xFF;
+        v_ = ((ac_ ^ m) & 0x80) == 0 && ((ac_ ^ r) & 0x80) != 0;
+        ac_ = static_cast<std::uint8_t>(r);
+        set_zn(ac_);
+        pc_ = static_cast<std::uint16_t>((pc_ + 2) & 0xFFF);
+        cycles_ += 4;
+        break;
+      }
+      case Op::kSub: {
+        const std::uint8_t m = mem_[ea];
+        const unsigned r = unsigned(ac_) + static_cast<std::uint8_t>(~m) + 1;
+        c_ = r > 0xFF;  // 1 == no borrow
+        v_ = ((ac_ ^ m) & 0x80) != 0 && ((ac_ ^ r) & 0x80) != 0;
+        ac_ = static_cast<std::uint8_t>(r);
+        set_zn(ac_);
+        pc_ = static_cast<std::uint16_t>((pc_ + 2) & 0xFFF);
+        cycles_ += 4;
+        break;
+      }
+      case Op::kJmp:
+        pc_ = ea;
+        cycles_ += 3;
+        break;
+      case Op::kSta:
+        writes_.push_back(PWrite{ea, ac_});
+        mem_[ea] = ac_;
+        pc_ = static_cast<std::uint16_t>((pc_ + 2) & 0xFFF);
+        cycles_ += 3;
+        if (ea == kHaltAddress) halted_ = true;
+        break;
+    }
+  }
+  ++instructions_;
+  return !halted_;
+}
+
+PRunResult Iss::run(std::uint64_t max_instructions) {
+  const std::uint64_t start = instructions_;
+  while (!halted_ && instructions_ - start < max_instructions) step();
+  return PRunResult{instructions_, cycles_, halted_};
+}
+
+}  // namespace sbst::parwan

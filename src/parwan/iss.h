@@ -1,0 +1,55 @@
+// Parwan instruction-set simulator: the functional/timing oracle for the
+// gate-level core in parwan/cpu.cpp. Cycle model matches the 4-state FSM:
+// unary ops 2 cycles, jmp/branch/sta 3, memory-operand ALU ops 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parwan/isa.h"
+
+namespace sbst::parwan {
+
+struct PWrite {
+  std::uint16_t addr = 0;
+  std::uint8_t data = 0;
+
+  friend bool operator==(const PWrite&, const PWrite&) = default;
+};
+
+struct PRunResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  bool halted = false;
+};
+
+class Iss {
+ public:
+  explicit Iss(const std::vector<std::uint8_t>& image);
+
+  PRunResult run(std::uint64_t max_instructions = 1'000'000);
+  bool step();
+
+  std::uint8_t ac() const { return ac_; }
+  std::uint16_t pc() const { return pc_; }
+  /// Flags packed as the branch mask layout: V<<3 | C<<2 | Z<<1 | N.
+  std::uint8_t flags() const;
+  bool halted() const { return halted_; }
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint8_t mem(std::uint16_t addr) const { return mem_[addr & 0xFFF]; }
+  const std::vector<PWrite>& writes() const { return writes_; }
+
+ private:
+  void set_zn(std::uint8_t value);
+
+  std::vector<std::uint8_t> mem_;
+  std::uint8_t ac_ = 0;
+  std::uint16_t pc_ = 0;
+  bool v_ = false, c_ = false, z_ = false, n_ = false;
+  bool halted_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::vector<PWrite> writes_;
+};
+
+}  // namespace sbst::parwan

@@ -1,0 +1,261 @@
+#include "parwan/sbst.h"
+
+#include "netlist/cost.h"
+#include "parwan/iss.h"
+#include "parwan/testbench.h"
+
+namespace sbst::parwan {
+
+std::vector<ParwanComponentInfo> classify_parwan(const ParwanCpu& cpu) {
+  const nl::CostReport cost = nl::compute_cost(cpu.netlist);
+  auto cls = [](ParwanComponent c) {
+    switch (c) {
+      case ParwanComponent::kAc:
+      case ParwanComponent::kAlu:
+      case ParwanComponent::kShu:
+      case ParwanComponent::kSr:
+        return core::ComponentClass::kFunctional;
+      case ParwanComponent::kPcl:
+      case ParwanComponent::kCtrl:
+        return core::ComponentClass::kControl;
+      case ParwanComponent::kGl:
+        return core::ComponentClass::kGlue;
+    }
+    return core::ComponentClass::kGlue;
+  };
+  std::vector<ParwanComponentInfo> out;
+  for (int i = 0; i < kNumParwanComponents; ++i) {
+    const auto pc = static_cast<ParwanComponent>(i);
+    ParwanComponentInfo info;
+    info.component = pc;
+    info.name = std::string(parwan_component_name(pc));
+    info.cls = cls(pc);
+    info.nand2 = cost.components[cpu.component_id(pc)].nand2_equiv;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+namespace {
+
+/// Tracks operand bytes in the data page and result slots in the result
+/// page while routines are generated.
+class ProgramWriter {
+ public:
+  explicit ProgramWriter(Assembler& a) : a_(&a) {}
+
+  /// Address of a constant operand (deduplicated).
+  std::uint16_t val(std::uint8_t v) {
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (data_[i] == v) return static_cast<std::uint16_t>(kDataPage + i);
+    }
+    data_.push_back(v);
+    return static_cast<std::uint16_t>(kDataPage + data_.size() - 1);
+  }
+
+  /// Next result-buffer slot.
+  std::uint16_t slot() { return static_cast<std::uint16_t>(kResultPage + next_slot_++); }
+
+  void emit_data() {
+    a_->org(kDataPage);
+    for (std::uint8_t v : data_) a_->byte(v);
+  }
+
+  static constexpr std::uint16_t kDataPage = 0xD00;
+  static constexpr std::uint16_t kResultPage = 0xE00;
+
+ private:
+  Assembler* a_;
+  std::vector<std::uint8_t> data_;
+  unsigned next_slot_ = 0;
+};
+
+void alu_routine(Assembler& a, ProgramWriter& w) {
+  // 8-bit instance of the library's deterministic set: carry chains,
+  // minterm-complete logic backgrounds, sign/overflow corners.
+  struct Pair {
+    std::uint8_t x, y;
+  };
+  static constexpr Pair kPairs[] = {
+      {0x00, 0x00}, {0xFF, 0x01}, {0x55, 0x55}, {0xAA, 0xAA},
+      {0x55, 0x33}, {0xAA, 0xCC}, {0x55, 0xCC}, {0xAA, 0x33},
+      {0x80, 0x7F}, {0x7F, 0x80}, {0x0F, 0xF0}, {0xFF, 0xFF},
+  };
+  for (const Pair& p : kPairs) {
+    const std::uint16_t xa = w.val(p.x);
+    const std::uint16_t ya = w.val(p.y);
+    a.lda(xa);
+    a.add(ya);
+    a.sta(w.slot());
+    a.lda(xa);
+    a.sub(ya);
+    a.sta(w.slot());
+    a.lda(xa);
+    a.and_(ya);
+    a.sta(w.slot());
+  }
+  // Complement / clear paths.
+  a.lda(w.val(0x5A));
+  a.cma();
+  a.sta(w.slot());
+  a.cla();
+  a.sta(w.slot());
+}
+
+void shu_routine(Assembler& a, ProgramWriter& w) {
+  // Walk each pattern across all bit positions in both directions,
+  // storing after every shift (per-op slots; no compaction aliasing).
+  static constexpr std::uint8_t kPatterns[] = {0x55, 0xAA, 0x80, 0x7F};
+  for (const std::uint8_t p : kPatterns) {
+    a.lda(w.val(p));
+    for (int i = 0; i < 8; ++i) {
+      a.asl();
+      a.sta(w.slot());
+    }
+    a.lda(w.val(p));
+    for (int i = 0; i < 8; ++i) {
+      a.asr();
+      a.sta(w.slot());
+    }
+  }
+}
+
+void ac_routine(Assembler& a, ProgramWriter& w) {
+  for (const std::uint8_t bg : {0x55, 0xAA, 0x00, 0xFF}) {
+    a.lda(w.val(bg));
+    a.sta(w.slot());
+  }
+}
+
+void flags_routine(Assembler& a, ProgramWriter& w) {
+  // Each flag exercised both taken and not-taken. Skipped/executed STAs
+  // make the branch decision observable at the bus. The routine must stay
+  // within one page (branch offsets are page-relative): caller page-aligns.
+  int id = 0;
+  auto taken = [&](std::uint8_t mask) {
+    const std::string l = "pf_t" + std::to_string(id++);
+    a.bra(mask, l);
+    a.lda(w.val(0xE1));  // executes only if the branch wrongly falls through
+    a.sta(w.slot());
+    a.label(l);
+    a.lda(w.val(0x1E));
+    a.sta(w.slot());
+  };
+  auto not_taken = [&](std::uint8_t mask) {
+    const std::string l = "pf_n" + std::to_string(id++);
+    a.bra(mask, l);
+    a.lda(w.val(0x2D));  // must execute
+    a.sta(w.slot());
+    a.label(l);
+  };
+  const std::uint8_t kZ = 1u << kFlagZ;
+  const std::uint8_t kN = 1u << kFlagN;
+  const std::uint8_t kC = 1u << kFlagC;
+  const std::uint8_t kV = 1u << kFlagV;
+  // Z
+  a.cla();
+  taken(kZ);
+  a.lda(w.val(0x01));
+  not_taken(kZ);
+  // N
+  a.lda(w.val(0x80));
+  taken(kN);
+  a.lda(w.val(0x01));
+  not_taken(kN);
+  // C via 0xFF + 1, cleared via CMC
+  a.lda(w.val(0xFF));
+  a.add(w.val(0x01));
+  taken(kC);
+  a.cmc();
+  not_taken(kC);
+  a.cmc();
+  taken(kC);
+  // V via 0x7F + 1
+  a.lda(w.val(0x7F));
+  a.add(w.val(0x01));
+  taken(kV);
+  a.lda(w.val(0x00));
+  a.add(w.val(0x01));
+  not_taken(kV);
+  // Multi-flag masks.
+  a.lda(w.val(0x80));
+  taken(static_cast<std::uint8_t>(kN | kZ));
+  a.cla();
+  taken(static_cast<std::uint8_t>(kN | kZ));
+  // Mask 0 never branches, whatever the flags: catches stuck-at-1 faults
+  // in the mask/flag AND gates while all four flags are set.
+  a.lda(w.val(0xFF));
+  a.add(w.val(0xFF));  // C=1, N=1
+  a.cla();             // Z=1 (keeps C)
+  not_taken(0x0);
+  // Cross-flag: a Z-mask branch with only N set (and vice versa) catches
+  // mask-decode aliasing.
+  a.lda(w.val(0x80));  // N=1, Z=0
+  not_taken(kZ);
+  a.lda(w.val(0x01));  // N=0, Z=0
+  not_taken(static_cast<std::uint8_t>(kN | kV));
+  // ASR sign behaviour feeds N both ways.
+  a.lda(w.val(0x80));
+  a.asr();
+  taken(kN);
+  a.lda(w.val(0x40));
+  a.asr();
+  not_taken(kN);
+}
+
+void ac_hold_routine(Assembler& a, ProgramWriter& w) {
+  // AC hold-path faults: park complementary values in AC across idle
+  // cycles, then expose them.
+  for (const std::uint8_t bg : {0xFF, 0x00, 0x5A, 0xA5}) {
+    a.lda(w.val(bg));
+    a.nop();
+    a.nop();
+    a.cmc();  // touches only C
+    a.sta(w.slot());
+  }
+}
+
+}  // namespace
+
+ParwanSelfTest build_parwan_selftest() {
+  Assembler a;
+  ProgramWriter w(a);
+  alu_routine(a, w);
+  shu_routine(a, w);
+  ac_routine(a, w);
+  // Jump to a fresh page for the branch/flag routine (page-relative
+  // branch targets), exercising JMP on the way.
+  a.jmp("flags_page");
+  const std::uint16_t code_end_before = a.here();
+  (void)code_end_before;
+  a.org(0x300);
+  a.label("flags_page");
+  flags_routine(a, w);
+  ac_hold_routine(a, w);
+  // High-page excursions: drive the PC's upper bits and the increment
+  // carry chain across the 0x7FF/0x800 boundary.
+  a.jmp("page7");
+  a.org(0x7FC);
+  a.label("page7");
+  a.lda(w.val(0x3C));
+  a.sta(w.slot());      // instruction bytes straddle 0x7FF -> 0x800
+  a.sta(w.slot());
+  a.jmp("pagec");
+  a.org(0xC80);
+  a.label("pagec");
+  a.lda(w.val(0xC3));
+  a.sta(w.slot());
+  a.halt();
+  w.emit_data();
+
+  ParwanSelfTest st;
+  st.image = a.assemble();
+  st.bytes = a.emitted_bytes();  // code + data, excluding org padding
+  Iss iss(st.image);
+  const PRunResult r = iss.run();
+  st.cycles = r.cycles;
+  st.halted = r.halted;
+  return st;
+}
+
+}  // namespace sbst::parwan

@@ -1,0 +1,35 @@
+// The paper's methodology applied to Parwan: classification of the seven
+// RT components, priority ordering by measured size, and compact
+// deterministic self-test routines. Reproduces the "slightly higher than
+// 91%" coverage level the paper cites for Parwan from [6][7][8].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.h"
+#include "parwan/cpu.h"
+
+namespace sbst::parwan {
+
+struct ParwanComponentInfo {
+  ParwanComponent component{};
+  std::string name;
+  core::ComponentClass cls = core::ComponentClass::kGlue;
+  double nand2 = 0.0;
+};
+
+std::vector<ParwanComponentInfo> classify_parwan(const ParwanCpu& cpu);
+
+struct ParwanSelfTest {
+  std::vector<std::uint8_t> image;  // 4KB memory image
+  std::size_t bytes = 0;            // program + data bytes downloaded
+  std::uint64_t cycles = 0;         // ISS-measured
+  bool halted = false;
+};
+
+/// Generates the complete Parwan self-test program (ALU/SHU/AC routines
+/// plus the flag/branch exerciser) and measures it on the ISS.
+ParwanSelfTest build_parwan_selftest();
+
+}  // namespace sbst::parwan

@@ -1,0 +1,39 @@
+// ALU: ripple-carry adder/subtractor, logic unit (and/or/xor/nor),
+// set-on-less-than, and the result mux. For loads and stores the adder
+// also produces the effective address (result_sel = adder).
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+AluOutputs build_alu(Builder& b, const Bus& a, const Bus& bb,
+                     const AluControl& ctl) {
+  // Adder / subtractor: b input conditionally inverted, carry-in = sub.
+  Bus b_eff(bb.size());
+  for (std::size_t i = 0; i < bb.size(); ++i) {
+    b_eff[i] = b.xor_(bb[i], ctl.sub);
+  }
+  const Builder::AddResult sum = b.add(a, b_eff, ctl.sub);
+
+  // Logic unit.
+  const Bus and_r = b.and_bus(a, bb);
+  const Bus or_r = b.or_bus(a, bb);
+  const Bus xor_r = b.xor_bus(a, bb);
+  const Bus nor_r = b.not_bus(or_r);
+  const std::vector<Bus> logic_choices = {and_r, or_r, xor_r, nor_r};
+  const Bus logic_r = b.mux_tree(ctl.logic_sel, logic_choices);
+
+  // Set on less than. slt = sign(a-b) XOR signed-overflow; sltu = borrow.
+  const GateId overflow = b.xor_(sum.carry_out, sum.carry_msb);
+  const GateId slt_signed = b.xor_(sum.sum.back(), overflow);
+  const GateId sltu = b.not_(sum.carry_out);
+  const GateId slt_bit = b.mux(ctl.slt_signed, sltu, slt_signed);
+  Bus slt_r = b.constant(0, 32);
+  slt_r[0] = slt_bit;
+
+  const std::vector<Bus> result_choices = {sum.sum, logic_r, slt_r};
+  AluOutputs out;
+  out.result = b.mux_tree(ctl.result_sel, result_choices);
+  return out;
+}
+
+}  // namespace sbst::plasma

@@ -1,0 +1,42 @@
+// Bus multiplexer: immediate extension, ALU operand selection, the EX
+// result bus, destination-register selection and the register-file write
+// port (merged between the EX result and the load write-back).
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+Bus build_busmux_operand(Builder& b, const Bus& instr, const Bus& rt_val,
+                         const ControlSignals& ctl) {
+  const Bus imm16 = Builder::slice(instr, 0, 16);
+  const Bus imm_sign = b.sign_extend(imm16, 32);
+  const Bus imm_zero = b.zero_extend(imm16, 32);
+  const Bus imm_lui = Builder::cat(b.constant(0, 16), imm16);
+  const std::vector<Bus> imm_choices = {imm_sign, imm_zero, imm_lui};
+  const Bus imm_ext = b.mux_tree(ctl.imm_mode, imm_choices);
+  return b.mux_bus(ctl.use_imm, rt_val, imm_ext);
+}
+
+BusMuxOutputs build_busmux_result(Builder& b, const Bus& instr,
+                                  const Bus& alu_result,
+                                  const Bus& shift_result, const Bus& hi,
+                                  const Bus& lo, const Bus& link,
+                                  const Bus& load_value,
+                                  const ControlSignals& ctl,
+                                  const MemWbState& wb) {
+  BusMuxOutputs out;
+  const std::vector<Bus> result_choices = {alu_result, shift_result, hi, lo,
+                                           link};
+  out.result = b.mux_tree(ctl.result_sel, result_choices);
+
+  const Bus rd = Builder::slice(instr, 11, 5);
+  const Bus rt = Builder::slice(instr, 16, 5);
+  const std::vector<Bus> dest_choices = {rd, rt, b.constant(31, 5)};
+  out.dest = b.mux_tree(ctl.dest_sel, dest_choices);
+
+  out.rf_dest = b.mux_bus(wb.wb_en, out.dest, wb.wb_dest);
+  out.rf_data = b.mux_bus(wb.wb_en, out.result, load_value);
+  out.rf_wen = b.mux(wb.wb_en, ctl.reg_write, b.lit(true));
+  return out;
+}
+
+}  // namespace sbst::plasma

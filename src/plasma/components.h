@@ -1,0 +1,219 @@
+// Gate-level builders for the RT components of the Plasma/MIPS core.
+//
+// Component boundaries follow the paper's Table 2:
+//   functional: Register File, Multiplier/Divider, ALU, Barrel Shifter
+//   control:    Memory Controller, Program Counter Logic, Control, Bus Mux
+//   hidden:     Pipeline
+//   plus Glue Logic.
+//
+// Each builder only creates gates; cpu.cpp owns the wiring order and the
+// component tagging (Builder::set_component before each call).
+#pragma once
+
+#include "dsl/builder.h"
+
+namespace sbst::plasma {
+
+using dsl::Builder;
+using dsl::Bus;
+using dsl::GateId;
+
+// --- Register File (RegF) ---------------------------------------------------
+
+struct RegFileStorage {
+  /// regs[i] is architectural register i+1 ($1..$31); $0 is constant 0.
+  std::vector<Bus> regs;
+};
+
+/// Creates the 31x32 DFF array (D pins open until connect_regfile_write).
+RegFileStorage build_regfile_storage(Builder& b);
+
+/// Combinational read port: 32:1 mux tree over $0..$31.
+Bus build_regfile_read(Builder& b, const RegFileStorage& rf, const Bus& addr5);
+
+/// Write port: 5->32 decoder + per-register write-enable muxes.
+void connect_regfile_write(Builder& b, RegFileStorage& rf, const Bus& dest5,
+                           const Bus& wdata, GateId wen);
+
+// --- Arithmetic-Logic Unit (ALU) -------------------------------------------
+
+struct AluControl {
+  GateId sub = nl::kNoGate;        // adder computes a - b
+  GateId slt_signed = nl::kNoGate; // signed flavour of set-on-less-than
+  Bus logic_sel;                   // 2b: 0=and 1=or 2=xor 3=nor
+  Bus result_sel;                  // 2b: 0=adder 1=logic 2=slt
+};
+
+struct AluOutputs {
+  Bus result;
+};
+
+AluOutputs build_alu(Builder& b, const Bus& a, const Bus& bb,
+                     const AluControl& ctl);
+
+// --- Barrel Shifter (BSH) ----------------------------------------------------
+
+struct ShifterControl {
+  GateId right = nl::kNoGate;      // 1 = srl/sra, 0 = sll
+  GateId arith = nl::kNoGate;      // arithmetic right shift
+  GateId variable = nl::kNoGate;   // amount from rs (sllv/...) vs shamt
+};
+
+Bus build_shifter(Builder& b, const Bus& value, const Bus& shamt_field,
+                  const Bus& rs_low5, const ShifterControl& ctl);
+
+// --- Multiplier/Divider (MulD) ------------------------------------------------
+
+struct MulDivControl {
+  GateId start_mult = nl::kNoGate;  // mult/multu entering EX (not paused)
+  GateId start_div = nl::kNoGate;   // div/divu entering EX (not paused)
+  GateId is_signed = nl::kNoGate;   // mult vs multu / div vs divu
+  GateId mthi = nl::kNoGate;
+  GateId mtlo = nl::kNoGate;
+};
+
+struct MulDivOutputs {
+  Bus hi;        // HI register value (remainder / product high)
+  Bus lo;        // LO register value (quotient / product low)
+  GateId busy = nl::kNoGate;
+};
+
+struct MulDivState {
+  Bus acc_hi, acc_lo, op_b, counter;
+  GateId mode_div = nl::kNoGate, sign_q = nl::kNoGate, sign_r = nl::kNoGate;
+};
+
+/// Creates the sequential unit's registers (call early; feedback).
+MulDivState build_muldiv_state(Builder& b);
+/// Busy flag derived from the iteration counter (needed by control before
+/// the rest of the datapath exists).
+GateId muldiv_busy(Builder& b, const MulDivState& st);
+/// Builds the datapath + next-state logic and connects the registers.
+MulDivOutputs build_muldiv(Builder& b, MulDivState& st, const Bus& rs_val,
+                           const Bus& rt_val, const MulDivControl& ctl,
+                           GateId busy);
+
+// --- Memory Controller (MCTRL) --------------------------------------------------
+
+struct MemControl {
+  GateId is_load = nl::kNoGate;
+  GateId is_store = nl::kNoGate;
+  Bus size;                     // 2b: 0=byte 1=half 2=word
+};
+
+struct MemWbState {
+  // Captured in EX of a load, consumed in the following (bubble) cycle.
+  GateId wb_en = nl::kNoGate;      // a load writes back this cycle
+  Bus wb_dest;                     // 5b destination register
+  Bus wb_size;                     // 2b
+  GateId wb_signed = nl::kNoGate;
+  Bus wb_addr_lo;                  // 2b byte lane of the load address
+};
+
+struct MemOutputs {
+  Bus addr;       // memory address bus (fetch or data)
+  Bus wdata;      // write data (0 when not storing)
+  Bus byte_we;    // 4 byte write enables
+  GateId rd_en = nl::kNoGate;
+  Bus load_value;  // formatted load result for the WB register write
+};
+
+MemOutputs build_memctrl(Builder& b, const Bus& pc, const Bus& data_addr,
+                         const Bus& rt_val, const Bus& rdata,
+                         const MemControl& ctl, const MemWbState& wb);
+
+// --- Program Counter Logic (PCL) ----------------------------------------------
+
+struct PcControl {
+  GateId hold = nl::kNoGate;          // pause or data-access cycle
+  GateId branch_taken = nl::kNoGate;  // conditional branch taken
+  GateId jump_imm = nl::kNoGate;      // j / jal
+  GateId jump_reg = nl::kNoGate;      // jr / jalr
+};
+
+struct PcOutputs {
+  Bus pc;         // current PC (the fetch address when not doing data ops)
+  Bus pc_plus4;   // also the link value minus 4? no: link value is pc+4
+};
+
+/// Creates the PC register and next-PC logic; `imm16` and `target26` are
+/// instruction fields, `rs_val` the jump-register value.
+PcOutputs build_pclogic(Builder& b, const Bus& imm16, const Bus& target26,
+                        const Bus& rs_val, const PcControl& ctl);
+
+// --- Control (CTRL) -----------------------------------------------------------
+
+/// Decoded control bundle for one EX-stage instruction.
+struct ControlSignals {
+  AluControl alu;
+  ShifterControl shift;
+  MulDivControl muldiv;
+  MemControl mem;
+  GateId load_signed = nl::kNoGate;
+
+  GateId use_imm = nl::kNoGate;  // ALU b operand is the immediate
+  Bus imm_mode;                  // 2b: 0 sign-extend, 1 zero-extend, 2 lui
+  Bus result_sel;                // 3b: 0 alu, 1 shifter, 2 hi, 3 lo, 4 link
+  Bus dest_sel;                  // 2b: 0 rd, 1 rt, 2 $31
+  GateId reg_write = nl::kNoGate;  // EX-stage register write (gated !pause)
+
+  GateId branch_taken = nl::kNoGate;
+  GateId jump_imm = nl::kNoGate;
+  GateId jump_reg = nl::kNoGate;
+
+  GateId mem_access = nl::kNoGate;  // load or store in EX
+  GateId pause = nl::kNoGate;       // mul/div unit busy and accessed
+};
+
+/// Decodes `instr` (already bubble-masked) given the register operands and
+/// the mul/div busy flag.
+ControlSignals build_control(Builder& b, const Bus& instr, const Bus& rs_val,
+                             const Bus& rt_val, GateId muldiv_busy);
+
+// --- Bus Multiplexer (BMUX) -----------------------------------------------------
+
+struct BusMuxOutputs {
+  Bus result;        // EX-stage result bus
+  Bus dest;          // EX-stage destination register
+  // Final register-file write port after WB merge.
+  Bus rf_dest;
+  Bus rf_data;
+  GateId rf_wen = nl::kNoGate;
+};
+
+/// Operand side: immediate extension and the ALU b-operand mux (built
+/// before the ALU).
+Bus build_busmux_operand(Builder& b, const Bus& instr, const Bus& rt_val,
+                         const ControlSignals& ctl);
+
+/// Result side: the EX result bus, destination selection, and the final
+/// register-file write port merged with the load write-back.
+BusMuxOutputs build_busmux_result(Builder& b, const Bus& instr,
+                                  const Bus& alu_result,
+                                  const Bus& shift_result, const Bus& hi,
+                                  const Bus& lo, const Bus& link,
+                                  const Bus& load_value,
+                                  const ControlSignals& ctl,
+                                  const MemWbState& wb);
+
+// --- Pipeline (PLN, hidden class) -----------------------------------------------
+
+struct PipelineState {
+  GateId mem_cycle = nl::kNoGate;  // previous cycle was a data access
+  GateId use_saved = nl::kNoGate;  // executing from the saved IR (pause)
+  Bus ir_saved;                    // held instruction across pause
+  MemWbState wb;                   // load write-back bookkeeping
+  // Derived combinationally by build_pipeline_front:
+  Bus instr;                       // EX instruction (bubble-masked)
+  GateId valid = nl::kNoGate;
+};
+
+/// Creates pipeline registers and the EX instruction mux/bubble mask.
+PipelineState build_pipeline_front(Builder& b, const Bus& rdata);
+
+/// Connects pipeline register next-state once control and the data address
+/// exist.
+void connect_pipeline_back(Builder& b, PipelineState& pl,
+                           const ControlSignals& ctl, const Bus& data_addr);
+
+}  // namespace sbst::plasma

@@ -1,0 +1,153 @@
+// Control: opcode/funct decode, branch-condition evaluation and the
+// mul/div pause generation. Undefined opcodes decode to all-zero control
+// (execute as NOP), which is also how pipeline bubbles flow through.
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+namespace {
+
+/// Matches a field against a constant using shared per-bit complements.
+class Matcher {
+ public:
+  Matcher(Builder& b, const Bus& field) : b_(&b), field_(field) {
+    inv_.reserve(field.size());
+    for (GateId g : field) inv_.push_back(b.not_(g));
+  }
+
+  GateId operator()(unsigned value) const {
+    Bus terms(field_.size());
+    for (std::size_t i = 0; i < field_.size(); ++i) {
+      terms[i] = ((value >> i) & 1u) ? field_[i] : inv_[i];
+    }
+    return b_->reduce_and(terms);
+  }
+
+ private:
+  Builder* b_;
+  Bus field_;
+  Bus inv_;
+};
+
+}  // namespace
+
+ControlSignals build_control(Builder& b, const Bus& instr, const Bus& rs_val,
+                             const Bus& rt_val, GateId muldiv_busy) {
+  const Bus op = Builder::slice(instr, 26, 6);
+  const Bus funct = Builder::slice(instr, 0, 6);
+  const Bus rt_field = Builder::slice(instr, 16, 5);
+  const Matcher m_op(b, op);
+  const Matcher m_f(b, funct);
+  const Matcher m_ri(b, rt_field);
+
+  const GateId special = m_op(0x00);
+  const GateId regimm = m_op(0x01);
+  auto sp = [&](unsigned f) { return b.and_(special, m_f(f)); };
+  auto ri = [&](unsigned code) { return b.and_(regimm, m_ri(code)); };
+
+  // SPECIAL group.
+  const GateId sll = sp(0x00), srl = sp(0x02), sra = sp(0x03);
+  const GateId sllv = sp(0x04), srlv = sp(0x06), srav = sp(0x07);
+  const GateId jr = sp(0x08), jalr = sp(0x09);
+  const GateId mfhi = sp(0x10), mthi = sp(0x11);
+  const GateId mflo = sp(0x12), mtlo = sp(0x13);
+  const GateId mult = sp(0x18), multu = sp(0x19);
+  const GateId div = sp(0x1A), divu = sp(0x1B);
+  const GateId add = sp(0x20), addu = sp(0x21);
+  const GateId sub = sp(0x22), subu = sp(0x23);
+  const GateId and_g = sp(0x24), or_g = sp(0x25);
+  const GateId xor_g = sp(0x26), nor_g = sp(0x27);
+  const GateId slt = sp(0x2A), sltu = sp(0x2B);
+  // REGIMM group.
+  const GateId bltz = ri(0x00), bgez = ri(0x01);
+  const GateId bltzal = ri(0x10), bgezal = ri(0x11);
+  // I/J types.
+  const GateId j = m_op(0x02), jal = m_op(0x03);
+  const GateId beq = m_op(0x04), bne = m_op(0x05);
+  const GateId blez = m_op(0x06), bgtz = m_op(0x07);
+  const GateId addi = m_op(0x08), addiu = m_op(0x09);
+  const GateId slti = m_op(0x0A), sltiu = m_op(0x0B);
+  const GateId andi = m_op(0x0C), ori = m_op(0x0D);
+  const GateId xori = m_op(0x0E), lui = m_op(0x0F);
+  const GateId lb = m_op(0x20), lh = m_op(0x21), lw = m_op(0x23);
+  const GateId lbu = m_op(0x24), lhu = m_op(0x25);
+  const GateId sb = m_op(0x28), sh = m_op(0x29), sw = m_op(0x2B);
+
+  ControlSignals c;
+
+  // Memory.
+  c.mem.is_load = b.or_(b.or3(lb, lh, lw), b.or_(lbu, lhu));
+  c.mem.is_store = b.or3(sb, sh, sw);
+  const GateId size_half = b.or3(lh, lhu, sh);
+  const GateId size_word = b.or_(lw, sw);
+  c.mem.size = {size_half, size_word};
+  c.load_signed = b.or_(lb, lh);
+  c.mem_access = b.or_(c.mem.is_load, c.mem.is_store);
+
+  // ALU.
+  const GateId slt_any = b.or_(b.or_(slt, sltu), b.or_(slti, sltiu));
+  c.alu.sub = b.or_(b.or_(sub, subu), slt_any);
+  c.alu.slt_signed = b.or_(slt, slti);
+  const GateId log_or = b.or_(or_g, ori);
+  const GateId log_xor = b.or_(xor_g, xori);
+  c.alu.logic_sel = {b.or_(log_or, nor_g), b.or_(log_xor, nor_g)};
+  const GateId use_logic =
+      b.or3(b.or_(and_g, andi), b.or_(log_or, log_xor), nor_g);
+  c.alu.result_sel = {use_logic, slt_any};
+
+  // Shifter.
+  c.shift.right = b.or_(b.or_(srl, sra), b.or_(srlv, srav));
+  c.shift.arith = b.or_(sra, srav);
+  c.shift.variable = b.or3(sllv, srlv, srav);
+  const GateId is_shift =
+      b.or3(b.or_(sll, srl), b.or_(sra, sllv), b.or_(srlv, srav));
+
+  // Mul/div unit and pipeline pause.
+  const GateId md_access =
+      b.or_(b.or_(b.or_(mult, multu), b.or_(div, divu)),
+            b.or_(b.or_(mfhi, mflo), b.or_(mthi, mtlo)));
+  c.pause = b.and_(muldiv_busy, md_access);
+  const GateId go = b.not_(c.pause);
+  c.muldiv.start_mult = b.and_(b.or_(mult, multu), go);
+  c.muldiv.start_div = b.and_(b.or_(div, divu), go);
+  c.muldiv.is_signed = b.or_(mult, div);
+  c.muldiv.mthi = b.and_(mthi, go);
+  c.muldiv.mtlo = b.and_(mtlo, go);
+
+  // Operand / result routing.
+  c.use_imm = b.or3(b.or_(b.or_(addi, addiu), b.or_(slti, sltiu)),
+                    b.or_(b.or_(andi, ori), b.or_(xori, lui)), c.mem_access);
+  c.imm_mode = {b.or3(andi, ori, xori), lui};
+  const GateId link31 = b.or3(jal, bltzal, bgezal);
+  const GateId link_any = b.or_(link31, jalr);  // jalr links into rd
+  c.result_sel = {b.or_(is_shift, mflo), b.or_(mfhi, mflo), link_any};
+
+  // Register write in EX (loads write back one cycle later via WB).
+  const GateId alu3 = b.or3(b.or_(b.or_(add, addu), b.or_(sub, subu)),
+                            b.or_(b.or_(and_g, or_g), b.or_(xor_g, nor_g)),
+                            b.or_(slt, sltu));
+  const GateId imm_alu = b.or3(b.or_(b.or_(addi, addiu), b.or_(slti, sltiu)),
+                               b.or_(andi, ori), b.or_(xori, lui));
+  const GateId ex_write = b.or_(b.or3(alu3, imm_alu, is_shift),
+                                b.or3(b.or_(mfhi, mflo), jalr, link31));
+  c.reg_write = b.and_(ex_write, go);
+  const GateId dest_rt = imm_alu;
+  c.dest_sel = {dest_rt, link31};
+
+  // Branch conditions.
+  const GateId equal = b.eq(rs_val, rt_val);
+  const GateId neg = rs_val.back();
+  const GateId zero = b.is_zero(rs_val);
+  const GateId le = b.or_(neg, zero);
+  const GateId taken =
+      b.or3(b.or_(b.and_(beq, equal), b.and_(bne, b.not_(equal))),
+            b.or_(b.and_(blez, le), b.and_(bgtz, b.not_(le))),
+            b.or_(b.and_(b.or_(bltz, bltzal), neg),
+                  b.and_(b.or_(bgez, bgezal), b.not_(neg))));
+  c.branch_taken = taken;
+  c.jump_imm = b.or_(j, jal);
+  c.jump_reg = b.or_(jr, jalr);
+  return c;
+}
+
+}  // namespace sbst::plasma

@@ -1,0 +1,126 @@
+// Top-level composition of the gate-level Plasma/MIPS core. The build
+// order respects combinational dependencies; registers with feedback are
+// created first and connected once their next-state logic exists.
+#include "plasma/cpu.h"
+
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+std::string_view plasma_component_name(PlasmaComponent c) {
+  switch (c) {
+    case PlasmaComponent::kRegF:  return "RegF";
+    case PlasmaComponent::kMulD:  return "MulD";
+    case PlasmaComponent::kAlu:   return "ALU";
+    case PlasmaComponent::kBsh:   return "BSH";
+    case PlasmaComponent::kMctrl: return "MCTRL";
+    case PlasmaComponent::kPcl:   return "PCL";
+    case PlasmaComponent::kCtrl:  return "CTRL";
+    case PlasmaComponent::kBmux:  return "BMUX";
+    case PlasmaComponent::kPln:   return "PLN";
+    case PlasmaComponent::kGl:    return "GL";
+  }
+  return "?";
+}
+
+PlasmaCpu build_plasma_cpu() {
+  PlasmaCpu cpu;
+  Builder b(cpu.netlist);
+  for (int i = 0; i < kNumPlasmaComponents; ++i) {
+    cpu.components[static_cast<std::size_t>(i)] =
+        cpu.netlist.declare_component(
+            std::string(plasma_component_name(static_cast<PlasmaComponent>(i))));
+  }
+  auto comp = [&](PlasmaComponent c) {
+    b.set_component(cpu.component_id(c));
+  };
+
+  // Primary input: memory read data (glue owns the ports).
+  comp(PlasmaComponent::kGl);
+  const Bus rdata = b.input("rdata", 32);
+
+  // Pipeline front: bubble tracking + EX instruction selection.
+  comp(PlasmaComponent::kPln);
+  PipelineState pl = build_pipeline_front(b, rdata);
+  const Bus& instr = pl.instr;
+
+  // Mul/div unit state (feedback registers created early).
+  comp(PlasmaComponent::kMulD);
+  MulDivState md_state = build_muldiv_state(b);
+  const GateId busy = muldiv_busy(b, md_state);
+
+  // Register file storage + read ports.
+  comp(PlasmaComponent::kRegF);
+  RegFileStorage rf = build_regfile_storage(b);
+  const Bus rs_val = build_regfile_read(b, rf, Builder::slice(instr, 21, 5));
+  const Bus rt_val = build_regfile_read(b, rf, Builder::slice(instr, 16, 5));
+
+  // Control decode.
+  comp(PlasmaComponent::kCtrl);
+  const ControlSignals ctl = build_control(b, instr, rs_val, rt_val, busy);
+
+  // Operand selection.
+  comp(PlasmaComponent::kBmux);
+  const Bus b_operand = build_busmux_operand(b, instr, rt_val, ctl);
+
+  // Execution units.
+  comp(PlasmaComponent::kAlu);
+  const AluOutputs alu = build_alu(b, rs_val, b_operand, ctl.alu);
+
+  comp(PlasmaComponent::kBsh);
+  const Bus shift_result =
+      build_shifter(b, rt_val, Builder::slice(instr, 6, 5),
+                    Builder::slice(rs_val, 0, 5), ctl.shift);
+
+  comp(PlasmaComponent::kMulD);
+  const MulDivOutputs md =
+      build_muldiv(b, md_state, rs_val, rt_val, ctl.muldiv, busy);
+
+  // Program counter logic.
+  comp(PlasmaComponent::kGl);
+  const GateId pc_hold = b.or_(ctl.pause, ctl.mem_access);
+  comp(PlasmaComponent::kPcl);
+  PcControl pc_ctl;
+  pc_ctl.hold = pc_hold;
+  pc_ctl.branch_taken = ctl.branch_taken;
+  pc_ctl.jump_imm = ctl.jump_imm;
+  pc_ctl.jump_reg = ctl.jump_reg;
+  const PcOutputs pcl =
+      build_pclogic(b, Builder::slice(instr, 0, 16),
+                    Builder::slice(instr, 0, 26), rs_val, pc_ctl);
+
+  // Memory controller (data address comes from the ALU adder).
+  comp(PlasmaComponent::kMctrl);
+  const MemOutputs mem = build_memctrl(b, pcl.pc, alu.result, rt_val, rdata,
+                                       ctl.mem, pl.wb);
+
+  // Result bus + register-file write port.
+  comp(PlasmaComponent::kBmux);
+  const BusMuxOutputs bm =
+      build_busmux_result(b, instr, alu.result, shift_result, md.hi, md.lo,
+                          pcl.pc_plus4, mem.load_value, ctl, pl.wb);
+
+  comp(PlasmaComponent::kRegF);
+  connect_regfile_write(b, rf, bm.rf_dest, bm.rf_data, bm.rf_wen);
+
+  // Pipeline back-end connections.
+  comp(PlasmaComponent::kPln);
+  connect_pipeline_back(b, pl, ctl, alu.result);
+
+  // Primary outputs.
+  comp(PlasmaComponent::kGl);
+  b.output("addr", mem.addr);
+  b.output("wdata", mem.wdata);
+  b.output("byte_we", mem.byte_we);
+  b.output("rd_en", {mem.rd_en});
+
+  cpu.debug.regs = rf.regs;
+  cpu.debug.pc = pcl.pc;
+  cpu.debug.hi = md.hi;
+  cpu.debug.lo = md.lo;
+
+  cpu.netlist.check();
+  return cpu;
+}
+
+}  // namespace sbst::plasma

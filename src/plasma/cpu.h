@@ -1,0 +1,67 @@
+// The composed gate-level Plasma/MIPS CPU.
+//
+// Ports:
+//   input  "rdata"   [32] — memory read data: rdata at cycle t+1 must be
+//                            the word at the address output during cycle t
+//                            (single synchronous memory port shared by
+//                            fetch and data accesses)
+//   output "addr"    [32] — memory address
+//   output "wdata"   [32] — store data (0 when not storing)
+//   output "byte_we"  [4] — byte write enables
+//   output "rd_en"    [1] — read strobe (fetch or load)
+//
+// Reset: handled by DFF reset values (PC = 0, pipeline starts with one
+// bubble). The primary outputs are the fault-observation points.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "dsl/builder.h"
+#include "netlist/netlist.h"
+
+namespace sbst::plasma {
+
+/// Indices into PlasmaCpu::components, ordered as the paper's Table 2/3.
+enum class PlasmaComponent : int {
+  kRegF = 0,   // Register File            (functional)
+  kMulD,       // Multiplier/Divider       (functional)
+  kAlu,        // Arithmetic-Logic Unit    (functional)
+  kBsh,        // Barrel Shifter           (functional)
+  kMctrl,      // Memory Controller        (control)
+  kPcl,        // Program Counter Logic    (control)
+  kCtrl,       // Control Logic            (control)
+  kBmux,       // Bus Multiplexer          (control)
+  kPln,        // Pipeline                 (hidden)
+  kGl,         // Glue Logic
+};
+
+inline constexpr int kNumPlasmaComponents = 10;
+
+/// Short names matching the paper's Table 3.
+std::string_view plasma_component_name(PlasmaComponent c);
+
+struct PlasmaCpu {
+  nl::Netlist netlist;
+  /// netlist ComponentId for each PlasmaComponent.
+  std::array<nl::ComponentId, kNumPlasmaComponents> components{};
+
+  /// Architectural state nets for co-simulation checks (not ports — pure
+  /// observation handles into the DFF state).
+  struct DebugNets {
+    std::vector<dsl::Bus> regs;  // $1..$31
+    dsl::Bus pc;
+    dsl::Bus hi;
+    dsl::Bus lo;
+  } debug;
+
+  nl::ComponentId component_id(PlasmaComponent c) const {
+    return components[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Elaborates the full CPU. The returned netlist passes Netlist::check()
+/// and levelizes (no combinational cycles).
+PlasmaCpu build_plasma_cpu();
+
+}  // namespace sbst::plasma

@@ -1,0 +1,55 @@
+// Memory controller: multiplexes the single memory port between fetch and
+// data accesses, generates byte write-enables and replicated store data,
+// and formats (lane-selects + extends) incoming load data during the
+// write-back cycle.
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+MemOutputs build_memctrl(Builder& b, const Bus& pc, const Bus& data_addr,
+                         const Bus& rt_val, const Bus& rdata,
+                         const MemControl& ctl, const MemWbState& wb) {
+  MemOutputs out;
+  const GateId mem_access = b.or_(ctl.is_load, ctl.is_store);
+  out.addr = b.mux_bus(mem_access, pc, data_addr);
+
+  // Byte write enables.
+  const Bus lane = b.decoder(Builder::slice(data_addr, 0, 2));
+  const GateId a1 = data_addr[1];
+  const Bus be_byte = lane;
+  const Bus be_half = {b.not_(a1), b.not_(a1), a1, a1};
+  const Bus be_word = b.constant(0xF, 4);
+  const std::vector<Bus> be_choices = {be_byte, be_half, be_word};
+  out.byte_we = b.mask_bus(b.mux_tree(ctl.size, be_choices), ctl.is_store);
+
+  // Store data: replicate byte/halfword across lanes.
+  const Bus byte = Builder::slice(rt_val, 0, 8);
+  const Bus half = Builder::slice(rt_val, 0, 16);
+  const Bus wd_byte = Builder::cat(Builder::cat(byte, byte),
+                                   Builder::cat(byte, byte));
+  const Bus wd_half = Builder::cat(half, half);
+  const std::vector<Bus> wd_choices = {wd_byte, wd_half, rt_val};
+  out.wdata = b.mask_bus(b.mux_tree(ctl.size, wd_choices), ctl.is_store);
+
+  out.rd_en = b.not_(ctl.is_store);
+
+  // Load-data formatting (uses the WB-stage registers: the data arrives in
+  // the bubble cycle following the load).
+  const std::vector<Bus> rdata_bytes = {
+      Builder::slice(rdata, 0, 8), Builder::slice(rdata, 8, 8),
+      Builder::slice(rdata, 16, 8), Builder::slice(rdata, 24, 8)};
+  const Bus byte_sel = b.mux_tree(wb.wb_addr_lo, rdata_bytes);
+  const Bus half_sel = b.mux_bus(wb.wb_addr_lo[1], Builder::slice(rdata, 0, 16),
+                                 Builder::slice(rdata, 16, 16));
+  const GateId sign_b = b.and_(wb.wb_signed, byte_sel.back());
+  const GateId sign_h = b.and_(wb.wb_signed, half_sel.back());
+  Bus ext_b = byte_sel;
+  while (ext_b.size() < 32) ext_b.push_back(sign_b);
+  Bus ext_h = half_sel;
+  while (ext_h.size() < 32) ext_h.push_back(sign_h);
+  const std::vector<Bus> load_choices = {ext_b, ext_h, rdata};
+  out.load_value = b.mux_tree(wb.wb_size, load_choices);
+  return out;
+}
+
+}  // namespace sbst::plasma

@@ -1,0 +1,146 @@
+// Multiplier/Divider: 32-cycle sequential unit shared by MULT/MULTU (LSB-
+// first shift-add) and DIV/DIVU (MSB-first restoring division), Plasma
+// style. HI and LO live inside the unit (acc_hi/acc_lo); MTHI/MTLO write
+// them directly, MFHI/MFLO read them through the bus mux.
+//
+// Signed operands are rectified (absolute value) at issue and the result
+// is sign-corrected on the last iteration:
+//   mult: negate the 64-bit product when sign(a) != sign(b)
+//   div:  negate quotient when sign(a) != sign(b); remainder takes
+//         sign(a)  — divide-by-zero yields q = ~0, r = |a| before the
+//         sign fix (see iss::divu_model, kept deliberately identical).
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+namespace {
+
+/// 6-bit decrementer (borrow chain).
+Bus decrement(Builder& b, const Bus& a) {
+  Bus r(a.size());
+  GateId borrow = b.lit(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    r[i] = b.xor_(a[i], borrow);
+    if (i + 1 < a.size()) borrow = b.and_(b.not_(a[i]), borrow);
+  }
+  return r;
+}
+
+}  // namespace
+
+MulDivState build_muldiv_state(Builder& b) {
+  MulDivState st;
+  st.acc_hi = b.reg(32, 0);
+  st.acc_lo = b.reg(32, 0);
+  st.op_b = b.reg(32, 0);
+  st.counter = b.reg(6, 0);
+  st.mode_div = b.reg(1, 0)[0];
+  st.sign_q = b.reg(1, 0)[0];
+  st.sign_r = b.reg(1, 0)[0];
+  return st;
+}
+
+GateId muldiv_busy(Builder& b, const MulDivState& st) {
+  return b.reduce_or(st.counter);
+}
+
+MulDivOutputs build_muldiv(Builder& b, MulDivState& st, const Bus& rs_val,
+                           const Bus& rt_val, const MulDivControl& ctl,
+                           GateId busy) {
+  const GateId start = b.or_(ctl.start_mult, ctl.start_div);
+
+  // --- issue: operand rectification and sign bookkeeping -----------------
+  const GateId neg_a = b.and_(ctl.is_signed, rs_val.back());
+  const GateId neg_b = b.and_(ctl.is_signed, rt_val.back());
+  const Bus abs_a = b.mux_bus(neg_a, rs_val, b.negate(rs_val));
+  const Bus abs_b = b.mux_bus(neg_b, rt_val, b.negate(rt_val));
+  const GateId new_sign_q = b.xor_(neg_a, neg_b);
+  const GateId new_sign_r = neg_a;
+
+  // --- one iteration of the shared 33-bit add/sub datapath ----------------
+  const Bus op_b_ext = b.zero_extend(st.op_b, 33);
+  // mult: x = 0:acc_hi, y = acc_lo[0] ? op_b : 0, add.
+  const Bus x_mult = b.zero_extend(st.acc_hi, 33);
+  const Bus y_mult = b.mask_bus(op_b_ext, st.acc_lo[0]);
+  // div: x = (acc_hi << 1) | acc_lo[31]  (33 bits), y = op_b, subtract.
+  Bus x_div;
+  x_div.push_back(st.acc_lo[31]);
+  x_div.insert(x_div.end(), st.acc_hi.begin(), st.acc_hi.end());
+  const Bus x = b.mux_bus(st.mode_div, x_mult, x_div);
+  Bus y = b.mux_bus(st.mode_div, y_mult, op_b_ext);
+  for (GateId& bit : y) bit = b.xor_(bit, st.mode_div);  // invert for sub
+  const Builder::AddResult sum = b.add(x, y, st.mode_div);
+
+  // mult step: {sum33, acc_lo} >> 1.
+  Bus mult_hi = Builder::slice(sum.sum, 1, 32);
+  Bus mult_lo(32);
+  for (int i = 0; i < 31; ++i) {
+    mult_lo[static_cast<std::size_t>(i)] =
+        st.acc_lo[static_cast<std::size_t>(i + 1)];
+  }
+  mult_lo[31] = sum.sum[0];
+
+  // div step: keep difference when no borrow; shift quotient bit in.
+  const GateId ge = sum.carry_out;  // x >= op_b
+  const Bus div_hi =
+      b.mux_bus(ge, Builder::slice(x, 0, 32), Builder::slice(sum.sum, 0, 32));
+  Bus div_lo(32);
+  div_lo[0] = ge;
+  for (int i = 1; i < 32; ++i) {
+    div_lo[static_cast<std::size_t>(i)] =
+        st.acc_lo[static_cast<std::size_t>(i - 1)];
+  }
+
+  const Bus step_hi = b.mux_bus(st.mode_div, mult_hi, div_hi);
+  const Bus step_lo = b.mux_bus(st.mode_div, mult_lo, div_lo);
+
+  // --- last-iteration sign fix ---------------------------------------------
+  const GateId last = b.eq(st.counter, b.constant(1, 6));
+  // mult: conditional 64-bit negation of {hi,lo}.
+  const Bus prod = Builder::cat(step_lo, step_hi);
+  const Bus prod_neg = b.negate(prod);
+  const Bus mult_fix_lo =
+      b.mux_bus(st.sign_q, step_lo, Builder::slice(prod_neg, 0, 32));
+  const Bus mult_fix_hi =
+      b.mux_bus(st.sign_q, step_hi, Builder::slice(prod_neg, 32, 32));
+  // div: independent 32-bit negations of quotient and remainder.
+  const Bus div_fix_lo = b.mux_bus(st.sign_q, step_lo, b.negate(step_lo));
+  const Bus div_fix_hi = b.mux_bus(st.sign_r, step_hi, b.negate(step_hi));
+  const Bus fix_hi = b.mux_bus(st.mode_div, mult_fix_hi, div_fix_hi);
+  const Bus fix_lo = b.mux_bus(st.mode_div, mult_fix_lo, div_fix_lo);
+  const Bus iter_hi = b.mux_bus(last, step_hi, fix_hi);
+  const Bus iter_lo = b.mux_bus(last, step_lo, fix_lo);
+
+  // --- register next-state selection ------------------------------------------
+  Bus next_hi = b.mux_bus(busy, st.acc_hi, iter_hi);
+  next_hi = b.mux_bus(ctl.mthi, next_hi, rs_val);
+  next_hi = b.mux_bus(start, next_hi, b.constant(0, 32));
+  b.connect_reg(st.acc_hi, next_hi);
+
+  Bus next_lo = b.mux_bus(busy, st.acc_lo, iter_lo);
+  next_lo = b.mux_bus(ctl.mtlo, next_lo, rs_val);
+  next_lo = b.mux_bus(start, next_lo, abs_a);
+  b.connect_reg(st.acc_lo, next_lo);
+
+  const Bus next_b = b.mux_bus(start, st.op_b, abs_b);
+  b.connect_reg(st.op_b, next_b);
+
+  Bus next_cnt = b.mux_bus(busy, st.counter, decrement(b, st.counter));
+  next_cnt = b.mux_bus(start, next_cnt, b.constant(32, 6));
+  b.connect_reg(st.counter, next_cnt);
+
+  b.netlist().set_gate_input(st.mode_div, 0,
+                             b.mux(start, st.mode_div, ctl.start_div));
+  b.netlist().set_gate_input(st.sign_q, 0,
+                             b.mux(start, st.sign_q, new_sign_q));
+  b.netlist().set_gate_input(st.sign_r, 0,
+                             b.mux(start, st.sign_r, new_sign_r));
+
+  MulDivOutputs out;
+  out.hi = st.acc_hi;
+  out.lo = st.acc_lo;
+  out.busy = busy;
+  return out;
+}
+
+}  // namespace sbst::plasma

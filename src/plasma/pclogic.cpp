@@ -1,0 +1,35 @@
+// Program counter logic: PC register, +4 incrementer, branch-target
+// adder, jump-target assembly and the next-PC priority mux.
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+PcOutputs build_pclogic(Builder& b, const Bus& imm16, const Bus& target26,
+                        const Bus& rs_val, const PcControl& ctl) {
+  PcOutputs out;
+  out.pc = b.reg(32, 0);  // reset vector 0x00000000
+
+  // PC + 4: increment the word part, keep the (always zero) byte offset.
+  const Bus pc_word = Builder::slice(out.pc, 2, 30);
+  out.pc_plus4 = Builder::cat(Builder::slice(out.pc, 0, 2), b.inc(pc_word));
+
+  // Branch target = PC + (sign-extended offset << 2).
+  const Bus off_word = b.sign_extend(imm16, 30);
+  const Bus br_word = b.add(pc_word, off_word).sum;
+  const Bus branch_target =
+      Builder::cat(Builder::slice(out.pc, 0, 2), br_word);
+
+  // Jump target = PC[31:28] : target26 : 00.
+  const Bus jump_target = Builder::cat(
+      Builder::cat(b.constant(0, 2), target26), Builder::slice(out.pc, 28, 4));
+
+  Bus next = out.pc_plus4;
+  next = b.mux_bus(ctl.jump_imm, next, jump_target);
+  next = b.mux_bus(ctl.jump_reg, next, rs_val);
+  next = b.mux_bus(ctl.branch_taken, next, branch_target);
+  next = b.mux_bus(ctl.hold, next, out.pc);
+  b.connect_reg(out.pc, next);
+  return out;
+}
+
+}  // namespace sbst::plasma

@@ -1,0 +1,45 @@
+// Pipeline component (the paper's "hidden" class): the registers that
+// implement the 3-stage flow — fetch bubble tracking, the saved
+// instruction register used while the mul/div pause holds an instruction
+// in EX, and the load write-back bookkeeping registers.
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+PipelineState build_pipeline_front(Builder& b, const Bus& rdata) {
+  PipelineState pl;
+  // Reset value 1: the cycle right after reset has no instruction fetched
+  // yet, so it executes as a bubble.
+  pl.mem_cycle = b.reg(1, 1)[0];
+  pl.use_saved = b.reg(1, 0)[0];
+  pl.ir_saved = b.reg(32, 0);
+  pl.wb.wb_en = b.reg(1, 0)[0];
+  pl.wb.wb_dest = b.reg(5, 0);
+  pl.wb.wb_size = b.reg(2, 0);
+  pl.wb.wb_signed = b.reg(1, 0)[0];
+  pl.wb.wb_addr_lo = b.reg(2, 0);
+
+  const Bus instr_raw = b.mux_bus(pl.use_saved, rdata, pl.ir_saved);
+  pl.valid = b.not_(pl.mem_cycle);
+  // Masking with valid turns the word into all-zeroes == sll $0,$0,0,
+  // the architectural NOP: bubbles need no dedicated decode path.
+  pl.instr = b.mask_bus(instr_raw, pl.valid);
+
+  // The saved IR shadows the live instruction every cycle; use_saved
+  // decides whether it is consumed.
+  b.connect_reg(pl.ir_saved, instr_raw);
+  return pl;
+}
+
+void connect_pipeline_back(Builder& b, PipelineState& pl,
+                           const ControlSignals& ctl, const Bus& data_addr) {
+  b.netlist().set_gate_input(pl.mem_cycle, 0, ctl.mem_access);
+  b.netlist().set_gate_input(pl.use_saved, 0, ctl.pause);
+  b.netlist().set_gate_input(pl.wb.wb_en, 0, ctl.mem.is_load);
+  b.connect_reg(pl.wb.wb_dest, Builder::slice(pl.instr, 16, 5));  // rt
+  b.connect_reg(pl.wb.wb_size, ctl.mem.size);
+  b.netlist().set_gate_input(pl.wb.wb_signed, 0, ctl.load_signed);
+  b.connect_reg(pl.wb.wb_addr_lo, Builder::slice(data_addr, 0, 2));
+}
+
+}  // namespace sbst::plasma

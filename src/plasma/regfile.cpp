@@ -1,0 +1,37 @@
+// Register file: 31 x 32 DFF array with write decoder and two read-mux
+// trees (the read ports are instantiated by calling build_regfile_read
+// twice). This is the processor's largest component, matching the paper's
+// Table 3 where RegF dominates the gate count.
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+RegFileStorage build_regfile_storage(Builder& b) {
+  RegFileStorage rf;
+  rf.regs.reserve(31);
+  for (int i = 1; i <= 31; ++i) {
+    rf.regs.push_back(b.reg(32, 0));
+  }
+  return rf;
+}
+
+Bus build_regfile_read(Builder& b, const RegFileStorage& rf,
+                       const Bus& addr5) {
+  std::vector<Bus> choices;
+  choices.reserve(32);
+  choices.push_back(b.constant(0, 32));  // $0
+  for (const Bus& r : rf.regs) choices.push_back(r);
+  return b.mux_tree(addr5, choices);
+}
+
+void connect_regfile_write(Builder& b, RegFileStorage& rf, const Bus& dest5,
+                           const Bus& wdata, GateId wen) {
+  const Bus we = b.decoder(dest5, wen);  // we[0] targets $0: ignored
+  for (int i = 1; i <= 31; ++i) {
+    Bus& q = rf.regs[static_cast<std::size_t>(i - 1)];
+    const Bus d = b.mux_bus(we[static_cast<std::size_t>(i)], q, wdata);
+    b.connect_reg(q, d);
+  }
+}
+
+}  // namespace sbst::plasma

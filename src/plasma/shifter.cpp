@@ -1,0 +1,19 @@
+// Barrel shifter: a single logarithmic right shifter serves sll/srl/sra;
+// left shifts reverse the operand in and out (pure wiring), the standard
+// unidirectional-barrel-shifter trick.
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+Bus build_shifter(Builder& b, const Bus& value, const Bus& shamt_field,
+                  const Bus& rs_low5, const ShifterControl& ctl) {
+  const Bus amount = b.mux_bus(ctl.variable, shamt_field, rs_low5);
+  // Fill bit: sign for sra, zero otherwise. (For left shifts the operand
+  // is reversed, so the fill enters at what will become the LSB side.)
+  const GateId fill = b.and3(ctl.right, ctl.arith, value.back());
+  const Bus in = b.mux_bus(ctl.right, Builder::reverse(value), value);
+  const Bus shifted = b.shift_right_var(in, amount, fill);
+  return b.mux_bus(ctl.right, Builder::reverse(shifted), shifted);
+}
+
+}  // namespace sbst::plasma

@@ -1,0 +1,102 @@
+#include "plasma/standalone.h"
+
+#include "plasma/components.h"
+
+namespace sbst::plasma {
+
+nl::Netlist standalone_alu() {
+  nl::Netlist netlist;
+  Builder b(netlist);
+  const Bus a = b.input("a", 32);
+  const Bus bb = b.input("b", 32);
+  AluControl ctl;
+  ctl.sub = b.input("sub", 1)[0];
+  ctl.slt_signed = b.input("slt_signed", 1)[0];
+  ctl.logic_sel = b.input("logic_sel", 2);
+  ctl.result_sel = b.input("result_sel", 2);
+  const AluOutputs out = build_alu(b, a, bb, ctl);
+  b.output("result", out.result);
+  netlist.check();
+  return netlist;
+}
+
+nl::Netlist standalone_shifter() {
+  nl::Netlist netlist;
+  Builder b(netlist);
+  const Bus value = b.input("value", 32);
+  const Bus shamt = b.input("shamt", 5);
+  const Bus rs_low = b.input("rs_low", 5);
+  ShifterControl ctl;
+  ctl.right = b.input("right", 1)[0];
+  ctl.arith = b.input("arith", 1)[0];
+  ctl.variable = b.input("variable", 1)[0];
+  b.output("result", build_shifter(b, value, shamt, rs_low, ctl));
+  netlist.check();
+  return netlist;
+}
+
+nl::Netlist standalone_regfile() {
+  nl::Netlist netlist;
+  Builder b(netlist);
+  const Bus raddr1 = b.input("raddr1", 5);
+  const Bus raddr2 = b.input("raddr2", 5);
+  const Bus waddr = b.input("waddr", 5);
+  const Bus wdata = b.input("wdata", 32);
+  const GateId wen = b.input("wen", 1)[0];
+  RegFileStorage rf = build_regfile_storage(b);
+  b.output("rdata1", build_regfile_read(b, rf, raddr1));
+  b.output("rdata2", build_regfile_read(b, rf, raddr2));
+  connect_regfile_write(b, rf, waddr, wdata, wen);
+  netlist.check();
+  return netlist;
+}
+
+nl::Netlist standalone_muldiv() {
+  nl::Netlist netlist;
+  Builder b(netlist);
+  const Bus rs = b.input("rs", 32);
+  const Bus rt = b.input("rt", 32);
+  MulDivControl ctl;
+  ctl.start_mult = b.input("start_mult", 1)[0];
+  ctl.start_div = b.input("start_div", 1)[0];
+  ctl.is_signed = b.input("is_signed", 1)[0];
+  ctl.mthi = b.input("mthi", 1)[0];
+  ctl.mtlo = b.input("mtlo", 1)[0];
+  MulDivState st = build_muldiv_state(b);
+  const GateId busy = muldiv_busy(b, st);
+  const MulDivOutputs out = build_muldiv(b, st, rs, rt, ctl, busy);
+  b.output("hi", out.hi);
+  b.output("lo", out.lo);
+  b.output("busy", {out.busy});
+  netlist.check();
+  return netlist;
+}
+
+nl::Netlist standalone_memctrl() {
+  nl::Netlist netlist;
+  Builder b(netlist);
+  const Bus pc = b.input("pc", 32);
+  const Bus data_addr = b.input("data_addr", 32);
+  const Bus rt = b.input("rt", 32);
+  const Bus rdata = b.input("rdata", 32);
+  MemControl ctl;
+  ctl.is_load = b.input("is_load", 1)[0];
+  ctl.is_store = b.input("is_store", 1)[0];
+  ctl.size = b.input("size", 2);
+  MemWbState wb;
+  wb.wb_en = b.input("wb_en", 1)[0];
+  wb.wb_dest = b.input("wb_dest", 5);
+  wb.wb_size = b.input("wb_size", 2);
+  wb.wb_signed = b.input("wb_signed", 1)[0];
+  wb.wb_addr_lo = b.input("wb_addr_lo", 2);
+  const MemOutputs out = build_memctrl(b, pc, data_addr, rt, rdata, ctl, wb);
+  b.output("addr", out.addr);
+  b.output("wdata", out.wdata);
+  b.output("byte_we", out.byte_we);
+  b.output("rd_en", {out.rd_en});
+  b.output("load_value", out.load_value);
+  netlist.check();
+  return netlist;
+}
+
+}  // namespace sbst::plasma

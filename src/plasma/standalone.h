@@ -1,0 +1,37 @@
+// Standalone (component-level) netlists for the Plasma RT components.
+//
+// The paper's test development (Figure 4) happens per component: a test
+// set is graded against the component netlist in isolation before being
+// wrapped into a self-test routine. These harnesses expose each
+// component's inputs/outputs as ports so the vector-driven fault grader
+// (fault/comb_faultsim.h) can drive them directly.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sbst::plasma {
+
+/// ALU. Inputs: "a"[32], "b"[32], "sub", "slt_signed", "logic_sel"[2],
+/// "result_sel"[2]. Output: "result"[32].
+nl::Netlist standalone_alu();
+
+/// Barrel shifter. Inputs: "value"[32], "shamt"[5], "rs_low"[5], "right",
+/// "arith", "variable". Output: "result"[32].
+nl::Netlist standalone_shifter();
+
+/// Register file. Inputs: "raddr1"[5], "raddr2"[5], "waddr"[5],
+/// "wdata"[32], "wen". Outputs: "rdata1"[32], "rdata2"[32].
+nl::Netlist standalone_regfile();
+
+/// Sequential mul/div unit. Inputs: "rs"[32], "rt"[32], "start_mult",
+/// "start_div", "is_signed", "mthi", "mtlo". Outputs: "hi"[32], "lo"[32],
+/// "busy".
+nl::Netlist standalone_muldiv();
+
+/// Memory controller. Inputs: "pc"[32], "data_addr"[32], "rt"[32],
+/// "rdata"[32], "is_load", "is_store", "size"[2], "wb_en", "wb_dest"[5],
+/// "wb_size"[2], "wb_signed", "wb_addr_lo"[2]. Outputs: "addr"[32],
+/// "wdata"[32], "byte_we"[4], "rd_en", "load_value"[32].
+nl::Netlist standalone_memctrl();
+
+}  // namespace sbst::plasma

@@ -1,0 +1,65 @@
+#include "sim/logicsim.h"
+
+namespace sbst::sim {
+
+LogicSim::LogicSim(const nl::Netlist& netlist)
+    : nl_(&netlist), lv_(nl::levelize(netlist)), val_(netlist.size(), 0) {
+  reset();
+}
+
+void LogicSim::reset() {
+  for (nl::GateId g = 0; g < nl_->size(); ++g) {
+    const nl::Gate& gate = nl_->gate(g);
+    switch (gate.kind) {
+      case nl::GateKind::kConst0: val_[g] = 0; break;
+      case nl::GateKind::kConst1: val_[g] = kAllOnes; break;
+      case nl::GateKind::kInput:  val_[g] = 0; break;
+      case nl::GateKind::kDff:    val_[g] = broadcast(gate.reset_val); break;
+      default: break;
+    }
+  }
+}
+
+void LogicSim::set_input(const nl::Port& port, std::uint64_t value) {
+  for (int i = 0; i < port.width(); ++i) {
+    val_[port.bits[static_cast<std::size_t>(i)]] =
+        broadcast((value >> i) & 1u);
+  }
+}
+
+void LogicSim::set_input_word(nl::GateId g, Word w) { val_[g] = w; }
+
+void LogicSim::eval() {
+  const nl::Netlist& netlist = *nl_;
+  Word* const v = val_.data();
+  for (nl::GateId g : lv_.comb_order) {
+    const nl::Gate& gate = netlist.gate(g);
+    v[g] = eval_gate(gate.kind, v[gate.in[0]],
+                     gate.in[1] == nl::kNoGate ? 0 : v[gate.in[1]],
+                     gate.in[2] == nl::kNoGate ? 0 : v[gate.in[2]]);
+  }
+}
+
+void LogicSim::step_clock() {
+  // Two-phase: sample all D inputs, then update, so DFF->DFF paths see
+  // pre-edge values.
+  thread_local std::vector<Word> next;
+  next.resize(lv_.dffs.size());
+  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
+    next[i] = val_[nl_->gate(lv_.dffs[i]).in[0]];
+  }
+  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
+    val_[lv_.dffs[i]] = next[i];
+  }
+}
+
+std::uint64_t LogicSim::read_output(const nl::Port& port, int machine) const {
+  std::uint64_t out = 0;
+  for (int i = 0; i < port.width(); ++i) {
+    const Word w = val_[port.bits[static_cast<std::size_t>(i)]];
+    out |= ((w >> machine) & 1u) << i;
+  }
+  return out;
+}
+
+}  // namespace sbst::sim

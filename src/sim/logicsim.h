@@ -1,0 +1,83 @@
+// Levelized compiled-code 2-valued logic simulator.
+//
+// Each net carries a 64-bit word: the same evaluation kernel serves the
+// good-machine simulator (all bits broadcast) and the 64-way parallel
+// fault simulator (one machine per bit). Two-valued simulation is sound
+// for this project because every DFF elaborated by the DSL has a defined
+// reset value and designs are reset before use (enforced by
+// Netlist::check + the DSL, see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+
+namespace sbst::sim {
+
+using Word = std::uint64_t;
+inline constexpr Word kAllOnes = ~Word{0};
+
+/// Broadcasts a single logic bit into a simulation word.
+inline Word broadcast(bool b) { return b ? kAllOnes : Word{0}; }
+
+/// Evaluates one gate function over words.
+inline Word eval_gate(nl::GateKind k, Word a, Word b, Word c) {
+  using nl::GateKind;
+  switch (k) {
+    case GateKind::kBuf:   return a;
+    case GateKind::kNot:   return ~a;
+    case GateKind::kAnd2:  return a & b;
+    case GateKind::kOr2:   return a | b;
+    case GateKind::kNand2: return ~(a & b);
+    case GateKind::kNor2:  return ~(a | b);
+    case GateKind::kXor2:  return a ^ b;
+    case GateKind::kXnor2: return ~(a ^ b);
+    case GateKind::kMux2:  return (a & ~c) | (b & c);
+    default:               return 0;
+  }
+}
+
+/// Compiled simulator state for one netlist. Holds a precomputed
+/// levelization; construction is O(gates), evaluation is a flat sweep.
+class LogicSim {
+ public:
+  explicit LogicSim(const nl::Netlist& netlist);
+
+  const nl::Netlist& netlist() const { return *nl_; }
+  const nl::Levelization& levelization() const { return lv_; }
+
+  /// Loads DFF reset values and clears inputs.
+  void reset();
+
+  /// Drives an input port with a scalar value (broadcast to all machines),
+  /// bit i of `value` driving port bit i.
+  void set_input(const nl::Port& port, std::uint64_t value);
+  /// Drives one net (must be an INPUT gate) with a raw simulation word.
+  void set_input_word(nl::GateId g, Word w);
+
+  /// Propagates through the combinational logic.
+  void eval();
+
+  /// Clocks every DFF: state <- D. Call after eval().
+  void step_clock();
+
+  /// Raw word on a net (valid after eval()).
+  Word word(nl::GateId g) const { return val_[g]; }
+  /// Scalar value of an output port in machine `machine` (default: the
+  /// good machine convention used by the fault simulator is bit 63; for
+  /// pure logic simulation all bits agree).
+  std::uint64_t read_output(const nl::Port& port, int machine = 63) const;
+
+  /// Direct access for the fault simulator.
+  std::vector<Word>& values() { return val_; }
+  const std::vector<Word>& values() const { return val_; }
+
+ private:
+  const nl::Netlist* nl_;
+  nl::Levelization lv_;
+  std::vector<Word> val_;
+};
+
+}  // namespace sbst::sim

@@ -1,0 +1,63 @@
+#include "baseline/prand.h"
+
+#include <gtest/gtest.h>
+
+#include "iss/iss.h"
+
+namespace sbst::baseline {
+namespace {
+
+TEST(Lfsr, StepIsXorshift32) {
+  std::uint32_t x = 0xACE1ACE1u;
+  std::uint32_t y = x;
+  y ^= y << 13;
+  y ^= y >> 17;
+  y ^= y << 5;
+  EXPECT_EQ(lfsr_step(x), y);
+  // Non-zero seeds never reach zero.
+  x = 1;
+  for (int i = 0; i < 1000; ++i) {
+    x = lfsr_step(x);
+    ASSERT_NE(x, 0u);
+  }
+}
+
+TEST(Prand, ProgramHaltsAndScalesWithPatterns) {
+  PseudoRandomOptions small;
+  small.patterns = 8;
+  PseudoRandomOptions big;
+  big.patterns = 64;
+  const core::SelfTestProgram ps = build_pseudorandom_program(small);
+  const core::SelfTestProgram pb = build_pseudorandom_program(big);
+  EXPECT_TRUE(ps.halted);
+  EXPECT_TRUE(pb.halted);
+  // Program size is constant; execution time scales with pattern count.
+  EXPECT_EQ(ps.words, pb.words);
+  EXPECT_GT(pb.cycles, ps.cycles * 6);
+}
+
+TEST(Prand, GeneratedCodeTracksSoftwareLfsrModel) {
+  PseudoRandomOptions opt;
+  opt.patterns = 5;
+  opt.with_muldiv = false;
+  const core::SelfTestProgram p = build_pseudorandom_program(opt);
+  iss::Iss iss(p.image);
+  iss.run(100000);
+  // $8 holds generator A after `patterns` steps.
+  std::uint32_t x = opt.seed;
+  for (unsigned i = 0; i < opt.patterns; ++i) x = lfsr_step(x);
+  EXPECT_EQ(iss.reg(8), x);
+}
+
+TEST(Prand, MulDivPathToggles) {
+  PseudoRandomOptions with;
+  with.patterns = 16;
+  PseudoRandomOptions without = with;
+  without.with_muldiv = false;
+  const auto pw = build_pseudorandom_program(with);
+  const auto po = build_pseudorandom_program(without);
+  EXPECT_GT(pw.cycles, po.cycles);  // mult/div every 8th pattern
+}
+
+}  // namespace
+}  // namespace sbst::baseline

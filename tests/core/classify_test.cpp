@@ -1,0 +1,128 @@
+#include "core/classify.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::core {
+namespace {
+
+const plasma::PlasmaCpu& shared_cpu() {
+  static const auto* cpu = new plasma::PlasmaCpu(plasma::build_plasma_cpu());
+  return *cpu;
+}
+
+TEST(Classify, Table2Classes) {
+  const auto infos = classify_plasma(shared_cpu());
+  ASSERT_EQ(infos.size(), static_cast<std::size_t>(plasma::kNumPlasmaComponents));
+  auto cls_of = [&](const char* name) {
+    for (const auto& i : infos) {
+      if (i.name == name) return i.cls;
+    }
+    ADD_FAILURE() << "missing component " << name;
+    return ComponentClass::kGlue;
+  };
+  EXPECT_EQ(cls_of("RegF"), ComponentClass::kFunctional);
+  EXPECT_EQ(cls_of("MulD"), ComponentClass::kFunctional);
+  EXPECT_EQ(cls_of("ALU"), ComponentClass::kFunctional);
+  EXPECT_EQ(cls_of("BSH"), ComponentClass::kFunctional);
+  EXPECT_EQ(cls_of("MCTRL"), ComponentClass::kControl);
+  EXPECT_EQ(cls_of("PCL"), ComponentClass::kControl);
+  EXPECT_EQ(cls_of("CTRL"), ComponentClass::kControl);
+  EXPECT_EQ(cls_of("BMUX"), ComponentClass::kControl);
+  EXPECT_EQ(cls_of("PLN"), ComponentClass::kHidden);
+  EXPECT_EQ(cls_of("GL"), ComponentClass::kGlue);
+}
+
+TEST(Classify, SizesComeFromNetlist) {
+  const auto infos = classify_plasma(shared_cpu());
+  double regf = 0, muld = 0, total = 0;
+  for (const auto& i : infos) {
+    EXPECT_GE(i.nand2, 0.0);
+    total += i.nand2;
+    if (i.name == "RegF") regf = i.nand2;
+    if (i.name == "MulD") muld = i.nand2;
+  }
+  // Table 3 shape: the register file dominates, mul/div is second.
+  EXPECT_GT(regf, muld);
+  EXPECT_GT(regf, total * 0.3);
+  for (const auto& i : infos) {
+    if (i.name != "RegF" && i.name != "MulD") {
+      EXPECT_GT(muld, i.nand2);
+    }
+  }
+}
+
+TEST(Classify, PriorityOrderClassesThenSize) {
+  auto infos = classify_plasma(shared_cpu());
+  sort_by_test_priority(infos);
+  // All functional first, then control, then hidden, then glue.
+  int last_rank = -1;
+  auto rank = [](ComponentClass c) {
+    switch (c) {
+      case ComponentClass::kFunctional: return 0;
+      case ComponentClass::kControl: return 1;
+      case ComponentClass::kHidden: return 2;
+      case ComponentClass::kGlue: return 3;
+    }
+    return 3;
+  };
+  double last_size = 1e18;
+  for (const auto& i : infos) {
+    const int r = rank(i.cls);
+    if (r != last_rank) {
+      last_rank = r;
+      last_size = 1e18;
+    }
+    EXPECT_GE(last_rank, rank(i.cls));
+    EXPECT_LE(i.nand2, last_size) << i.name << " out of size order";
+    last_size = i.nand2;
+  }
+  EXPECT_EQ(infos.front().name, "RegF") << "largest functional first";
+}
+
+TEST(Classify, Table1AccessLevels) {
+  const auto table = class_priority_table();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].cls, ComponentClass::kFunctional);
+  EXPECT_EQ(table[0].controllability_observability, AccessLevel::kHigh);
+  EXPECT_EQ(table[0].test_priority, AccessLevel::kHigh);
+  EXPECT_EQ(table[1].cls, ComponentClass::kControl);
+  EXPECT_EQ(table[1].controllability_observability, AccessLevel::kMedium);
+  EXPECT_EQ(table[2].cls, ComponentClass::kHidden);
+  EXPECT_EQ(table[2].test_priority, AccessLevel::kLow);
+}
+
+TEST(Classify, AccessMetricsOrderedByClass) {
+  const auto infos = classify_plasma(shared_cpu());
+  // Functional components are reachable in at most 2 instructions; hidden
+  // take strictly longer than any functional component.
+  int max_func = 0, min_hidden = 1000;
+  for (const auto& i : infos) {
+    const int len = i.controllability_len + i.observability_len;
+    if (i.cls == ComponentClass::kFunctional) max_func = std::max(max_func, len);
+    if (i.cls == ComponentClass::kHidden) min_hidden = std::min(min_hidden, len);
+    EXPECT_GT(len, 0);
+  }
+  EXPECT_LT(max_func, min_hidden);
+}
+
+TEST(Classify, ComponentsOfClassFilterAndSort) {
+  const auto infos = classify_plasma(shared_cpu());
+  const auto funcs = components_of_class(infos, ComponentClass::kFunctional);
+  ASSERT_EQ(funcs.size(), 4u);
+  EXPECT_EQ(funcs[0].name, "RegF");
+  EXPECT_EQ(funcs[1].name, "MulD");
+  const auto hidden = components_of_class(infos, ComponentClass::kHidden);
+  ASSERT_EQ(hidden.size(), 1u);
+  EXPECT_EQ(hidden[0].name, "PLN");
+}
+
+TEST(Classify, NamesForEnums) {
+  EXPECT_EQ(component_class_name(ComponentClass::kFunctional), "Functional");
+  EXPECT_EQ(component_class_name(ComponentClass::kControl), "Control");
+  EXPECT_EQ(component_class_name(ComponentClass::kHidden), "Hidden");
+  EXPECT_EQ(access_level_name(AccessLevel::kHigh), "High");
+  EXPECT_EQ(access_level_name(AccessLevel::kLow), "Low");
+}
+
+}  // namespace
+}  // namespace sbst::core

@@ -1,0 +1,44 @@
+#include "core/costmodel.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::core {
+namespace {
+
+TEST(CostModel, BasicArithmetic) {
+  TestTimeParams p;
+  p.tester_mhz = 25;
+  p.cpu_mhz = 66;
+  const TestTime t = test_application_time(1000, 3300, 32, p);
+  EXPECT_DOUBLE_EQ(t.download_us, 1000.0 / 25.0);
+  EXPECT_DOUBLE_EQ(t.execute_us, 3300.0 / 66.0);
+  EXPECT_DOUBLE_EQ(t.upload_us, 32.0 / 25.0);
+  EXPECT_DOUBLE_EQ(t.total_us(), t.download_us + t.execute_us + t.upload_us);
+}
+
+// The paper's central cost argument: with a slow tester and a fast core,
+// download time dominates total test time for ~1K-word programs.
+TEST(CostModel, DownloadDominatesForPaperParameters) {
+  const TestTime t = test_application_time(1000, 3500, 32);
+  EXPECT_GT(t.download_fraction(), 0.4);
+  EXPECT_GT(t.download_us, t.execute_us);
+}
+
+TEST(CostModel, SlowerTesterIncreasesDownloadShare) {
+  TestTimeParams fast;
+  fast.tester_mhz = 50;
+  TestTimeParams slow;
+  slow.tester_mhz = 10;
+  const TestTime tf = test_application_time(1000, 3500, 0, fast);
+  const TestTime ts = test_application_time(1000, 3500, 0, slow);
+  EXPECT_GT(ts.download_fraction(), tf.download_fraction());
+}
+
+TEST(CostModel, ZeroWork) {
+  const TestTime t = test_application_time(0, 0, 0);
+  EXPECT_DOUBLE_EQ(t.total_us(), 0.0);
+  EXPECT_DOUBLE_EQ(t.download_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace sbst::core

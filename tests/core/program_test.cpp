@@ -1,0 +1,124 @@
+#include "core/program.h"
+
+#include <gtest/gtest.h>
+
+#include "core/routines.h"
+#include "iss/iss.h"
+#include "plasma/cpu.h"
+
+namespace sbst::core {
+namespace {
+
+const std::vector<ComponentInfo>& shared_classified() {
+  static const auto* v = [] {
+    static const plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+    return new std::vector<ComponentInfo>(classify_plasma(cpu));
+  }();
+  return *v;
+}
+
+TEST(Routines, EveryRoutineAssemblesStandalone) {
+  for (plasma::PlasmaComponent c :
+       {plasma::PlasmaComponent::kRegF, plasma::PlasmaComponent::kMulD,
+        plasma::PlasmaComponent::kAlu, plasma::PlasmaComponent::kBsh,
+        plasma::PlasmaComponent::kMctrl, plasma::PlasmaComponent::kPcl}) {
+    const RoutineSpec spec = routine_for(c, 0x3000);
+    SelfTestProgramBuilder b;
+    b.add_routine(spec);
+    const SelfTestProgram p = b.build(spec.name);
+    EXPECT_TRUE(p.halted) << spec.name;
+    EXPECT_GT(p.words, 0u);
+    EXPECT_GT(p.cycles, 0u);
+  }
+}
+
+TEST(Routines, NoLibraryRoutineForHiddenComponents) {
+  EXPECT_THROW(routine_for(plasma::PlasmaComponent::kPln, 0x3000),
+               std::invalid_argument);
+  EXPECT_THROW(routine_for(plasma::PlasmaComponent::kGl, 0x3000),
+               std::invalid_argument);
+}
+
+TEST(Routines, RoutinesStoreResults) {
+  // Observability: every routine must issue stores (responses must reach
+  // the memory bus).
+  for (plasma::PlasmaComponent c :
+       {plasma::PlasmaComponent::kRegF, plasma::PlasmaComponent::kMulD,
+        plasma::PlasmaComponent::kAlu, plasma::PlasmaComponent::kBsh}) {
+    const RoutineSpec spec = routine_for(c, 0x3000);
+    SelfTestProgramBuilder b;
+    b.add_routine(spec);
+    const SelfTestProgram p = b.build(spec.name);
+    iss::Iss iss(p.image);
+    iss.run(100000);
+    EXPECT_GT(iss.writes().size(), 4u) << spec.name;
+  }
+}
+
+TEST(Program, PhaseAHasFunctionalRoutinesInPriorityOrder) {
+  const SelfTestProgram p = build_phase_a(shared_classified());
+  ASSERT_EQ(p.routines.size(), 4u);
+  EXPECT_EQ(p.routines[0], "regf");   // largest first
+  EXPECT_EQ(p.routines[1], "muld");   // second largest
+  EXPECT_TRUE(p.halted);
+}
+
+TEST(Program, PhaseAbAppendsMemController) {
+  const SelfTestProgram p = build_phase_ab(shared_classified());
+  ASSERT_EQ(p.routines.size(), 5u);
+  EXPECT_EQ(p.routines.back(), "mctrl");
+}
+
+TEST(Program, PhaseAbcAppendsControlFlow) {
+  const SelfTestProgram p = build_phase_abc(shared_classified());
+  ASSERT_EQ(p.routines.size(), 6u);
+  EXPECT_EQ(p.routines.back(), "cflow");
+}
+
+// Table 4 shape: roughly 1K-word programs executing in a few thousand
+// cycles, with Phase B adding a modest increment.
+TEST(Program, Table4Statistics) {
+  const SelfTestProgram a = build_phase_a(shared_classified());
+  const SelfTestProgram ab = build_phase_ab(shared_classified());
+  EXPECT_GT(a.words, 300u);
+  EXPECT_LT(a.words, 2000u);
+  EXPECT_GT(a.cycles, 1500u);
+  EXPECT_LT(a.cycles, 8000u);
+  EXPECT_GT(ab.words, a.words);
+  EXPECT_GT(ab.cycles, a.cycles);
+  EXPECT_LT(ab.words - a.words, 300u) << "Phase B increment stays small";
+}
+
+TEST(Program, SourceListingContainsRoutineMarkers) {
+  const SelfTestProgram p = build_phase_ab(shared_classified());
+  for (const std::string& r : p.routines) {
+    EXPECT_NE(p.source.find("routine: " + r), std::string::npos);
+  }
+  EXPECT_NE(p.source.find("halt"), std::string::npos);
+}
+
+TEST(Program, DataTablesPlacedAfterHalt) {
+  // Execution must never fall through into .word tables: the ISS run
+  // (build() asserts halt) plus instruction count < words proves tables
+  // exist past the executed region.
+  const SelfTestProgram p = build_phase_a(shared_classified());
+  EXPECT_LT(p.instructions, 4000u);
+  EXPECT_NE(p.source.find("Lalu_tab"), std::string::npos);
+  EXPECT_NE(p.source.find("Lmd_tab"), std::string::npos);
+}
+
+TEST(Program, ResultBuffersDoNotOverlapCode) {
+  const SelfTestProgram p = build_phase_abc(shared_classified());
+  EXPECT_LT(p.words * 4, kResultBufferBase)
+      << "code+data must stay below the result buffers";
+}
+
+TEST(ProgramBuilder, RejectsNonHaltingProgram) {
+  SelfTestProgramBuilder b;
+  b.add_routine(RoutineSpec{"spin", plasma::PlasmaComponent::kAlu,
+                            "spin: b spin\nnop\n", ""});
+  EXPECT_THROW(b.build("bad"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sbst::core

@@ -1,0 +1,79 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sbst::core {
+namespace {
+
+const plasma::PlasmaCpu& shared_cpu() {
+  static const auto* cpu = new plasma::PlasmaCpu(plasma::build_plasma_cpu());
+  return *cpu;
+}
+
+// Build a synthetic result marking an arbitrary prefix of faults detected,
+// then validate the MOFC arithmetic.
+TEST(Report, MofcMath) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 0);
+  res.simulated.assign(faults.size(), 1);
+  res.detect_cycle.assign(faults.size(), -1);
+  for (std::size_t i = 0; i < faults.size(); i += 2) res.detected[i] = 1;
+
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  ASSERT_EQ(rep.rows.size(), static_cast<std::size_t>(plasma::kNumPlasmaComponents));
+
+  double mofc_sum = 0.0;
+  std::size_t total = 0, detected = 0;
+  for (const auto& row : rep.rows) {
+    mofc_sum += row.mofc;
+    total += row.coverage.total;
+    detected += row.coverage.detected;
+    EXPECT_GE(row.mofc, 0.0);
+  }
+  // Components partition all tagged faults; untagged faults are the rest.
+  EXPECT_LE(total, rep.overall.total);
+  EXPECT_LE(detected, rep.overall.detected);
+  // Sum of MOFC over all rows == 100% - overall FC (when every fault is
+  // inside some component).
+  const double missed = 100.0 - rep.overall.percent();
+  EXPECT_NEAR(mofc_sum, missed, 1.0);
+}
+
+TEST(Report, AllDetectedMeansZeroMofc) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 1);
+  res.simulated.assign(faults.size(), 1);
+  res.detect_cycle.assign(faults.size(), 0);
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  EXPECT_DOUBLE_EQ(rep.overall.percent(), 100.0);
+  for (const auto& row : rep.rows) {
+    EXPECT_DOUBLE_EQ(row.mofc, 0.0);
+    EXPECT_DOUBLE_EQ(row.coverage.percent(), 100.0);
+  }
+}
+
+TEST(Report, PrintsTableWithAllComponents) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 1);
+  res.simulated.assign(faults.size(), 1);
+  res.detect_cycle.assign(faults.size(), 0);
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  std::ostringstream os;
+  print_coverage_table(os, rep, &rep);
+  const std::string text = os.str();
+  for (const char* name : {"RegF", "MulD", "ALU", "BSH", "MCTRL", "PCL",
+                           "CTRL", "BMUX", "PLN", "Processor overall"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sbst::core

@@ -1,0 +1,175 @@
+// Validates the deterministic component test-set library at the component
+// level, mirroring the paper's per-component test development (Figure 4):
+// each library set must reach high structural stuck-at coverage on the
+// standalone component netlist before it is wrapped into a routine.
+#include "core/testlib.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/comb_faultsim.h"
+#include "plasma/standalone.h"
+
+namespace sbst::core {
+namespace {
+
+using fault::Coverage;
+using fault::PortValue;
+using fault::TestVector;
+using fault::VectorSet;
+
+TEST(TestLib, AluPairsCoverAluNetlist) {
+  const nl::Netlist n = plasma::standalone_alu();
+  VectorSet vs;
+  auto apply = [&vs](std::uint32_t a, std::uint32_t b, unsigned result_sel,
+                     unsigned logic_sel, bool sub, bool slt_signed) {
+    vs.push_back(TestVector{{"a", a},
+                            {"b", b},
+                            {"result_sel", result_sel},
+                            {"logic_sel", logic_sel},
+                            {"sub", sub ? 1u : 0u},
+                            {"slt_signed", slt_signed ? 1u : 0u}});
+  };
+  for (const OperandPair& p : alu_test_pairs()) {
+    apply(p.a, p.b, 0, 0, false, false);  // add
+    apply(p.a, p.b, 0, 0, true, false);   // sub
+    apply(p.a, p.b, 1, 0, false, false);  // and
+    apply(p.a, p.b, 1, 1, false, false);  // or
+    apply(p.a, p.b, 1, 2, false, false);  // xor
+    apply(p.a, p.b, 1, 3, false, false);  // nor
+    apply(p.a, p.b, 2, 0, true, true);    // slt
+    apply(p.a, p.b, 2, 0, true, false);   // sltu
+  }
+  const Coverage cov = fault::grade_vectors_coverage(n, vs);
+  EXPECT_GE(cov.percent(), 99.0)
+      << "library ALU set must nearly fully cover the ALU ("
+      << cov.detected << "/" << cov.total << ")";
+}
+
+TEST(TestLib, ShifterSetCoversShifterNetlist) {
+  const nl::Netlist n = plasma::standalone_shifter();
+  VectorSet vs;
+  auto apply = [&vs](std::uint32_t v, unsigned amt, bool right, bool arith) {
+    vs.push_back(TestVector{{"value", v},
+                            {"shamt", amt},
+                            {"rs_low", amt},
+                            {"right", right ? 1u : 0u},
+                            {"arith", arith ? 1u : 0u},
+                            {"variable", amt & 1u}});  // alternate source
+  };
+  for (std::uint32_t bg : shifter_backgrounds()) {
+    for (unsigned amt = 0; amt < 32; ++amt) {
+      apply(bg, amt, false, false);
+      apply(bg, amt, true, false);
+      apply(bg, amt, true, true);
+    }
+  }
+  for (const ShifterStagePattern& sp : shifter_stage_patterns()) {
+    apply(sp.pattern, static_cast<unsigned>(sp.amount), true, false);
+    apply(sp.pattern, static_cast<unsigned>(sp.amount), false, false);
+    apply(sp.pattern, 0, true, false);
+  }
+  const Coverage cov = fault::grade_vectors_coverage(n, vs);
+  EXPECT_GE(cov.percent(), 99.0) << cov.detected << "/" << cov.total;
+}
+
+TEST(TestLib, MulDivPairsCoverMulDivUnit) {
+  const nl::Netlist n = plasma::standalone_muldiv();
+  const nl::FaultList faults = nl::enumerate_faults(n);
+  VectorSet vs;
+  auto idle = []() {
+    return TestVector{{"start_mult", 0}, {"start_div", 0}, {"is_signed", 0},
+                      {"mthi", 0},       {"mtlo", 0}};
+  };
+  auto run_op = [&](const char* start, bool sign, std::uint32_t a,
+                    std::uint32_t b) {
+    TestVector t = idle();
+    t.push_back({"rs", a});
+    t.push_back({"rt", b});
+    for (PortValue& pv : t) {
+      if (pv.port == start) pv.value = 1;
+      if (pv.port == "is_signed") pv.value = sign ? 1 : 0;
+    }
+    vs.push_back(t);
+    for (int i = 0; i < 33; ++i) vs.push_back(idle());
+  };
+  for (const OperandPair& p : muldiv_test_pairs()) {
+    run_op("start_mult", false, p.a, p.b);
+    run_op("start_mult", true, p.a, p.b);
+    run_op("start_div", false, p.a, p.b);
+    run_op("start_div", true, p.a, p.b);
+  }
+  {
+    TestVector t = idle();
+    t.push_back({"rs", 0x0F0F0F0F});
+    for (PortValue& pv : t) {
+      if (pv.port == "mthi") pv.value = 1;
+    }
+    vs.push_back(t);
+    t = idle();
+    t.push_back({"rs", 0xF0C33C0F});
+    for (PortValue& pv : t) {
+      if (pv.port == "mtlo") pv.value = 1;
+    }
+    vs.push_back(t);
+    vs.push_back(idle());
+  }
+  const auto res = fault::grade_vectors(n, faults, vs);
+  const Coverage cov = fault::overall_coverage(faults, res);
+  EXPECT_GE(cov.percent(), 90.0) << cov.detected << "/" << cov.total;
+}
+
+TEST(TestLib, RegfileAddressPatternsDistinct) {
+  for (int i = 1; i <= 31; ++i) {
+    for (int j = i + 1; j <= 31; ++j) {
+      EXPECT_NE(regfile_address_pattern(i), regfile_address_pattern(j));
+    }
+    EXPECT_LE(regfile_address_pattern(i), 0x7FFF) << "must fit ori imm";
+  }
+}
+
+TEST(TestLib, RegfileBackgroundsComplementary) {
+  const auto bgs = regfile_backgrounds();
+  ASSERT_EQ(bgs.size(), 2u);
+  EXPECT_EQ(bgs[0] ^ bgs[1], 0xFFFFFFFFu);
+}
+
+TEST(TestLib, AluLogicBackgroundsMintermComplete) {
+  // Over the four logic pairs, every bit position must see all four
+  // (a,b) combinations — that is what makes the bitwise unit's per-bit
+  // truth table exhaustive.
+  const auto pairs = alu_test_pairs();
+  for (int bit = 0; bit < 32; ++bit) {
+    unsigned seen = 0;
+    for (const OperandPair& p : pairs) {
+      seen |= 1u << (((p.a >> bit) & 1u) * 2u + ((p.b >> bit) & 1u));
+    }
+    EXPECT_EQ(seen, 0xFu) << "bit " << bit;
+  }
+}
+
+TEST(TestLib, ShifterStagePatternsHavePeriodProperty) {
+  for (const ShifterStagePattern& sp : shifter_stage_patterns()) {
+    const int dist = 1 << sp.stage;
+    EXPECT_EQ(sp.amount, dist);
+    for (int i = 0; i + dist < 32; ++i) {
+      EXPECT_NE((sp.pattern >> i) & 1u, (sp.pattern >> (i + dist)) & 1u)
+          << "stage " << sp.stage << " bit " << i;
+    }
+  }
+}
+
+TEST(TestLib, MulDivPairsIncludeCorners) {
+  const auto pairs = muldiv_test_pairs();
+  bool has_zero_divisor = false, has_int_min = false, has_all_ones = false;
+  for (const OperandPair& p : pairs) {
+    if (p.b == 0) has_zero_divisor = true;
+    if (p.a == 0x80000000u || p.b == 0x80000000u) has_int_min = true;
+    if (p.a == 0xFFFFFFFFu && p.b == 0xFFFFFFFFu) has_all_ones = true;
+  }
+  EXPECT_TRUE(has_zero_divisor);
+  EXPECT_TRUE(has_int_min);
+  EXPECT_TRUE(has_all_ones);
+}
+
+}  // namespace
+}  // namespace sbst::core

@@ -1,0 +1,389 @@
+#include "dsl/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/logicsim.h"
+
+namespace sbst::dsl {
+namespace {
+
+/// Evaluates a small combinational harness: drives named inputs, returns
+/// a named output.
+class Harness {
+ public:
+  explicit Harness(nl::Netlist& n) : sim_(n) {}
+  void set(const std::string& port, std::uint64_t v) {
+    sim_.set_input(sim_.netlist().input(port), v);
+  }
+  std::uint64_t get(const std::string& port) {
+    sim_.eval();
+    return sim_.read_output(sim_.netlist().output(port));
+  }
+
+ private:
+  sim::LogicSim sim_;
+};
+
+// ---- adders / arithmetic ---------------------------------------------------
+
+class AdderWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidth, AddMatchesReference) {
+  const int w = GetParam();
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", w);
+  const Bus bb = b.input("b", w);
+  const GateId cin = b.input("cin", 1)[0];
+  const Builder::AddResult r = b.add(a, bb, cin);
+  b.output("sum", r.sum);
+  b.output("cout", {r.carry_out});
+  Harness h(n);
+  const std::uint64_t mask = (w == 64) ? ~0ull : ((1ull << w) - 1);
+  const std::uint64_t samples[] = {0,           1,          2,
+                                   mask,        mask - 1,   mask / 3,
+                                   0x5555555555555555ull & mask,
+                                   0xAAAAAAAAAAAAAAAAull & mask};
+  for (std::uint64_t x : samples) {
+    for (std::uint64_t y : samples) {
+      for (int c = 0; c < 2; ++c) {
+        h.set("a", x);
+        h.set("b", y);
+        h.set("cin", static_cast<std::uint64_t>(c));
+        const std::uint64_t full = (x & mask) + (y & mask) + static_cast<std::uint64_t>(c);
+        EXPECT_EQ(h.get("sum"), full & mask) << w << ": " << x << "+" << y;
+        EXPECT_EQ(h.get("cout"), (full >> w) & 1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidth, ::testing::Values(1, 2, 3, 8, 16, 32));
+
+TEST(Builder, SubComputesDifferenceAndBorrow) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 16);
+  const Bus bb = b.input("b", 16);
+  const Builder::AddResult r = b.sub(a, bb);
+  b.output("diff", r.sum);
+  b.output("noborrow", {r.carry_out});
+  Harness h(n);
+  for (std::uint64_t x : {0u, 1u, 0x8000u, 0xFFFFu, 0x1234u}) {
+    for (std::uint64_t y : {0u, 1u, 0x8000u, 0xFFFFu, 0x4321u}) {
+      h.set("a", x);
+      h.set("b", y);
+      EXPECT_EQ(h.get("diff"), (x - y) & 0xFFFF);
+      EXPECT_EQ(h.get("noborrow"), x >= y ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Builder, IncAndNegate) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 8);
+  b.output("inc", b.inc(a));
+  b.output("neg", b.negate(a));
+  Harness h(n);
+  for (unsigned x = 0; x < 256; ++x) {
+    h.set("a", x);
+    EXPECT_EQ(h.get("inc"), (x + 1) & 0xFF);
+    EXPECT_EQ(h.get("neg"), (0u - x) & 0xFF);
+  }
+}
+
+// ---- comparisons ------------------------------------------------------------
+
+TEST(Builder, EqIsZeroUltSlt) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 8);
+  const Bus bb = b.input("b", 8);
+  b.output("eq", {b.eq(a, bb)});
+  b.output("zero", {b.is_zero(a)});
+  b.output("ult", {b.ult(a, bb)});
+  b.output("slt", {b.slt(a, bb)});
+  Harness h(n);
+  const unsigned samples[] = {0, 1, 2, 0x7F, 0x80, 0x81, 0xFE, 0xFF, 0x55};
+  for (unsigned x : samples) {
+    for (unsigned y : samples) {
+      h.set("a", x);
+      h.set("b", y);
+      EXPECT_EQ(h.get("eq"), x == y ? 1u : 0u);
+      EXPECT_EQ(h.get("zero"), x == 0 ? 1u : 0u);
+      EXPECT_EQ(h.get("ult"), x < y ? 1u : 0u);
+      const int sx = static_cast<std::int8_t>(x);
+      const int sy = static_cast<std::int8_t>(y);
+      EXPECT_EQ(h.get("slt"), sx < sy ? 1u : 0u) << sx << "<" << sy;
+    }
+  }
+}
+
+// ---- mux / decode -----------------------------------------------------------
+
+TEST(Builder, MuxTreeSelectsEveryChoice) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus sel = b.input("sel", 3);
+  std::vector<Bus> choices;
+  for (int i = 0; i < 6; ++i) {
+    choices.push_back(b.constant(0x10u + static_cast<unsigned>(i), 8));
+  }
+  b.output("o", b.mux_tree(sel, choices));
+  Harness h(n);
+  for (unsigned s = 0; s < 8; ++s) {
+    h.set("sel", s);
+    const unsigned expect = s < 6 ? 0x10 + s : 0x15;  // padded with last
+    EXPECT_EQ(h.get("o"), expect);
+  }
+}
+
+TEST(Builder, MuxTreeRejectsTooManyChoices) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus sel = b.input("sel", 1);
+  std::vector<Bus> choices(3, b.constant(0, 4));
+  EXPECT_THROW(b.mux_tree(sel, choices), nl::NetlistError);
+}
+
+class DecoderWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderWidth, OneHot) {
+  const int w = GetParam();
+  nl::Netlist n;
+  Builder b(n);
+  const Bus sel = b.input("sel", w);
+  const GateId en = b.input("en", 1)[0];
+  b.output("o", b.decoder(sel, en));
+  Harness h(n);
+  for (unsigned s = 0; s < (1u << w); ++s) {
+    h.set("sel", s);
+    h.set("en", 1);
+    EXPECT_EQ(h.get("o"), 1ull << s);
+    h.set("en", 0);
+    EXPECT_EQ(h.get("o"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DecoderWidth, ::testing::Values(1, 2, 3, 5));
+
+// ---- shifting ---------------------------------------------------------------
+
+TEST(Builder, ShiftRightVariable) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus data = b.input("data", 16);
+  const Bus amt = b.input("amt", 4);
+  const GateId fill = b.input("fill", 1)[0];
+  b.output("o", b.shift_right_var(data, amt, fill));
+  Harness h(n);
+  for (unsigned v : {0xFFFFu, 0x8001u, 0x5A5Au}) {
+    for (unsigned a = 0; a < 16; ++a) {
+      for (unsigned f = 0; f < 2; ++f) {
+        h.set("data", v);
+        h.set("amt", a);
+        h.set("fill", f);
+        const unsigned fillmask = f ? (0xFFFFu << (16 - a)) & 0xFFFF : 0;
+        EXPECT_EQ(h.get("o"), ((v >> a) | fillmask) & 0xFFFF);
+      }
+    }
+  }
+}
+
+TEST(Builder, ReverseIsWiringOnly) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 8);
+  const std::size_t before = n.size();
+  const Bus r = Builder::reverse(a);
+  EXPECT_EQ(n.size(), before);
+  b.output("o", r);
+  Harness h(n);
+  h.set("a", 0b10110001);
+  EXPECT_EQ(h.get("o"), 0b10001101u);
+}
+
+// ---- registers --------------------------------------------------------------
+
+TEST(Builder, RegisterFeedbackCounter) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus q = b.reg(4, 0);
+  b.connect_reg(q, b.inc(q));
+  b.output("q", q);
+  n.check();
+  sim::LogicSim s(n);
+  s.reset();
+  for (unsigned i = 0; i < 20; ++i) {
+    EXPECT_EQ(s.read_output(n.output("q")), i & 0xF);
+    s.eval();
+    s.step_clock();
+  }
+}
+
+TEST(Builder, DffBusResetValue) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus d = b.input("d", 8);
+  b.output("q", b.dff_bus(d, 0xA5));
+  sim::LogicSim s(n);
+  s.reset();
+  EXPECT_EQ(s.read_output(n.output("q")), 0xA5u);
+}
+
+// ---- wiring helpers ---------------------------------------------------------
+
+TEST(Builder, SliceCatExtend) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 8);
+  b.output("lo", Builder::slice(a, 0, 4));
+  b.output("hi", Builder::slice(a, 4, 4));
+  b.output("cat", Builder::cat(Builder::slice(a, 4, 4), Builder::slice(a, 0, 4)));
+  b.output("zext", b.zero_extend(Builder::slice(a, 0, 4), 8));
+  b.output("sext", b.sign_extend(Builder::slice(a, 0, 4), 8));
+  Harness h(n);
+  h.set("a", 0x9C);
+  EXPECT_EQ(h.get("lo"), 0xCu);
+  EXPECT_EQ(h.get("hi"), 0x9u);
+  EXPECT_EQ(h.get("cat"), 0xC9u);  // low part first
+  EXPECT_EQ(h.get("zext"), 0x0Cu);
+  EXPECT_EQ(h.get("sext"), 0xFCu);
+}
+
+// ---- constant folding -------------------------------------------------------
+
+TEST(Builder, ConstantFoldingIdentities) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 1);
+  const GateId x = a[0];
+  const GateId c0 = b.lit(false);
+  const GateId c1 = b.lit(true);
+  EXPECT_EQ(b.and_(x, c0), c0);
+  EXPECT_EQ(b.and_(x, c1), x);
+  EXPECT_EQ(b.and_(x, x), x);
+  EXPECT_EQ(b.or_(x, c1), c1);
+  EXPECT_EQ(b.or_(x, c0), x);
+  EXPECT_EQ(b.xor_(x, c0), x);
+  EXPECT_EQ(b.xor_(x, x), c0);
+  EXPECT_EQ(b.xnor_(x, x), c1);
+  EXPECT_EQ(b.mux(c0, x, c1), x);       // sel==0 -> a
+  EXPECT_EQ(b.mux(c1, c0, x), x);       // sel==1 -> b
+  EXPECT_EQ(b.mux(x, c0, c1), x);       // 0/1 mux is the select itself
+  EXPECT_EQ(b.not_(b.not_(x)), x);      // double inversion
+  EXPECT_EQ(b.not_(c0), c1);
+}
+
+TEST(Builder, FoldedMuxStillCorrect) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus s = b.input("s", 1);
+  const Bus v = b.input("v", 1);
+  b.output("m0", {b.mux(s[0], b.lit(false), v[0])});  // and(s, v)
+  b.output("m1", {b.mux(s[0], v[0], b.lit(false))});  // and(!s, v)
+  b.output("m2", {b.mux(s[0], b.lit(true), v[0])});   // or(!s, v)
+  b.output("m3", {b.mux(s[0], v[0], b.lit(true))});   // or(s, v)
+  Harness h(n);
+  for (unsigned sv = 0; sv < 2; ++sv) {
+    for (unsigned vv = 0; vv < 2; ++vv) {
+      h.set("s", sv);
+      h.set("v", vv);
+      EXPECT_EQ(h.get("m0"), sv ? vv : 0u);
+      EXPECT_EQ(h.get("m1"), sv ? 0u : vv);
+      EXPECT_EQ(h.get("m2"), sv ? vv : 1u);
+      EXPECT_EQ(h.get("m3"), sv ? 1u : vv);
+    }
+  }
+}
+
+TEST(Builder, ReduceOps) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 5);
+  b.output("and", {b.reduce_and(a)});
+  b.output("or", {b.reduce_or(a)});
+  b.output("xor", {b.reduce_xor(a)});
+  Harness h(n);
+  for (unsigned v = 0; v < 32; ++v) {
+    h.set("a", v);
+    EXPECT_EQ(h.get("and"), v == 31 ? 1u : 0u);
+    EXPECT_EQ(h.get("or"), v != 0 ? 1u : 0u);
+    EXPECT_EQ(h.get("xor"), static_cast<unsigned>(__builtin_parity(v)));
+  }
+}
+
+TEST(Builder, WidthMismatchThrows) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 4);
+  const Bus bb = b.input("b", 5);
+  EXPECT_THROW(b.add(a, bb), nl::NetlistError);
+  EXPECT_THROW(b.and_bus(a, bb), nl::NetlistError);
+  EXPECT_THROW(b.mux_bus(a[0], a, bb), nl::NetlistError);
+  EXPECT_THROW(b.eq(a, bb), nl::NetlistError);
+}
+
+
+// Exhaustive 4-bit verification of the arithmetic operators (every
+// operand pair, both carries): the sampled 32-bit sweeps above cannot
+// cover every carry interaction, this does.
+TEST(BuilderExhaustive, FourBitAddSubCompare) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus a = b.input("a", 4);
+  const Bus bb = b.input("b", 4);
+  const GateId cin = b.input("cin", 1)[0];
+  const Builder::AddResult add = b.add(a, bb, cin);
+  const Builder::AddResult sub = b.sub(a, bb);
+  b.output("sum", add.sum);
+  b.output("cout", {add.carry_out});
+  b.output("diff", sub.sum);
+  b.output("ult", {b.ult(a, bb)});
+  b.output("slt", {b.slt(a, bb)});
+  b.output("eq", {b.eq(a, bb)});
+  sim::LogicSim s(n);
+  for (unsigned x = 0; x < 16; ++x) {
+    for (unsigned y = 0; y < 16; ++y) {
+      for (unsigned c = 0; c < 2; ++c) {
+        s.set_input(n.input("a"), x);
+        s.set_input(n.input("b"), y);
+        s.set_input(n.input("cin"), c);
+        s.eval();
+        EXPECT_EQ(s.read_output(n.output("sum")), (x + y + c) & 0xF);
+        EXPECT_EQ(s.read_output(n.output("cout")), (x + y + c) >> 4);
+        EXPECT_EQ(s.read_output(n.output("diff")), (x - y) & 0xF);
+        EXPECT_EQ(s.read_output(n.output("ult")), x < y ? 1u : 0u);
+        const int sx = x >= 8 ? static_cast<int>(x) - 16 : static_cast<int>(x);
+        const int sy = y >= 8 ? static_cast<int>(y) - 16 : static_cast<int>(y);
+        EXPECT_EQ(s.read_output(n.output("slt")), sx < sy ? 1u : 0u);
+        EXPECT_EQ(s.read_output(n.output("eq")), x == y ? 1u : 0u);
+      }
+    }
+  }
+}
+
+// Exhaustive mux-tree check: every select value over 8 distinct choices.
+TEST(BuilderExhaustive, MuxTreeAllSelects) {
+  nl::Netlist n;
+  Builder b(n);
+  const Bus sel = b.input("sel", 3);
+  const Bus data = b.input("data", 8);
+  std::vector<Bus> choices;
+  for (int i = 0; i < 8; ++i) {
+    choices.push_back(Bus{data[static_cast<std::size_t>(i)]});
+  }
+  b.output("o", b.mux_tree(sel, choices));
+  sim::LogicSim s(n);
+  for (unsigned d = 0; d < 256; ++d) {
+    for (unsigned sv = 0; sv < 8; ++sv) {
+      s.set_input(n.input("data"), d);
+      s.set_input(n.input("sel"), sv);
+      s.eval();
+      EXPECT_EQ(s.read_output(n.output("o")), (d >> sv) & 1u);
+    }
+  }
+}
+}  // namespace
+}  // namespace sbst::dsl

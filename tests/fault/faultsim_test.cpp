@@ -1,0 +1,259 @@
+#include "fault/faultsim.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/comb_faultsim.h"
+#include "netlist/fault.h"
+
+namespace sbst::fault {
+namespace {
+
+// AND gate: exhaustive vectors detect every collapsed fault.
+TEST(CombFaultSim, AndGateFullCoverage) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 2);
+  n.add_output("o", {n.add_gate(nl::GateKind::kAnd2, in.bits[0], in.bits[1])});
+  const VectorSet vectors = {
+      {{"in", 0b00}}, {{"in", 0b01}}, {{"in", 0b10}}, {{"in", 0b11}}};
+  const Coverage cov = grade_vectors_coverage(n, vectors);
+  EXPECT_EQ(cov.detected, cov.total);
+  EXPECT_DOUBLE_EQ(cov.percent(), 100.0);
+}
+
+// Vector {11} alone detects out-SA0 (and the equivalent input SA0s) but
+// not the SA1 faults.
+TEST(CombFaultSim, PartialVectorsPartialCoverage) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 2);
+  n.add_output("o", {n.add_gate(nl::GateKind::kAnd2, in.bits[0], in.bits[1])});
+  const VectorSet vectors = {{{"in", 0b11}}};
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  const FaultSimResult res = grade_vectors(n, fl, vectors);
+  const Coverage cov = overall_coverage(fl, res);
+  EXPECT_GT(cov.detected, 0u);
+  EXPECT_LT(cov.detected, cov.total);
+}
+
+// Mux select fault requires differing data inputs to be observable.
+TEST(CombFaultSim, MuxSelectFaultNeedsDistinguishingData) {
+  nl::Netlist n;
+  const auto& a = n.add_input("a", 1);
+  const auto& b = n.add_input("b", 1);
+  const auto& sel = n.add_input("sel", 1);
+  n.add_output("o", {n.add_gate(nl::GateKind::kMux2, a.bits[0], b.bits[0],
+                                sel.bits[0])});
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  // Equal data: select faults invisible.
+  {
+    const VectorSet same = {{{"a", 1}, {"b", 1}, {"sel", 0}},
+                            {{"a", 0}, {"b", 0}, {"sel", 1}}};
+    const FaultSimResult res = grade_vectors(n, fl, same);
+    for (std::size_t i = 0; i < fl.size(); ++i) {
+      if (fl.faults[i].pin == 3) {
+        EXPECT_FALSE(res.detected[i]);
+      }
+    }
+  }
+  // Differing data both ways: select faults detected.
+  {
+    const VectorSet diff = {{{"a", 1}, {"b", 0}, {"sel", 0}},
+                            {{"a", 0}, {"b", 1}, {"sel", 1}}};
+    const FaultSimResult res = grade_vectors(n, fl, diff);
+    for (std::size_t i = 0; i < fl.size(); ++i) {
+      if (fl.faults[i].pin == 3) {
+        EXPECT_TRUE(res.detected[i])
+            << "select SA" << int(fl.faults[i].stuck) << " undetected";
+      }
+    }
+  }
+}
+
+// Sequential: a DFF output fault is detected once the wrong state reaches
+// the output.
+TEST(SeqFaultSim, DffStuckDetected) {
+  nl::Netlist n;
+  const auto& d = n.add_input("d", 1);
+  const nl::GateId q = n.add_dff(d.bits[0], false);
+  n.add_output("q", {q});
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  const VectorSet vectors = {{{"d", 1}}, {{"d", 1}}, {{"d", 0}}, {{"d", 0}}};
+  const FaultSimResult res = grade_vectors(n, fl, vectors);
+  const Coverage cov = overall_coverage(fl, res);
+  EXPECT_EQ(cov.detected, cov.total) << "drive 0->1->0 covers both Q faults";
+}
+
+TEST(SeqFaultSim, DetectCycleIsRecorded) {
+  nl::Netlist n;
+  const auto& d = n.add_input("d", 1);
+  const nl::GateId q = n.add_dff(d.bits[0], false);
+  n.add_output("q", {q});
+  nl::FaultList fl;
+  fl.faults.push_back({q, 0, 0});  // Q stuck-at-0
+  fl.class_size.push_back(1);
+  fl.total_uncollapsed = 1;
+  // d=1 at cycle 0 -> q=1 visible at cycle 1 -> SA0 detected at cycle 1.
+  const VectorSet vectors = {{{"d", 1}}, {{"d", 1}}, {{"d", 1}}};
+  const FaultSimResult res = grade_vectors(n, fl, vectors);
+  ASSERT_TRUE(res.detected[0]);
+  EXPECT_EQ(res.detect_cycle[0], 1);
+}
+
+TEST(SeqFaultSim, InputBranchFaultInjection) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 2);
+  // Fanout of in.bits[0] to two gates so branch faults are distinct sites.
+  const nl::GateId g1 = n.add_gate(nl::GateKind::kAnd2, in.bits[0], in.bits[1]);
+  const nl::GateId g2 = n.add_gate(nl::GateKind::kOr2, in.bits[0], in.bits[1]);
+  n.add_output("o", {g1, g2});
+  nl::FaultList fl;
+  fl.faults.push_back({g1, 1, 0});  // g1.in0 branch SA0
+  fl.class_size.push_back(1);
+  fl.total_uncollapsed = 1;
+  const VectorSet vectors = {{{"in", 0b11}}};
+  const FaultSimResult res = grade_vectors(n, fl, vectors);
+  EXPECT_TRUE(res.detected[0]);
+}
+
+TEST(SeqFaultSim, SamplingLimitsSimulatedSet) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 8);
+  std::vector<nl::GateId> outs;
+  for (int i = 0; i < 8; ++i) {
+    outs.push_back(n.add_gate(nl::GateKind::kNot, in.bits[i]));
+  }
+  n.add_output("o", outs);
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  FaultSimOptions opt;
+  opt.sample = 5;
+  const FaultSimResult res =
+      grade_vectors(n, fl, {{{"in", 0x00}}, {{"in", 0xFF}}}, opt);
+  std::size_t simulated = 0;
+  for (std::uint8_t s : res.simulated) simulated += s;
+  EXPECT_EQ(simulated, 5u);
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    if (!res.simulated[i]) {
+      EXPECT_FALSE(res.detected[i]);
+    }
+  }
+}
+
+TEST(SeqFaultSim, SamplingIsDeterministic) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 8);
+  std::vector<nl::GateId> outs;
+  for (int i = 0; i < 8; ++i) {
+    outs.push_back(n.add_gate(nl::GateKind::kNot, in.bits[i]));
+  }
+  n.add_output("o", outs);
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  FaultSimOptions opt;
+  opt.sample = 7;
+  const auto r1 = grade_vectors(n, fl, {{{"in", 0xA5}}}, opt);
+  const auto r2 = grade_vectors(n, fl, {{{"in", 0xA5}}}, opt);
+  EXPECT_EQ(r1.simulated, r2.simulated);
+  EXPECT_EQ(r1.detected, r2.detected);
+}
+
+TEST(Coverage, PercentMath) {
+  Coverage c;
+  EXPECT_DOUBLE_EQ(c.percent(), 100.0);  // vacuous
+  c.total = 200;
+  c.detected = 150;
+  EXPECT_DOUBLE_EQ(c.percent(), 75.0);
+}
+
+TEST(Coverage, WeightsByClassSize) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 2);
+  n.add_output("o", {n.add_gate(nl::GateKind::kAnd2, in.bits[0], in.bits[1])});
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  const FaultSimResult res = grade_vectors(n, fl, {{{"in", 0b11}}});
+  const Coverage cov = overall_coverage(fl, res);
+  EXPECT_EQ(cov.total, fl.total_uncollapsed);
+}
+
+TEST(ComponentCoverage, SplitsByTag) {
+  nl::Netlist n;
+  const nl::ComponentId c1 = n.declare_component("one");
+  const nl::ComponentId c2 = n.declare_component("two");
+  const auto& in = n.add_input("in", 2);
+  // Each input drives two gates so component-internal faults do not
+  // collapse into the (untagged) PI stems.
+  n.set_current_component(c1);
+  const nl::GateId x = n.add_gate(nl::GateKind::kXor2, in.bits[0], in.bits[1]);
+  n.set_current_component(c2);
+  const nl::GateId y = n.add_gate(nl::GateKind::kXnor2, in.bits[0], in.bits[1]);
+  n.add_output("o", {x, y});
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  const FaultSimResult res = grade_vectors(
+      n, fl, {{{"in", 0b00}}, {{"in", 0b01}}, {{"in", 0b10}}, {{"in", 0b11}}});
+  const auto per = component_coverage(n, fl, res);
+  ASSERT_EQ(per.size(), 3u);
+  EXPECT_GT(per[c1].total, 0u);
+  EXPECT_GT(per[c2].total, 0u);
+  EXPECT_EQ(per[c1].detected, per[c1].total);
+  EXPECT_EQ(per[c2].detected, per[c2].total);
+}
+
+
+// A structurally redundant fault must never be reported detected (no
+// false positives): in f = or(x, and(x, y)) the AND output stuck-at-0 is
+// undetectable because the OR already carries x.
+TEST(SeqFaultSim, RedundantFaultStaysUndetected) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 2);
+  const nl::GateId a = n.add_gate(nl::GateKind::kAnd2, in.bits[0], in.bits[1]);
+  const nl::GateId f = n.add_gate(nl::GateKind::kOr2, in.bits[0], a);
+  n.add_output("f", {f});
+  nl::FaultList fl;
+  fl.faults.push_back({a, 0, 0});  // and-out stuck-at-0: redundant
+  fl.class_size.push_back(1);
+  fl.total_uncollapsed = 1;
+  VectorSet vs;
+  for (unsigned v = 0; v < 4; ++v) vs.push_back({{"in", v}});
+  const FaultSimResult res = grade_vectors(n, fl, vs);
+  EXPECT_FALSE(res.detected[0]);
+}
+
+// Detection cycles never exceed the vector count, and every detected
+// fault has a recorded cycle.
+TEST(SeqFaultSim, DetectCycleBounds) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 4);
+  std::vector<nl::GateId> outs;
+  for (int i = 0; i < 4; ++i) {
+    outs.push_back(n.add_gate(nl::GateKind::kNot, in.bits[i]));
+  }
+  n.add_output("o", outs);
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  VectorSet vs = {{{"in", 0x0}}, {{"in", 0xF}}, {{"in", 0x5}}};
+  const FaultSimResult res = grade_vectors(n, fl, vs);
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    if (res.detected[i]) {
+      EXPECT_GE(res.detect_cycle[i], 0);
+      EXPECT_LT(res.detect_cycle[i], 3);
+    } else {
+      EXPECT_EQ(res.detect_cycle[i], -1);
+    }
+  }
+}
+
+// Grading the same vectors twice yields identical results (engine is
+// deterministic and side-effect free across groups).
+TEST(SeqFaultSim, RepeatableAcrossRuns) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 3);
+  const nl::GateId x = n.add_gate(nl::GateKind::kXor2, in.bits[0], in.bits[1]);
+  const nl::GateId q = n.add_dff(x, false);
+  const nl::GateId y = n.add_gate(nl::GateKind::kMux2, q, x, in.bits[2]);
+  n.add_output("o", {y});
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  VectorSet vs;
+  for (unsigned v = 0; v < 8; ++v) vs.push_back({{"in", v}});
+  const FaultSimResult r1 = grade_vectors(n, fl, vs);
+  const FaultSimResult r2 = grade_vectors(n, fl, vs);
+  EXPECT_EQ(r1.detected, r2.detected);
+  EXPECT_EQ(r1.detect_cycle, r2.detect_cycle);
+}
+}  // namespace
+}  // namespace sbst::fault

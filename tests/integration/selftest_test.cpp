@@ -1,0 +1,108 @@
+// End-to-end integration: the generated self-test programs run identically
+// on the ISS and the gate-level CPU, and (sampled) fault grading of the
+// Phase A program reproduces the paper's coverage shape.
+#include <gtest/gtest.h>
+
+#include "core/program.h"
+#include "core/report.h"
+#include "iss/iss.h"
+#include "netlist/fault.h"
+#include "plasma/testbench.h"
+
+namespace sbst {
+namespace {
+
+struct Fixture {
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  std::vector<core::ComponentInfo> classified = core::classify_plasma(cpu);
+};
+
+Fixture& shared_fixture() {
+  static auto* f = new Fixture;
+  return *f;
+}
+
+TEST(SelfTestIntegration, PhaseProgramsRunIdenticallyOnGateLevel) {
+  Fixture& f = shared_fixture();
+  for (auto* build : {&core::build_phase_a, &core::build_phase_ab,
+                      &core::build_phase_abc}) {
+    const core::SelfTestProgram p = (*build)(f.classified);
+    iss::Iss iss(p.image);
+    const iss::RunResult ir = iss.run(200000);
+    const plasma::GateRunResult gr = plasma::run_gate_cpu(f.cpu, p.image);
+    ASSERT_TRUE(ir.halted);
+    ASSERT_TRUE(gr.halted);
+    EXPECT_EQ(gr.cycles, ir.cycles) << p.name;
+    ASSERT_EQ(gr.writes.size(), iss.writes().size()) << p.name;
+    for (std::size_t i = 0; i < gr.writes.size(); ++i) {
+      ASSERT_EQ(gr.writes[i], iss.writes()[i]) << p.name << " write " << i;
+    }
+  }
+}
+
+// Sampled fault grading (full grading lives in bench_table5): the shape
+// constraints of the paper's Table 5 must hold.
+TEST(SelfTestIntegration, PhaseACoverageShapeSampled) {
+  Fixture& f = shared_fixture();
+  const core::SelfTestProgram pa = core::build_phase_a(f.classified);
+  const nl::FaultList faults = nl::enumerate_faults(f.cpu.netlist);
+  fault::FaultSimOptions opt;
+  opt.sample = 3150;  // 50 groups: a couple of seconds
+  opt.max_cycles = 50000;
+  const fault::FaultSimResult res = fault::run_fault_sim(
+      f.cpu.netlist, faults, plasma::make_cpu_env_factory(f.cpu, pa.image),
+      opt);
+  const core::CoverageReport rep =
+      core::make_coverage_report(f.cpu, faults, res);
+
+  // Overall coverage high from Phase A alone (paper: low 90s).
+  EXPECT_GT(rep.overall.percent(), 85.0);
+  double func_min = 100.0;
+  double mctrl_mofc = 0.0, max_control_mofc = 0.0;
+  for (const auto& row : rep.rows) {
+    if (row.cls == core::ComponentClass::kFunctional) {
+      func_min = std::min(func_min, row.coverage.percent());
+    }
+    if (row.cls == core::ComponentClass::kControl) {
+      max_control_mofc = std::max(max_control_mofc, row.mofc);
+      if (row.name == "MCTRL") mctrl_mofc = row.mofc;
+    }
+  }
+  // Functional components all reach high coverage from their routines.
+  EXPECT_GT(func_min, 85.0);
+  // The paper's Phase B choice: MCTRL carries (one of) the largest
+  // control-class MOFC after Phase A.
+  EXPECT_GT(mctrl_mofc, 0.0);
+  EXPECT_GE(mctrl_mofc, max_control_mofc * 0.5);
+}
+
+TEST(SelfTestIntegration, PhaseBImprovesMemControllerSampled) {
+  Fixture& f = shared_fixture();
+  const core::SelfTestProgram pa = core::build_phase_a(f.classified);
+  const core::SelfTestProgram pab = core::build_phase_ab(f.classified);
+  const nl::FaultList faults = nl::enumerate_faults(f.cpu.netlist);
+  fault::FaultSimOptions opt;
+  opt.sample = 2520;
+  opt.max_cycles = 50000;
+  const auto res_a = fault::run_fault_sim(
+      f.cpu.netlist, faults, plasma::make_cpu_env_factory(f.cpu, pa.image),
+      opt);
+  const auto res_ab = fault::run_fault_sim(
+      f.cpu.netlist, faults, plasma::make_cpu_env_factory(f.cpu, pab.image),
+      opt);
+  const auto rep_a = core::make_coverage_report(f.cpu, faults, res_a);
+  const auto rep_ab = core::make_coverage_report(f.cpu, faults, res_ab);
+  EXPECT_GT(rep_ab.overall.percent(), rep_a.overall.percent());
+  double mctrl_a = 0, mctrl_ab = 0;
+  for (std::size_t i = 0; i < rep_a.rows.size(); ++i) {
+    if (rep_a.rows[i].name == "MCTRL") {
+      mctrl_a = rep_a.rows[i].coverage.percent();
+      mctrl_ab = rep_ab.rows[i].coverage.percent();
+    }
+  }
+  EXPECT_GT(mctrl_ab, mctrl_a + 20.0)
+      << "the Phase B routine must transform MCTRL coverage";
+}
+
+}  // namespace
+}  // namespace sbst

@@ -1,0 +1,169 @@
+#include "isa/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips.h"
+
+namespace sbst::isa {
+namespace {
+
+TEST(Assembler, SimpleInstructions) {
+  const Program p = assemble("addu $3, $1, $2\nori $4, $0, 0xFFFF\n");
+  ASSERT_EQ(p.size_words(), 2u);
+  EXPECT_EQ(p.words[0], encode_r(Mnemonic::kAddu, 3, 1, 2));
+  EXPECT_EQ(p.words[1], encode_i(Mnemonic::kOri, 4, 0, 0xFFFF));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+    # full comment
+    nop            ; trailing
+    nop            // c++ style
+  )");
+  EXPECT_EQ(p.size_words(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = assemble(R"(
+    top:
+      addiu $1, $1, -1
+      bne $1, $0, top
+      nop
+  )");
+  ASSERT_EQ(p.size_words(), 3u);
+  // branch at address 4, target 0: offset = (0 - 8)/4 = -2.
+  EXPECT_EQ(p.words[1] & 0xFFFF, 0xFFFEu);
+  EXPECT_EQ(p.symbols.at("top"), 0u);
+}
+
+TEST(Assembler, ForwardBranch) {
+  const Program p = assemble(R"(
+      beq $0, $0, done
+      nop
+      nop
+    done:
+      nop
+  )");
+  EXPECT_EQ(p.words[0] & 0xFFFF, 2u);  // skip 2 instructions past delay slot
+}
+
+TEST(Assembler, JumpToLabel) {
+  const Program p = assemble(R"(
+    .org 0x100
+    start: j start
+    nop
+  )");
+  EXPECT_EQ(p.words[0x100 / 4], encode_j(Mnemonic::kJ, 0x100 >> 2));
+}
+
+TEST(Assembler, OrgAndWordDirectives) {
+  const Program p = assemble(R"(
+    .org 8
+    .word 0xDEADBEEF, 17, -1
+    .space 8
+    .word 5
+  )");
+  ASSERT_EQ(p.size_words(), 2u + 3u + 2u + 1u);
+  EXPECT_EQ(p.words[2], 0xDEADBEEFu);
+  EXPECT_EQ(p.words[3], 17u);
+  EXPECT_EQ(p.words[4], 0xFFFFFFFFu);
+  EXPECT_EQ(p.words[5], 0u);
+  EXPECT_EQ(p.words[7], 5u);
+}
+
+TEST(Assembler, WordWithLabelOperand) {
+  const Program p = assemble(R"(
+    entry: nop
+    table: .word entry, table
+  )");
+  EXPECT_EQ(p.words[1], 0u);
+  EXPECT_EQ(p.words[2], 4u);
+}
+
+TEST(Assembler, LiExpansions) {
+  const Program small = assemble("li $2, 100");
+  EXPECT_EQ(small.size_words(), 1u);
+  EXPECT_EQ(small.words[0], encode_i(Mnemonic::kAddiu, 2, 0, 100));
+
+  const Program neg = assemble("li $2, -5");
+  EXPECT_EQ(neg.size_words(), 1u);
+  EXPECT_EQ(neg.words[0], encode_i(Mnemonic::kAddiu, 2, 0, 0xFFFB));
+
+  const Program uns = assemble("li $2, 0xFFFF");
+  EXPECT_EQ(uns.size_words(), 1u);
+  EXPECT_EQ(uns.words[0], encode_i(Mnemonic::kOri, 2, 0, 0xFFFF));
+
+  const Program hi = assemble("li $2, 0x12340000");
+  EXPECT_EQ(hi.size_words(), 1u);
+  EXPECT_EQ(hi.words[0], encode_i(Mnemonic::kLui, 2, 0, 0x1234));
+
+  const Program full = assemble("li $2, 0x12345678");
+  ASSERT_EQ(full.size_words(), 2u);
+  EXPECT_EQ(full.words[0], encode_i(Mnemonic::kLui, 2, 0, 0x1234));
+  EXPECT_EQ(full.words[1], encode_i(Mnemonic::kOri, 2, 2, 0x5678));
+}
+
+TEST(Assembler, LaAlwaysTwoWords) {
+  const Program p = assemble(R"(
+    la $4, target
+    nop
+    target: nop
+  )");
+  ASSERT_EQ(p.size_words(), 4u);
+  EXPECT_EQ(p.words[0], encode_i(Mnemonic::kLui, 4, 0, 0));
+  EXPECT_EQ(p.words[1], encode_i(Mnemonic::kOri, 4, 4, 12));
+}
+
+TEST(Assembler, PseudoOps) {
+  const Program p = assemble("move $5, $7\nhalt\nb 0\n");
+  EXPECT_EQ(p.words[0], encode_r(Mnemonic::kAddu, 5, 7, 0));
+  EXPECT_EQ(p.words[1], encode_i(Mnemonic::kSw, 0, 0, 0xFFFC));
+  EXPECT_EQ(p.words[2] >> 26, 0x04u);  // beq
+}
+
+TEST(Assembler, MemOperandForms) {
+  const Program p = assemble(R"(
+    lw $2, 16($3)
+    sw $2, -4($29)
+    lb $2, ($4)
+  )");
+  EXPECT_EQ(p.words[0], encode_i(Mnemonic::kLw, 2, 3, 16));
+  EXPECT_EQ(p.words[1], encode_i(Mnemonic::kSw, 2, 29, 0xFFFC));
+  EXPECT_EQ(p.words[2], encode_i(Mnemonic::kLb, 2, 4, 0));
+}
+
+TEST(Assembler, JalrForms) {
+  const Program p = assemble("jalr $5\njalr $6, $7\n");
+  EXPECT_EQ(p.words[0], encode_r(Mnemonic::kJalr, 31, 5, 0));
+  EXPECT_EQ(p.words[1], encode_r(Mnemonic::kJalr, 6, 7, 0));
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("bogus $1, $2"), AsmError);
+  EXPECT_THROW(assemble("addu $1, $2"), AsmError);          // missing operand
+  EXPECT_THROW(assemble("addu $1, $2, $99"), AsmError);     // bad register
+  EXPECT_THROW(assemble("addiu $1, $0, 40000"), AsmError);  // imm range
+  EXPECT_THROW(assemble("sll $1, $2, 32"), AsmError);       // shamt range
+  EXPECT_THROW(assemble("beq $0, $0, nowhere"), AsmError);  // unknown label
+  EXPECT_THROW(assemble("x: nop\nx: nop"), AsmError);       // dup label
+  EXPECT_THROW(assemble(".org 3"), AsmError);               // unaligned
+  EXPECT_THROW(assemble("lw $1, 4"), AsmError);             // no ($base)
+}
+
+TEST(Assembler, ErrorMentionsLine) {
+  try {
+    assemble("nop\nnop\nbogus\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Assembler, MultipleLabelsOneLine) {
+  const Program p = assemble("a: b: nop\n");
+  EXPECT_EQ(p.symbols.at("a"), 0u);
+  EXPECT_EQ(p.symbols.at("b"), 0u);
+}
+
+}  // namespace
+}  // namespace sbst::isa

@@ -1,0 +1,355 @@
+#include "iss/iss.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::iss {
+namespace {
+
+Iss run_asm(const std::string& src, RunResult* rr = nullptr) {
+  Iss iss(isa::assemble(src));
+  const RunResult r = iss.run(100000);
+  if (rr) *rr = r;
+  return iss;
+}
+
+TEST(Iss, ArithmeticAndLogic) {
+  const Iss s = run_asm(R"(
+    li $1, 7
+    li $2, -3
+    addu $3, $1, $2
+    subu $4, $1, $2
+    and  $5, $1, $2
+    or   $6, $1, $2
+    xor  $7, $1, $2
+    nor  $8, $1, $2
+    slt  $9, $2, $1
+    sltu $10, $2, $1
+    halt
+  )");
+  EXPECT_EQ(s.reg(3), 4u);
+  EXPECT_EQ(s.reg(4), 10u);
+  EXPECT_EQ(s.reg(5), 7u & 0xFFFFFFFDu);
+  EXPECT_EQ(s.reg(6), 0xFFFFFFFFu);
+  EXPECT_EQ(s.reg(7), 0xFFFFFFFAu);
+  EXPECT_EQ(s.reg(8), 0u);
+  EXPECT_EQ(s.reg(9), 1u);   // signed: -3 < 7
+  EXPECT_EQ(s.reg(10), 0u);  // unsigned: 0xFFFFFFFD > 7
+}
+
+TEST(Iss, Immediates) {
+  const Iss s = run_asm(R"(
+    addiu $1, $0, -100
+    slti  $2, $1, 0
+    sltiu $3, $1, -1       # sign-extended to 0xFFFFFFFF, compared unsigned
+    andi  $4, $1, 0xF0F0
+    ori   $5, $0, 0x1234
+    xori  $6, $5, 0xFFFF
+    lui   $7, 0xABCD
+    halt
+  )");
+  EXPECT_EQ(s.reg(1), static_cast<std::uint32_t>(-100));
+  EXPECT_EQ(s.reg(2), 1u);
+  EXPECT_EQ(s.reg(3), 1u);  // 0xFFFFFF9C < 0xFFFFFFFF
+  EXPECT_EQ(s.reg(4), 0xFFFFFF9Cu & 0xF0F0u);
+  EXPECT_EQ(s.reg(5), 0x1234u);
+  EXPECT_EQ(s.reg(6), 0x1234u ^ 0xFFFFu);
+  EXPECT_EQ(s.reg(7), 0xABCD0000u);
+}
+
+TEST(Iss, Shifts) {
+  const Iss s = run_asm(R"(
+    li $1, 0x80000001
+    sll $2, $1, 4
+    srl $3, $1, 4
+    sra $4, $1, 4
+    li $5, 36          # amounts are mod 32
+    sllv $6, $1, $5
+    srlv $7, $1, $5
+    srav $8, $1, $5
+    halt
+  )");
+  EXPECT_EQ(s.reg(2), 0x00000010u);
+  EXPECT_EQ(s.reg(3), 0x08000000u);
+  EXPECT_EQ(s.reg(4), 0xF8000000u);
+  EXPECT_EQ(s.reg(6), 0x80000001u << 4);
+  EXPECT_EQ(s.reg(7), 0x80000001u >> 4);
+  EXPECT_EQ(s.reg(8), 0xF8000000u);
+}
+
+TEST(Iss, ZeroRegisterIsImmutable) {
+  const Iss s = run_asm("li $1, 5\naddu $0, $1, $1\nhalt\n");
+  EXPECT_EQ(s.reg(0), 0u);
+}
+
+TEST(Iss, MultSignedUnsigned) {
+  const Iss s = run_asm(R"(
+    li $1, -2
+    li $2, 3
+    mult $1, $2
+    mflo $3
+    mfhi $4
+    multu $1, $2
+    mflo $5
+    mfhi $6
+    halt
+  )");
+  EXPECT_EQ(s.reg(3), static_cast<std::uint32_t>(-6));
+  EXPECT_EQ(s.reg(4), 0xFFFFFFFFu);
+  // unsigned: 0xFFFFFFFE * 3 = 0x2FFFFFFFA
+  EXPECT_EQ(s.reg(5), 0xFFFFFFFAu);
+  EXPECT_EQ(s.reg(6), 2u);
+}
+
+TEST(Iss, DivSignedUnsignedAndByZero) {
+  const Iss s = run_asm(R"(
+    li $1, -7
+    li $2, 2
+    div $1, $2
+    mflo $3           # -3
+    mfhi $4           # -1
+    li $5, 7
+    divu $5, $2
+    mflo $6           # 3
+    mfhi $7           # 1
+    div $5, $0        # deterministic divide-by-zero model
+    mflo $8
+    mfhi $9
+    halt
+  )");
+  EXPECT_EQ(s.reg(3), static_cast<std::uint32_t>(-3));
+  EXPECT_EQ(s.reg(4), static_cast<std::uint32_t>(-1));
+  EXPECT_EQ(s.reg(6), 3u);
+  EXPECT_EQ(s.reg(7), 1u);
+  const DivResult dz = div_model(7, 0);
+  EXPECT_EQ(s.reg(8), dz.q);
+  EXPECT_EQ(s.reg(9), dz.r);
+}
+
+TEST(DivModel, MatchesCppSemanticsWhenDefined) {
+  const std::uint32_t vals[] = {0, 1, 2, 7, 100, 0x7FFFFFFF, 0x80000000,
+                                0xFFFFFFFF, 0xFFFFFFF9};
+  for (std::uint32_t a : vals) {
+    for (std::uint32_t b : vals) {
+      if (b == 0) continue;
+      const DivResult u = divu_model(a, b);
+      EXPECT_EQ(u.q, a / b);
+      EXPECT_EQ(u.r, a % b);
+      if (!(a == 0x80000000u && b == 0xFFFFFFFFu)) {  // INT_MIN/-1 overflow
+        const DivResult sd = div_model(a, b);
+        const std::int32_t sa = static_cast<std::int32_t>(a);
+        const std::int32_t sb = static_cast<std::int32_t>(b);
+        EXPECT_EQ(static_cast<std::int32_t>(sd.q), sa / sb) << sa << "/" << sb;
+        EXPECT_EQ(static_cast<std::int32_t>(sd.r), sa % sb);
+      }
+    }
+  }
+  EXPECT_EQ(divu_model(123, 0).q, 0xFFFFFFFFu);
+  EXPECT_EQ(divu_model(123, 0).r, 123u);
+}
+
+TEST(Iss, MthiMtlo) {
+  const Iss s = run_asm(R"(
+    li $1, 0x1111
+    li $2, 0x2222
+    mthi $1
+    mtlo $2
+    mfhi $3
+    mflo $4
+    halt
+  )");
+  EXPECT_EQ(s.reg(3), 0x1111u);
+  EXPECT_EQ(s.reg(4), 0x2222u);
+}
+
+TEST(Iss, BranchesWithDelaySlot) {
+  const Iss s = run_asm(R"(
+    li $1, 1
+    beq $1, $1, target
+    li $2, 100        # delay slot executes
+    li $3, 55         # skipped
+  target:
+    halt
+  )");
+  EXPECT_EQ(s.reg(2), 100u);
+  EXPECT_EQ(s.reg(3), 0u);
+}
+
+TEST(Iss, NotTakenBranchFallsThrough) {
+  const Iss s = run_asm(R"(
+    li $1, 1
+    bne $1, $1, away
+    li $2, 1
+    li $3, 2
+  away:
+    halt
+  )");
+  EXPECT_EQ(s.reg(2), 1u);
+  EXPECT_EQ(s.reg(3), 2u);
+}
+
+TEST(Iss, BranchPolarities) {
+  const Iss s = run_asm(R"(
+    li $1, -5
+    li $2, 5
+    li $10, 0
+    bltz $1, a
+    nop
+    ori $10, $10, 1    # must be skipped
+  a:
+    bgez $2, b
+    nop
+    ori $10, $10, 2
+  b:
+    blez $0, c
+    nop
+    ori $10, $10, 4
+  c:
+    bgtz $2, d
+    nop
+    ori $10, $10, 8
+  d:
+    bltz $2, e         # not taken
+    nop
+    ori $10, $10, 16   # must execute
+  e:
+    halt
+  )");
+  EXPECT_EQ(s.reg(10), 16u);
+}
+
+TEST(Iss, LinkBranchesWriteRa) {
+  const Iss s = run_asm(R"(
+    li $1, -1
+    bltzal $1, sub
+    nop
+    halt
+  sub:
+    addu $2, $31, $0
+    halt
+  )");
+  EXPECT_EQ(s.reg(2), s.reg(31));
+  EXPECT_EQ(s.reg(31), 12u);  // bltzal at 4 (after 1-word li): 4 + 8
+}
+
+TEST(Iss, JalJrRoundTrip) {
+  RunResult rr;
+  const Iss s = run_asm(R"(
+    jal func
+    li $2, 11        # delay slot
+    li $3, 22        # after return
+    halt
+  func:
+    jr $31
+    li $4, 33        # delay slot of jr
+  )", &rr);
+  EXPECT_TRUE(rr.halted);
+  EXPECT_EQ(s.reg(2), 11u);
+  EXPECT_EQ(s.reg(3), 22u);
+  EXPECT_EQ(s.reg(4), 33u);
+  EXPECT_EQ(s.reg(31), 8u);
+}
+
+TEST(Iss, LoadsAndStoresAllSizes) {
+  const Iss s = run_asm(R"(
+    li $1, 0x2000
+    li $2, 0x80FF7F01
+    sw $2, 0($1)
+    lb  $3, 0($1)    # 0x01
+    lb  $4, 3($1)    # 0x80 -> sign extended
+    lbu $5, 3($1)    # 0x80
+    lh  $6, 0($1)    # 0x7F01
+    lh  $7, 2($1)    # 0x80FF -> sign extended
+    lhu $8, 2($1)
+    lw  $9, 0($1)
+    halt
+  )");
+  EXPECT_EQ(s.reg(3), 0x01u);
+  EXPECT_EQ(s.reg(4), 0xFFFFFF80u);
+  EXPECT_EQ(s.reg(5), 0x80u);
+  EXPECT_EQ(s.reg(6), 0x7F01u);
+  EXPECT_EQ(s.reg(7), 0xFFFF80FFu);
+  EXPECT_EQ(s.reg(8), 0x80FFu);
+  EXPECT_EQ(s.reg(9), 0x80FF7F01u);
+}
+
+TEST(Iss, ByteStoreMergesLane) {
+  const Iss s = run_asm(R"(
+    li $1, 0x2000
+    li $2, 0x11223344
+    sw $2, 0($1)
+    li $3, 0xAB
+    sb $3, 2($1)
+    li $4, 0xCDEF
+    sh $4, 0($1)
+    lw $5, 0($1)
+    halt
+  )");
+  EXPECT_EQ(s.reg(5), 0x11ABCDEFu);
+}
+
+TEST(Iss, WriteTraceRecordsLaneReplication) {
+  Iss s = run_asm(R"(
+    li $1, 0x2000
+    li $2, 0x5A
+    sb $2, 1($1)
+    halt
+  )");
+  ASSERT_EQ(s.writes().size(), 2u);  // sb + halt store
+  EXPECT_EQ(s.writes()[0].addr, 0x2001u);
+  EXPECT_EQ(s.writes()[0].byte_en, 0b0010u);
+  EXPECT_EQ(s.writes()[0].data, 0x5A5A5A5Au);  // byte on every lane
+  EXPECT_EQ(s.writes()[1].addr, isa::kHaltAddress);
+}
+
+// --- timing model -----------------------------------------------------------
+
+TEST(IssTiming, BaseCpiIsOne) {
+  RunResult rr;
+  run_asm("nop\nnop\nnop\nhalt\n", &rr);
+  // 1 startup fetch + 3 nops + halt store cycle.
+  EXPECT_EQ(rr.cycles, 1u + 3u + 1u);
+}
+
+TEST(IssTiming, LoadStoreCostTwo) {
+  RunResult r1, r2;
+  run_asm("nop\nnop\nhalt\n", &r1);
+  run_asm("lw $1, 0($0)\nsw $1, 0x100($0)\nhalt\n", &r2);
+  EXPECT_EQ(r2.cycles, r1.cycles + 2u);
+}
+
+TEST(IssTiming, MflowWaitsForMultiplier) {
+  RunResult busy, idle;
+  run_asm("mult $1, $2\nmflo $3\nhalt\n", &busy);
+  run_asm("mult $1, $2\nnop\nhalt\n", &idle);
+  // mflo stalls until the unit finishes (kMulDivBusy iterations).
+  EXPECT_EQ(busy.cycles - idle.cycles, kMulDivBusy);
+}
+
+TEST(IssTiming, IndependentInstructionsHideMulLatency) {
+  RunResult with_mult, without;
+  run_asm("mult $1, $2\nnop\nnop\nnop\nhalt\n", &with_mult);
+  run_asm("nop\nnop\nnop\nnop\nhalt\n", &without);
+  EXPECT_EQ(with_mult.cycles, without.cycles);
+}
+
+TEST(IssTiming, BackToBackMultStalls) {
+  RunResult r;
+  run_asm("mult $1, $2\nmult $1, $2\nhalt\n", &r);
+  EXPECT_GT(r.cycles, kMulDivBusy);
+}
+
+TEST(Iss, StopsAtMaxInstructions) {
+  Iss s(isa::assemble("loop: b loop\nnop\n"));
+  const RunResult r = s.run(100);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.instructions, 100u);
+}
+
+TEST(Iss, MemorySizeValidation) {
+  const isa::Program p = isa::assemble("halt\n");
+  EXPECT_THROW(Iss(p, 1000), std::invalid_argument);  // not a power of two
+  EXPECT_NO_THROW(Iss(p, 1024));
+}
+
+}  // namespace
+}  // namespace sbst::iss

@@ -1,0 +1,89 @@
+#include "iss/randprog.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips.h"
+#include "iss/iss.h"
+
+namespace sbst::iss {
+namespace {
+
+TEST(RandProg, DeterministicForSeed) {
+  const isa::Program a = random_program(42);
+  const isa::Program b = random_program(42);
+  EXPECT_EQ(a.words, b.words);
+  const isa::Program c = random_program(43);
+  EXPECT_NE(a.words, c.words);
+}
+
+TEST(RandProg, AlwaysHalts) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Iss iss(random_program(seed));
+    const RunResult r = iss.run(100000);
+    EXPECT_TRUE(r.halted) << "seed " << seed;
+  }
+}
+
+TEST(RandProg, NoBranchInDelaySlot) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const isa::Program p = random_program(seed);
+    for (std::size_t i = 0; i + 1 < p.words.size(); ++i) {
+      const isa::Decoded d = isa::decode(p.words[i]);
+      if (isa::is_branch(d.mn) || isa::is_jump(d.mn)) {
+        const isa::Decoded next = isa::decode(p.words[i + 1]);
+        EXPECT_FALSE(isa::is_branch(next.mn) || isa::is_jump(next.mn))
+            << "seed " << seed << " word " << i;
+      }
+    }
+  }
+}
+
+TEST(RandProg, BranchesAreForward) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const isa::Program p = random_program(seed);
+    for (std::size_t i = 0; i < p.words.size(); ++i) {
+      const isa::Decoded d = isa::decode(p.words[i]);
+      if (isa::is_branch(d.mn)) {
+        EXPECT_GT(d.simm(), 0) << "only forward branches are generated";
+      }
+    }
+  }
+}
+
+TEST(RandProg, MemoryAccessesStayInWindow) {
+  RandProgOptions opt;
+  opt.data_base = 0x2000;
+  opt.data_window = 512;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Iss iss(random_program(seed, opt));
+    iss.run(100000);
+    for (const WriteOp& w : iss.writes()) {
+      if (w.addr == isa::kHaltAddress) continue;
+      EXPECT_GE(w.addr, opt.data_base);
+      EXPECT_LT(w.addr, opt.data_base + opt.data_window + 26 * 4 + 4);
+    }
+  }
+}
+
+TEST(RandProg, FeatureTogglesRespected) {
+  RandProgOptions opt;
+  opt.with_muldiv = false;
+  opt.with_memory = false;
+  opt.with_branches = false;
+  opt.with_jumps = false;
+  const isa::Program p = random_program(9, opt);
+  // Skip prologue/epilogue: check the body contains no excluded classes.
+  for (std::size_t i = 0; i < p.words.size(); ++i) {
+    const isa::Decoded d = isa::decode(p.words[i]);
+    EXPECT_FALSE(isa::is_muldiv_access(d.mn));
+    EXPECT_FALSE(isa::is_branch(d.mn));
+    EXPECT_FALSE(isa::is_jump(d.mn));
+    if (isa::is_store(d.mn) || isa::is_load(d.mn)) {
+      // epilogue stores + halt are allowed: sw only
+      EXPECT_EQ(d.mn, isa::Mnemonic::kSw);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbst::iss

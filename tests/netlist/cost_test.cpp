@@ -1,0 +1,67 @@
+#include "netlist/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::nl {
+namespace {
+
+TEST(Cost, GateWeights) {
+  EXPECT_EQ(nand2_cost(GateKind::kNand2), 1.0);
+  EXPECT_EQ(nand2_cost(GateKind::kNor2), 1.0);
+  EXPECT_EQ(nand2_cost(GateKind::kNot), 0.5);
+  EXPECT_EQ(nand2_cost(GateKind::kAnd2), 1.5);
+  EXPECT_EQ(nand2_cost(GateKind::kXor2), 2.5);
+  EXPECT_EQ(nand2_cost(GateKind::kMux2), 2.5);
+  EXPECT_EQ(nand2_cost(GateKind::kDff), 5.0);
+  EXPECT_EQ(nand2_cost(GateKind::kInput), 0.0);
+  EXPECT_EQ(nand2_cost(GateKind::kConst1), 0.0);
+  EXPECT_EQ(nand2_cost(GateKind::kBuf), 0.0);
+}
+
+TEST(Cost, AggregatesByComponent) {
+  Netlist n;
+  const ComponentId c1 = n.declare_component("one");
+  const ComponentId c2 = n.declare_component("two");
+  const GateId a = n.add_gate(GateKind::kInput);
+  n.set_current_component(c1);
+  const GateId x = n.add_gate(GateKind::kNot, a);
+  n.set_current_component(c2);
+  const GateId y = n.add_gate(GateKind::kAnd2, x, a);
+  const GateId q = n.add_dff(y, false);
+  n.add_output("o", {q});
+
+  const CostReport rep = compute_cost(n);
+  EXPECT_DOUBLE_EQ(rep.components[c1].nand2_equiv, 0.5);
+  EXPECT_DOUBLE_EQ(rep.components[c2].nand2_equiv, 1.5 + 5.0);
+  EXPECT_EQ(rep.components[c2].dffs, 1u);
+  EXPECT_DOUBLE_EQ(rep.total_nand2, 7.0);
+}
+
+TEST(Cost, ExcludesDeadLogic) {
+  Netlist n;
+  const GateId a = n.add_gate(GateKind::kInput);
+  const GateId used = n.add_gate(GateKind::kNot, a);
+  n.add_gate(GateKind::kAnd2, a, a);  // dead
+  n.add_output("o", {used});
+  const CostReport rep = compute_cost(n);
+  EXPECT_DOUBLE_EQ(rep.total_nand2, 0.5);
+}
+
+TEST(Cost, SortsDescending) {
+  Netlist n;
+  const ComponentId small = n.declare_component("small");
+  const ComponentId big = n.declare_component("big");
+  const GateId a = n.add_gate(GateKind::kInput);
+  n.set_current_component(small);
+  const GateId x = n.add_gate(GateKind::kNot, a);
+  n.set_current_component(big);
+  const GateId y = n.add_gate(GateKind::kXor2, x, a);
+  n.add_output("o", {y});
+  const auto sorted = compute_cost(n).by_descending_size();
+  ASSERT_GE(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].name, "big");
+  EXPECT_GE(sorted[0].nand2_equiv, sorted[1].nand2_equiv);
+}
+
+}  // namespace
+}  // namespace sbst::nl

@@ -1,0 +1,141 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::nl {
+namespace {
+
+TEST(Netlist, StartsWithConstants) {
+  Netlist n;
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.gate(n.const0()).kind, GateKind::kConst0);
+  EXPECT_EQ(n.gate(n.const1()).kind, GateKind::kConst1);
+}
+
+TEST(Netlist, AddGateConnectsPins) {
+  Netlist n;
+  const GateId a = n.add_gate(GateKind::kInput);
+  const GateId b = n.add_gate(GateKind::kInput);
+  const GateId g = n.add_gate(GateKind::kAnd2, a, b);
+  EXPECT_EQ(n.gate(g).in[0], a);
+  EXPECT_EQ(n.gate(g).in[1], b);
+  EXPECT_EQ(n.gate(g).in[2], kNoGate);
+}
+
+TEST(Netlist, AddGateRejectsExtraInputs) {
+  Netlist n;
+  const GateId a = n.add_gate(GateKind::kInput);
+  EXPECT_THROW(n.add_gate(GateKind::kNot, a, a), NetlistError);
+  EXPECT_THROW(n.add_gate(GateKind::kAnd2, a, a, a), NetlistError);
+}
+
+TEST(Netlist, AddGateRejectsUnknownDriver) {
+  Netlist n;
+  EXPECT_THROW(n.add_gate(GateKind::kNot, 12345), NetlistError);
+}
+
+TEST(Netlist, DffTracksResetValue) {
+  Netlist n;
+  const GateId d = n.add_gate(GateKind::kInput);
+  const GateId q0 = n.add_dff(d, false);
+  const GateId q1 = n.add_dff(d, true);
+  EXPECT_EQ(n.gate(q0).reset_val, 0);
+  EXPECT_EQ(n.gate(q1).reset_val, 1);
+  EXPECT_EQ(n.num_dffs(), 2u);
+}
+
+TEST(Netlist, SetGateInputClosesFeedback) {
+  Netlist n;
+  const GateId q = n.add_gate(GateKind::kDff);  // open D
+  const GateId inv = n.add_gate(GateKind::kNot, q);
+  n.set_gate_input(q, 0, inv);
+  EXPECT_EQ(n.gate(q).in[0], inv);
+  EXPECT_NO_THROW(n.check());
+}
+
+TEST(Netlist, SetGateInputValidatesPin) {
+  Netlist n;
+  const GateId a = n.add_gate(GateKind::kInput);
+  const GateId g = n.add_gate(GateKind::kNot, a);
+  EXPECT_THROW(n.set_gate_input(g, 1, a), NetlistError);
+  EXPECT_THROW(n.set_gate_input(g, -1, a), NetlistError);
+  EXPECT_THROW(n.set_gate_input(12345, 0, a), NetlistError);
+}
+
+TEST(Netlist, CheckDetectsUnconnectedPin) {
+  Netlist n;
+  n.add_gate(GateKind::kDff);  // open D pin
+  EXPECT_THROW(n.check(), NetlistError);
+}
+
+TEST(Netlist, InputPortCreatesInputGates) {
+  Netlist n;
+  const Port& p = n.add_input("data", 8);
+  EXPECT_EQ(p.width(), 8);
+  for (GateId g : p.bits) {
+    EXPECT_EQ(n.gate(g).kind, GateKind::kInput);
+  }
+  EXPECT_EQ(n.num_primary_inputs(), 8u);
+  EXPECT_TRUE(n.has_input("data"));
+  EXPECT_FALSE(n.has_input("nope"));
+  EXPECT_EQ(n.input("data").bits, p.bits);
+}
+
+TEST(Netlist, DuplicatePortNamesRejected) {
+  Netlist n;
+  n.add_input("x", 1);
+  EXPECT_THROW(n.add_input("x", 2), NetlistError);
+  n.add_output("y", {n.const0()});
+  EXPECT_THROW(n.add_output("y", {n.const1()}), NetlistError);
+}
+
+TEST(Netlist, OutputPortValidatesBits) {
+  Netlist n;
+  EXPECT_THROW(n.add_output("bad", {GateId{999}}), NetlistError);
+}
+
+TEST(Netlist, UnknownPortLookupThrows) {
+  Netlist n;
+  EXPECT_THROW(n.input("missing"), NetlistError);
+  EXPECT_THROW(n.output("missing"), NetlistError);
+}
+
+TEST(Netlist, ComponentTagging) {
+  Netlist n;
+  const ComponentId alu = n.declare_component("ALU");
+  EXPECT_EQ(n.component_name(alu), "ALU");
+  n.set_current_component(alu);
+  const GateId a = n.add_gate(GateKind::kInput);
+  EXPECT_EQ(n.gate(a).component, alu);
+  n.set_current_component(kNoComponent);
+  const GateId b = n.add_gate(GateKind::kInput);
+  EXPECT_EQ(n.gate(b).component, kNoComponent);
+  EXPECT_EQ(n.num_components(), 2);
+}
+
+TEST(Netlist, SetCurrentComponentValidates) {
+  Netlist n;
+  EXPECT_THROW(n.set_current_component(42), NetlistError);
+}
+
+TEST(GateKind, FaninCounts) {
+  EXPECT_EQ(fanin_count(GateKind::kConst0), 0);
+  EXPECT_EQ(fanin_count(GateKind::kInput), 0);
+  EXPECT_EQ(fanin_count(GateKind::kNot), 1);
+  EXPECT_EQ(fanin_count(GateKind::kDff), 1);
+  EXPECT_EQ(fanin_count(GateKind::kAnd2), 2);
+  EXPECT_EQ(fanin_count(GateKind::kXnor2), 2);
+  EXPECT_EQ(fanin_count(GateKind::kMux2), 3);
+}
+
+TEST(GateKind, NamesAreDistinct) {
+  for (int i = 0; i < kNumGateKinds; ++i) {
+    for (int j = i + 1; j < kNumGateKinds; ++j) {
+      EXPECT_NE(gate_kind_name(static_cast<GateKind>(i)),
+                gate_kind_name(static_cast<GateKind>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbst::nl

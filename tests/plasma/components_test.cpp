@@ -1,0 +1,258 @@
+#include "plasma/standalone.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/logicsim.h"
+
+namespace sbst::plasma {
+namespace {
+
+// Reference ALU control encodings (see AluControl in components.h):
+//   result_sel: 0 adder, 1 logic, 2 slt; logic_sel: 0 and,1 or,2 xor,3 nor.
+struct AluVec {
+  std::uint32_t a, b;
+};
+
+class AluHarness {
+ public:
+  AluHarness() : n_(standalone_alu()), s_(n_) {}
+
+  std::uint32_t run(std::uint32_t a, std::uint32_t b, int result_sel,
+                    int logic_sel, bool sub, bool slt_signed) {
+    s_.set_input(n_.input("a"), a);
+    s_.set_input(n_.input("b"), b);
+    s_.set_input(n_.input("sub"), sub);
+    s_.set_input(n_.input("slt_signed"), slt_signed);
+    s_.set_input(n_.input("logic_sel"), static_cast<unsigned>(logic_sel));
+    s_.set_input(n_.input("result_sel"), static_cast<unsigned>(result_sel));
+    s_.eval();
+    return static_cast<std::uint32_t>(s_.read_output(n_.output("result")));
+  }
+
+ private:
+  nl::Netlist n_;
+  sim::LogicSim s_;
+};
+
+class AluOps : public ::testing::TestWithParam<AluVec> {};
+
+TEST_P(AluOps, MatchesReference) {
+  const auto [a, b] = GetParam();
+  AluHarness h;
+  EXPECT_EQ(h.run(a, b, 0, 0, false, false), a + b);
+  EXPECT_EQ(h.run(a, b, 0, 0, true, false), a - b);
+  EXPECT_EQ(h.run(a, b, 1, 0, false, false), a & b);
+  EXPECT_EQ(h.run(a, b, 1, 1, false, false), a | b);
+  EXPECT_EQ(h.run(a, b, 1, 2, false, false), a ^ b);
+  EXPECT_EQ(h.run(a, b, 1, 3, false, false), ~(a | b));
+  EXPECT_EQ(h.run(a, b, 2, 0, true, true),
+            static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1u
+                                                                        : 0u);
+  EXPECT_EQ(h.run(a, b, 2, 0, true, false), a < b ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, AluOps,
+    ::testing::Values(AluVec{0, 0}, AluVec{1, 1}, AluVec{0xFFFFFFFF, 1},
+                      AluVec{0x7FFFFFFF, 0x80000000},
+                      AluVec{0x80000000, 0x7FFFFFFF},
+                      AluVec{0x80000000, 0xFFFFFFFF},
+                      AluVec{0x55555555, 0xAAAAAAAA},
+                      AluVec{0x12345678, 0x9ABCDEF0},
+                      AluVec{0xDEADBEEF, 0xCAFEBABE},
+                      AluVec{0xFFFFFFFF, 0xFFFFFFFF}));
+
+class ShifterHarness {
+ public:
+  ShifterHarness() : n_(standalone_shifter()), s_(n_) {}
+  std::uint32_t run(std::uint32_t v, unsigned amount, bool right, bool arith,
+                    bool variable) {
+    s_.set_input(n_.input("value"), v);
+    s_.set_input(n_.input("shamt"), variable ? 0 : amount);
+    s_.set_input(n_.input("rs_low"), variable ? amount : 0);
+    s_.set_input(n_.input("right"), right);
+    s_.set_input(n_.input("arith"), arith);
+    s_.set_input(n_.input("variable"), variable);
+    s_.eval();
+    return static_cast<std::uint32_t>(s_.read_output(n_.output("result")));
+  }
+
+ private:
+  nl::Netlist n_;
+  sim::LogicSim s_;
+};
+
+class ShifterAmount : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShifterAmount, AllThreeOpsBothAmountSources) {
+  const unsigned amt = static_cast<unsigned>(GetParam());
+  ShifterHarness h;
+  for (std::uint32_t v : {0x80000001u, 0x55555555u, 0xAAAAAAAAu, 0xFFFFFFFFu,
+                          0x00000001u}) {
+    for (bool variable : {false, true}) {
+      EXPECT_EQ(h.run(v, amt, false, false, variable), v << amt);
+      EXPECT_EQ(h.run(v, amt, true, false, variable), v >> amt);
+      EXPECT_EQ(h.run(v, amt, true, true, variable),
+                static_cast<std::uint32_t>(static_cast<std::int32_t>(v) >>
+                                           amt));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amounts, ShifterAmount,
+                         ::testing::Values(0, 1, 2, 3, 7, 8, 15, 16, 17, 30,
+                                           31));
+
+class RegFileHarness {
+ public:
+  RegFileHarness() : n_(standalone_regfile()), s_(n_) { s_.reset(); }
+  void write(int reg, std::uint32_t v) {
+    s_.set_input(n_.input("waddr"), static_cast<unsigned>(reg));
+    s_.set_input(n_.input("wdata"), v);
+    s_.set_input(n_.input("wen"), 1);
+    s_.eval();
+    s_.step_clock();
+    s_.set_input(n_.input("wen"), 0);
+  }
+  std::uint32_t read1(int reg) {
+    s_.set_input(n_.input("raddr1"), static_cast<unsigned>(reg));
+    s_.eval();
+    return static_cast<std::uint32_t>(s_.read_output(n_.output("rdata1")));
+  }
+  std::uint32_t read2(int reg) {
+    s_.set_input(n_.input("raddr2"), static_cast<unsigned>(reg));
+    s_.eval();
+    return static_cast<std::uint32_t>(s_.read_output(n_.output("rdata2")));
+  }
+
+ private:
+  nl::Netlist n_;
+  sim::LogicSim s_;
+};
+
+TEST(RegFile, WriteReadAllRegistersBothPorts) {
+  RegFileHarness h;
+  for (int r = 1; r <= 31; ++r) {
+    h.write(r, 0x1000u + static_cast<unsigned>(r));
+  }
+  for (int r = 1; r <= 31; ++r) {
+    EXPECT_EQ(h.read1(r), 0x1000u + static_cast<unsigned>(r));
+    EXPECT_EQ(h.read2(r), 0x1000u + static_cast<unsigned>(r));
+  }
+}
+
+TEST(RegFile, RegisterZeroReadsZero) {
+  RegFileHarness h;
+  h.write(0, 0xFFFFFFFF);
+  EXPECT_EQ(h.read1(0), 0u);
+  EXPECT_EQ(h.read2(0), 0u);
+}
+
+TEST(RegFile, WriteEnableGates) {
+  RegFileHarness h;
+  h.write(5, 0xAAAA5555);
+  // Attempt a write with wen low.
+  // (drive wdata/waddr but never pulse wen)
+  EXPECT_EQ(h.read1(5), 0xAAAA5555u);
+}
+
+TEST(RegFile, WritesDoNotAliasNeighbours) {
+  RegFileHarness h;
+  for (int r = 1; r <= 31; ++r) h.write(r, 0u);
+  h.write(21, 0xDEADBEEF);
+  for (int r = 1; r <= 31; ++r) {
+    EXPECT_EQ(h.read1(r), r == 21 ? 0xDEADBEEFu : 0u);
+  }
+}
+
+TEST(MemCtrl, AddressMuxAndStrobes) {
+  nl::Netlist n = standalone_memctrl();
+  sim::LogicSim s(n);
+  auto set = [&](const char* p, std::uint64_t v) {
+    s.set_input(n.input(p), v);
+  };
+  auto get = [&](const char* p) { return s.read_output(n.output(p)); };
+  set("pc", 0x1234);
+  set("data_addr", 0x2008);
+  set("rt", 0xCAFEBABE);
+  set("is_load", 0);
+  set("is_store", 0);
+  set("size", 2);
+  s.eval();
+  EXPECT_EQ(get("addr"), 0x1234u);  // fetch path
+  EXPECT_EQ(get("byte_we"), 0u);
+  EXPECT_EQ(get("rd_en"), 1u);
+  EXPECT_EQ(get("wdata"), 0u);  // bus quiet when not storing
+
+  set("is_store", 1);
+  s.eval();
+  EXPECT_EQ(get("addr"), 0x2008u);  // data path
+  EXPECT_EQ(get("byte_we"), 0xFu);
+  EXPECT_EQ(get("rd_en"), 0u);
+  EXPECT_EQ(get("wdata"), 0xCAFEBABEu);
+}
+
+TEST(MemCtrl, ByteLaneEnablesAndReplication) {
+  nl::Netlist n = standalone_memctrl();
+  sim::LogicSim s(n);
+  auto set = [&](const char* p, std::uint64_t v) {
+    s.set_input(n.input(p), v);
+  };
+  auto get = [&](const char* p) { return s.read_output(n.output(p)); };
+  set("rt", 0x000000A5);
+  set("is_store", 1);
+  set("size", 0);  // byte
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    set("data_addr", 0x2000 + lane);
+    s.eval();
+    EXPECT_EQ(get("byte_we"), 1u << lane);
+    EXPECT_EQ(get("wdata"), 0xA5A5A5A5u);
+  }
+  set("size", 1);  // half
+  set("rt", 0x0000BEEF);
+  for (unsigned lane = 0; lane < 4; lane += 2) {
+    set("data_addr", 0x2000 + lane);
+    s.eval();
+    EXPECT_EQ(get("byte_we"), lane ? 0b1100u : 0b0011u);
+    EXPECT_EQ(get("wdata"), 0xBEEFBEEFu);
+  }
+}
+
+TEST(MemCtrl, LoadFormatting) {
+  nl::Netlist n = standalone_memctrl();
+  sim::LogicSim s(n);
+  auto set = [&](const char* p, std::uint64_t v) {
+    s.set_input(n.input(p), v);
+  };
+  set("rdata", 0x80FF7F01);
+  struct Case {
+    unsigned size, lane, sign;
+    std::uint32_t expect;
+  };
+  const Case cases[] = {
+      {0, 0, 0, 0x01},       {0, 1, 0, 0x7F},       {0, 2, 0, 0xFF},
+      {0, 3, 0, 0x80},       {0, 2, 1, 0xFFFFFFFF}, {0, 3, 1, 0xFFFFFF80},
+      {0, 0, 1, 0x01},       {1, 0, 0, 0x7F01},     {1, 2, 0, 0x80FF},
+      {1, 2, 1, 0xFFFF80FF}, {1, 0, 1, 0x7F01},     {2, 0, 0, 0x80FF7F01},
+  };
+  for (const Case& c : cases) {
+    set("wb_size", c.size);
+    set("wb_addr_lo", c.lane);
+    set("wb_signed", c.sign);
+    s.eval();
+    EXPECT_EQ(s.read_output(n.output("load_value")), c.expect)
+        << "size=" << c.size << " lane=" << c.lane << " sign=" << c.sign;
+  }
+}
+
+TEST(Standalone, NetlistsLevelizeAndHaveFaults) {
+  for (auto* make : {&standalone_alu, &standalone_shifter,
+                     &standalone_regfile, &standalone_muldiv,
+                     &standalone_memctrl}) {
+    nl::Netlist n = (*make)();
+    EXPECT_NO_THROW(nl::levelize(n));
+  }
+}
+
+}  // namespace
+}  // namespace sbst::plasma

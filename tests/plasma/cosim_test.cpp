@@ -1,0 +1,295 @@
+// Co-simulation: the gate-level CPU against the ISS oracle. Equality is
+// required on the full memory-write trace (address, data, byte enables,
+// order), the final architectural state (all registers, HI, LO) and the
+// cycle count — directed programs first, then parameterized random
+// program sweeps (the property test).
+#include <gtest/gtest.h>
+
+#include "iss/iss.h"
+#include "iss/randprog.h"
+#include "plasma/cpu.h"
+#include "plasma/testbench.h"
+
+namespace sbst::plasma {
+namespace {
+
+const PlasmaCpu& shared_cpu() {
+  static const PlasmaCpu* cpu = new PlasmaCpu(build_plasma_cpu());
+  return *cpu;
+}
+
+void expect_equivalence(const isa::Program& prog) {
+  iss::Iss iss(prog);
+  const iss::RunResult ir = iss.run(200000);
+  ASSERT_TRUE(ir.halted) << "reference run must halt";
+  const GateRunResult gr = run_gate_cpu(shared_cpu(), prog, 500000);
+  ASSERT_TRUE(gr.halted) << "gate-level run must halt";
+
+  EXPECT_EQ(gr.cycles, ir.cycles);
+  ASSERT_EQ(gr.writes.size(), iss.writes().size());
+  for (std::size_t i = 0; i < gr.writes.size(); ++i) {
+    EXPECT_EQ(gr.writes[i], iss.writes()[i]) << "write #" << i;
+  }
+  for (int r = 1; r <= 31; ++r) {
+    EXPECT_EQ(gr.regs[static_cast<std::size_t>(r)], iss.reg(r)) << "$" << r;
+  }
+  EXPECT_EQ(gr.hi, iss.hi());
+  EXPECT_EQ(gr.lo, iss.lo());
+}
+
+void expect_equivalence_asm(const std::string& src) {
+  expect_equivalence(isa::assemble(src));
+}
+
+TEST(Cosim, Arithmetic) {
+  expect_equivalence_asm(R"(
+    li $1, 0x89ABCDEF
+    li $2, 0x12345678
+    addu $3, $1, $2
+    subu $4, $2, $1
+    add  $5, $3, $4
+    sub  $6, $3, $4
+    slt  $7, $1, $2
+    sltu $8, $1, $2
+    li $9, 0x1000
+    sw $3, 0($9)
+    sw $4, 4($9)
+    halt
+  )");
+}
+
+TEST(Cosim, LogicAndImmediates) {
+  expect_equivalence_asm(R"(
+    li $1, 0xF0F0A5A5
+    andi $2, $1, 0x00FF
+    ori  $3, $1, 0xFF00
+    xori $4, $1, 0xFFFF
+    lui  $5, 0xBEEF
+    and $6, $1, $5
+    or  $7, $1, $5
+    xor $8, $1, $5
+    nor $9, $1, $5
+    slti $10, $1, -1
+    sltiu $11, $1, -1
+    halt
+  )");
+}
+
+TEST(Cosim, ShiftsAllAmounts) {
+  // Every amount 0..31 through all six shift forms in a loop.
+  expect_equivalence_asm(R"(
+    li $1, 0x80000001
+    li $2, 0
+    li $3, 32
+    li $9, 0x1000
+  loop:
+    sllv $4, $1, $2
+    srlv $5, $1, $2
+    srav $6, $1, $2
+    xor $7, $4, $5
+    xor $7, $7, $6
+    sw $7, 0($9)
+    addiu $2, $2, 1
+    bne $2, $3, loop
+    addiu $9, $9, 4
+    sll $4, $1, 0
+    sll $5, $1, 31
+    srl $6, $1, 17
+    sra $7, $1, 9
+    sw $4, 0($9)
+    sw $5, 4($9)
+    sw $6, 8($9)
+    sw $7, 12($9)
+    halt
+  )");
+}
+
+TEST(Cosim, MemoryAllWidths) {
+  expect_equivalence_asm(R"(
+    li $1, 0x2000
+    li $2, 0x80FF7F01
+    sw $2, 0($1)
+    lb  $3, 0($1)
+    lb  $4, 1($1)
+    lb  $5, 2($1)
+    lb  $6, 3($1)
+    lbu $7, 2($1)
+    lh  $8, 0($1)
+    lh  $9, 2($1)
+    lhu $10, 2($1)
+    lw  $11, 0($1)
+    sb $3, 4($1)
+    sb $4, 5($1)
+    sh $8, 6($1)
+    sh $9, 8($1)
+    sw $11, 12($1)
+    lw $12, 4($1)
+    lw $13, 8($1)
+    halt
+  )");
+}
+
+TEST(Cosim, MulDivWithStalls) {
+  expect_equivalence_asm(R"(
+    li $1, -7
+    li $2, 3
+    mult $1, $2
+    mflo $3           # stalls on busy unit
+    mfhi $4
+    multu $1, $2
+    nop               # partial overlap
+    nop
+    mflo $5
+    div $1, $2
+    mflo $6
+    mfhi $7
+    divu $1, $2
+    mflo $8
+    mfhi $9
+    div $1, $0        # divide-by-zero model
+    mflo $10
+    mult $1, $2       # back-to-back issue while idle
+    mult $2, $1       # issue while busy -> pause
+    mflo $11
+    mthi $1
+    mtlo $2
+    mfhi $12
+    mflo $13
+    li $14, 0x1800
+    sw $3, 0($14)
+    sw $11, 4($14)
+    halt
+  )");
+}
+
+TEST(Cosim, BranchesAndJumps) {
+  expect_equivalence_asm(R"(
+    li $1, -1
+    li $2, 1
+    li $10, 0
+    beq $1, $1, a
+    addiu $10, $10, 1
+    addiu $10, $10, 2
+  a:
+    bne $1, $2, b
+    addiu $10, $10, 4
+    addiu $10, $10, 8
+  b:
+    bltzal $1, c
+    addiu $10, $10, 16
+    addiu $10, $10, 32
+  c:
+    jal d
+    addiu $10, $10, 64
+    j e
+    addiu $10, $10, 128
+  d:
+    jr $31
+    addiu $10, $10, 256
+  e:
+    la $3, d
+    jalr $31, $3
+    addiu $10, $10, 512
+    li $4, 2
+  back:
+    addiu $4, $4, -1
+    bne $4, $0, back
+    addiu $10, $10, 1024
+    li $9, 0x1400
+    sw $10, 0($9)
+    sw $31, 4($9)
+    halt
+  )");
+}
+
+TEST(Cosim, StoreInBranchDelaySlot) {
+  expect_equivalence_asm(R"(
+    li $1, 3
+    li $9, 0x1000
+  loop:
+    addiu $1, $1, -1
+    bne $1, $0, loop
+    sw $1, 0($9)
+    halt
+  )");
+}
+
+TEST(Cosim, LoadUseInLoop) {
+  expect_equivalence_asm(R"(
+    li $9, 0x1000
+    li $1, 0xABCD
+    sw $1, 0($9)
+    lw $2, 0($9)
+    addu $3, $2, $2      # uses loaded value immediately after bubble
+    sw $3, 4($9)
+    lw $4, 4($9)
+    sw $4, 8($9)
+    halt
+  )");
+}
+
+// Property test: random programs, all instruction classes mixed.
+class CosimRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CosimRandom, TraceAndStateEquivalence) {
+  iss::RandProgOptions opt;
+  opt.body_instructions = 150;
+  expect_equivalence(iss::random_program(GetParam(), opt));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CosimRandom,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Narrower random sweeps isolate instruction families.
+TEST(CosimRandom, AluOnly) {
+  iss::RandProgOptions opt;
+  opt.with_muldiv = false;
+  opt.with_branches = false;
+  opt.with_memory = false;
+  opt.with_jumps = false;
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    expect_equivalence(iss::random_program(seed, opt));
+  }
+}
+
+TEST(CosimRandom, MemoryHeavy) {
+  iss::RandProgOptions opt;
+  opt.with_muldiv = false;
+  opt.with_jumps = false;
+  for (std::uint64_t seed = 200; seed < 205; ++seed) {
+    expect_equivalence(iss::random_program(seed, opt));
+  }
+}
+
+TEST(CosimRandom, MulDivHeavy) {
+  iss::RandProgOptions opt;
+  opt.with_branches = false;
+  opt.with_jumps = false;
+  opt.body_instructions = 80;
+  for (std::uint64_t seed = 300; seed < 305; ++seed) {
+    expect_equivalence(iss::random_program(seed, opt));
+  }
+}
+
+TEST(Cpu, NetlistChecksAndLevelizes) {
+  const PlasmaCpu& cpu = shared_cpu();
+  EXPECT_NO_THROW(cpu.netlist.check());
+  EXPECT_NO_THROW(nl::levelize(cpu.netlist));
+  EXPECT_EQ(cpu.netlist.num_components(), plasma::kNumPlasmaComponents + 1);
+}
+
+TEST(Cpu, ComponentNamesMatchPaperTable2) {
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kRegF), "RegF");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kMulD), "MulD");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kAlu), "ALU");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kBsh), "BSH");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kMctrl), "MCTRL");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kPcl), "PCL");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kCtrl), "CTRL");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kBmux), "BMUX");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kPln), "PLN");
+  EXPECT_EQ(plasma_component_name(PlasmaComponent::kGl), "GL");
+}
+
+}  // namespace
+}  // namespace sbst::plasma

@@ -1,0 +1,130 @@
+#include "sim/logicsim.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::sim {
+namespace {
+
+TEST(EvalGate, TruthTables) {
+  using nl::GateKind;
+  const Word a = 0b1100;
+  const Word b = 0b1010;
+  EXPECT_EQ(eval_gate(GateKind::kAnd2, a, b, 0) & 0xF, 0b1000u);
+  EXPECT_EQ(eval_gate(GateKind::kOr2, a, b, 0) & 0xF, 0b1110u);
+  EXPECT_EQ(eval_gate(GateKind::kNand2, a, b, 0) & 0xF, 0b0111u);
+  EXPECT_EQ(eval_gate(GateKind::kNor2, a, b, 0) & 0xF, 0b0001u);
+  EXPECT_EQ(eval_gate(GateKind::kXor2, a, b, 0) & 0xF, 0b0110u);
+  EXPECT_EQ(eval_gate(GateKind::kXnor2, a, b, 0) & 0xF, 0b1001u);
+  EXPECT_EQ(eval_gate(GateKind::kNot, a, 0, 0) & 0xF, 0b0011u);
+  EXPECT_EQ(eval_gate(GateKind::kBuf, a, 0, 0) & 0xF, 0b1100u);
+  // mux: c selects between a (c=0) and b (c=1), bitwise.
+  EXPECT_EQ(eval_gate(GateKind::kMux2, a, b, 0b0101), (a & ~Word{0b0101}) | (b & 0b0101));
+}
+
+TEST(LogicSim, CombinationalChain) {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 2);
+  const nl::GateId x = n.add_gate(nl::GateKind::kXor2, in.bits[0], in.bits[1]);
+  const nl::GateId y = n.add_gate(nl::GateKind::kNot, x);
+  n.add_output("out", {x, y});
+  LogicSim s(n);
+  for (unsigned v = 0; v < 4; ++v) {
+    s.set_input(n.input("in"), v);
+    s.eval();
+    const unsigned x_exp = ((v & 1) ^ (v >> 1)) & 1;
+    EXPECT_EQ(s.read_output(n.output("out")), x_exp | ((x_exp ^ 1u) << 1));
+  }
+}
+
+TEST(LogicSim, ResetLoadsDffValues) {
+  nl::Netlist n;
+  const auto& in = n.add_input("d", 1);
+  const nl::GateId q0 = n.add_dff(in.bits[0], false);
+  const nl::GateId q1 = n.add_dff(in.bits[0], true);
+  n.add_output("q", {q0, q1});
+  LogicSim s(n);
+  s.reset();
+  EXPECT_EQ(s.read_output(n.output("q")), 0b10u);
+}
+
+TEST(LogicSim, ClockAdvancesState) {
+  nl::Netlist n;
+  const auto& in = n.add_input("d", 1);
+  const nl::GateId q = n.add_dff(in.bits[0], false);
+  n.add_output("q", {q});
+  LogicSim s(n);
+  s.reset();
+  s.set_input(n.input("d"), 1);
+  s.eval();
+  EXPECT_EQ(s.read_output(n.output("q")), 0u);  // before the edge
+  s.step_clock();
+  EXPECT_EQ(s.read_output(n.output("q")), 1u);  // after the edge
+}
+
+TEST(LogicSim, DffChainShiftsOnePerCycle) {
+  nl::Netlist n;
+  const auto& in = n.add_input("d", 1);
+  nl::GateId q = in.bits[0];
+  std::vector<nl::GateId> taps;
+  for (int i = 0; i < 4; ++i) {
+    q = n.add_dff(q, false);
+    taps.push_back(q);
+  }
+  n.add_output("taps", taps);
+  LogicSim s(n);
+  s.reset();
+  s.set_input(n.input("d"), 1);
+  // The 1 must march down the chain one stage per clock (two-phase DFF
+  // update: no shoot-through).
+  const std::uint64_t expected[] = {0b0001, 0b0011, 0b0111, 0b1111};
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    s.eval();
+    s.step_clock();
+    EXPECT_EQ(s.read_output(n.output("taps")), expected[cycle]);
+  }
+}
+
+TEST(LogicSim, ToggleFlopOscillates) {
+  nl::Netlist n;
+  const nl::GateId q = n.add_gate(nl::GateKind::kDff);
+  const nl::GateId inv = n.add_gate(nl::GateKind::kNot, q);
+  n.set_gate_input(q, 0, inv);
+  n.add_output("q", {q});
+  LogicSim s(n);
+  s.reset();
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 6; ++i) {
+    s.eval();
+    s.step_clock();
+    const std::uint64_t now = s.read_output(n.output("q"));
+    EXPECT_NE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(LogicSim, BroadcastFillsWholeWord) {
+  EXPECT_EQ(broadcast(true), ~Word{0});
+  EXPECT_EQ(broadcast(false), Word{0});
+  nl::Netlist n;
+  const auto& in = n.add_input("d", 1);
+  n.add_output("o", {in.bits[0]});
+  LogicSim s(n);
+  s.set_input(n.input("d"), 1);
+  s.eval();
+  EXPECT_EQ(s.word(in.bits[0]), kAllOnes);
+  EXPECT_EQ(s.read_output(n.output("o"), 0), 1u);
+  EXPECT_EQ(s.read_output(n.output("o"), 62), 1u);
+  EXPECT_EQ(s.read_output(n.output("o"), 63), 1u);
+}
+
+TEST(LogicSim, ConstantsAfterReset) {
+  nl::Netlist n;
+  n.add_output("c", {n.const0(), n.const1()});
+  LogicSim s(n);
+  s.reset();
+  s.eval();
+  EXPECT_EQ(s.read_output(n.output("c")), 0b10u);
+}
+
+}  // namespace
+}  // namespace sbst::sim

@@ -1,0 +1,73 @@
+// sbst_diag — per-component undetected-fault analysis.
+//
+//   sbst_diag <COMPONENT> [SAMPLE]
+//
+// Fault-simulates the Phase A+B+C self-test program against only the
+// named component's faults and prints the undetected fault sites (first
+// few with fan-in context, then a histogram by gate kind / pin / value).
+// Set DUMPIDS=1 to print raw gate ids instead. This is the tool the
+// library's own test sets were tuned with.
+#include <cstdio>
+#include <map>
+#include <string>
+#include "core/program.h"
+#include "plasma/testbench.h"
+#include "netlist/fault.h"
+#include "netlist/levelize.h"
+
+using namespace sbst;
+
+int main(int argc, char** argv) {
+  std::string target = argc > 1 ? argv[1] : "RegF";
+  int sample = argc > 2 ? atoi(argv[2]) : 6300;
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  auto classified = core::classify_plasma(cpu);
+  core::sort_by_test_priority(classified);
+  auto prog = core::build_phase_abc(classified);  // strongest program
+  auto all = nl::enumerate_faults(cpu.netlist);
+
+  // filter to target component
+  nl::ComponentId cid = 0xFFFF;
+  for (int i = 0; i < plasma::kNumPlasmaComponents; i++) {
+    auto pc = static_cast<plasma::PlasmaComponent>(i);
+    if (target == std::string(plasma::plasma_component_name(pc)))
+      cid = cpu.component_id(pc);
+  }
+  nl::FaultList fl;
+  for (size_t i = 0; i < all.size(); i++) {
+    if (cpu.netlist.gate(all.faults[i].gate).component == cid) {
+      fl.faults.push_back(all.faults[i]);
+      fl.class_size.push_back(all.class_size[i]);
+      fl.total_uncollapsed += all.class_size[i];
+    }
+  }
+  printf("%s faults: %zu collapsed\n", target.c_str(), fl.faults.size());
+  fault::FaultSimOptions opt;
+  opt.max_cycles = 100000;
+  if ((int)fl.faults.size() > sample) opt.sample = sample;
+  auto res = fault::run_fault_sim(cpu.netlist, fl,
+                                  plasma::make_cpu_env_factory(cpu, prog.image), opt);
+  auto cov = fault::overall_coverage(fl, res);
+  printf("FC: %.2f%%\n", cov.percent());
+  std::map<std::string, int> hist;
+  int shown = 0;
+  for (size_t i = 0; i < fl.faults.size(); i++) {
+    if (!res.simulated[i] || res.detected[i]) continue;
+    auto& f = fl.faults[i];
+    auto& g = cpu.netlist.gate(f.gate);
+    char key[64];
+    snprintf(key, sizeof key, "%s pin%d sa%d", std::string(nl::gate_kind_name(g.kind)).c_str(), f.pin, f.stuck);
+    hist[key]++;
+    if (getenv("DUMPIDS")) { printf(" %u", f.gate); continue; }
+    if (shown < 15) {
+      // print fanin kinds for context
+      printf("  undet g%u %s pin%d sa%d (in:", f.gate, std::string(nl::gate_kind_name(g.kind)).c_str(), f.pin, f.stuck);
+      for (int p = 0; p < nl::fanin_count(g.kind); p++)
+        printf(" g%u:%s", g.in[p], std::string(nl::gate_kind_name(cpu.netlist.gate(g.in[p]).kind)).c_str());
+      printf(")\n");
+      shown++;
+    }
+  }
+  for (auto& [k, v] : hist) printf("%6d  %s\n", v, k.c_str());
+  return 0;
+}

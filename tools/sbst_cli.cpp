@@ -1,0 +1,242 @@
+// sbst — command-line driver for the plasma-sbst library.
+//
+//   sbst info                          processor inventory (Tables 2/3)
+//   sbst asm FILE.s [-o out.bin]       assemble MIPS source
+//   sbst disasm FILE.bin               disassemble a word image
+//   sbst run FILE.s [--gate]           run on the ISS (or gate-level CPU)
+//   sbst cosim FILE.s                  run on both, compare traces
+//   sbst selftest [a|ab|abc] [-o f.s]  generate a self-test program
+//   sbst grade FILE.s [--sample N]     fault-grade a program (Table 5 style)
+//
+// Programs must end with the `halt` pseudo-instruction (a store to
+// 0xFFFFFFFC).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/program.h"
+#include "core/report.h"
+#include "iss/iss.h"
+#include "netlist/cost.h"
+#include "netlist/fault.h"
+#include "plasma/testbench.h"
+
+using namespace sbst;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sbst <info|asm|disasm|run|cosim|selftest|grade> ...\n"
+               "see the header of tools/sbst_cli.cpp for details\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+isa::Program load_program(const std::string& path) {
+  return isa::assemble(read_file(path));
+}
+
+int cmd_info() {
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const nl::CostReport cost = nl::compute_cost(cpu.netlist);
+  auto classified = core::classify_plasma(cpu);
+  core::sort_by_test_priority(classified);
+  std::printf("Plasma/MIPS gate-level model\n");
+  std::printf("  %zu primitive gates, %.0f NAND2-equivalent, %zu DFFs\n",
+              cost.total_gates, cost.total_nand2, cpu.netlist.num_dffs());
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  std::printf("  %zu collapsed / %zu uncollapsed stuck-at faults\n\n",
+              faults.size(), faults.total_uncollapsed);
+  std::printf("  %-6s %-11s %9s  (test priority order)\n", "comp", "class",
+              "NAND2");
+  for (const auto& c : classified) {
+    std::printf("  %-6s %-11s %9.0f\n", c.name.c_str(),
+                std::string(core::component_class_name(c.cls)).c_str(),
+                c.nand2);
+  }
+  return 0;
+}
+
+int cmd_asm(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const isa::Program p = load_program(argv[0]);
+  std::string out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o")) out = argv[i + 1];
+  }
+  if (out.empty()) {
+    std::printf("%zu words\n", p.size_words());
+    for (const auto& [name, addr] : p.symbols) {
+      std::printf("  %08X %s\n", addr, name.c_str());
+    }
+  } else {
+    std::ofstream os(out, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(p.words.data()),
+             static_cast<std::streamsize>(p.words.size() * 4));
+    std::printf("wrote %zu words to %s\n", p.size_words(), out.c_str());
+  }
+  return 0;
+}
+
+int cmd_disasm(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string raw = read_file(argv[0]);
+  for (std::size_t i = 0; i + 3 < raw.size(); i += 4) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, raw.data() + i, 4);
+    std::printf("%08zX: %08X  %s\n", i, w, isa::disassemble(w).c_str());
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const isa::Program p = load_program(argv[0]);
+  const bool gate = argc > 1 && !std::strcmp(argv[1], "--gate");
+  if (gate) {
+    plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+    const plasma::GateRunResult r = plasma::run_gate_cpu(cpu, p, 10'000'000);
+    std::printf("gate level: halted=%s cycles=%llu stores=%zu\n",
+                r.halted ? "yes" : "no", (unsigned long long)r.cycles,
+                r.writes.size());
+    for (int i = 1; i <= 31; ++i) {
+      if (r.regs[static_cast<std::size_t>(i)] != 0) {
+        std::printf("  $%-4s = %08X\n",
+                    std::string(isa::register_name(i)).c_str(),
+                    r.regs[static_cast<std::size_t>(i)]);
+      }
+    }
+    return r.halted ? 0 : 1;
+  }
+  iss::Iss iss(p);
+  const iss::RunResult r = iss.run(100'000'000);
+  std::printf("iss: halted=%s instructions=%llu cycles=%llu stores=%zu\n",
+              r.halted ? "yes" : "no", (unsigned long long)r.instructions,
+              (unsigned long long)r.cycles, iss.writes().size());
+  for (int i = 1; i <= 31; ++i) {
+    if (iss.reg(i) != 0) {
+      std::printf("  $%-4s = %08X\n",
+                  std::string(isa::register_name(i)).c_str(), iss.reg(i));
+    }
+  }
+  if (iss.hi() || iss.lo()) {
+    std::printf("  hi/lo = %08X/%08X\n", iss.hi(), iss.lo());
+  }
+  return r.halted ? 0 : 1;
+}
+
+int cmd_cosim(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const isa::Program p = load_program(argv[0]);
+  iss::Iss iss(p);
+  const iss::RunResult ir = iss.run(10'000'000);
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const plasma::GateRunResult gr = plasma::run_gate_cpu(cpu, p, 50'000'000);
+  bool ok = ir.halted && gr.halted && ir.cycles == gr.cycles &&
+            iss.writes().size() == gr.writes.size();
+  std::size_t first_bad = SIZE_MAX;
+  for (std::size_t i = 0;
+       ok && i < gr.writes.size(); ++i) {
+    if (!(gr.writes[i] == iss.writes()[i])) {
+      ok = false;
+      first_bad = i;
+    }
+  }
+  std::printf("iss:  halted=%d cycles=%llu writes=%zu\n", ir.halted,
+              (unsigned long long)ir.cycles, iss.writes().size());
+  std::printf("gate: halted=%d cycles=%llu writes=%zu\n", gr.halted,
+              (unsigned long long)gr.cycles, gr.writes.size());
+  if (first_bad != SIZE_MAX) {
+    std::printf("first mismatching store: #%zu\n", first_bad);
+  }
+  std::printf("%s\n", ok ? "EQUIVALENT" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+int cmd_selftest(int argc, char** argv) {
+  std::string phase = argc > 0 ? argv[0] : "ab";
+  std::string out;
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o")) out = argv[i + 1];
+  }
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const auto classified = core::classify_plasma(cpu);
+  core::SelfTestProgram p;
+  if (phase == "a") {
+    p = core::build_phase_a(classified);
+  } else if (phase == "abc") {
+    p = core::build_phase_abc(classified);
+  } else {
+    p = core::build_phase_ab(classified);
+  }
+  std::printf("%s: %zu words, %llu cycles, routines:", p.name.c_str(),
+              p.words, (unsigned long long)p.cycles);
+  for (const std::string& r : p.routines) std::printf(" %s", r.c_str());
+  std::printf("\n");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    os << p.source;
+    std::printf("wrote assembly listing to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_grade(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const isa::Program p = load_program(argv[0]);
+  std::size_t sample = 6300;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--sample")) {
+      sample = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const plasma::GateRunResult gr = plasma::run_gate_cpu(cpu, p, 10'000'000);
+  if (!gr.halted) {
+    std::fprintf(stderr, "program does not halt on the gate-level CPU\n");
+    return 1;
+  }
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimOptions opt;
+  opt.sample = sample;  // 0 => full fault list
+  opt.max_cycles = 10'000'000;
+  std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles\n",
+              sample == 0 || sample > faults.size() ? faults.size() : sample,
+              faults.size(), (unsigned long long)gr.cycles);
+  const fault::FaultSimResult res = fault::run_fault_sim(
+      cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p), opt);
+  const core::CoverageReport rep = core::make_coverage_report(cpu, faults, res);
+  core::print_coverage_table(std::cout, rep, nullptr);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "asm") return cmd_asm(argc - 2, argv + 2);
+    if (cmd == "disasm") return cmd_disasm(argc - 2, argv + 2);
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "cosim") return cmd_cosim(argc - 2, argv + 2);
+    if (cmd == "selftest") return cmd_selftest(argc - 2, argv + 2);
+    if (cmd == "grade") return cmd_grade(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
