@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parwan_coverage.dir/bench_parwan_coverage.cpp.o"
+  "CMakeFiles/bench_parwan_coverage.dir/bench_parwan_coverage.cpp.o.d"
+  "bench_parwan_coverage"
+  "bench_parwan_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parwan_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pseudorandom_comparison.dir/bench_pseudorandom_comparison.cpp.o"
+  "CMakeFiles/bench_pseudorandom_comparison.dir/bench_pseudorandom_comparison.cpp.o.d"
+  "bench_pseudorandom_comparison"
+  "bench_pseudorandom_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pseudorandom_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

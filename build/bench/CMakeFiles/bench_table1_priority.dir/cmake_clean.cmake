@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_priority.dir/bench_table1_priority.cpp.o"
+  "CMakeFiles/bench_table1_priority.dir/bench_table1_priority.cpp.o.d"
+  "bench_table1_priority"
+  "bench_table1_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tech_remap.dir/bench_tech_remap.cpp.o"
+  "CMakeFiles/bench_tech_remap.dir/bench_tech_remap.cpp.o.d"
+  "bench_tech_remap"
+  "bench_tech_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tech_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

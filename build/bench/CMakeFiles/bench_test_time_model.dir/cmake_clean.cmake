@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test_time_model.dir/bench_test_time_model.cpp.o"
+  "CMakeFiles/bench_test_time_model.dir/bench_test_time_model.cpp.o.d"
+  "bench_test_time_model"
+  "bench_test_time_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test_time_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_grading.dir/fault_grading.cpp.o"
+  "CMakeFiles/example_fault_grading.dir/fault_grading.cpp.o.d"
+  "example_fault_grading"
+  "example_fault_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

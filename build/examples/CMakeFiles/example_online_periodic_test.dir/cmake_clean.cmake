@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_periodic_test.dir/online_periodic_test.cpp.o"
+  "CMakeFiles/example_online_periodic_test.dir/online_periodic_test.cpp.o.d"
+  "example_online_periodic_test"
+  "example_online_periodic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_periodic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

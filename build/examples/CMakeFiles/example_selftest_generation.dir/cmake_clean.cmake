@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_selftest_generation.dir/selftest_generation.cpp.o"
+  "CMakeFiles/example_selftest_generation.dir/selftest_generation.cpp.o.d"
+  "example_selftest_generation"
+  "example_selftest_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_selftest_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

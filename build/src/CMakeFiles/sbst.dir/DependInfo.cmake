@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/prand.cpp" "src/CMakeFiles/sbst.dir/baseline/prand.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/baseline/prand.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/CMakeFiles/sbst.dir/core/classify.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/core/classify.cpp.o.d"
+  "/root/repo/src/core/costmodel.cpp" "src/CMakeFiles/sbst.dir/core/costmodel.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/core/costmodel.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/CMakeFiles/sbst.dir/core/program.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/core/program.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/sbst.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/routines.cpp" "src/CMakeFiles/sbst.dir/core/routines.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/core/routines.cpp.o.d"
+  "/root/repo/src/core/testlib.cpp" "src/CMakeFiles/sbst.dir/core/testlib.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/core/testlib.cpp.o.d"
+  "/root/repo/src/dsl/builder.cpp" "src/CMakeFiles/sbst.dir/dsl/builder.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/dsl/builder.cpp.o.d"
+  "/root/repo/src/fault/comb_faultsim.cpp" "src/CMakeFiles/sbst.dir/fault/comb_faultsim.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/fault/comb_faultsim.cpp.o.d"
+  "/root/repo/src/fault/seq_faultsim.cpp" "src/CMakeFiles/sbst.dir/fault/seq_faultsim.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/fault/seq_faultsim.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/sbst.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/mips.cpp" "src/CMakeFiles/sbst.dir/isa/mips.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/isa/mips.cpp.o.d"
+  "/root/repo/src/iss/iss.cpp" "src/CMakeFiles/sbst.dir/iss/iss.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/iss/iss.cpp.o.d"
+  "/root/repo/src/iss/randprog.cpp" "src/CMakeFiles/sbst.dir/iss/randprog.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/iss/randprog.cpp.o.d"
+  "/root/repo/src/netlist/cost.cpp" "src/CMakeFiles/sbst.dir/netlist/cost.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/netlist/cost.cpp.o.d"
+  "/root/repo/src/netlist/fault.cpp" "src/CMakeFiles/sbst.dir/netlist/fault.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/netlist/fault.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/CMakeFiles/sbst.dir/netlist/levelize.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/netlist/levelize.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/sbst.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/remap.cpp" "src/CMakeFiles/sbst.dir/netlist/remap.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/netlist/remap.cpp.o.d"
+  "/root/repo/src/netlist/scoap.cpp" "src/CMakeFiles/sbst.dir/netlist/scoap.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/netlist/scoap.cpp.o.d"
+  "/root/repo/src/parwan/cpu.cpp" "src/CMakeFiles/sbst.dir/parwan/cpu.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/parwan/cpu.cpp.o.d"
+  "/root/repo/src/parwan/isa.cpp" "src/CMakeFiles/sbst.dir/parwan/isa.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/parwan/isa.cpp.o.d"
+  "/root/repo/src/parwan/iss.cpp" "src/CMakeFiles/sbst.dir/parwan/iss.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/parwan/iss.cpp.o.d"
+  "/root/repo/src/parwan/sbst.cpp" "src/CMakeFiles/sbst.dir/parwan/sbst.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/parwan/sbst.cpp.o.d"
+  "/root/repo/src/parwan/testbench.cpp" "src/CMakeFiles/sbst.dir/parwan/testbench.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/parwan/testbench.cpp.o.d"
+  "/root/repo/src/plasma/alu.cpp" "src/CMakeFiles/sbst.dir/plasma/alu.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/alu.cpp.o.d"
+  "/root/repo/src/plasma/busmux.cpp" "src/CMakeFiles/sbst.dir/plasma/busmux.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/busmux.cpp.o.d"
+  "/root/repo/src/plasma/control.cpp" "src/CMakeFiles/sbst.dir/plasma/control.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/control.cpp.o.d"
+  "/root/repo/src/plasma/cpu.cpp" "src/CMakeFiles/sbst.dir/plasma/cpu.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/cpu.cpp.o.d"
+  "/root/repo/src/plasma/memctrl.cpp" "src/CMakeFiles/sbst.dir/plasma/memctrl.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/memctrl.cpp.o.d"
+  "/root/repo/src/plasma/muldiv.cpp" "src/CMakeFiles/sbst.dir/plasma/muldiv.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/muldiv.cpp.o.d"
+  "/root/repo/src/plasma/pclogic.cpp" "src/CMakeFiles/sbst.dir/plasma/pclogic.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/pclogic.cpp.o.d"
+  "/root/repo/src/plasma/pipeline.cpp" "src/CMakeFiles/sbst.dir/plasma/pipeline.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/pipeline.cpp.o.d"
+  "/root/repo/src/plasma/regfile.cpp" "src/CMakeFiles/sbst.dir/plasma/regfile.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/regfile.cpp.o.d"
+  "/root/repo/src/plasma/shifter.cpp" "src/CMakeFiles/sbst.dir/plasma/shifter.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/shifter.cpp.o.d"
+  "/root/repo/src/plasma/standalone.cpp" "src/CMakeFiles/sbst.dir/plasma/standalone.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/standalone.cpp.o.d"
+  "/root/repo/src/plasma/testbench.cpp" "src/CMakeFiles/sbst.dir/plasma/testbench.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/plasma/testbench.cpp.o.d"
+  "/root/repo/src/sim/logicsim.cpp" "src/CMakeFiles/sbst.dir/sim/logicsim.cpp.o" "gcc" "src/CMakeFiles/sbst.dir/sim/logicsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/prand_test.cpp" "tests/CMakeFiles/sbst_tests.dir/baseline/prand_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/baseline/prand_test.cpp.o.d"
+  "/root/repo/tests/core/classify_test.cpp" "tests/CMakeFiles/sbst_tests.dir/core/classify_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/core/classify_test.cpp.o.d"
+  "/root/repo/tests/core/costmodel_test.cpp" "tests/CMakeFiles/sbst_tests.dir/core/costmodel_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/core/costmodel_test.cpp.o.d"
+  "/root/repo/tests/core/program_test.cpp" "tests/CMakeFiles/sbst_tests.dir/core/program_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/core/program_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/sbst_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/testlib_test.cpp" "tests/CMakeFiles/sbst_tests.dir/core/testlib_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/core/testlib_test.cpp.o.d"
+  "/root/repo/tests/dsl/builder_test.cpp" "tests/CMakeFiles/sbst_tests.dir/dsl/builder_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/dsl/builder_test.cpp.o.d"
+  "/root/repo/tests/fault/faultsim_test.cpp" "tests/CMakeFiles/sbst_tests.dir/fault/faultsim_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/fault/faultsim_test.cpp.o.d"
+  "/root/repo/tests/integration/selftest_test.cpp" "tests/CMakeFiles/sbst_tests.dir/integration/selftest_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/integration/selftest_test.cpp.o.d"
+  "/root/repo/tests/isa/assembler_test.cpp" "tests/CMakeFiles/sbst_tests.dir/isa/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/isa/assembler_test.cpp.o.d"
+  "/root/repo/tests/isa/mips_test.cpp" "tests/CMakeFiles/sbst_tests.dir/isa/mips_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/isa/mips_test.cpp.o.d"
+  "/root/repo/tests/iss/iss_test.cpp" "tests/CMakeFiles/sbst_tests.dir/iss/iss_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/iss/iss_test.cpp.o.d"
+  "/root/repo/tests/iss/randprog_test.cpp" "tests/CMakeFiles/sbst_tests.dir/iss/randprog_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/iss/randprog_test.cpp.o.d"
+  "/root/repo/tests/netlist/cost_test.cpp" "tests/CMakeFiles/sbst_tests.dir/netlist/cost_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/netlist/cost_test.cpp.o.d"
+  "/root/repo/tests/netlist/fault_test.cpp" "tests/CMakeFiles/sbst_tests.dir/netlist/fault_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/netlist/fault_test.cpp.o.d"
+  "/root/repo/tests/netlist/levelize_test.cpp" "tests/CMakeFiles/sbst_tests.dir/netlist/levelize_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/netlist/levelize_test.cpp.o.d"
+  "/root/repo/tests/netlist/netlist_test.cpp" "tests/CMakeFiles/sbst_tests.dir/netlist/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/netlist/netlist_test.cpp.o.d"
+  "/root/repo/tests/netlist/remap_test.cpp" "tests/CMakeFiles/sbst_tests.dir/netlist/remap_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/netlist/remap_test.cpp.o.d"
+  "/root/repo/tests/netlist/scoap_test.cpp" "tests/CMakeFiles/sbst_tests.dir/netlist/scoap_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/netlist/scoap_test.cpp.o.d"
+  "/root/repo/tests/parwan/parwan_test.cpp" "tests/CMakeFiles/sbst_tests.dir/parwan/parwan_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/parwan/parwan_test.cpp.o.d"
+  "/root/repo/tests/plasma/components_test.cpp" "tests/CMakeFiles/sbst_tests.dir/plasma/components_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/plasma/components_test.cpp.o.d"
+  "/root/repo/tests/plasma/cosim_test.cpp" "tests/CMakeFiles/sbst_tests.dir/plasma/cosim_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/plasma/cosim_test.cpp.o.d"
+  "/root/repo/tests/plasma/muldiv_test.cpp" "tests/CMakeFiles/sbst_tests.dir/plasma/muldiv_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/plasma/muldiv_test.cpp.o.d"
+  "/root/repo/tests/sim/logicsim_test.cpp" "tests/CMakeFiles/sbst_tests.dir/sim/logicsim_test.cpp.o" "gcc" "tests/CMakeFiles/sbst_tests.dir/sim/logicsim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbst.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

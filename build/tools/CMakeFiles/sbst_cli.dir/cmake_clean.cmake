@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbst_cli.dir/sbst_cli.cpp.o"
+  "CMakeFiles/sbst_cli.dir/sbst_cli.cpp.o.d"
+  "sbst"
+  "sbst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbst_diag.dir/diag.cpp.o"
+  "CMakeFiles/sbst_diag.dir/diag.cpp.o.d"
+  "sbst_diag"
+  "sbst_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbst_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
