@@ -13,6 +13,7 @@
 #include "core/report.h"
 #include "netlist/fault.h"
 #include "plasma/testbench.h"
+#include "util/parallel.h"
 
 using namespace sbst;
 
@@ -68,8 +69,10 @@ int main(int argc, char** argv) {
   fault::FaultSimOptions opt;
   opt.sample = 6300;  // statistical grading keeps this interactive
   opt.max_cycles = 2'000'000;
-  std::printf("fault-grading a %zu-fault statistical sample of %zu...\n",
-              opt.sample, faults.size());
+  opt.threads = 0;  // one worker per hardware thread (the default)
+  std::printf("fault-grading a %zu-fault statistical sample of %zu"
+              " on %u threads...\n",
+              opt.sample, faults.size(), util::hardware_threads());
   const fault::FaultSimResult res = fault::run_fault_sim(
       cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, prog), opt);
 

@@ -25,6 +25,8 @@ using TestVector = std::vector<PortValue>;
 using VectorSet = std::vector<TestVector>;
 
 /// Grades `vectors` against the collapsed fault list of `netlist`.
+/// Honors `options.threads`: fault groups are dispatched across worker
+/// threads, each replaying the (shared, read-only) vector set.
 FaultSimResult grade_vectors(const nl::Netlist& netlist,
                              const nl::FaultList& faults,
                              const VectorSet& vectors,

@@ -22,7 +22,10 @@ namespace sbst::fault {
 
 /// Closed-loop environment around the netlist (memory model, testbench).
 /// One fresh instance is created per fault group; it must be
-/// deterministic.
+/// deterministic. With `FaultSimOptions::threads` != 1 the factory is
+/// invoked concurrently from worker threads, so it (and the construction
+/// of an Environment) must not mutate shared state — capture inputs by
+/// value or by pointer-to-const.
 class Environment {
  public:
   virtual ~Environment() = default;
@@ -46,7 +49,16 @@ struct FaultSimOptions {
   /// an estimate over the sample.
   std::size_t sample = 0;
   std::uint64_t sample_seed = 0x5eed5bd7u;
-  /// Optional progress callback: (groups_done, groups_total).
+  /// Worker threads for group-level parallel simulation. 0 = one per
+  /// hardware thread; 1 = serial. Fault groups are independent by
+  /// construction (fresh LogicSim + Environment per group, disjoint
+  /// result indices), so the result is bit-identical for every thread
+  /// count.
+  unsigned threads = 0;
+  /// Optional progress callback: (groups_done, groups_total). Invoked
+  /// under an internal mutex (never concurrently), but from worker
+  /// threads when threads != 1; groups complete out of order, yet
+  /// groups_done is a monotonically increasing count.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
@@ -63,7 +75,9 @@ struct FaultSimResult {
 
 /// Runs sequential fault simulation of `faults` on `netlist` inside the
 /// environment produced by `make_env`. The engine performs fault dropping
-/// (a group stops as soon as all of its faults are detected).
+/// (a group stops as soon as all of its faults are detected) and
+/// schedules 63-fault groups across `options.threads` workers, each with
+/// its own LogicSim and injection state.
 FaultSimResult run_fault_sim(const nl::Netlist& netlist,
                              const nl::FaultList& faults,
                              const EnvFactory& make_env,

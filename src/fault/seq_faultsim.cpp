@@ -1,8 +1,12 @@
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
+#include <memory>
+#include <mutex>
 
 #include "fault/faultsim.h"
+#include "util/parallel.h"
 
 namespace sbst::fault {
 
@@ -23,48 +27,76 @@ inline Word force(Word w, Word mask, std::uint8_t stuck) {
   return stuck ? (w | mask) : (w & ~mask);
 }
 
-/// Per-group injection table with O(1) "is this gate faulty" checks.
+/// Aggregated forcing masks for every injection on one gate: pin p of a
+/// faulty gate computes (w | set[p]) & ~clr[p]. Each injection owns a
+/// distinct machine bit, so set/clr never collide on a bit and the
+/// aggregate is order-independent.
+struct GateForce {
+  Word set[4] = {0, 0, 0, 0};
+  Word clr[4] = {0, 0, 0, 0};
+};
+
+/// Per-group injection table. Combinational injections are indexed per
+/// gate (slot() is an O(1) lookup into dense GateForce records), so the
+/// evaluation sweep never scans the group's fault list.
 class InjectionTable {
  public:
-  explicit InjectionTable(std::size_t num_gates) : flag_(num_gates, 0) {}
+  explicit InjectionTable(std::size_t num_gates) : slot_(num_gates, 0) {}
 
   void clear() {
-    for (const Injection& inj : list_) flag_[inj.gate] = 0;
-    list_.clear();
+    for (nl::GateId g : touched_) slot_[g] = 0;
+    touched_.clear();
+    forces_.clear();
     source_list_.clear();
     dff_d_list_.clear();
     dff_q_list_.clear();
   }
 
   void add(const nl::Netlist& netlist, const nl::Fault& f, int machine_bit) {
-    Injection inj{f.gate, f.pin, f.stuck, Word{1} << machine_bit};
+    const Word mask = Word{1} << machine_bit;
     const nl::GateKind kind = netlist.gate(f.gate).kind;
     const bool is_source = kind == nl::GateKind::kInput ||
                            kind == nl::GateKind::kConst0 ||
                            kind == nl::GateKind::kConst1;
     if (kind == nl::GateKind::kDff) {
+      Injection inj{f.gate, f.pin, f.stuck, mask};
       if (f.pin == 0) {
         dff_q_list_.push_back(inj);
       } else {
         dff_d_list_.push_back(inj);
       }
     } else if (is_source) {
-      source_list_.push_back(inj);  // output faults on PIs/constants
+      // Output faults on PIs/constants.
+      source_list_.push_back(Injection{f.gate, f.pin, f.stuck, mask});
     } else {
-      list_.push_back(inj);
-      flag_[f.gate] = 1;
+      std::uint32_t s = slot_[f.gate];
+      if (s == 0) {
+        forces_.emplace_back();
+        touched_.push_back(f.gate);
+        s = static_cast<std::uint32_t>(forces_.size());
+        slot_[f.gate] = s;
+      }
+      GateForce& gf = forces_[s - 1];
+      if (f.stuck) {
+        gf.set[f.pin] |= mask;
+      } else {
+        gf.clr[f.pin] |= mask;
+      }
     }
   }
 
-  bool flagged(nl::GateId g) const { return flag_[g] != 0; }
-  const std::vector<Injection>& comb() const { return list_; }
+  std::uint32_t slot(nl::GateId g) const { return slot_[g]; }
+  const GateForce& force_record(std::uint32_t slot) const {
+    return forces_[slot - 1];
+  }
   const std::vector<Injection>& sources() const { return source_list_; }
   const std::vector<Injection>& dff_d() const { return dff_d_list_; }
   const std::vector<Injection>& dff_q() const { return dff_q_list_; }
 
  private:
-  std::vector<std::uint8_t> flag_;
-  std::vector<Injection> list_;
+  std::vector<std::uint32_t> slot_;  // 0 = clean, else index+1 into forces_
+  std::vector<nl::GateId> touched_;
+  std::vector<GateForce> forces_;
   std::vector<Injection> source_list_;
   std::vector<Injection> dff_d_list_;
   std::vector<Injection> dff_q_list_;
@@ -81,18 +113,13 @@ void eval_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
     Word a = v[gate.in[0]];
     Word b = gate.in[1] == nl::kNoGate ? 0 : v[gate.in[1]];
     Word c = gate.in[2] == nl::kNoGate ? 0 : v[gate.in[2]];
-    if (inj.flagged(g)) [[unlikely]] {
-      for (const Injection& i : inj.comb()) {
-        if (i.gate != g || i.pin == 0) continue;
-        if (i.pin == 1) a = force(a, i.mask, i.stuck);
-        if (i.pin == 2) b = force(b, i.mask, i.stuck);
-        if (i.pin == 3) c = force(c, i.mask, i.stuck);
-      }
-      Word w = sim::eval_gate(gate.kind, a, b, c);
-      for (const Injection& i : inj.comb()) {
-        if (i.gate == g && i.pin == 0) w = force(w, i.mask, i.stuck);
-      }
-      v[g] = w;
+    if (const std::uint32_t slot = inj.slot(g); slot != 0) [[unlikely]] {
+      const GateForce& f = inj.force_record(slot);
+      a = (a | f.set[1]) & ~f.clr[1];
+      b = (b | f.set[2]) & ~f.clr[2];
+      c = (c | f.set[3]) & ~f.clr[3];
+      const Word w = sim::eval_gate(gate.kind, a, b, c);
+      v[g] = (w | f.set[0]) & ~f.clr[0];
     } else {
       v[g] = sim::eval_gate(gate.kind, a, b, c);
     }
@@ -135,18 +162,16 @@ void step_clock_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
 }
 
 /// Detection word: bits where a machine's PO differs from the good
-/// machine (bit 63).
-inline Word po_diff(const sim::LogicSim& s, const nl::Netlist& netlist) {
+/// machine (bit 63). Walks the flat precomputed PO-bit list instead of
+/// the nested Port structure — this runs once per simulated cycle.
+inline Word po_diff(const sim::LogicSim& s) {
   Word diff = 0;
   const Word* const v = s.values().data();
-  for (const nl::Port& p : netlist.outputs()) {
-    for (nl::GateId b : p.bits) {
-      const Word w = v[b];
-      // Arithmetic right shift replicates bit 63 across the word.
-      const Word good =
-          static_cast<Word>(static_cast<std::int64_t>(w) >> 63);
-      diff |= w ^ good;
-    }
+  for (nl::GateId b : s.po_bits()) {
+    const Word w = v[b];
+    // Arithmetic right shift replicates bit 63 across the word.
+    const Word good = static_cast<Word>(static_cast<std::int64_t>(w) >> 63);
+    diff |= w ^ good;
   }
   return diff & ~(Word{1} << 63);
 }
@@ -193,13 +218,31 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
   }
   for (std::size_t i : active) res.simulated[i] = 1;
 
-  sim::LogicSim s(netlist);
-  InjectionTable inj(netlist.size());
   constexpr int kFaultsPerGroup = 63;
+  static_assert(kFaultsPerGroup < 64,
+                "bit 63 of the simulation word is reserved for the good "
+                "machine");
   const std::size_t num_groups =
       (active.size() + kFaultsPerGroup - 1) / kFaultsPerGroup;
 
-  for (std::size_t group = 0; group < num_groups; ++group) {
+  // Thread-safe progress: groups complete out of order across workers,
+  // but the reported count is monotonic and ends at num_groups.
+  std::atomic<std::size_t> groups_done{0};
+  std::mutex progress_mutex;
+  auto report_progress = [&]() {
+    const std::size_t done = groups_done.fetch_add(1) + 1;
+    if (options.progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(done, num_groups);
+    }
+  };
+
+  // Simulates one 63-fault group on worker-owned state. Groups write
+  // disjoint slices of the result arrays (each fault index belongs to
+  // exactly one group), so no synchronization is needed on `res` beyond
+  // the final good_cycles max-reduction.
+  auto simulate_group = [&](sim::LogicSim& s, InjectionTable& inj,
+                            std::size_t group) -> std::uint64_t {
     const std::size_t base = group * kFaultsPerGroup;
     const int count = static_cast<int>(
         std::min<std::size_t>(kFaultsPerGroup, active.size() - base));
@@ -208,8 +251,7 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     for (int i = 0; i < count; ++i) {
       inj.add(netlist, faults.faults[active[base + i]], i);
     }
-    const Word all_mask =
-        count == 64 ? ~Word{0} : ((Word{1} << count) - 1);
+    const Word all_mask = (Word{1} << count) - 1;  // count <= 63
 
     s.reset();
     apply_state_injections(s, inj);
@@ -222,7 +264,7 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
       apply_state_injections(s, inj);
       eval_with_injections(s, inj);
 
-      const Word diff = po_diff(s, netlist) & all_mask & ~detected;
+      const Word diff = po_diff(s) & all_mask & ~detected;
       if (diff != 0) {
         Word d = diff;
         while (d != 0) {
@@ -243,8 +285,43 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
         break;
       }
     }
-    res.good_cycles = std::max(res.good_cycles, cycle);
-    if (options.progress) options.progress(group + 1, num_groups);
+    report_progress();
+    return cycle;
+  };
+
+  unsigned threads =
+      options.threads == 0 ? util::hardware_threads() : options.threads;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(num_groups, 1)));
+
+  if (threads <= 1) {
+    sim::LogicSim s(netlist);
+    InjectionTable inj(netlist.size());
+    for (std::size_t group = 0; group < num_groups; ++group) {
+      res.good_cycles = std::max(res.good_cycles, simulate_group(s, inj, group));
+    }
+    return res;
+  }
+
+  // Each worker lazily builds its own simulator + injection table (the
+  // LogicSim constructor levelizes the netlist, so eager construction of
+  // unused workers would be wasted).
+  struct WorkerState {
+    sim::LogicSim sim;
+    InjectionTable inj;
+    std::uint64_t good_cycles = 0;
+    explicit WorkerState(const nl::Netlist& n) : sim(n), inj(n.size()) {}
+  };
+  util::ThreadPool pool(threads);
+  std::vector<std::unique_ptr<WorkerState>> workers(pool.size());
+  pool.run(num_groups, [&](std::size_t group, unsigned w) {
+    if (!workers[w]) workers[w] = std::make_unique<WorkerState>(netlist);
+    WorkerState& ws = *workers[w];
+    ws.good_cycles =
+        std::max(ws.good_cycles, simulate_group(ws.sim, ws.inj, group));
+  });
+  for (const auto& ws : workers) {
+    if (ws) res.good_cycles = std::max(res.good_cycles, ws->good_cycles);
   }
   return res;
 }

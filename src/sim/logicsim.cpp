@@ -4,6 +4,9 @@ namespace sbst::sim {
 
 LogicSim::LogicSim(const nl::Netlist& netlist)
     : nl_(&netlist), lv_(nl::levelize(netlist)), val_(netlist.size(), 0) {
+  for (const nl::Port& p : netlist.outputs()) {
+    po_bits_.insert(po_bits_.end(), p.bits.begin(), p.bits.end());
+  }
   reset();
 }
 

@@ -74,10 +74,16 @@ class LogicSim {
   std::vector<Word>& values() { return val_; }
   const std::vector<Word>& values() const { return val_; }
 
+  /// All primary-output bits, flattened across ports in declaration
+  /// order. Precomputed so per-cycle PO comparisons need not walk the
+  /// nested Port structure.
+  const std::vector<nl::GateId>& po_bits() const { return po_bits_; }
+
  private:
   const nl::Netlist* nl_;
   nl::Levelization lv_;
   std::vector<Word> val_;
+  std::vector<nl::GateId> po_bits_;
 };
 
 }  // namespace sbst::sim

@@ -6,7 +6,9 @@
 //   sbst run FILE.s [--gate]           run on the ISS (or gate-level CPU)
 //   sbst cosim FILE.s                  run on both, compare traces
 //   sbst selftest [a|ab|abc] [-o f.s]  generate a self-test program
-//   sbst grade FILE.s [--sample N]     fault-grade a program (Table 5 style)
+//   sbst grade FILE.s [--sample N] [--threads N]
+//                                      fault-grade a program (Table 5 style);
+//                                      --threads 0 (default) uses every core
 //
 // Programs must end with the `halt` pseudo-instruction (a store to
 // 0xFFFFFFFC).
@@ -23,6 +25,7 @@
 #include "netlist/cost.h"
 #include "netlist/fault.h"
 #include "plasma/testbench.h"
+#include "util/parallel.h"
 
 using namespace sbst;
 
@@ -196,9 +199,13 @@ int cmd_grade(int argc, char** argv) {
   if (argc < 1) return usage();
   const isa::Program p = load_program(argv[0]);
   std::size_t sample = 6300;
+  unsigned threads = 0;  // 0 = one worker per hardware thread
   for (int i = 1; i + 1 < argc; ++i) {
     if (!std::strcmp(argv[i], "--sample")) {
       sample = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+    if (!std::strcmp(argv[i], "--threads")) {
+      threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
     }
   }
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
@@ -211,9 +218,12 @@ int cmd_grade(int argc, char** argv) {
   fault::FaultSimOptions opt;
   opt.sample = sample;  // 0 => full fault list
   opt.max_cycles = 10'000'000;
-  std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles\n",
+  opt.threads = threads;
+  std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles"
+              " (%u threads)\n",
               sample == 0 || sample > faults.size() ? faults.size() : sample,
-              faults.size(), (unsigned long long)gr.cycles);
+              faults.size(), (unsigned long long)gr.cycles,
+              threads == 0 ? util::hardware_threads() : threads);
   const fault::FaultSimResult res = fault::run_fault_sim(
       cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p), opt);
   const core::CoverageReport rep = core::make_coverage_report(cpu, faults, res);
