@@ -1,9 +1,31 @@
 #include "core/report.h"
 
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 
 namespace sbst::core {
+
+namespace {
+
+/// Fault-coverage cell: "97.31%", or "n/a" when no fault of the row was
+/// simulated (sampled runs) — printing 100% there reads as perfect
+/// coverage of an untested component.
+std::string fc_cell(const fault::Coverage& c) {
+  if (!c.defined()) return "n/a";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", c.percent());
+  return buf;
+}
+
+std::string mofc_cell(const fault::Coverage& c, double mofc) {
+  if (!c.defined()) return "n/a";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", mofc);
+  return buf;
+}
+
+}  // namespace
 
 CoverageReport make_coverage_report(const plasma::PlasmaCpu& cpu,
                                     const nl::FaultList& faults,
@@ -39,21 +61,20 @@ void print_coverage_table(std::ostream& os, const CoverageReport& phase_a,
   for (std::size_t i = 0; i < phase_a.rows.size(); ++i) {
     const ComponentCoverageRow& a = phase_a.rows[i];
     os << std::left << std::setw(12) << a.name << std::setw(13)
-       << component_class_name(a.cls) << std::right << std::setw(9)
-       << std::setprecision(2) << a.coverage.percent() << "%" << std::setw(7)
-       << a.mofc << "%";
+       << component_class_name(a.cls) << std::right << std::setw(10)
+       << fc_cell(a.coverage) << std::setw(8)
+       << mofc_cell(a.coverage, a.mofc);
     if (phase_ab) {
       const ComponentCoverageRow& b = phase_ab->rows[i];
-      os << std::setw(13) << b.coverage.percent() << "%" << std::setw(7)
-         << b.mofc << "%";
+      os << std::setw(14) << fc_cell(b.coverage) << std::setw(8)
+         << mofc_cell(b.coverage, b.mofc);
     }
     os << "\n";
   }
   os << std::left << std::setw(25) << "Processor overall" << std::right
-     << std::setw(9) << phase_a.overall.percent() << "%" << std::setw(8)
-     << " ";
+     << std::setw(10) << fc_cell(phase_a.overall) << std::setw(8) << " ";
   if (phase_ab) {
-    os << std::setw(13) << phase_ab->overall.percent() << "%";
+    os << std::setw(14) << fc_cell(phase_ab->overall);
   }
   os << "\n";
 }

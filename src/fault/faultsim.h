@@ -89,9 +89,15 @@ struct Coverage {
   std::size_t total = 0;     // uncollapsed faults considered
   std::size_t detected = 0;  // uncollapsed faults detected
 
+  /// False when no fault was considered at all — coverage is then
+  /// undefined, not 100%. Sampled runs routinely produce such rows for
+  /// small components; reports must render them as "n/a" rather than as
+  /// perfect coverage.
+  bool defined() const { return total != 0; }
+
   double percent() const {
-    return total == 0 ? 100.0 : 100.0 * static_cast<double>(detected) /
-                                    static_cast<double>(total);
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(detected) /
+                                  static_cast<double>(total);
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 #include <optional>
 
 #include "isa/mips.h"
@@ -171,10 +172,25 @@ class AssemblerImpl {
     }
   }
 
+  static std::string hex32(std::uint32_t v) {
+    char buf[11];
+    std::snprintf(buf, sizeof(buf), "0x%X", v);
+    return buf;
+  }
+
   void emit(std::uint32_t address, std::uint32_t word, int line) {
     if (address % 4 != 0) fail(line, "unaligned emit");
     const std::size_t index = address / 4;
     if (index >= prog_.words.size()) prog_.words.resize(index + 1, 0);
+    if (index >= emitted_.size()) emitted_.resize(prog_.words.size(), 0);
+    // A second emit to the same word silently corrupts the image (e.g. a
+    // `.org` that moves the location counter backwards over earlier
+    // statements) — always a program bug, so hard-fail.
+    if (emitted_[index]) {
+      fail(line, "overlapping emit at address " + hex32(address) +
+                     ": word already filled by an earlier statement");
+    }
+    emitted_[index] = 1;
     prog_.words[index] = word;
   }
 
@@ -395,6 +411,18 @@ class AssemblerImpl {
       case Mnemonic::kJal: {
         const std::int64_t target = value_operand(st, 0);
         if (target % 4 != 0) fail(st.line, "jump target not aligned");
+        // The 26-bit target field only covers the 256 MB segment of the
+        // delay-slot PC (bits 31..28 come from PC+4); anything else would
+        // silently truncate in encode_j's 0x03FFFFFF mask.
+        const std::uint32_t pc = st.address + 4;
+        if (target < 0 || target > 0xFFFFFFFFll ||
+            (static_cast<std::uint32_t>(target) & 0xF0000000u) !=
+                (pc & 0xF0000000u)) {
+          fail(st.line,
+               "jump target " + hex32(static_cast<std::uint32_t>(target)) +
+                   " outside the 256 MB segment of the delay-slot PC " +
+                   hex32(pc));
+        }
         emit(st.address,
              encode_j(*mn, static_cast<std::uint32_t>(target >> 2)), st.line);
         return;
@@ -464,6 +492,9 @@ class AssemblerImpl {
 
   Program prog_;
   std::vector<Statement> statements_;
+  /// One flag per word of prog_.words: set once emitted, to detect
+  /// overlapping emits (silent-overwrite bug class).
+  std::vector<std::uint8_t> emitted_;
 };
 
 }  // namespace

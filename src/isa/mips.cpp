@@ -3,6 +3,7 @@
 #include <array>
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 
 namespace sbst::isa {
 
@@ -198,12 +199,29 @@ std::string_view register_name(int index) {
   return kRegNames[static_cast<std::size_t>(index & 31)];
 }
 
-std::string disassemble(std::uint32_t word) {
+namespace {
+
+std::string hex32(std::uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%X", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string disassemble(std::uint32_t word) { return disassemble(word, 0); }
+
+std::string disassemble(std::uint32_t word, std::uint32_t addr) {
   if (word == kNop) return "nop";
   const Decoded d = decode(word);
   const OpInfo* op = find_op(d.mn);
-  if (!op) return "<invalid 0x" + std::to_string(word) + ">";
+  if (!op) return "<invalid " + hex32(word) + ">";
   auto reg = [](int r) { return "$" + std::string(register_name(r)); };
+  // Branch offsets count in words from the delay slot; jumps splice the
+  // 26-bit field into the delay-slot PC's 256 MB segment.
+  auto branch_target = [&]() {
+    return hex32(addr + 4 + (static_cast<std::uint32_t>(d.simm()) << 2));
+  };
   const std::string name(op->name);
   switch (op->fmt) {
     case Fmt::kShift:
@@ -223,13 +241,21 @@ std::string disassemble(std::uint32_t word) {
       return name + " " + reg(d.rd) + ", " + reg(d.rs) + ", " + reg(d.rt);
     case Fmt::kRegimm:
     case Fmt::kBranch1:
-      return name + " " + reg(d.rs) + ", " + std::to_string(d.simm());
+      return name + " " + reg(d.rs) + ", " + branch_target();
     case Fmt::kJump:
-      return name + " 0x" + std::to_string(d.target << 2);
+      return name + " " +
+             hex32(((addr + 4) & 0xF0000000u) | (d.target << 2));
     case Fmt::kBranch2:
       return name + " " + reg(d.rs) + ", " + reg(d.rt) + ", " +
-             std::to_string(d.simm());
+             branch_target();
     case Fmt::kAluImm:
+      // Logical immediates are zero-extended by the hardware (and only
+      // accepted unsigned by the assembler); arithmetic ones sign-extend.
+      if (d.mn == Mnemonic::kAndi || d.mn == Mnemonic::kOri ||
+          d.mn == Mnemonic::kXori) {
+        return name + " " + reg(d.rt) + ", " + reg(d.rs) + ", " +
+               hex32(d.imm);
+      }
       return name + " " + reg(d.rt) + ", " + reg(d.rs) + ", " +
              std::to_string(d.simm());
     case Fmt::kLui:

@@ -66,7 +66,12 @@ std::optional<Mnemonic> mnemonic_from_name(std::string_view name);
 std::optional<int> parse_register(std::string_view token);
 std::string_view register_name(int index);
 
-/// Human-readable disassembly of one instruction word.
+/// Human-readable disassembly of one instruction word, assuming it sits
+/// at byte address `addr`: branch and jump targets are printed as the
+/// absolute hex address the instruction transfers to (objdump style), so
+/// the listing re-assembles to the same words when placed at `addr` via
+/// `.org`. The single-argument form assumes address 0.
+std::string disassemble(std::uint32_t word, std::uint32_t addr);
 std::string disassemble(std::uint32_t word);
 
 // --- classification helpers used by the ISS and the SBST generators ------

@@ -90,6 +90,12 @@ constexpr std::string_view gate_kind_name(GateKind k) {
 using ComponentId = std::uint16_t;
 inline constexpr ComponentId kNoComponent = 0;
 
+/// Marker stored in Gate::reset_val by a raw add_gate(kDff, ...) until
+/// add_dff / set_dff_reset assigns a real reset value. 2-valued
+/// simulation is only sound when every DFF resets to a defined value
+/// (DESIGN.md §5), so the lint pass flags any DFF still carrying this.
+inline constexpr std::uint8_t kDffResetUnset = 0xFF;
+
 /// One gate instance. Kept POD-sized (16 bytes) — netlists reach tens of
 /// thousands of gates and the simulator walks them every cycle.
 struct Gate {

@@ -75,8 +75,10 @@ std::vector<std::uint8_t> live_mask(const Netlist& nl) {
   const std::size_t n = nl.size();
   std::vector<std::uint8_t> live(n, 0);
   std::vector<GateId> stack;
+  // Tolerates unconnected/dangling pins so lint can still compute the
+  // cone of a structurally broken netlist.
   auto mark = [&](GateId g) {
-    if (!live[g]) {
+    if (g < n && !live[g]) {
       live[g] = 1;
       stack.push_back(g);
     }

@@ -48,7 +48,10 @@ GateId Netlist::add_gate(GateKind kind, GateId a, GateId b, GateId c) {
       throw NetlistError("add_gate: too many inputs for gate kind");
     }
   }
-  if (kind == GateKind::kDff) ++num_dffs_;
+  if (kind == GateKind::kDff) {
+    ++num_dffs_;
+    g.reset_val = kDffResetUnset;  // until add_dff / set_dff_reset
+  }
   if (kind == GateKind::kInput) ++num_inputs_;
   gates_.push_back(g);
   return static_cast<GateId>(gates_.size() - 1);
@@ -69,6 +72,23 @@ void Netlist::set_gate_input(GateId g, int pin, GateId driver) {
     throw NetlistError("set_gate_input: pin out of range for gate kind");
   }
   gates_[g].in[static_cast<std::size_t>(pin)] = driver;
+}
+
+void Netlist::set_gate_kind(GateId g, GateKind kind) {
+  if (g >= gates_.size()) throw NetlistError("set_gate_kind: unknown gate");
+  Gate& gate = gates_[g];
+  if (fanin_count(kind) != fanin_count(gate.kind)) {
+    throw NetlistError("set_gate_kind: arity mismatch between " +
+                       std::string(gate_kind_name(gate.kind)) + " and " +
+                       std::string(gate_kind_name(kind)));
+  }
+  if (kind == GateKind::kDff || gate.kind == GateKind::kDff ||
+      kind == GateKind::kInput || gate.kind == GateKind::kInput ||
+      kind == GateKind::kConst0 || gate.kind == GateKind::kConst0 ||
+      kind == GateKind::kConst1 || gate.kind == GateKind::kConst1) {
+    throw NetlistError("set_gate_kind: only combinational logic kinds");
+  }
+  gate.kind = kind;
 }
 
 Port Netlist::add_input(std::string name, int width) {

@@ -70,6 +70,11 @@ class Netlist {
   /// Overrides a DFF's reset value (netlist transform support).
   void set_dff_reset(GateId g, bool reset_val);
 
+  /// Replaces a gate's kind in place, keeping its pins (netlist transform
+  /// and fault-injection support, e.g. verify::inject_alu_carry_bug). The
+  /// new kind must have the same fan-in arity as the old one.
+  void set_gate_kind(GateId g, GateKind kind);
+
   const std::vector<Port>& inputs() const { return inputs_; }
   const std::vector<Port>& outputs() const { return outputs_; }
   const Port& input(std::string_view name) const;

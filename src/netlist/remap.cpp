@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "netlist/lint.h"
+
 namespace sbst::nl {
 
 Netlist remap_to_nand(const Netlist& source) {
@@ -99,7 +101,7 @@ Netlist remap_to_nand(const Netlist& source) {
     }
   }
 
-  out.check();
+  lint_or_throw(out, "remap_to_nand");
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "parwan/cpu.h"
 
+#include "netlist/lint.h"
+
 #include "parwan/isa.h"
 
 namespace sbst::parwan {
@@ -207,7 +209,7 @@ ParwanCpu build_parwan_cpu() {
   cpu.debug.pc = pc;
   cpu.debug.flags = {f_n, f_z, f_c, f_v};
 
-  cpu.netlist.check();
+  nl::lint_or_throw(cpu.netlist, "build_parwan_cpu");
   return cpu;
 }
 

@@ -3,6 +3,7 @@
 // created first and connected once their next-state logic exists.
 #include "plasma/cpu.h"
 
+#include "netlist/lint.h"
 #include "plasma/components.h"
 
 namespace sbst::plasma {
@@ -119,7 +120,7 @@ PlasmaCpu build_plasma_cpu() {
   cpu.debug.hi = md.hi;
   cpu.debug.lo = md.lo;
 
-  cpu.netlist.check();
+  nl::lint_or_throw(cpu.netlist, "build_plasma_cpu");
   return cpu;
 }
 

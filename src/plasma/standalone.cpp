@@ -1,5 +1,6 @@
 #include "plasma/standalone.h"
 
+#include "netlist/lint.h"
 #include "plasma/components.h"
 
 namespace sbst::plasma {
@@ -16,7 +17,7 @@ nl::Netlist standalone_alu() {
   ctl.result_sel = b.input("result_sel", 2);
   const AluOutputs out = build_alu(b, a, bb, ctl);
   b.output("result", out.result);
-  netlist.check();
+  nl::lint_or_throw(netlist, "standalone component");
   return netlist;
 }
 
@@ -31,7 +32,7 @@ nl::Netlist standalone_shifter() {
   ctl.arith = b.input("arith", 1)[0];
   ctl.variable = b.input("variable", 1)[0];
   b.output("result", build_shifter(b, value, shamt, rs_low, ctl));
-  netlist.check();
+  nl::lint_or_throw(netlist, "standalone component");
   return netlist;
 }
 
@@ -47,7 +48,7 @@ nl::Netlist standalone_regfile() {
   b.output("rdata1", build_regfile_read(b, rf, raddr1));
   b.output("rdata2", build_regfile_read(b, rf, raddr2));
   connect_regfile_write(b, rf, waddr, wdata, wen);
-  netlist.check();
+  nl::lint_or_throw(netlist, "standalone component");
   return netlist;
 }
 
@@ -68,7 +69,7 @@ nl::Netlist standalone_muldiv() {
   b.output("hi", out.hi);
   b.output("lo", out.lo);
   b.output("busy", {out.busy});
-  netlist.check();
+  nl::lint_or_throw(netlist, "standalone component");
   return netlist;
 }
 
@@ -95,7 +96,7 @@ nl::Netlist standalone_memctrl() {
   b.output("byte_we", out.byte_we);
   b.output("rd_en", {out.rd_en});
   b.output("load_value", out.load_value);
-  netlist.check();
+  nl::lint_or_throw(netlist, "standalone component");
   return netlist;
 }
 

@@ -1,0 +1,132 @@
+#include "util/argparse.h"
+
+#include <limits>
+
+namespace sbst::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  args_.reserve(static_cast<std::size_t>(argc < 0 ? 0 : argc));
+  for (int i = 0; i < argc; ++i) args_.emplace_back(argv[i]);
+}
+
+ArgParser& ArgParser::flag(std::string_view name, bool* out) {
+  specs_.push_back({std::string(name), Kind::kBool, out});
+  return *this;
+}
+
+ArgParser& ArgParser::value(std::string_view name, std::string* out) {
+  specs_.push_back({std::string(name), Kind::kString, out});
+  return *this;
+}
+
+ArgParser& ArgParser::value_u64(std::string_view name, std::uint64_t* out) {
+  specs_.push_back({std::string(name), Kind::kU64, out});
+  return *this;
+}
+
+ArgParser& ArgParser::value_size(std::string_view name, std::size_t* out) {
+  specs_.push_back({std::string(name), Kind::kSize, out});
+  return *this;
+}
+
+ArgParser& ArgParser::value_int(std::string_view name, int* out) {
+  specs_.push_back({std::string(name), Kind::kInt, out});
+  return *this;
+}
+
+ArgParser& ArgParser::value_unsigned(std::string_view name, unsigned* out) {
+  specs_.push_back({std::string(name), Kind::kUnsigned, out});
+  return *this;
+}
+
+const ArgParser::Spec* ArgParser::find(std::string_view name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ArgParser::parse(std::size_t min_positional,
+                                          std::size_t max_positional) {
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    const std::string& arg = args_[i];
+    if (arg.size() < 2 || arg[0] != '-') {
+      positional.push_back(arg);
+      continue;
+    }
+    const Spec* spec = find(arg);
+    if (!spec) throw ArgError("unknown flag '" + arg + "'");
+    if (spec->kind == Kind::kBool) {
+      *static_cast<bool*>(spec->out) = true;
+      continue;
+    }
+    if (i + 1 >= args_.size()) {
+      throw ArgError("flag '" + arg + "' requires a value");
+    }
+    const std::string& v = args_[++i];
+    switch (spec->kind) {
+      case Kind::kString:
+        *static_cast<std::string*>(spec->out) = v;
+        break;
+      case Kind::kU64:
+        *static_cast<std::uint64_t*>(spec->out) = parse_u64(arg, v);
+        break;
+      case Kind::kSize:
+        *static_cast<std::size_t*>(spec->out) =
+            static_cast<std::size_t>(parse_u64(arg, v));
+        break;
+      case Kind::kInt: {
+        const std::uint64_t u = parse_u64(arg, v);
+        if (u > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+          throw ArgError("value for '" + arg + "' out of range: " + v);
+        }
+        *static_cast<int*>(spec->out) = static_cast<int>(u);
+        break;
+      }
+      case Kind::kUnsigned: {
+        const std::uint64_t u = parse_u64(arg, v);
+        if (u > std::numeric_limits<unsigned>::max()) {
+          throw ArgError("value for '" + arg + "' out of range: " + v);
+        }
+        *static_cast<unsigned*>(spec->out) = static_cast<unsigned>(u);
+        break;
+      }
+      case Kind::kBool:
+        break;  // handled above
+    }
+  }
+  if (positional.size() < min_positional) {
+    throw ArgError("missing argument (got " +
+                   std::to_string(positional.size()) + ", need at least " +
+                   std::to_string(min_positional) + ")");
+  }
+  if (positional.size() > max_positional) {
+    throw ArgError("unexpected extra argument '" +
+                   positional[max_positional] + "'");
+  }
+  return positional;
+}
+
+std::uint64_t parse_u64(std::string_view context, std::string_view text) {
+  if (text.empty()) {
+    throw ArgError("value for '" + std::string(context) + "' is empty");
+  }
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw ArgError("value for '" + std::string(context) +
+                     "' is not a non-negative integer: '" +
+                     std::string(text) + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      throw ArgError("value for '" + std::string(context) +
+                     "' overflows: '" + std::string(text) + "'");
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+}  // namespace sbst::util

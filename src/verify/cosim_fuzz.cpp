@@ -1,0 +1,246 @@
+#include "verify/cosim_fuzz.h"
+
+#include <cstdio>
+
+#include "isa/mips.h"
+#include "iss/iss.h"
+#include "plasma/testbench.h"
+
+namespace sbst::verify {
+
+namespace {
+
+constexpr std::size_t kMemBytes = 1 << 16;
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%X", v);
+  return buf;
+}
+
+isa::Program image_from_words(const std::vector<std::uint32_t>& words) {
+  isa::Program p;
+  p.words = words;
+  return p;
+}
+
+/// True when the program stays in the architecturally well-defined subset
+/// the oracle is specified for: no branch or jump in a delay slot (MIPS I
+/// leaves that unpredictable, so ISS and gate level may legally differ).
+/// randprog never emits such programs, but the shrinker's chunk removal
+/// can create one by deleting a delay slot.
+bool well_defined(const std::vector<std::uint32_t>& words) {
+  bool prev_transfers = false;
+  for (std::uint32_t word : words) {
+    const isa::Decoded d = isa::decode(word);
+    const bool transfers = isa::is_branch(d.mn) || isa::is_jump(d.mn);
+    if (transfers && prev_transfers) return false;
+    prev_transfers = transfers;
+  }
+  return true;
+}
+
+}  // namespace
+
+CosimOutcome compare_iss_gate(const plasma::PlasmaCpu& cpu,
+                              const std::vector<std::uint32_t>& words,
+                              std::uint64_t max_cycles) {
+  CosimOutcome out;
+  const isa::Program program = image_from_words(words);
+
+  iss::Iss ref(program, kMemBytes);
+  const iss::RunResult rr = ref.run(max_cycles);
+  if (!rr.halted) return out;  // not comparable
+  out.comparable = true;
+
+  const plasma::GateRunResult gr =
+      plasma::run_gate_cpu(cpu, program, rr.cycles + 64, kMemBytes);
+
+  auto mismatch = [&out](std::string detail) {
+    out.agree = false;
+    out.detail = std::move(detail);
+  };
+
+  if (!gr.halted) {
+    mismatch("gate-level CPU did not halt within " +
+             std::to_string(rr.cycles + 64) + " cycles (ISS halted after " +
+             std::to_string(rr.cycles) + ")");
+    return out;
+  }
+
+  const std::vector<iss::WriteOp>& rw = ref.writes();
+  const std::size_t n = std::min(rw.size(), gr.writes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rw[i] == gr.writes[i]) continue;
+    mismatch("write " + std::to_string(i) + " differs: ISS {addr=" +
+             hex32(rw[i].addr) + " data=" + hex32(rw[i].data) +
+             " be=" + std::to_string(rw[i].byte_en) + "}, gate {addr=" +
+             hex32(gr.writes[i].addr) + " data=" + hex32(gr.writes[i].data) +
+             " be=" + std::to_string(gr.writes[i].byte_en) + "}");
+    return out;
+  }
+  if (rw.size() != gr.writes.size()) {
+    mismatch("write-trace length differs: ISS " + std::to_string(rw.size()) +
+             ", gate " + std::to_string(gr.writes.size()));
+    return out;
+  }
+
+  for (int r = 1; r < 32; ++r) {
+    const std::uint32_t want = ref.reg(r);
+    const std::uint32_t got = gr.regs[static_cast<std::size_t>(r)];
+    if (want != got) {
+      mismatch("final $" + std::to_string(r) + " differs: ISS " + hex32(want) +
+               ", gate " + hex32(got));
+      return out;
+    }
+  }
+  if (ref.hi() != gr.hi) {
+    mismatch("final HI differs: ISS " + hex32(ref.hi()) + ", gate " +
+             hex32(gr.hi));
+    return out;
+  }
+  if (ref.lo() != gr.lo) {
+    mismatch("final LO differs: ISS " + hex32(ref.lo()) + ", gate " +
+             hex32(gr.lo));
+    return out;
+  }
+
+  if (rr.cycles != gr.cycles) {
+    mismatch("cycle count differs: ISS " + std::to_string(rr.cycles) +
+             ", gate " + std::to_string(gr.cycles));
+    return out;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> shrink_program(const plasma::PlasmaCpu& cpu,
+                                          std::vector<std::uint32_t> words,
+                                          std::uint64_t max_cycles,
+                                          ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+
+  auto still_fails = [&](const std::vector<std::uint32_t>& cand) {
+    if (!well_defined(cand)) return false;
+    ++st.checks;
+    const CosimOutcome o = compare_iss_gate(cpu, cand, max_cycles);
+    return o.comparable && !o.agree;
+  };
+
+  if (!still_fails(words)) return words;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++st.rounds;
+
+    // Window removal, halving the window until single instructions.
+    std::size_t window = words.size() / 2;
+    if (window == 0) window = 1;
+    for (; window >= 1; window /= 2) {
+      std::size_t i = 0;
+      while (i < words.size() && words.size() > 1) {
+        std::vector<std::uint32_t> cand;
+        cand.reserve(words.size());
+        cand.insert(cand.end(), words.begin(),
+                    words.begin() + static_cast<std::ptrdiff_t>(i));
+        const std::size_t end = std::min(words.size(), i + window);
+        cand.insert(cand.end(),
+                    words.begin() + static_cast<std::ptrdiff_t>(end),
+                    words.end());
+        if (still_fails(cand)) {
+          words = std::move(cand);
+          changed = true;
+        } else {
+          i += window;
+        }
+      }
+    }
+
+    // Neutralize single instructions to nop — keeps addresses (and thus
+    // branch geometry) stable where removal cannot.
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (words[i] == isa::kNop) continue;
+      std::vector<std::uint32_t> cand = words;
+      cand[i] = isa::kNop;
+      if (still_fails(cand)) {
+        words = std::move(cand);
+        changed = true;
+      }
+    }
+  }
+  return words;
+}
+
+FuzzResult run_cosim_fuzz(const plasma::PlasmaCpu& cpu,
+                          const FuzzOptions& options) {
+  FuzzResult result;
+  for (int i = 0; i < options.iterations; ++i) {
+    const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(i);
+    const isa::Program prog = iss::random_program(seed, options.prog);
+    ++result.iterations_run;
+
+    const CosimOutcome o =
+        compare_iss_gate(cpu, prog.words, options.max_cycles);
+    if (!o.comparable || o.agree) continue;
+
+    FuzzMismatch m;
+    m.seed = seed;
+    m.detail = o.detail;
+    m.program = prog.words;
+    m.reduced = options.shrink
+                    ? shrink_program(cpu, prog.words, options.max_cycles,
+                                     &m.shrink_stats)
+                    : prog.words;
+    result.mismatch = std::move(m);
+    break;
+  }
+  return result;
+}
+
+std::string render_reproducer(const std::vector<std::uint32_t>& words,
+                              std::string_view header) {
+  std::string out;
+  std::string line;
+  std::size_t start = 0;
+  while (start <= header.size()) {
+    std::size_t nl = header.find('\n', start);
+    if (nl == std::string_view::npos) nl = header.size();
+    line.assign(header.substr(start, nl - start));
+    if (!line.empty()) out += "# " + line + "\n";
+    start = nl + 1;
+  }
+  out += ".org 0\n";
+  char buf[64];
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t addr = static_cast<std::uint32_t>(i) * 4;
+    std::snprintf(buf, sizeof(buf), ".word 0x%08X  # %04X: ", words[i], addr);
+    out += buf;
+    out += isa::disassemble(words[i], addr);
+    out += '\n';
+  }
+  return out;
+}
+
+nl::GateId inject_alu_carry_bug(plasma::PlasmaCpu& cpu) {
+  const nl::ComponentId alu = cpu.component_id(plasma::PlasmaComponent::kAlu);
+  const std::span<const nl::Gate> gates = cpu.netlist.gates();
+  nl::GateId and_fallback = nl::kNoGate;
+  for (nl::GateId g = 0; g < gates.size(); ++g) {
+    if (gates[g].component != alu) continue;
+    if (gates[g].kind == nl::GateKind::kXor2) {
+      cpu.netlist.set_gate_kind(g, nl::GateKind::kXnor2);
+      return g;
+    }
+    if (and_fallback == nl::kNoGate && gates[g].kind == nl::GateKind::kAnd2) {
+      and_fallback = g;
+    }
+  }
+  if (and_fallback != nl::kNoGate) {
+    cpu.netlist.set_gate_kind(and_fallback, nl::GateKind::kOr2);
+    return and_fallback;
+  }
+  throw nl::NetlistError("inject_alu_carry_bug: no XOR2/AND2 gate in ALU");
+}
+
+}  // namespace sbst::verify

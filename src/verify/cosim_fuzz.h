@@ -1,0 +1,104 @@
+// Differential co-simulation fuzzer with automatic reproducer shrinking.
+//
+// The reproduction rests on one oracle: the MIPS I ISS and the gate-level
+// Plasma CPU must agree on every architecturally well-defined program
+// (DESIGN.md §5, "ISS is the oracle"). This module hunts for
+// disagreements systematically:
+//
+//   1. generate constrained-random programs with iss/randprog,
+//   2. run each on both simulators and compare the full memory-write
+//      trace, cycle count and final architectural state,
+//   3. on mismatch, shrink the failing program with delta-debugging —
+//      drop instruction windows, neutralize single instructions to `nop`,
+//      re-check after every candidate — down to a minimal reproducer that
+//      can be written to disk as a re-assemblable listing.
+//
+// The shrinker only accepts candidates that remain architecturally
+// well-defined (no branch or jump in a delay slot) and still mismatch,
+// so the reduced program is a true divergence witness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iss/randprog.h"
+#include "plasma/cpu.h"
+
+namespace sbst::verify {
+
+/// Outcome of one differential run of a word image.
+struct CosimOutcome {
+  /// True when the reference (ISS) run halted within budget — only then
+  /// is agreement meaningful; programs that run off into the weeds are
+  /// skipped, not failed.
+  bool comparable = false;
+  bool agree = true;
+  /// First divergence, human-readable (empty when agree).
+  std::string detail;
+};
+
+/// Runs `words` (a memory image from address 0) on the ISS and on the
+/// gate-level CPU and compares memory-write traces, cycle counts and the
+/// final register/hi/lo state.
+CosimOutcome compare_iss_gate(const plasma::PlasmaCpu& cpu,
+                              const std::vector<std::uint32_t>& words,
+                              std::uint64_t max_cycles = 100'000);
+
+struct ShrinkStats {
+  int checks = 0;  // differential runs performed
+  int rounds = 0;  // fixpoint iterations
+};
+
+/// Delta-debugging minimizer: returns the smallest program found that
+/// still triggers an ISS-vs-gate mismatch. `words` must itself mismatch;
+/// if it does not, it is returned unchanged.
+std::vector<std::uint32_t> shrink_program(const plasma::PlasmaCpu& cpu,
+                                          std::vector<std::uint32_t> words,
+                                          std::uint64_t max_cycles = 100'000,
+                                          ShrinkStats* stats = nullptr);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int iterations = 20;
+  /// Program shape; the generator only emits architecturally
+  /// well-defined programs (see iss/randprog.h).
+  iss::RandProgOptions prog;
+  std::uint64_t max_cycles = 100'000;
+  bool shrink = true;
+};
+
+struct FuzzMismatch {
+  std::uint64_t seed = 0;         // randprog seed that produced the failure
+  std::string detail;             // first divergence of the original program
+  std::vector<std::uint32_t> program;  // original failing program
+  std::vector<std::uint32_t> reduced;  // shrunk reproducer (== program when
+                                       // shrinking is disabled)
+  ShrinkStats shrink_stats;
+};
+
+struct FuzzResult {
+  int iterations_run = 0;
+  /// First mismatch found; the fuzzer stops at the first failure.
+  std::optional<FuzzMismatch> mismatch;
+};
+
+FuzzResult run_cosim_fuzz(const plasma::PlasmaCpu& cpu,
+                          const FuzzOptions& options = {});
+
+/// Renders a word image as a re-assemblable listing: one `.word` per
+/// line, each annotated with its address and disassembly. `header` is
+/// emitted as leading comment lines.
+std::string render_reproducer(const std::vector<std::uint32_t>& words,
+                              std::string_view header);
+
+/// Test hook: deliberately corrupts the gate-level ALU by flipping one
+/// XOR in its add/sub carry-sum network to XNOR (falling back to an
+/// AND→OR flip for exotic mappings). Used by the fuzzer's own tests and
+/// by `sbst fuzz --inject-alu-bug` to demonstrate end-to-end detection
+/// and shrinking. Returns the mutated gate.
+nl::GateId inject_alu_carry_bug(plasma::PlasmaCpu& cpu);
+
+}  // namespace sbst::verify

@@ -1,0 +1,153 @@
+#include "verify/roundtrip.h"
+
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "isa/mips.h"
+
+namespace sbst::verify {
+
+namespace {
+
+using isa::Mnemonic;
+
+/// SplitMix64 — tiny deterministic generator, same family as randprog's.
+struct Rng {
+  std::uint64_t state;
+
+  std::uint64_t next() {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+};
+
+/// A random canonical word for `mn`: every field the encoding defines is
+/// randomized, every field it fixes (e.g. rs of SLL) is zero — exactly
+/// the form the assembler itself emits.
+std::uint32_t random_canonical_word(Mnemonic mn, Rng& rng) {
+  const int rs = static_cast<int>(rng.below(32));
+  const int rt = static_cast<int>(rng.below(32));
+  const int rd = static_cast<int>(rng.below(32));
+  const int sh = static_cast<int>(rng.below(32));
+  const std::uint16_t imm = static_cast<std::uint16_t>(rng.next());
+  switch (mn) {
+    case Mnemonic::kSll:
+    case Mnemonic::kSrl:
+    case Mnemonic::kSra:
+      return isa::encode_r(mn, rd, 0, rt, sh);
+    case Mnemonic::kSllv:
+    case Mnemonic::kSrlv:
+    case Mnemonic::kSrav:
+      return isa::encode_r(mn, rd, rs, rt);
+    case Mnemonic::kJr:
+    case Mnemonic::kMthi:
+    case Mnemonic::kMtlo:
+      return isa::encode_r(mn, 0, rs, 0);
+    case Mnemonic::kJalr:
+      return isa::encode_r(mn, rd, rs, 0);
+    case Mnemonic::kMfhi:
+    case Mnemonic::kMflo:
+      return isa::encode_r(mn, rd, 0, 0);
+    case Mnemonic::kMult:
+    case Mnemonic::kMultu:
+    case Mnemonic::kDiv:
+    case Mnemonic::kDivu:
+      return isa::encode_r(mn, 0, rs, rt);
+    case Mnemonic::kAdd:
+    case Mnemonic::kAddu:
+    case Mnemonic::kSub:
+    case Mnemonic::kSubu:
+    case Mnemonic::kAnd:
+    case Mnemonic::kOr:
+    case Mnemonic::kXor:
+    case Mnemonic::kNor:
+    case Mnemonic::kSlt:
+    case Mnemonic::kSltu:
+      return isa::encode_r(mn, rd, rs, rt);
+    case Mnemonic::kBltz:
+    case Mnemonic::kBgez:
+    case Mnemonic::kBltzal:
+    case Mnemonic::kBgezal:
+    case Mnemonic::kBlez:
+    case Mnemonic::kBgtz:
+      return isa::encode_i(mn, 0, rs, imm);
+    case Mnemonic::kJ:
+    case Mnemonic::kJal:
+      return isa::encode_j(mn, rng.below(1u << 26));
+    case Mnemonic::kBeq:
+    case Mnemonic::kBne:
+      return isa::encode_i(mn, rt, rs, imm);
+    case Mnemonic::kLui:
+      return isa::encode_i(mn, rt, 0, imm);
+    case Mnemonic::kAddi:
+    case Mnemonic::kAddiu:
+    case Mnemonic::kSlti:
+    case Mnemonic::kSltiu:
+    case Mnemonic::kAndi:
+    case Mnemonic::kOri:
+    case Mnemonic::kXori:
+    case Mnemonic::kLb:
+    case Mnemonic::kLh:
+    case Mnemonic::kLw:
+    case Mnemonic::kLbu:
+    case Mnemonic::kLhu:
+    case Mnemonic::kSb:
+    case Mnemonic::kSh:
+    case Mnemonic::kSw:
+      return isa::encode_i(mn, rt, rs, imm);
+    case Mnemonic::kInvalid:
+      break;
+  }
+  return isa::kNop;
+}
+
+}  // namespace
+
+RoundTripResult run_roundtrip_fuzz(std::uint64_t seed, int iterations) {
+  RoundTripResult result;
+  Rng rng{seed * 0x9E3779B97F4A7C15ull + 1};
+
+  constexpr int kFirst = static_cast<int>(Mnemonic::kSll);
+  constexpr int kLast = static_cast<int>(Mnemonic::kSw);
+
+  for (int it = 0; it < iterations; ++it) {
+    const Mnemonic mn =
+        static_cast<Mnemonic>(kFirst + it % (kLast - kFirst + 1));
+    const std::uint32_t word = random_canonical_word(mn, rng);
+    // Word-aligned address, high enough that the most negative branch
+    // offset (-32768 words) still targets a non-negative address, and in
+    // segment 0 so every 26-bit jump target is expressible.
+    const std::uint32_t addr = 0x20000 + 4 * rng.below(4096);
+    const std::string text = isa::disassemble(word, addr);
+    ++result.iterations;
+
+    RoundTripFailure f;
+    f.word = word;
+    f.addr = addr;
+    f.text = text;
+
+    char org[32];
+    std::snprintf(org, sizeof(org), ".org 0x%X\n", addr);
+    bool failed = false;
+    try {
+      const isa::Program p = isa::assemble(std::string(org) + text + "\n");
+      f.reassembled = p.words.at(addr / 4);
+      failed = f.reassembled != word;
+    } catch (const isa::AsmError& e) {
+      f.error = e.what();
+      failed = true;
+    }
+    if (failed && result.failures.size() < RoundTripResult::kMaxFailures) {
+      result.failures.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+}  // namespace sbst::verify

@@ -75,5 +75,42 @@ TEST(Report, PrintsTableWithAllComponents) {
   }
 }
 
+// Regression: rows whose faults were never simulated (routine in sampled
+// grading runs) used to print a vacuous 100.00% — they must read "n/a".
+TEST(Report, UnsimulatedComponentRendersNa) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 0);
+  res.simulated.assign(faults.size(), 0);
+  res.detect_cycle.assign(faults.size(), -1);
+
+  // Simulate (and detect) only the faults of one component; every other
+  // row is then an unsampled hole.
+  const nl::ComponentId alu =
+      cpu.component_id(plasma::PlasmaComponent::kAlu);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (nl::fault_component(cpu.netlist, faults.faults[i]) == alu) {
+      res.simulated[i] = 1;
+      res.detected[i] = 1;
+      res.detect_cycle[i] = 0;
+    }
+  }
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  std::ostringstream os;
+  print_coverage_table(os, rep, nullptr);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("n/a"), std::string::npos) << text;
+  EXPECT_NE(text.find("100.00%"), std::string::npos) << text;  // the ALU row
+  // No row may claim coverage it never measured: exactly one 100.00% FC
+  // cell (the ALU) plus the overall line.
+  std::size_t count = 0;
+  for (std::size_t p = text.find("100.00%"); p != std::string::npos;
+       p = text.find("100.00%", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u) << text;
+}
+
 }  // namespace
 }  // namespace sbst::core

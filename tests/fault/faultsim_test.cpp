@@ -156,9 +156,12 @@ TEST(SeqFaultSim, SamplingIsDeterministic) {
 
 TEST(Coverage, PercentMath) {
   Coverage c;
-  EXPECT_DOUBLE_EQ(c.percent(), 100.0);  // vacuous
+  // No fault considered: coverage is undefined, not a vacuous 100%.
+  EXPECT_FALSE(c.defined());
+  EXPECT_DOUBLE_EQ(c.percent(), 0.0);
   c.total = 200;
   c.detected = 150;
+  EXPECT_TRUE(c.defined());
   EXPECT_DOUBLE_EQ(c.percent(), 75.0);
 }
 

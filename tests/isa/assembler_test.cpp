@@ -165,5 +165,61 @@ TEST(Assembler, MultipleLabelsOneLine) {
   EXPECT_EQ(p.symbols.at("b"), 0u);
 }
 
+// Regression: a jump whose target lies outside the 256 MB segment of the
+// delay-slot PC used to be silently truncated to the low 26 bits,
+// branching somewhere unrelated.
+TEST(Assembler, JumpTargetOutsideSegmentFails) {
+  try {
+    assemble("j 0x10000000\nnop\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("segment"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(assemble(".org 0x10000000\njal 0x0FFFFFF0\nnop\n"), AsmError);
+}
+
+TEST(Assembler, JumpWithinSegmentStillAssembles) {
+  const Program p = assemble("j 0x0FFFFFF8\nnop\n");
+  EXPECT_EQ(p.words[0] & 0x03FFFFFFu, 0x0FFFFFF8u >> 2);
+  // The delay-slot PC, not the jump's own address, picks the segment: a
+  // jump in the last word of a segment targets the next one.
+  const Program q =
+      assemble(".org 0x0FFFFFFC\nj 0x10000000\nnop\n");
+  EXPECT_EQ(q.words[0x0FFFFFFCu / 4] & 0x03FFFFFFu,
+            (0x10000000u >> 2) & 0x03FFFFFFu);
+}
+
+// Regression: `.org` moving backwards over already-emitted words (or two
+// statements landing on one address) used to overwrite silently; the last
+// writer won and the earlier instruction vanished from the image.
+TEST(Assembler, OverlappingEmitFails) {
+  try {
+    assemble("nop\nnop\n.org 4\naddiu $1, $0, 1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("overlap"), std::string::npos) << msg;
+  }
+}
+
+TEST(Assembler, BackwardsOrgWithoutOverlapIsFine) {
+  const Program p =
+      assemble(".org 8\nnop\n.org 0\naddiu $1, $0, 1\n");
+  EXPECT_EQ(p.words[0], encode_i(Mnemonic::kAddiu, 1, 0, 1));
+  EXPECT_EQ(p.words[2], kNop);
+  EXPECT_EQ(p.size_words(), 3u);
+}
+
+TEST(Assembler, SpaceClaimsItsRegion) {
+  // Code following a .space is fine; .org back into the reserved region
+  // collides with it.
+  const Program p = assemble(".space 8\naddiu $1, $0, 1\n");
+  EXPECT_EQ(p.words[2], encode_i(Mnemonic::kAddiu, 1, 0, 1));
+  EXPECT_THROW(assemble(".space 8\n.org 4\nnop\n"), AsmError);
+}
+
 }  // namespace
 }  // namespace sbst::isa

@@ -144,6 +144,42 @@ TEST(Disassemble, Formats) {
   EXPECT_EQ(disassemble(encode_r(Mnemonic::kMult, 0, 2, 3)), "mult $v0, $v1");
 }
 
+// Regression sweep: branch/jump targets must print as the absolute hex
+// address (objdump style), not as raw offsets, and jump targets must not
+// mix an 0x prefix with decimal digits.
+TEST(Disassemble, ControlFlowTargetsAreAbsoluteHex) {
+  // beq at 0x100, offset +3 words: target = 0x104 + 3*4 = 0x110.
+  EXPECT_EQ(disassemble(encode_i(Mnemonic::kBeq, 2, 1, 3), 0x100),
+            "beq $at, $v0, 0x110");
+  // Negative offset: -2 words from the delay slot.
+  EXPECT_EQ(disassemble(encode_i(Mnemonic::kBne, 0, 4, 0xFFFE), 0x100),
+            "bne $a0, $zero, 0xFC");
+  EXPECT_EQ(disassemble(encode_i(Mnemonic::kBltz, 0, 5, 1), 0x40),
+            "bltz $a1, 0x48");
+  // j 0x1F0 from segment 0: target26 = 0x1F0 >> 2.
+  EXPECT_EQ(disassemble(encode_j(Mnemonic::kJ, 0x1F0 >> 2), 0x100),
+            "j 0x1F0");
+  // Segment bits come from the delay-slot PC.
+  EXPECT_EQ(disassemble(encode_j(Mnemonic::kJal, 1), 0x20000000),
+            "jal 0x20000004");
+  // The single-argument form assumes address 0.
+  EXPECT_EQ(disassemble(encode_i(Mnemonic::kBeq, 0, 0, 1)),
+            "beq $zero, $zero, 0x8");
+}
+
+// Regression: andi/ori/xori immediates are zero-extended and the
+// assembler only accepts them unsigned; printing -1 for 0xFFFF made the
+// listing un-reassemblable.
+TEST(Disassemble, LogicalImmediatesPrintUnsigned) {
+  EXPECT_EQ(disassemble(encode_i(Mnemonic::kAndi, 2, 1, 0xFFFF)),
+            "andi $v0, $at, 0xFFFF");
+  EXPECT_EQ(disassemble(encode_i(Mnemonic::kOri, 2, 1, 0x8000)),
+            "ori $v0, $at, 0x8000");
+  // Arithmetic immediates stay signed.
+  EXPECT_EQ(disassemble(encode_i(Mnemonic::kAddiu, 2, 1, 0xFFFF)),
+            "addiu $v0, $at, -1");
+}
+
 TEST(Classify, Predicates) {
   EXPECT_TRUE(is_load(Mnemonic::kLbu));
   EXPECT_FALSE(is_load(Mnemonic::kSw));

@@ -66,8 +66,8 @@ TEST(Remap, OnlyNandLibraryPrimitives) {
 TEST(Remap, SequentialFeedbackPreserved) {
   Netlist n;
   // 2-bit counter with feedback through an XOR.
-  const GateId q0 = n.add_gate(GateKind::kDff);
-  const GateId q1 = n.add_gate(GateKind::kDff);
+  const GateId q0 = n.add_dff(kNoGate, false);
+  const GateId q1 = n.add_dff(kNoGate, false);
   n.set_gate_input(q0, 0, n.add_gate(GateKind::kNot, q0));
   n.set_gate_input(q1, 0, n.add_gate(GateKind::kXor2, q0, q1));
   n.set_dff_reset(q1, true);

@@ -63,7 +63,7 @@ TEST(Scoap, SequentialLoopSaturatesNotDiverges) {
   Netlist n;
   // Counter-ish feedback: q <- xor(q, in).
   const auto& in = n.add_input("in", 1);
-  const GateId q = n.add_gate(GateKind::kDff);
+  const GateId q = n.add_dff(kNoGate, false);
   const GateId x = n.add_gate(GateKind::kXor2, q, in.bits[0]);
   n.set_gate_input(q, 0, x);
   n.add_output("o", {x});

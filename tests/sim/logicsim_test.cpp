@@ -86,7 +86,7 @@ TEST(LogicSim, DffChainShiftsOnePerCycle) {
 
 TEST(LogicSim, ToggleFlopOscillates) {
   nl::Netlist n;
-  const nl::GateId q = n.add_gate(nl::GateKind::kDff);
+  const nl::GateId q = n.add_dff(nl::kNoGate, false);
   const nl::GateId inv = n.add_gate(nl::GateKind::kNot, q);
   n.set_gate_input(q, 0, inv);
   n.add_output("q", {q});

@@ -1,0 +1,88 @@
+#include "util/argparse.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args};
+}
+
+TEST(ArgParser, ParsesFlagsAndPositionalsInAnyOrder) {
+  const auto args = argv_of({"--gate", "prog.s", "-o", "out.bin"});
+  bool gate = false;
+  std::string out;
+  const auto pos = ArgParser(static_cast<int>(args.size()), args.data())
+                       .flag("--gate", &gate)
+                       .value("-o", &out)
+                       .parse(1, 1);
+  EXPECT_TRUE(gate);
+  EXPECT_EQ(out, "out.bin");
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "prog.s");
+}
+
+// Regression: `sbst asm f.s -o` used to skip the trailing flag silently
+// and print to stdout instead of writing the requested file.
+TEST(ArgParser, TrailingValueFlagWithoutValueThrows) {
+  const auto args = argv_of({"prog.s", "-o"});
+  std::string out;
+  EXPECT_THROW(ArgParser(static_cast<int>(args.size()), args.data())
+                   .value("-o", &out)
+                   .parse(1, 1),
+               ArgError);
+}
+
+// Regression: `--sample all` went through atoi and became 0 (= full run).
+TEST(ArgParser, NonNumericValueThrows) {
+  const auto args = argv_of({"prog.s", "--sample", "all"});
+  std::size_t sample = 6300;
+  EXPECT_THROW(ArgParser(static_cast<int>(args.size()), args.data())
+                   .value_size("--sample", &sample)
+                   .parse(1, 1),
+               ArgError);
+  EXPECT_EQ(sample, 6300u);  // untouched on error
+}
+
+// Regression: misspelled flags were silently treated as ignorable noise.
+TEST(ArgParser, UnknownFlagThrows) {
+  const auto args = argv_of({"prog.s", "--thread", "4"});
+  unsigned threads = 0;
+  EXPECT_THROW(ArgParser(static_cast<int>(args.size()), args.data())
+                   .value_unsigned("--threads", &threads)
+                   .parse(1, 1),
+               ArgError);
+}
+
+TEST(ArgParser, PositionalCountIsEnforced) {
+  const auto none = argv_of({});
+  EXPECT_THROW(ArgParser(0, none.data()).parse(1, 1), ArgError);
+
+  const auto extra = argv_of({"a.s", "b.s"});
+  EXPECT_THROW(ArgParser(static_cast<int>(extra.size()), extra.data())
+                   .parse(1, 1),
+               ArgError);
+}
+
+TEST(ArgParser, NumericRangeIsChecked) {
+  const auto args = argv_of({"--iters", "4294967296"});
+  int iters = 0;
+  EXPECT_THROW(ArgParser(static_cast<int>(args.size()), args.data())
+                   .value_int("--iters", &iters)
+                   .parse(0, 0),
+               ArgError);
+}
+
+TEST(ParseU64, AcceptsFullRangeRejectsJunk) {
+  EXPECT_EQ(parse_u64("x", "0"), 0u);
+  EXPECT_EQ(parse_u64("x", "18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_THROW(parse_u64("x", ""), ArgError);
+  EXPECT_THROW(parse_u64("x", "12x"), ArgError);
+  EXPECT_THROW(parse_u64("x", "-1"), ArgError);
+  EXPECT_THROW(parse_u64("x", "18446744073709551616"), ArgError);
+}
+
+}  // namespace
+}  // namespace sbst::util

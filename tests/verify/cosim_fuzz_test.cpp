@@ -1,0 +1,109 @@
+#include "verify/cosim_fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/mips.h"
+#include "netlist/netlist.h"
+#include "plasma/cpu.h"
+
+namespace sbst::verify {
+namespace {
+
+TEST(CosimFuzz, CleanCpuAgreesOnRandomPrograms) {
+  const plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  FuzzOptions opt;
+  opt.seed = 7;
+  opt.iterations = 3;
+  opt.prog.body_instructions = 40;
+  const FuzzResult res = run_cosim_fuzz(cpu, opt);
+  EXPECT_EQ(res.iterations_run, 3);
+  ASSERT_FALSE(res.mismatch.has_value())
+      << "unexpected divergence: " << res.mismatch->detail;
+}
+
+TEST(CosimFuzz, CompareReportsAgreementDetails) {
+  const plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const isa::Program p = iss::random_program(3);
+  const CosimOutcome o = compare_iss_gate(cpu, p.words);
+  EXPECT_TRUE(o.comparable);
+  EXPECT_TRUE(o.agree);
+  EXPECT_TRUE(o.detail.empty());
+}
+
+TEST(CosimFuzz, NonHaltingProgramIsNotComparable) {
+  const plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  // An infinite loop: `b .` — never stores to the halt address.
+  const std::vector<std::uint32_t> words = {
+      isa::encode_i(isa::Mnemonic::kBeq, 0, 0, 0xFFFF), isa::kNop};
+  const CosimOutcome o = compare_iss_gate(cpu, words, 2'000);
+  EXPECT_FALSE(o.comparable);
+}
+
+TEST(CosimFuzz, InjectAluCarryBugMutatesOneAluGate) {
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const nl::GateId g = inject_alu_carry_bug(cpu);
+  const nl::Gate& gate = cpu.netlist.gate(g);
+  EXPECT_EQ(gate.component,
+            cpu.component_id(plasma::PlasmaComponent::kAlu));
+  EXPECT_TRUE(gate.kind == nl::GateKind::kXnor2 ||
+              gate.kind == nl::GateKind::kOr2);
+}
+
+// The acceptance bar for the whole subsystem: with a seeded single-gate
+// ALU bug, the fuzzer must find a divergence and shrink the reproducer
+// to at most 16 instructions.
+TEST(CosimFuzz, InjectedAluBugIsFoundAndShrunk) {
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  inject_alu_carry_bug(cpu);
+
+  FuzzOptions opt;
+  opt.seed = 1;
+  opt.iterations = 10;
+  opt.prog.body_instructions = 60;
+  const FuzzResult res = run_cosim_fuzz(cpu, opt);
+  ASSERT_TRUE(res.mismatch.has_value());
+  const FuzzMismatch& m = *res.mismatch;
+  EXPECT_FALSE(m.detail.empty());
+  EXPECT_LE(m.reduced.size(), 16u);
+  EXPECT_GE(m.reduced.size(), 1u);
+  EXPECT_LE(m.reduced.size(), m.program.size());
+  EXPECT_GT(m.shrink_stats.checks, 0);
+
+  // The reduced program must itself still be a divergence witness.
+  const CosimOutcome o = compare_iss_gate(cpu, m.reduced, opt.max_cycles);
+  EXPECT_TRUE(o.comparable);
+  EXPECT_FALSE(o.agree);
+}
+
+TEST(CosimFuzz, ShrinkReturnsInputWhenNothingFails) {
+  const plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const isa::Program p = iss::random_program(11);
+  ShrinkStats stats;
+  const std::vector<std::uint32_t> out =
+      shrink_program(cpu, p.words, 100'000, &stats);
+  EXPECT_EQ(out, p.words);  // agreeing program: nothing to minimize
+  EXPECT_EQ(stats.checks, 1);
+}
+
+TEST(CosimFuzz, ReproducerListingReassemblesToSameWords) {
+  const std::vector<std::uint32_t> words = {
+      isa::encode_i(isa::Mnemonic::kAddiu, 1, 0, 5),
+      isa::encode_i(isa::Mnemonic::kSw, 1, 0, 0x100),
+      isa::encode_i(isa::Mnemonic::kBeq, 2, 1, 1),
+      isa::kNop,
+      isa::encode_j(isa::Mnemonic::kJ, 7),
+      isa::encode_i(isa::Mnemonic::kSw, 0, 0, 0xFFFC),  // halt
+  };
+  const std::string listing = render_reproducer(words, "header line\nsecond");
+  EXPECT_NE(listing.find("# header line"), std::string::npos);
+  EXPECT_NE(listing.find("# second"), std::string::npos);
+  const isa::Program p = isa::assemble(listing);
+  ASSERT_GE(p.words.size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(p.words[i], words[i]) << "word " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sbst::verify

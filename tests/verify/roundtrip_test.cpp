@@ -1,0 +1,33 @@
+#include "verify/roundtrip.h"
+
+#include <gtest/gtest.h>
+
+namespace sbst::verify {
+namespace {
+
+// Regression sweep for three formerly silent disassembler bugs: jump
+// targets printed as decimal digits behind an 0x prefix, branches printed
+// as raw un-reassemblable offsets, and logical immediates printed signed
+// (which the assembler rejects for values >= 0x8000).
+TEST(RoundTrip, EveryMnemonicSurvivesManyRandomWords) {
+  // 40+ random words per mnemonic (51 mnemonics, cycled).
+  const RoundTripResult res = run_roundtrip_fuzz(1, 51 * 40);
+  EXPECT_EQ(res.iterations, 51 * 40);
+  for (const RoundTripFailure& f : res.failures) {
+    ADD_FAILURE() << "word 0x" << std::hex << f.word << " @0x" << f.addr
+                  << " -> \"" << f.text << "\" -> "
+                  << (f.error.empty() ? "0x" + std::to_string(f.reassembled)
+                                      : f.error);
+  }
+  EXPECT_TRUE(res.ok());
+}
+
+TEST(RoundTrip, IsDeterministicPerSeed) {
+  const RoundTripResult a = run_roundtrip_fuzz(42, 200);
+  const RoundTripResult b = run_roundtrip_fuzz(42, 200);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+}  // namespace
+}  // namespace sbst::verify

@@ -8,7 +8,17 @@
 //   sbst selftest [a|ab|abc] [-o f.s]  generate a self-test program
 //   sbst grade FILE.s [--sample N] [--threads N]
 //                                      fault-grade a program (Table 5 style);
-//                                      --threads 0 (default) uses every core
+//                                      --sample 0 simulates the full fault
+//                                      list, --threads 0 (default) uses
+//                                      every core
+//   sbst fuzz [--seed S] [--iters N] [--body N] [-o repro.s]
+//             [--no-shrink] [--inject-alu-bug]
+//                                      differential co-sim fuzzing: random
+//                                      programs on ISS vs gate level; on
+//                                      mismatch, shrink and write a minimal
+//                                      reproducer
+//   sbst lint [plasma|parwan]          structural lint of the shipped
+//                                      gate-level netlists
 //
 // Programs must end with the `halt` pseudo-instruction (a store to
 // 0xFFFFFFFC).
@@ -24,17 +34,22 @@
 #include "iss/iss.h"
 #include "netlist/cost.h"
 #include "netlist/fault.h"
+#include "netlist/lint.h"
+#include "parwan/cpu.h"
 #include "plasma/testbench.h"
+#include "util/argparse.h"
 #include "util/parallel.h"
+#include "verify/cosim_fuzz.h"
 
 using namespace sbst;
 
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: sbst <info|asm|disasm|run|cosim|selftest|grade> ...\n"
-               "see the header of tools/sbst_cli.cpp for details\n");
+  std::fprintf(
+      stderr,
+      "usage: sbst <info|asm|disasm|run|cosim|selftest|grade|fuzz|lint> ...\n"
+      "see the header of tools/sbst_cli.cpp for details\n");
   return 2;
 }
 
@@ -50,7 +65,8 @@ isa::Program load_program(const std::string& path) {
   return isa::assemble(read_file(path));
 }
 
-int cmd_info() {
+int cmd_info(int argc, char** argv) {
+  util::ArgParser(argc, argv).parse(0, 0);
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
   const nl::CostReport cost = nl::compute_cost(cpu.netlist);
   auto classified = core::classify_plasma(cpu);
@@ -72,12 +88,10 @@ int cmd_info() {
 }
 
 int cmd_asm(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const isa::Program p = load_program(argv[0]);
   std::string out;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (!std::strcmp(argv[i], "-o")) out = argv[i + 1];
-  }
+  const auto pos =
+      util::ArgParser(argc, argv).value("-o", &out).parse(1, 1);
+  const isa::Program p = load_program(pos[0]);
   if (out.empty()) {
     std::printf("%zu words\n", p.size_words());
     for (const auto& [name, addr] : p.symbols) {
@@ -87,26 +101,35 @@ int cmd_asm(int argc, char** argv) {
     std::ofstream os(out, std::ios::binary);
     os.write(reinterpret_cast<const char*>(p.words.data()),
              static_cast<std::streamsize>(p.words.size() * 4));
+    if (!os) throw std::runtime_error("cannot write " + out);
     std::printf("wrote %zu words to %s\n", p.size_words(), out.c_str());
   }
   return 0;
 }
 
 int cmd_disasm(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const std::string raw = read_file(argv[0]);
+  const auto pos = util::ArgParser(argc, argv).parse(1, 1);
+  const std::string raw = read_file(pos[0]);
+  if (raw.size() % 4 != 0) {
+    std::fprintf(stderr,
+                 "warning: %s is %zu bytes, not a multiple of 4; ignoring "
+                 "%zu trailing byte(s)\n",
+                 pos[0].c_str(), raw.size(), raw.size() % 4);
+  }
   for (std::size_t i = 0; i + 3 < raw.size(); i += 4) {
     std::uint32_t w = 0;
     std::memcpy(&w, raw.data() + i, 4);
-    std::printf("%08zX: %08X  %s\n", i, w, isa::disassemble(w).c_str());
+    std::printf("%08zX: %08X  %s\n", i, w,
+                isa::disassemble(w, static_cast<std::uint32_t>(i)).c_str());
   }
   return 0;
 }
 
 int cmd_run(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const isa::Program p = load_program(argv[0]);
-  const bool gate = argc > 1 && !std::strcmp(argv[1], "--gate");
+  bool gate = false;
+  const auto pos =
+      util::ArgParser(argc, argv).flag("--gate", &gate).parse(1, 1);
+  const isa::Program p = load_program(pos[0]);
   if (gate) {
     plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
     const plasma::GateRunResult r = plasma::run_gate_cpu(cpu, p, 10'000'000);
@@ -140,8 +163,8 @@ int cmd_run(int argc, char** argv) {
 }
 
 int cmd_cosim(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const isa::Program p = load_program(argv[0]);
+  const auto pos = util::ArgParser(argc, argv).parse(1, 1);
+  const isa::Program p = load_program(pos[0]);
   iss::Iss iss(p);
   const iss::RunResult ir = iss.run(10'000'000);
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
@@ -149,8 +172,7 @@ int cmd_cosim(int argc, char** argv) {
   bool ok = ir.halted && gr.halted && ir.cycles == gr.cycles &&
             iss.writes().size() == gr.writes.size();
   std::size_t first_bad = SIZE_MAX;
-  for (std::size_t i = 0;
-       ok && i < gr.writes.size(); ++i) {
+  for (std::size_t i = 0; ok && i < gr.writes.size(); ++i) {
     if (!(gr.writes[i] == iss.writes()[i])) {
       ok = false;
       first_bad = i;
@@ -168,10 +190,12 @@ int cmd_cosim(int argc, char** argv) {
 }
 
 int cmd_selftest(int argc, char** argv) {
-  std::string phase = argc > 0 ? argv[0] : "ab";
   std::string out;
-  for (int i = 0; i + 1 < argc; ++i) {
-    if (!std::strcmp(argv[i], "-o")) out = argv[i + 1];
+  const auto pos =
+      util::ArgParser(argc, argv).value("-o", &out).parse(0, 1);
+  const std::string phase = pos.empty() ? "ab" : pos[0];
+  if (phase != "a" && phase != "ab" && phase != "abc") {
+    throw util::ArgError("unknown phase '" + phase + "' (want a, ab or abc)");
   }
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
   const auto classified = core::classify_plasma(cpu);
@@ -196,18 +220,13 @@ int cmd_selftest(int argc, char** argv) {
 }
 
 int cmd_grade(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const isa::Program p = load_program(argv[0]);
   std::size_t sample = 6300;
   unsigned threads = 0;  // 0 = one worker per hardware thread
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (!std::strcmp(argv[i], "--sample")) {
-      sample = static_cast<std::size_t>(std::atoll(argv[i + 1]));
-    }
-    if (!std::strcmp(argv[i], "--threads")) {
-      threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
-    }
-  }
+  const auto pos = util::ArgParser(argc, argv)
+                       .value_size("--sample", &sample)
+                       .value_unsigned("--threads", &threads)
+                       .parse(1, 1);
+  const isa::Program p = load_program(pos[0]);
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
   const plasma::GateRunResult gr = plasma::run_gate_cpu(cpu, p, 10'000'000);
   if (!gr.halted) {
@@ -219,16 +238,105 @@ int cmd_grade(int argc, char** argv) {
   opt.sample = sample;  // 0 => full fault list
   opt.max_cycles = 10'000'000;
   opt.threads = threads;
+  const bool sampled = sample != 0 && sample < faults.size();
   std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles"
               " (%u threads)\n",
-              sample == 0 || sample > faults.size() ? faults.size() : sample,
-              faults.size(), (unsigned long long)gr.cycles,
+              sampled ? sample : faults.size(), faults.size(),
+              (unsigned long long)gr.cycles,
               threads == 0 ? util::hardware_threads() : threads);
+  if (sampled) {
+    std::printf("note: sampled run — coverage below is a statistical "
+                "estimate over %zu randomly chosen faults; components whose "
+                "faults were not sampled show n/a. Use --sample 0 for the "
+                "full fault list.\n",
+                sampled ? sample : faults.size());
+  }
   const fault::FaultSimResult res = fault::run_fault_sim(
       cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p), opt);
   const core::CoverageReport rep = core::make_coverage_report(cpu, faults, res);
   core::print_coverage_table(std::cout, rep, nullptr);
   return 0;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  verify::FuzzOptions opt;
+  bool no_shrink = false;
+  bool inject = false;
+  int body = opt.prog.body_instructions;
+  std::string out = "cosim-repro.s";
+  util::ArgParser(argc, argv)
+      .value_u64("--seed", &opt.seed)
+      .value_int("--iters", &opt.iterations)
+      .value_int("--body", &body)
+      .value_u64("--max-cycles", &opt.max_cycles)
+      .flag("--no-shrink", &no_shrink)
+      .flag("--inject-alu-bug", &inject)
+      .value("-o", &out)
+      .parse(0, 0);
+  opt.prog.body_instructions = body;
+  opt.shrink = !no_shrink;
+
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  if (inject) {
+    const nl::GateId g = verify::inject_alu_carry_bug(cpu);
+    std::printf("injected ALU carry bug at gate %u\n", g);
+  }
+  std::printf("co-sim fuzzing: %d programs of %d body instructions, "
+              "seeds %llu..%llu\n",
+              opt.iterations, opt.prog.body_instructions,
+              (unsigned long long)opt.seed,
+              (unsigned long long)(opt.seed + opt.iterations - 1));
+  const verify::FuzzResult res = verify::run_cosim_fuzz(cpu, opt);
+  if (!res.mismatch) {
+    std::printf("%d/%d programs agree (memory traces, registers, cycles)\n",
+                res.iterations_run, opt.iterations);
+    return 0;
+  }
+  const verify::FuzzMismatch& m = *res.mismatch;
+  std::printf("MISMATCH at seed %llu: %s\n", (unsigned long long)m.seed,
+              m.detail.c_str());
+  std::printf("shrunk %zu -> %zu instructions (%d differential runs, "
+              "%d rounds)\n",
+              m.program.size(), m.reduced.size(), m.shrink_stats.checks,
+              m.shrink_stats.rounds);
+  const std::string header =
+      "minimal ISS-vs-gate divergence reproducer\nseed " +
+      std::to_string(m.seed) + ", original " +
+      std::to_string(m.program.size()) + " instructions\n" + m.detail;
+  const std::string listing = verify::render_reproducer(m.reduced, header);
+  std::ofstream os(out);
+  os << listing;
+  if (!os) throw std::runtime_error("cannot write " + out);
+  std::printf("reproducer written to %s:\n%s", out.c_str(), listing.c_str());
+  return 1;
+}
+
+int cmd_lint(int argc, char** argv) {
+  const auto pos = util::ArgParser(argc, argv).parse(0, 1);
+  const std::string target = pos.empty() ? "all" : pos[0];
+  if (target != "all" && target != "plasma" && target != "parwan") {
+    throw util::ArgError("unknown target '" + target +
+                         "' (want plasma or parwan)");
+  }
+  bool clean = true;
+  auto lint_one = [&clean](const char* name, const nl::Netlist& netlist) {
+    const nl::FaultList faults = nl::enumerate_faults(netlist);
+    const nl::LintReport rep = nl::lint(netlist, faults);
+    std::printf("%s: %zu gates, %zu findings (%zu errors, %zu warnings, "
+                "%zu infos)\n",
+                name, netlist.size(), rep.findings.size(), rep.errors,
+                rep.warnings, rep.infos);
+    nl::print_lint_report(std::cout, rep);
+    clean = clean && rep.clean();
+  };
+  if (target == "all" || target == "plasma") {
+    lint_one("plasma", plasma::build_plasma_cpu().netlist);
+  }
+  if (target == "all" || target == "parwan") {
+    lint_one("parwan", parwan::build_parwan_cpu().netlist);
+  }
+  std::printf("%s\n", clean ? "LINT CLEAN" : "LINT FAILED");
+  return clean ? 0 : 1;
 }
 
 }  // namespace
@@ -237,13 +345,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "info") return cmd_info();
+    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
     if (cmd == "asm") return cmd_asm(argc - 2, argv + 2);
     if (cmd == "disasm") return cmd_disasm(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "cosim") return cmd_cosim(argc - 2, argv + 2);
     if (cmd == "selftest") return cmd_selftest(argc - 2, argv + 2);
     if (cmd == "grade") return cmd_grade(argc - 2, argv + 2);
+    if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
+    if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "error: %s: %s\n", cmd.c_str(), e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
