@@ -1,0 +1,144 @@
+// Campaign durability overhead: grades the same Plasma Phase A+B
+// sample three ways — bare engine, campaign without a journal, and
+// campaign with per-group journalling — and reports the wall-clock
+// cost of the crash-safety layer in BENCH_campaign_overhead.json.
+//
+// The journal fsync policy is flush-per-record, so the overhead here
+// bounds what a user pays for resumability on a real Table-5 run. It
+// also re-verifies the seeding contract: a second journaled run must
+// skip every group and still reproduce the result bit-identically.
+//
+// Usage: bench_campaign_overhead [--full] [--out FILE.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "fault/faultsim.h"
+#include "netlist/fault.h"
+#include "plasma/testbench.h"
+#include "util/parallel.h"
+
+#include "bench_common.h"
+
+using namespace sbst;
+
+namespace {
+
+double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool identical(const fault::FaultSimResult& a, const fault::FaultSimResult& b) {
+  return a.detected == b.detected && a.detect_cycle == b.detect_cycle &&
+         a.simulated == b.simulated && a.timed_out == b.timed_out &&
+         a.good_cycles == b.good_cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::string out_path = "BENCH_campaign_overhead.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--full")) full = true;
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[i + 1];
+  }
+
+  bench::header("Campaign", "Durability overhead of journaled fault grading");
+  bench::Context ctx;
+  const nl::FaultList faults = nl::enumerate_faults(ctx.cpu.netlist);
+  const core::SelfTestProgram pab = core::build_phase_ab(ctx.classified);
+
+  fault::FaultSimOptions sim;
+  sim.max_cycles = 100000;
+  sim.threads = util::hardware_threads();
+  if (!full) sim.sample = 6300;
+  const std::size_t groups = campaign::campaign_groups(faults, sim);
+  std::printf("grading %s (%zu groups, %u threads)\n", pab.name.c_str(),
+              groups, sim.threads);
+
+  const fault::EnvFactory env =
+      plasma::make_cpu_env_factory(ctx.cpu, pab.image);
+
+  std::uint64_t fp = campaign::fingerprint_init();
+  fp = campaign::fingerprint_bytes(
+      fp, pab.image.words.data(),
+      pab.image.words.size() * sizeof(pab.image.words[0]));
+  fp = campaign::fingerprint_u64(fp, sim.sample);
+  fp = campaign::fingerprint_u64(fp, sim.max_cycles);
+
+  // 1. Bare engine — the baseline the campaign layer wraps.
+  fault::FaultSimResult bare;
+  const double t_bare = time_seconds([&] {
+    bare = fault::run_fault_sim(ctx.cpu.netlist, faults, env, sim);
+  });
+  std::printf("  engine only          %7.2fs\n", t_bare);
+
+  // 2. Campaign, no journal — hook plumbing + drain checks only.
+  campaign::CampaignOptions copt;
+  copt.sim = sim;
+  campaign::CampaignResult nojournal;
+  const double t_nojournal = time_seconds([&] {
+    nojournal = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, copt);
+  });
+  std::printf("  campaign, no journal %7.2fs\n", t_nojournal);
+
+  // 3. Campaign with journalling — flush one record per finished group.
+  copt.journal = "bench_campaign_overhead.sbstj";
+  std::remove(copt.journal.c_str());
+  campaign::CampaignResult journaled;
+  const double t_journal = time_seconds([&] {
+    journaled = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, copt);
+  });
+  std::printf("  campaign + journal   %7.2fs\n", t_journal);
+
+  // 4. Fully seeded resume — every group read back, none simulated.
+  campaign::CampaignResult resumed;
+  const double t_resume = time_seconds([&] {
+    resumed = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, copt);
+  });
+  std::printf("  resume (all seeded)  %7.2fs  (%zu/%zu groups seeded)\n",
+              t_resume, resumed.seeded_groups, resumed.groups_total);
+  std::remove(copt.journal.c_str());
+
+  const bool correct = identical(bare, nojournal.result) &&
+                       identical(bare, journaled.result) &&
+                       identical(bare, resumed.result) &&
+                       resumed.seeded_groups == groups;
+  const double overhead_pct =
+      t_bare > 0.0 ? 100.0 * (t_journal - t_bare) / t_bare : 0.0;
+  std::printf("journalling overhead %.2f%% over bare engine; results %s\n",
+              overhead_pct, correct ? "bit-identical" : "MISMATCH");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"campaign_overhead\",\n"
+               "  \"program\": \"%s\",\n"
+               "  \"fault_groups\": %zu,\n"
+               "  \"threads\": %u,\n"
+               "  \"sampled\": %s,\n"
+               "  \"seconds_engine\": %.4f,\n"
+               "  \"seconds_campaign_nojournal\": %.4f,\n"
+               "  \"seconds_campaign_journal\": %.4f,\n"
+               "  \"seconds_resume_seeded\": %.4f,\n"
+               "  \"journal_overhead_percent\": %.3f,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               pab.name.c_str(), groups, sim.threads,
+               full ? "false" : "true", t_bare, t_nojournal, t_journal,
+               t_resume, overhead_pct, correct ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return correct ? 0 : 1;
+}

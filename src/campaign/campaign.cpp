@@ -1,0 +1,105 @@
+#include "campaign/campaign.h"
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "campaign/journal.h"
+#include "util/signals.h"
+
+namespace sbst::campaign {
+
+std::uint64_t fingerprint_init() { return 0xcbf29ce484222325ull; }
+
+std::uint64_t fingerprint_bytes(std::uint64_t h, const void* data,
+                                std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_u64(std::uint64_t h, std::uint64_t v) {
+  unsigned char buf[8];
+  std::memcpy(buf, &v, sizeof(buf));
+  return fingerprint_bytes(h, buf, sizeof(buf));
+}
+
+std::size_t campaign_groups(const nl::FaultList& faults,
+                            const fault::FaultSimOptions& sim) {
+  const std::size_t active =
+      (sim.sample != 0 && sim.sample < faults.size()) ? sim.sample
+                                                      : faults.size();
+  return (active + 62) / 63;
+}
+
+CampaignResult run_campaign(const nl::Netlist& netlist,
+                            const nl::FaultList& faults,
+                            const fault::EnvFactory& make_env,
+                            std::uint64_t fingerprint,
+                            const CampaignOptions& options) {
+  CampaignResult out;
+  out.groups_total = campaign_groups(faults, options.sim);
+
+  fault::FaultSimOptions sim = options.sim;
+  if (options.handle_signals) {
+    util::install_drain_handlers();
+    sim.cancel = &util::drain_requested();
+  }
+
+  // Journal setup: load what previous runs resolved, then append what
+  // this run resolves. Both the seed map and the writer outlive the
+  // engine call; seed lookups run concurrently from worker threads on
+  // the by-then-immutable map, appends are serialized by the engine.
+  std::optional<JournalWriter> writer;
+  std::unordered_map<std::uint64_t, fault::GroupRecord> seeds;
+  std::atomic<std::size_t> seeded{0};
+  if (!options.journal.empty()) {
+    const JournalMeta meta{fingerprint, out.groups_total, faults.size()};
+    std::optional<JournalLoad> loaded = load_journal(options.journal, meta);
+    if (loaded) {
+      out.journal_truncated = loaded->truncated;
+      for (fault::GroupRecord& rec : loaded->records) {
+        if (rec.timed_out && options.retry_timed_out) {
+          // Give the group a fresh chance; a new record supersedes this
+          // one in file order on the next load.
+          seeds.erase(rec.group);
+          continue;
+        }
+        seeds[rec.group] = std::move(rec);  // later record wins
+      }
+      writer = JournalWriter::append(options.journal, *loaded);
+    } else {
+      writer = JournalWriter::create(options.journal, meta);
+    }
+
+    sim.seed_group = [&seeds, &seeded](std::uint64_t group,
+                                       fault::GroupRecord* rec) {
+      const auto it = seeds.find(group);
+      if (it == seeds.end()) return false;
+      *rec = it->second;
+      seeded.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    };
+    sim.on_group = [&writer](const fault::GroupRecord& rec) {
+      writer->add(rec);
+    };
+  }
+
+  out.result = fault::run_fault_sim(netlist, faults, make_env, sim);
+  out.groups_done = out.result.groups_done;
+  out.seeded_groups = seeded.load(std::memory_order_relaxed);
+  out.resumed = out.seeded_groups != 0;
+  out.interrupted = out.result.cancelled;
+  out.signal = options.handle_signals ? util::drain_signal() : 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (out.result.timed_out[i]) ++out.faults_timed_out;
+  }
+  return out;
+}
+
+}  // namespace sbst::campaign

@@ -1,0 +1,87 @@
+// Durable, resumable fault-grading campaigns.
+//
+// A campaign is run_fault_sim plus operability guarantees for the
+// long-running, full-fault-list workloads behind the paper's Table 5:
+//
+//   * durability — every finished 63-fault group is appended to a
+//     CRC-framed journal (journal.h) the moment it completes, from any
+//     worker thread;
+//   * resume — a rerun with the same journal seeds the engine's
+//     per-group skip hook from the stored records and simulates only
+//     the remaining groups, yielding a FaultSimResult bit-identical to
+//     an uninterrupted run at any thread count;
+//   * graceful drain — SIGINT/SIGTERM (util/signals.h) stops the group
+//     scheduler between groups; in-flight groups finish, their records
+//     are flushed, and the caller can report "resumable, N/M done";
+//   * bounded time — per-group wall-clock timeouts and a campaign time
+//     budget record hung or unscheduled groups as timed out (a third
+//     verdict state), so coverage is reported as an explicit lower
+//     bound instead of silently counting them undetected.
+//
+// The engine stays oblivious to storage: this layer only fills the
+// seed_group/on_group/cancel hooks of FaultSimOptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/faultsim.h"
+#include "netlist/fault.h"
+
+namespace sbst::campaign {
+
+struct CampaignOptions {
+  /// Journal path; empty runs the campaign without durability (the
+  /// drain/timeout behaviour still applies).
+  std::string journal;
+  /// Re-simulate journaled groups whose record is timed_out instead of
+  /// seeding them (e.g. resume on a faster machine or with a larger
+  /// group timeout).
+  bool retry_timed_out = false;
+  /// Install SIGINT/SIGTERM drain handlers and wire them to the engine's
+  /// cancel flag. Leave false when the caller manages options.sim.cancel
+  /// itself (tests, embedding).
+  bool handle_signals = false;
+  /// Engine options (threads, sample, max_cycles, group_timeout_ms,
+  /// time_budget_ms, progress). The seed_group/on_group hooks and —
+  /// when handle_signals is set — the cancel flag are overwritten by
+  /// run_campaign.
+  fault::FaultSimOptions sim;
+};
+
+struct CampaignResult {
+  fault::FaultSimResult result;
+  std::size_t groups_total = 0;
+  std::size_t groups_done = 0;    // seeded + newly resolved
+  std::size_t seeded_groups = 0;  // skipped thanks to the journal
+  /// Uncollapsed-fault counts for the exit summary.
+  std::size_t faults_timed_out = 0;
+  bool resumed = false;            // at least one group was seeded
+  bool journal_truncated = false;  // a torn record was dropped on load
+  bool interrupted = false;        // drained; rerun to resume
+  int signal = 0;                  // signal that triggered the drain
+};
+
+/// Campaign identity: journals are only interchangeable between runs
+/// with equal fingerprints. Chain from fingerprint_init() through the
+/// program image, sampling parameters and cycle budget (FNV-1a 64).
+std::uint64_t fingerprint_init();
+std::uint64_t fingerprint_bytes(std::uint64_t h, const void* data,
+                                std::size_t len);
+std::uint64_t fingerprint_u64(std::uint64_t h, std::uint64_t v);
+
+/// Number of 63-fault groups run_fault_sim will schedule for this fault
+/// list under `sim` (sampling included) — the journal's group universe.
+std::size_t campaign_groups(const nl::FaultList& faults,
+                            const fault::FaultSimOptions& sim);
+
+/// Runs (or resumes) a campaign. Throws std::runtime_error when the
+/// journal exists but belongs to a different campaign or is corrupt
+/// beyond its tail.
+CampaignResult run_campaign(const nl::Netlist& netlist,
+                            const nl::FaultList& faults,
+                            const fault::EnvFactory& make_env,
+                            std::uint64_t fingerprint,
+                            const CampaignOptions& options);
+
+}  // namespace sbst::campaign

@@ -1,0 +1,187 @@
+#include "campaign/journal.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+
+namespace sbst::campaign {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'B', 'S', 'T', 'J', 'R', 'N', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 3 * 8 + 4;
+// group + count + flags + detected_mask + cycles + 63 detect cycles.
+constexpr std::size_t kMaxPayload = 8 + 4 + 1 + 8 + 8 + 63 * 8;
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+bool get(const std::string& in, std::size_t& off, T* v) {
+  if (in.size() - off < sizeof(T)) return false;
+  std::memcpy(v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+std::string encode_header(const JournalMeta& meta) {
+  std::string out(kMagic, sizeof(kMagic));
+  put(out, meta.fingerprint);
+  put(out, meta.num_groups);
+  put(out, meta.num_faults);
+  put(out, util::crc32(out.data() + sizeof(kMagic), 3 * 8));
+  return out;
+}
+
+/// Parses one framed record starting at `off`. Returns true and advances
+/// `off` past the frame on success; false on any torn/corrupt frame
+/// (leaving `off` at the frame start = the end of the valid prefix).
+bool parse_record(const std::string& data, std::size_t& off,
+                  fault::GroupRecord* rec) {
+  std::size_t p = off;
+  std::uint32_t len = 0, crc = 0;
+  if (!get(data, p, &len) || !get(data, p, &crc)) return false;
+  if (len > kMaxPayload || data.size() - p < len) return false;
+  if (util::crc32(data.data() + p, len) != crc) return false;
+
+  const std::string payload(data, p, len);
+  std::size_t q = 0;
+  std::uint8_t flags = 0;
+  fault::GroupRecord r;
+  if (!get(payload, q, &r.group) || !get(payload, q, &r.count) ||
+      !get(payload, q, &flags) || !get(payload, q, &r.detected_mask) ||
+      !get(payload, q, &r.cycles)) {
+    return false;
+  }
+  if (r.count > 63 || payload.size() - q != r.count * sizeof(std::int64_t)) {
+    return false;
+  }
+  r.timed_out = (flags & 1) != 0;
+  r.detect_cycle.resize(r.count);
+  for (std::uint32_t i = 0; i < r.count; ++i) {
+    get(payload, q, &r.detect_cycle[i]);
+  }
+  *rec = std::move(r);
+  off = p + len;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_record_payload(const fault::GroupRecord& rec) {
+  std::string out;
+  put(out, rec.group);
+  put(out, rec.count);
+  put(out, static_cast<std::uint8_t>(rec.timed_out ? 1 : 0));
+  put(out, rec.detected_mask);
+  put(out, rec.cycles);
+  for (std::int64_t c : rec.detect_cycle) put(out, c);
+  return out;
+}
+
+std::optional<JournalLoad> load_journal(const std::string& path,
+                                        const JournalMeta& expect) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string data = ss.str();
+
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + " is not a campaign journal");
+  }
+  JournalLoad out;
+  std::size_t off = sizeof(kMagic);
+  std::uint32_t hcrc = 0;
+  get(data, off, &out.meta.fingerprint);
+  get(data, off, &out.meta.num_groups);
+  get(data, off, &out.meta.num_faults);
+  get(data, off, &hcrc);
+  if (util::crc32(data.data() + sizeof(kMagic), 3 * 8) != hcrc) {
+    throw std::runtime_error(path + ": journal header checksum mismatch");
+  }
+  if (out.meta.fingerprint != expect.fingerprint ||
+      out.meta.num_groups != expect.num_groups ||
+      out.meta.num_faults != expect.num_faults) {
+    throw std::runtime_error(
+        path +
+        " records a different campaign (program, netlist, sampling or "
+        "cycle budget changed); delete it or pass a fresh --journal path");
+  }
+
+  fault::GroupRecord rec;
+  while (off < data.size() && parse_record(data, off, &rec)) {
+    out.records.push_back(std::move(rec));
+  }
+  out.truncated = off < data.size();
+  out.dropped_bytes = data.size() - off;
+  out.valid_prefix.assign(data, 0, off);
+  return out;
+}
+
+JournalWriter::JournalWriter(std::FILE* f, std::string path)
+    : f_(f), path_(std::move(path)) {}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : f_(other.f_), path_(std::move(other.path_)) {
+  other.f_ = nullptr;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (f_) std::fclose(f_);
+    f_ = other.f_;
+    path_ = std::move(other.path_);
+    other.f_ = nullptr;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (f_) std::fclose(f_);
+}
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalMeta& meta) {
+  // The header goes through the atomic-write helper so a crash during
+  // creation leaves either no journal or a complete empty one.
+  util::write_file_atomic(path, encode_header(meta));
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) throw std::runtime_error("cannot open journal " + path);
+  return JournalWriter(f, path);
+}
+
+JournalWriter JournalWriter::append(const std::string& path,
+                                    const JournalLoad& loaded) {
+  if (loaded.truncated) {
+    // Cut the torn tail off first, atomically — otherwise new records
+    // would land after garbage and be dropped by the next load.
+    util::write_file_atomic(path, loaded.valid_prefix);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) throw std::runtime_error("cannot open journal " + path);
+  return JournalWriter(f, path);
+}
+
+void JournalWriter::add(const fault::GroupRecord& rec) {
+  const std::string payload = encode_record_payload(rec);
+  std::string frame;
+  put(frame, static_cast<std::uint32_t>(payload.size()));
+  put(frame, util::crc32(payload.data(), payload.size()));
+  frame += payload;
+  if (std::fwrite(frame.data(), 1, frame.size(), f_) != frame.size() ||
+      std::fflush(f_) != 0) {
+    throw std::runtime_error("cannot append to journal " + path_);
+  }
+}
+
+}  // namespace sbst::campaign

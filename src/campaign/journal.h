@@ -1,0 +1,95 @@
+// Append-only, CRC32-framed journal of per-group fault-simulation
+// results — the durability layer of a grading campaign.
+//
+// Layout (all integers host-endian, written/read with memcpy):
+//
+//   header   "SBSTJRN1" | fingerprint u64 | num_groups u64 |
+//            num_faults u64 | crc32(previous 24 bytes) u32
+//   record*  payload_len u32 | crc32(payload) u32 | payload
+//   payload  group u64 | count u32 | flags u8 (bit0 = timed_out) |
+//            detected_mask u64 | cycles u64 | count x detect_cycle i64
+//
+// Records are appended (and flushed to the OS) as fault groups finish,
+// in completion order — group indices are NOT sorted. A crash can tear
+// at most the final record: load_journal() verifies each frame's length
+// and CRC and drops everything from the first bad frame on, reporting
+// how many bytes were discarded. The fingerprint in the header ties the
+// journal to one exact campaign (netlist + fault list + program +
+// sampling + cycle bound); resuming with a different campaign is an
+// error, not silent corruption.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/faultsim.h"
+
+namespace sbst::campaign {
+
+struct JournalMeta {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t num_groups = 0;
+  std::uint64_t num_faults = 0;
+};
+
+struct JournalLoad {
+  JournalMeta meta;
+  /// Records in file (= completion) order. A group may appear more than
+  /// once — e.g. a timed-out group re-simulated on a retry run — and
+  /// the later record supersedes the earlier one.
+  std::vector<fault::GroupRecord> records;
+  /// True when a torn/corrupt tail was detected and dropped.
+  bool truncated = false;
+  std::size_t dropped_bytes = 0;
+  /// The raw bytes of the longest valid prefix (header + intact
+  /// records). JournalWriter::append() rewrites the file to exactly this
+  /// prefix before appending, so dropped garbage never resurfaces.
+  std::string valid_prefix;
+};
+
+/// Parses the journal at `path`. Returns nullopt when the file does not
+/// exist (a fresh campaign). Throws std::runtime_error when the header
+/// is unreadable/corrupt or does not match `expect` — a journal from a
+/// different campaign must never be spliced into this one.
+std::optional<JournalLoad> load_journal(const std::string& path,
+                                        const JournalMeta& expect);
+
+/// Append-only record writer. Every add() writes one complete frame and
+/// flushes it to the OS, so a killed process loses at most the record
+/// being written — which the next load detects and drops.
+class JournalWriter {
+ public:
+  /// Creates `path` (replacing any previous content) with a fresh header.
+  static JournalWriter create(const std::string& path,
+                              const JournalMeta& meta);
+
+  /// Opens an existing journal for appending, first rewriting it to
+  /// `loaded.valid_prefix` if a torn tail was dropped.
+  static JournalWriter append(const std::string& path,
+                              const JournalLoad& loaded);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Appends one framed, checksummed record and flushes. Throws
+  /// std::runtime_error on I/O failure.
+  void add(const fault::GroupRecord& rec);
+
+ private:
+  explicit JournalWriter(std::FILE* f, std::string path);
+
+  std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
+/// Serializes one record payload (without the length/CRC frame) —
+/// exposed for tests that need to build corrupt journals.
+std::string encode_record_payload(const fault::GroupRecord& rec);
+
+}  // namespace sbst::campaign

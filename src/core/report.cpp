@@ -10,18 +10,25 @@ namespace {
 
 /// Fault-coverage cell: "97.31%", or "n/a" when no fault of the row was
 /// simulated (sampled runs) — printing 100% there reads as perfect
-/// coverage of an untested component.
+/// coverage of an untested component. Rows containing timed-out
+/// (inconclusive) faults render as ">=x%": the true coverage cannot be
+/// lower, and folding inconclusive faults into "undetected" silently
+/// would understate the campaign without saying so.
 std::string fc_cell(const fault::Coverage& c) {
   if (!c.defined()) return "n/a";
   char buf[16];
-  std::snprintf(buf, sizeof(buf), "%.2f%%", c.percent());
+  std::snprintf(buf, sizeof(buf), "%s%.2f%%", c.is_lower_bound() ? ">=" : "",
+                c.percent());
   return buf;
 }
 
 std::string mofc_cell(const fault::Coverage& c, double mofc) {
   if (!c.defined()) return "n/a";
   char buf[16];
-  std::snprintf(buf, sizeof(buf), "%.2f%%", mofc);
+  // Symmetrically, missed coverage over inconclusive faults is an upper
+  // bound.
+  std::snprintf(buf, sizeof(buf), "%s%.2f%%", c.is_lower_bound() ? "<=" : "",
+                mofc);
   return buf;
 }
 
@@ -55,18 +62,18 @@ CoverageReport make_coverage_report(const plasma::PlasmaCpu& cpu,
 void print_coverage_table(std::ostream& os, const CoverageReport& phase_a,
                           const CoverageReport* phase_ab) {
   os << std::fixed;
-  os << "Component   Class        Phase A FC   MOFC";
-  if (phase_ab) os << "     Phase A+B FC   MOFC";
+  os << "Component   Class        Phase A FC    MOFC";
+  if (phase_ab) os << "     Phase A+B FC    MOFC";
   os << "\n";
   for (std::size_t i = 0; i < phase_a.rows.size(); ++i) {
     const ComponentCoverageRow& a = phase_a.rows[i];
     os << std::left << std::setw(12) << a.name << std::setw(13)
        << component_class_name(a.cls) << std::right << std::setw(10)
-       << fc_cell(a.coverage) << std::setw(8)
+       << fc_cell(a.coverage) << std::setw(9)
        << mofc_cell(a.coverage, a.mofc);
     if (phase_ab) {
       const ComponentCoverageRow& b = phase_ab->rows[i];
-      os << std::setw(14) << fc_cell(b.coverage) << std::setw(8)
+      os << std::setw(14) << fc_cell(b.coverage) << std::setw(9)
          << mofc_cell(b.coverage, b.mofc);
     }
     os << "\n";
@@ -77,6 +84,16 @@ void print_coverage_table(std::ostream& os, const CoverageReport& phase_a,
     os << std::setw(14) << fc_cell(phase_ab->overall);
   }
   os << "\n";
+  auto timeout_note = [&os](const char* phase, const CoverageReport& rep) {
+    if (!rep.overall.is_lower_bound()) return;
+    os << "note: " << phase << rep.overall.timed_out << " of "
+       << rep.overall.total
+       << " faults timed out before a verdict; coverage above is a lower "
+          "bound (re-run with a larger timeout or --retry-timeouts to "
+          "resolve them)\n";
+  };
+  timeout_note(phase_ab ? "phase A: " : "", phase_a);
+  if (phase_ab) timeout_note("phase A+B: ", *phase_ab);
 }
 
 }  // namespace sbst::core

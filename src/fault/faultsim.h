@@ -10,6 +10,7 @@
 // DESIGN.md §5.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -42,6 +43,23 @@ class Environment {
 
 using EnvFactory = std::function<std::unique_ptr<Environment>()>;
 
+/// Outcome of one 63-fault group — the unit of campaign checkpointing.
+/// Slot i is the i-th fault of the group, i.e. index `group * 63 + i`
+/// into the engine's active fault order (the sampled-and-sorted fault
+/// subset), which is deterministic for fixed (faults, sample,
+/// sample_seed). A record fully describes the group's contribution to
+/// FaultSimResult, so a stored record can replace re-simulation.
+struct GroupRecord {
+  std::uint64_t group = 0;
+  std::uint32_t count = 0;  // faults in this group, <= 63
+  /// Group hit a wall-clock bound (group_timeout_ms or time_budget_ms)
+  /// before every fault had a verdict; undetected slots are inconclusive.
+  bool timed_out = false;
+  std::uint64_t detected_mask = 0;         // bit i: slot i detected
+  std::uint64_t cycles = 0;                // good-machine cycles the group ran
+  std::vector<std::int64_t> detect_cycle;  // size count, -1 when undetected
+};
+
 struct FaultSimOptions {
   std::uint64_t max_cycles = 1'000'000;
   /// If non-zero, simulate only a pseudo-random sample of this many
@@ -60,6 +78,29 @@ struct FaultSimOptions {
   /// threads when threads != 1; groups complete out of order, yet
   /// groups_done is a monotonically increasing count.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Cooperative cancellation (graceful drain). Checked between groups
+  /// only: when the flag becomes true, in-flight groups finish normally,
+  /// unstarted groups are left unsimulated, and the run returns early
+  /// with FaultSimResult::cancelled set. Safe to flip from a signal
+  /// handler or another thread.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Wall-clock bound per fault group in milliseconds (0 = unlimited).
+  /// A group exceeding it stops early; its faults without a verdict are
+  /// recorded as timed out (inconclusive), never as undetected.
+  std::uint64_t group_timeout_ms = 0;
+  /// Wall-clock budget for the whole run in milliseconds (0 = unlimited).
+  /// Groups unstarted when the budget expires are recorded as timed out
+  /// in full; a group running when it expires stops like a group timeout.
+  std::uint64_t time_budget_ms = 0;
+  /// Resume hook: return true and fill `out` to splice a previously
+  /// stored record in place of simulating group `group`. The engine
+  /// stays oblivious to storage; callers (src/campaign) own the journal.
+  /// Invoked concurrently from worker threads when threads != 1.
+  std::function<bool(std::uint64_t group, GroupRecord* out)> seed_group;
+  /// Checkpoint hook: invoked once per group resolved by this run
+  /// (simulated or deadline-expired, not seeded), serialized under an
+  /// internal mutex but from worker threads when threads != 1.
+  std::function<void(const GroupRecord&)> on_group;
 };
 
 struct FaultSimResult {
@@ -69,8 +110,22 @@ struct FaultSimResult {
   std::vector<std::uint8_t> simulated;
   /// Cycle of first detection (or -1).
   std::vector<std::int64_t> detect_cycle;
+  /// Third verdict state: timed_out[i] == 1 iff fault i's group hit a
+  /// wall-clock bound before fault i was detected. The fault counts as
+  /// simulated but is inconclusive — it must never be folded into
+  /// "undetected"; coverage over a result with timeouts is a lower
+  /// bound. May be empty (all zeros) for results built before this field
+  /// existed; consumers must treat empty as "no timeouts".
+  std::vector<std::uint8_t> timed_out;
   /// Cycles the good machine ran for (environment stop or max_cycles).
   std::uint64_t good_cycles = 0;
+  /// Groups resolved by this run or a seed hook vs. the campaign total;
+  /// groups_done < groups_total iff the run was cancelled mid-campaign.
+  std::size_t groups_done = 0;
+  std::size_t groups_total = 0;
+  /// True when options.cancel was observed set: some groups were never
+  /// started and their faults are left with simulated == 0 (resumable).
+  bool cancelled = false;
 };
 
 /// Runs sequential fault simulation of `faults` on `netlist` inside the
@@ -86,14 +141,22 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
 // --- coverage aggregation --------------------------------------------------
 
 struct Coverage {
-  std::size_t total = 0;     // uncollapsed faults considered
-  std::size_t detected = 0;  // uncollapsed faults detected
+  std::size_t total = 0;      // uncollapsed faults considered
+  std::size_t detected = 0;   // uncollapsed faults detected
+  /// Uncollapsed faults whose verdict is inconclusive (group hit a
+  /// wall-clock bound). Included in `total`, so percent() understates
+  /// true coverage — report it as a lower bound whenever this is != 0.
+  std::size_t timed_out = 0;
 
   /// False when no fault was considered at all — coverage is then
   /// undefined, not 100%. Sampled runs routinely produce such rows for
   /// small components; reports must render them as "n/a" rather than as
   /// perfect coverage.
   bool defined() const { return total != 0; }
+
+  /// True when percent() is only a lower bound on the real coverage
+  /// (some counted faults never reached a verdict).
+  bool is_lower_bound() const { return timed_out != 0; }
 
   double percent() const {
     return total == 0 ? 0.0 : 100.0 * static_cast<double>(detected) /

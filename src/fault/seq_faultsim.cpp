@@ -1,9 +1,11 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 
 #include "fault/faultsim.h"
 #include "util/parallel.h"
@@ -204,10 +206,13 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
                              const nl::FaultList& faults,
                              const EnvFactory& make_env,
                              const FaultSimOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
   FaultSimResult res;
   res.detected.assign(faults.size(), 0);
   res.simulated.assign(faults.size(), 0);
   res.detect_cycle.assign(faults.size(), -1);
+  res.timed_out.assign(faults.size(), 0);
 
   std::vector<std::size_t> active;
   if (options.sample != 0 && options.sample < faults.size()) {
@@ -216,7 +221,6 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     active.resize(faults.size());
     for (std::size_t i = 0; i < faults.size(); ++i) active[i] = i;
   }
-  for (std::size_t i : active) res.simulated[i] = 1;
 
   constexpr int kFaultsPerGroup = 63;
   static_assert(kFaultsPerGroup < 64,
@@ -224,28 +228,74 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
                 "machine");
   const std::size_t num_groups =
       (active.size() + kFaultsPerGroup - 1) / kFaultsPerGroup;
+  res.groups_total = num_groups;
+
+  // Wall-clock bounds. When neither is configured the hot loop performs
+  // no clock reads at all, keeping the no-timeout path byte-identical to
+  // the historical engine.
+  const bool has_clock_bounds =
+      options.group_timeout_ms != 0 || options.time_budget_ms != 0;
+  const Clock::time_point run_deadline =
+      options.time_budget_ms != 0
+          ? Clock::now() + std::chrono::milliseconds(options.time_budget_ms)
+          : Clock::time_point::max();
 
   // Thread-safe progress: groups complete out of order across workers,
-  // but the reported count is monotonic and ends at num_groups.
+  // but the reported count is monotonic and ends at num_groups (fewer on
+  // a cancelled run). The same mutex serializes the on_group checkpoint
+  // hook so journal appends never interleave.
   std::atomic<std::size_t> groups_done{0};
-  std::mutex progress_mutex;
+  std::atomic<std::uint64_t> good_cycles{0};
+  std::mutex hook_mutex;
   auto report_progress = [&]() {
     const std::size_t done = groups_done.fetch_add(1) + 1;
     if (options.progress) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
+      std::lock_guard<std::mutex> lock(hook_mutex);
       options.progress(done, num_groups);
     }
   };
 
-  // Simulates one 63-fault group on worker-owned state. Groups write
-  // disjoint slices of the result arrays (each fault index belongs to
-  // exactly one group), so no synchronization is needed on `res` beyond
-  // the final good_cycles max-reduction.
-  auto simulate_group = [&](sim::LogicSim& s, InjectionTable& inj,
-                            std::size_t group) -> std::uint64_t {
+  auto group_count = [&](std::size_t group) -> std::uint32_t {
     const std::size_t base = group * kFaultsPerGroup;
-    const int count = static_cast<int>(
+    return static_cast<std::uint32_t>(
         std::min<std::size_t>(kFaultsPerGroup, active.size() - base));
+  };
+
+  // Splices a group outcome into the result arrays. Groups own disjoint
+  // fault indices, so concurrent calls from workers never collide; only
+  // good_cycles needs an atomic max-reduction.
+  auto apply_record = [&](const GroupRecord& rec) {
+    const std::size_t base =
+        static_cast<std::size_t>(rec.group) * kFaultsPerGroup;
+    for (std::uint32_t i = 0; i < rec.count; ++i) {
+      const std::size_t fi = active[base + i];
+      res.simulated[fi] = 1;
+      if ((rec.detected_mask >> i) & 1) {
+        res.detected[fi] = 1;
+        res.detect_cycle[fi] = rec.detect_cycle[i];
+      } else if (rec.timed_out) {
+        res.timed_out[fi] = 1;
+      }
+    }
+    std::uint64_t cur = good_cycles.load(std::memory_order_relaxed);
+    while (rec.cycles > cur &&
+           !good_cycles.compare_exchange_weak(cur, rec.cycles,
+                                              std::memory_order_relaxed)) {
+    }
+  };
+
+  // Simulates one 63-fault group on worker-owned state and returns its
+  // record. The simulation itself is bit-deterministic; only the
+  // (optional) wall-clock cutoff can vary between runs.
+  auto simulate_group = [&](sim::LogicSim& s, InjectionTable& inj,
+                            std::size_t group) -> GroupRecord {
+    const std::size_t base = group * kFaultsPerGroup;
+    const int count = static_cast<int>(group_count(group));
+
+    GroupRecord rec;
+    rec.group = group;
+    rec.count = static_cast<std::uint32_t>(count);
+    rec.detect_cycle.assign(static_cast<std::size_t>(count), -1);
 
     inj.clear();
     for (int i = 0; i < count; ++i) {
@@ -257,9 +307,23 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     apply_state_injections(s, inj);
     std::unique_ptr<Environment> env = make_env();
 
+    const Clock::time_point group_deadline =
+        options.group_timeout_ms != 0
+            ? Clock::now() + std::chrono::milliseconds(options.group_timeout_ms)
+            : Clock::time_point::max();
+
     Word detected = 0;
     std::uint64_t cycle = 0;
     for (; cycle < options.max_cycles; ++cycle) {
+      // Amortized watchdog: one clock read every 1024 cycles keeps the
+      // bound within ~ms granularity without slowing the hot loop.
+      if (has_clock_bounds && (cycle & 1023u) == 1023u) [[unlikely]] {
+        const Clock::time_point now = Clock::now();
+        if (now >= group_deadline || now >= run_deadline) {
+          rec.timed_out = true;
+          break;
+        }
+      }
       env->drive(s, cycle);
       apply_state_injections(s, inj);
       eval_with_injections(s, inj);
@@ -270,9 +334,8 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
         while (d != 0) {
           const int bit = std::countr_zero(d);
           d &= d - 1;
-          const std::size_t fi = active[base + static_cast<std::size_t>(bit)];
-          res.detected[fi] = 1;
-          res.detect_cycle[fi] = static_cast<std::int64_t>(cycle);
+          rec.detect_cycle[static_cast<std::size_t>(bit)] =
+              static_cast<std::int64_t>(cycle);
         }
         detected |= diff;
         if (detected == all_mask) break;  // fault dropping: group done
@@ -285,8 +348,41 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
         break;
       }
     }
+    rec.detected_mask = detected;
+    rec.cycles = cycle;
+    return rec;
+  };
+
+  // Resolves one group: seed from storage, expire against the campaign
+  // deadline, or simulate. Seeded groups are not re-journaled; simulated
+  // and deadline-expired ones go through on_group.
+  auto process_group = [&](sim::LogicSim& s, InjectionTable& inj,
+                           std::size_t group) {
+    GroupRecord rec;
+    bool seeded = false;
+    if (options.seed_group && options.seed_group(group, &rec)) {
+      if (rec.group != group || rec.count != group_count(group) ||
+          rec.detect_cycle.size() != rec.count) {
+        throw std::runtime_error(
+            "fault-sim seed record does not match group " +
+            std::to_string(group) + " of this campaign");
+      }
+      seeded = true;
+    } else if (has_clock_bounds && Clock::now() >= run_deadline) {
+      // Unstarted at the campaign deadline: every fault is inconclusive.
+      rec.group = group;
+      rec.count = group_count(group);
+      rec.timed_out = true;
+      rec.detect_cycle.assign(rec.count, -1);
+    } else {
+      rec = simulate_group(s, inj, group);
+    }
+    apply_record(rec);
+    if (!seeded && options.on_group) {
+      std::lock_guard<std::mutex> lock(hook_mutex);
+      options.on_group(rec);
+    }
     report_progress();
-    return cycle;
   };
 
   unsigned threads =
@@ -298,31 +394,38 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     sim::LogicSim s(netlist);
     InjectionTable inj(netlist.size());
     for (std::size_t group = 0; group < num_groups; ++group) {
-      res.good_cycles = std::max(res.good_cycles, simulate_group(s, inj, group));
+      if (options.cancel &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        break;
+      }
+      process_group(s, inj, group);
     }
-    return res;
+  } else {
+    // Each worker lazily builds its own simulator + injection table (the
+    // LogicSim constructor levelizes the netlist, so eager construction
+    // of unused workers would be wasted).
+    struct WorkerState {
+      sim::LogicSim sim;
+      InjectionTable inj;
+      explicit WorkerState(const nl::Netlist& n) : sim(n), inj(n.size()) {}
+    };
+    util::ThreadPool pool(threads);
+    std::vector<std::unique_ptr<WorkerState>> workers(pool.size());
+    pool.run(
+        num_groups,
+        [&](std::size_t group, unsigned w) {
+          if (!workers[w]) workers[w] = std::make_unique<WorkerState>(netlist);
+          WorkerState& ws = *workers[w];
+          process_group(ws.sim, ws.inj, group);
+        },
+        options.cancel);
   }
 
-  // Each worker lazily builds its own simulator + injection table (the
-  // LogicSim constructor levelizes the netlist, so eager construction of
-  // unused workers would be wasted).
-  struct WorkerState {
-    sim::LogicSim sim;
-    InjectionTable inj;
-    std::uint64_t good_cycles = 0;
-    explicit WorkerState(const nl::Netlist& n) : sim(n), inj(n.size()) {}
-  };
-  util::ThreadPool pool(threads);
-  std::vector<std::unique_ptr<WorkerState>> workers(pool.size());
-  pool.run(num_groups, [&](std::size_t group, unsigned w) {
-    if (!workers[w]) workers[w] = std::make_unique<WorkerState>(netlist);
-    WorkerState& ws = *workers[w];
-    ws.good_cycles =
-        std::max(ws.good_cycles, simulate_group(ws.sim, ws.inj, group));
-  });
-  for (const auto& ws : workers) {
-    if (ws) res.good_cycles = std::max(res.good_cycles, ws->good_cycles);
-  }
+  res.good_cycles = good_cycles.load(std::memory_order_relaxed);
+  res.groups_done = groups_done.load(std::memory_order_relaxed);
+  res.cancelled = options.cancel &&
+                  options.cancel->load(std::memory_order_relaxed) &&
+                  res.groups_done < res.groups_total;
   return res;
 }
 
@@ -333,6 +436,10 @@ Coverage overall_coverage(const nl::FaultList& faults,
     if (!result.simulated[i]) continue;
     cov.total += faults.class_size[i];
     if (result.detected[i]) cov.detected += faults.class_size[i];
+    // timed_out may be empty on hand-built results; empty means none.
+    if (i < result.timed_out.size() && result.timed_out[i]) {
+      cov.timed_out += faults.class_size[i];
+    }
   }
   return cov;
 }
@@ -346,6 +453,9 @@ std::vector<Coverage> component_coverage(const nl::Netlist& netlist,
     const nl::ComponentId c = fault_component(netlist, faults.faults[i]);
     cov[c].total += faults.class_size[i];
     if (result.detected[i]) cov[c].detected += faults.class_size[i];
+    if (i < result.timed_out.size() && result.timed_out[i]) {
+      cov[c].timed_out += faults.class_size[i];
+    }
   }
   return cov;
 }

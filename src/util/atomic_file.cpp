@@ -1,0 +1,28 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace sbst::util {
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot open " + tmp + " for writing");
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("cannot write " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace sbst::util

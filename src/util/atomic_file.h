@@ -1,0 +1,18 @@
+// Atomic whole-file writes: content lands at `path` either completely or
+// not at all. The data is written to "<path>.tmp" in the same directory
+// and renamed over the destination, so an interrupted process (crash,
+// SIGKILL, full disk) can never leave a truncated or half-written
+// artifact behind — at worst a stale .tmp that the next write replaces.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sbst::util {
+
+/// Writes `content` to `path` via tmp-file + rename. Throws
+/// std::runtime_error (with the path in the message) if the temporary
+/// cannot be written, flushed, or renamed; `path` is untouched on error.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace sbst::util

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for framing
+// integrity checks — notably the campaign journal's per-record checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sbst::util {
+
+/// CRC of `len` bytes starting at `data`, seeded with `seed` (pass a
+/// previous return value to checksum data in several chunks). The
+/// default seed yields the standard one-shot CRC-32.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace sbst::util

@@ -23,6 +23,7 @@ struct ThreadPool::Impl {
 
   // Current job (guarded by m except the atomics).
   const std::function<void(std::size_t, unsigned)>* job = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
   std::size_t total = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
@@ -38,7 +39,11 @@ struct ThreadPool::Impl {
     for (;;) {
       const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
       if (task >= total) return;
-      if (!failed.load(std::memory_order_relaxed)) {
+      // A failed or cancelled job keeps claiming (and counting) the
+      // remaining tasks without executing them, so completion still
+      // converges on done == total.
+      if (!failed.load(std::memory_order_relaxed) &&
+          !(cancel && cancel->load(std::memory_order_relaxed))) {
         try {
           (*job)(task, worker);
         } catch (...) {
@@ -91,17 +96,22 @@ unsigned ThreadPool::size() const {
 }
 
 void ThreadPool::run(std::size_t num_tasks,
-                     const std::function<void(std::size_t, unsigned)>& fn) {
+                     const std::function<void(std::size_t, unsigned)>& fn,
+                     const std::atomic<bool>* cancel) {
   if (num_tasks == 0) return;
   Impl& im = *impl_;
   if (im.workers.empty()) {
     // Serial pool: run inline, exceptions propagate directly.
-    for (std::size_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      if (cancel && cancel->load(std::memory_order_relaxed)) return;
+      fn(i, 0);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(im.m);
     im.job = &fn;
+    im.cancel = cancel;
     im.total = num_tasks;
     im.next.store(0, std::memory_order_relaxed);
     im.done.store(0, std::memory_order_relaxed);
@@ -116,6 +126,7 @@ void ThreadPool::run(std::size_t num_tasks,
                   [&] { return im.done.load(std::memory_order_acquire) ==
                                im.total; });
   im.job = nullptr;
+  im.cancel = nullptr;
   if (im.error) std::rethrow_exception(im.error);
 }
 

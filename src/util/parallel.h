@@ -7,6 +7,7 @@
 // worker 0, so a pool of size N uses exactly N OS threads.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -40,8 +41,15 @@ class ThreadPool {
   /// once all tasks have finished. After a task throws, remaining tasks
   /// are abandoned (claimed but not executed) and the first exception is
   /// rethrown here. num_tasks == 0 returns immediately.
+  ///
+  /// `cancel`, when non-null, requests a graceful drain: once the flag
+  /// reads true, no further tasks are invoked (in-flight tasks run to
+  /// completion) and `run` returns normally. The flag is sampled before
+  /// each task with relaxed ordering, so it may be set from a signal
+  /// handler or any thread; a task already past its check still runs.
   void run(std::size_t num_tasks,
-           const std::function<void(std::size_t, unsigned)>& fn);
+           const std::function<void(std::size_t, unsigned)>& fn,
+           const std::atomic<bool>* cancel = nullptr);
 
  private:
   struct Impl;

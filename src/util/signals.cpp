@@ -1,0 +1,42 @@
+#include "util/signals.h"
+
+#include <csignal>
+
+namespace sbst::util {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+std::atomic<int> g_signal{0};
+
+// Async-signal-safe: only lock-free atomics, std::signal and raise.
+extern "C" void drain_handler(int sig) {
+  if (g_drain.exchange(true)) {
+    // Second signal: give up on graceful drain, die with the default
+    // disposition (so `kill` twice / Ctrl-C twice always terminates).
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_signal.store(sig);
+}
+
+}  // namespace
+
+void install_drain_handlers() {
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "drain flag must be async-signal-safe");
+  std::signal(SIGINT, drain_handler);
+  std::signal(SIGTERM, drain_handler);
+}
+
+const std::atomic<bool>& drain_requested() { return g_drain; }
+
+int drain_signal() { return g_signal.load(); }
+
+void reset_drain() {
+  g_drain.store(false);
+  g_signal.store(0);
+}
+
+}  // namespace sbst::util

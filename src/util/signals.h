@@ -1,0 +1,31 @@
+// Graceful-drain signal handling for long-running campaigns.
+//
+// The first SIGINT/SIGTERM sets a process-wide atomic drain flag that
+// cooperating loops (fault-sim group scheduler, campaign runner) poll
+// between units of work; a second signal restores the default handler
+// and re-raises, so an unresponsive process can still be killed with a
+// second Ctrl-C.
+#pragma once
+
+#include <atomic>
+
+namespace sbst::util {
+
+/// Installs SIGINT and SIGTERM handlers that set the drain flag.
+/// Idempotent; safe to call more than once.
+void install_drain_handlers();
+
+/// The process-wide drain flag. Point FaultSimOptions::cancel (or any
+/// polling loop) at this. Readable whether or not handlers are
+/// installed; starts false.
+const std::atomic<bool>& drain_requested();
+
+/// Signal number that triggered the drain (0 if none). For exit
+/// messages ("interrupted by SIGTERM ...").
+int drain_signal();
+
+/// Clears the flag — for tests and for reusing the process after a
+/// drained campaign.
+void reset_drain();
+
+}  // namespace sbst::util

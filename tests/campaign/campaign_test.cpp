@@ -1,0 +1,290 @@
+// Durability contract of the campaign layer: kill-and-resume must be
+// invisible in the results. A campaign interrupted at an arbitrary point
+// (graceful drain, torn final journal record, garbage tail) and resumed
+// at any thread count yields a FaultSimResult bit-identical to an
+// uninterrupted run. Timed-out groups surface as the distinct
+// `timed_out` verdict — never as silent undetected faults.
+#include "campaign/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "campaign/journal.h"
+#include "netlist/fault.h"
+#include "parwan/sbst.h"
+#include "parwan/testbench.h"
+
+namespace sbst::campaign {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+void expect_identical(const fault::FaultSimResult& a,
+                      const fault::FaultSimResult& b, const char* what) {
+  EXPECT_EQ(a.detected, b.detected) << what;
+  EXPECT_EQ(a.simulated, b.simulated) << what;
+  EXPECT_EQ(a.detect_cycle, b.detect_cycle) << what;
+  EXPECT_EQ(a.timed_out, b.timed_out) << what;
+  EXPECT_EQ(a.good_cycles, b.good_cycles) << what;
+}
+
+/// Shared Parwan fixture: building the CPU and measuring the self-test
+/// once keeps the repeated campaigns cheap.
+struct ParwanCampaign {
+  parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+
+  fault::EnvFactory env() const {
+    return parwan::make_parwan_env_factory(cpu, st.image);
+  }
+
+  static CampaignOptions base_options(unsigned threads) {
+    CampaignOptions o;
+    o.sim.max_cycles = 10000;
+    o.sim.sample = 630;  // 10 groups, matches FaultSimParallel timing
+    o.sim.threads = threads;
+    return o;
+  }
+};
+
+const ParwanCampaign& fixture() {
+  static const auto* f = new ParwanCampaign;
+  return *f;
+}
+
+constexpr std::uint64_t kFp = 0xfeedface12345678ull;
+
+TEST(Campaign, UninterruptedRunMatchesEngineAndJournalsEveryGroup) {
+  const auto& fx = fixture();
+  CampaignOptions opt = ParwanCampaign::base_options(1);
+  const fault::FaultSimResult plain =
+      fault::run_fault_sim(fx.cpu.netlist, fx.faults, fx.env(), opt.sim);
+
+  opt.journal = temp_path("campaign_plain.sbstj");
+  std::remove(opt.journal.c_str());
+  const CampaignResult cres =
+      run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp, opt);
+  expect_identical(plain, cres.result, "journaled vs engine");
+  EXPECT_FALSE(cres.resumed);
+  EXPECT_FALSE(cres.interrupted);
+  EXPECT_EQ(cres.groups_done, cres.groups_total);
+  EXPECT_EQ(cres.groups_total, campaign_groups(fx.faults, opt.sim));
+
+  const auto loaded = load_journal(
+      opt.journal, {kFp, cres.groups_total, fx.faults.size()});
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->records.size(), cres.groups_total);
+}
+
+// The acceptance criterion: drain mid-campaign, mangle the journal tail
+// the way a crash would, resume at 1/2/4 threads — bit-identical.
+TEST(Campaign, KillAndResumeBitIdenticalAtEveryThreadCount) {
+  const auto& fx = fixture();
+  CampaignOptions ref_opt = ParwanCampaign::base_options(1);
+  const fault::FaultSimResult reference =
+      fault::run_fault_sim(fx.cpu.netlist, fx.faults, fx.env(), ref_opt.sim);
+
+  for (unsigned threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE(threads);
+    const std::string path = temp_path("campaign_resume.sbstj");
+    std::remove(path.c_str());
+
+    // Phase 1: drain after a few groups, as a SIGTERM would.
+    CampaignOptions opt = ParwanCampaign::base_options(threads);
+    opt.journal = path;
+    std::atomic<bool> cancel{false};
+    opt.sim.cancel = &cancel;
+    opt.sim.progress = [&cancel](std::size_t done, std::size_t) {
+      if (done >= 3) cancel.store(true);
+    };
+    const CampaignResult part =
+        run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp, opt);
+    ASSERT_TRUE(part.interrupted);
+    ASSERT_LT(part.groups_done, part.groups_total);
+    ASSERT_GE(part.groups_done, 3u);
+
+    // Phase 2: tear the journal mid-stream — drop half the final record
+    // and put crash garbage behind it.
+    {
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      std::string data = ss.str();
+      data.resize(data.size() - 11);
+      data += "\x7f crash!";
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os << data;
+    }
+
+    // Phase 3: resume to completion.
+    CampaignOptions resume = ParwanCampaign::base_options(threads);
+    resume.journal = path;
+    const CampaignResult full =
+        run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp, resume);
+    EXPECT_TRUE(full.resumed);
+    EXPECT_TRUE(full.journal_truncated);
+    EXPECT_GE(full.seeded_groups, 2u);  // one record was torn off
+    EXPECT_LT(full.seeded_groups, full.groups_total);
+    EXPECT_FALSE(full.interrupted);
+    EXPECT_EQ(full.groups_done, full.groups_total);
+    expect_identical(reference, full.result, "resumed vs uninterrupted");
+
+    // A second resume seeds everything and re-simulates nothing.
+    const CampaignResult again =
+        run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp, resume);
+    EXPECT_EQ(again.seeded_groups, again.groups_total);
+    expect_identical(reference, again.result, "fully seeded vs reference");
+  }
+}
+
+TEST(Campaign, MismatchedFingerprintRefusesToResume) {
+  const auto& fx = fixture();
+  CampaignOptions opt = ParwanCampaign::base_options(1);
+  opt.journal = temp_path("campaign_fp.sbstj");
+  std::remove(opt.journal.c_str());
+  run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp, opt);
+  EXPECT_THROW(run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp ^ 1, opt),
+               std::runtime_error);
+  // A different sample size changes the group universe: same refusal.
+  CampaignOptions other = opt;
+  other.sim.sample = 315;
+  EXPECT_THROW(run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp, other),
+               std::runtime_error);
+}
+
+/// Minimal never-halting environment whose clock can be made arbitrarily
+/// slow — the deterministic stand-in for a pathologically slow or hung
+/// fault group.
+class SlowEnv final : public fault::Environment {
+ public:
+  explicit SlowEnv(std::chrono::microseconds per_cycle)
+      : per_cycle_(per_cycle) {}
+  void drive(sim::LogicSim&, std::uint64_t) override {
+    if (per_cycle_.count() != 0) std::this_thread::sleep_for(per_cycle_);
+  }
+  bool observe(const sim::LogicSim&, std::uint64_t) override { return true; }
+
+ private:
+  std::chrono::microseconds per_cycle_;
+};
+
+nl::Netlist make_two_group_netlist() {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 8);
+  std::vector<nl::GateId> nets(in.bits.begin(), in.bits.end());
+  std::vector<nl::GateId> outs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const nl::GateId g =
+        n.add_gate(i % 2 ? nl::GateKind::kAnd2 : nl::GateKind::kXor2,
+                   nets[(i * 5 + 1) % nets.size()],
+                   nets[(i * 11 + 3) % nets.size()]);
+    nets.push_back(g);
+    if (i % 2 == 0) outs.push_back(g);
+  }
+  n.add_output("o", outs);
+  return n;
+}
+
+TEST(Campaign, GroupTimeoutRecordsInconclusiveNotUndetected) {
+  const nl::Netlist n = make_two_group_netlist();
+  const nl::FaultList faults = nl::enumerate_faults(n);
+  ASSERT_GT(faults.size(), 63u) << "need at least two groups";
+
+  CampaignOptions opt;
+  opt.sim.threads = 1;
+  // Inputs never change, so no fault on this netlist is detectable and
+  // without a bound every group would burn the full 1M cycles. At
+  // ~200us per simulated cycle the engine's amortized watchdog (every
+  // 1024 cycles) trips the 20ms group timeout on its first check.
+  opt.sim.max_cycles = 1'000'000;
+  opt.sim.group_timeout_ms = 20;
+  const auto env = []() {
+    return std::make_unique<SlowEnv>(std::chrono::microseconds(200));
+  };
+  const CampaignResult cres =
+      run_campaign(n, faults, env, kFp, opt);
+
+  EXPECT_EQ(cres.groups_done, cres.groups_total);
+  EXPECT_FALSE(cres.interrupted);
+  // With constant inputs some faults flip a PO at cycle 0 (detected
+  // before the timeout) but the rest can never get a verdict: every one
+  // of those must surface as timed_out, none as silently undetected.
+  EXPECT_GT(cres.faults_timed_out, 0u);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(cres.result.simulated[i], 1);
+    EXPECT_EQ(cres.result.detected[i] + cres.result.timed_out[i], 1)
+        << "fault " << i << " must be exactly one of detected/inconclusive";
+  }
+  const fault::Coverage cov = fault::overall_coverage(faults, cres.result);
+  EXPECT_TRUE(cov.is_lower_bound());
+  EXPECT_EQ(cov.timed_out + cov.detected, cov.total);
+}
+
+TEST(Campaign, TimeBudgetExpiresUnstartedGroupsAsTimedOut) {
+  const nl::Netlist n = make_two_group_netlist();
+  const nl::FaultList faults = nl::enumerate_faults(n);
+
+  CampaignOptions opt;
+  opt.journal = temp_path("campaign_budget.sbstj");
+  std::remove(opt.journal.c_str());
+  opt.sim.threads = 1;
+  opt.sim.max_cycles = 1'000'000;
+  opt.sim.time_budget_ms = 30;
+  const auto env = []() {
+    return std::make_unique<SlowEnv>(std::chrono::microseconds(200));
+  };
+  const CampaignResult cres = run_campaign(n, faults, env, kFp, opt);
+
+  // The first group eats the whole budget; later groups must still be
+  // resolved (as timed out) and journaled, not dropped. With threads=1
+  // groups run in order, so every fault past the first 63 belongs to a
+  // group that was unstarted at the deadline: all inconclusive, even
+  // the ones a run without a budget would have detected.
+  EXPECT_EQ(cres.groups_done, cres.groups_total);
+  EXPECT_GT(cres.faults_timed_out, 0u);
+  for (std::size_t i = 63; i < faults.size(); ++i) {
+    EXPECT_EQ(cres.result.timed_out[i], 1) << "fault " << i;
+    EXPECT_EQ(cres.result.detected[i], 0) << "fault " << i;
+  }
+
+  // A retry run with no budget and an instant environment resolves the
+  // inconclusive groups to the clean result.
+  CampaignOptions retry = opt;
+  retry.sim.time_budget_ms = 0;
+  retry.retry_timed_out = true;
+  const auto fast_env = []() {
+    return std::make_unique<SlowEnv>(std::chrono::microseconds(0));
+  };
+  // Bound the rerun: with constant inputs nothing is ever detected, so
+  // cap cycles to keep the test quick while staying deterministic.
+  retry.sim.max_cycles = 2048;
+  const CampaignResult resolved =
+      run_campaign(n, faults, fast_env, kFp, retry);
+  EXPECT_EQ(resolved.seeded_groups, 0u) << "timed-out records must re-run";
+
+  fault::FaultSimOptions clean = retry.sim;
+  clean.seed_group = nullptr;
+  clean.on_group = nullptr;
+  const fault::FaultSimResult reference =
+      fault::run_fault_sim(n, faults, fast_env, clean);
+  expect_identical(reference, resolved.result, "retry vs clean");
+
+  // The retry appended superseding (non-timed-out) records, and those
+  // win over the stale timed-out ones on the next load — so a further
+  // run seeds everything even with retry_timed_out still set.
+  const CampaignResult reload = run_campaign(n, faults, fast_env, kFp, retry);
+  EXPECT_EQ(reload.seeded_groups, reload.groups_total);
+  expect_identical(reference, reload.result, "superseding records win");
+}
+
+}  // namespace
+}  // namespace sbst::campaign

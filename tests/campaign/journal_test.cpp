@@ -1,0 +1,186 @@
+// Crash-safety contract of the campaign journal: every intact prefix
+// loads; any torn or corrupt tail is detected via the per-record CRC
+// frame and dropped; appending after a torn load first cuts the tail so
+// garbage never resurfaces; and a journal can never be spliced into a
+// campaign it does not belong to.
+#include "campaign/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace sbst::campaign {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << data;
+}
+
+fault::GroupRecord make_record(std::uint64_t group, std::uint32_t count) {
+  fault::GroupRecord r;
+  r.group = group;
+  r.count = count;
+  r.detected_mask = (group * 0x9E3779B9u) & ((std::uint64_t{1} << count) - 1);
+  r.cycles = 1000 + group;
+  r.timed_out = group % 3 == 0;
+  r.detect_cycle.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    r.detect_cycle[i] = ((r.detected_mask >> i) & 1)
+                            ? static_cast<std::int64_t>(group * 10 + i)
+                            : -1;
+  }
+  return r;
+}
+
+void expect_equal(const fault::GroupRecord& a, const fault::GroupRecord& b) {
+  EXPECT_EQ(a.group, b.group);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.detected_mask, b.detected_mask);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.detect_cycle, b.detect_cycle);
+}
+
+const JournalMeta kMeta{0x1234abcd5678ef01ull, 10, 630};
+
+TEST(Journal, MissingFileLoadsAsNullopt) {
+  EXPECT_FALSE(load_journal(temp_path("journal_missing.sbstj"), kMeta));
+}
+
+TEST(Journal, RoundTripsRecordsInCompletionOrder) {
+  const std::string path = temp_path("journal_roundtrip.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    // Out-of-order group completion, as under a thread pool.
+    for (std::uint64_t g : {3u, 0u, 7u, 1u}) w.add(make_record(g, 63));
+    w.add(make_record(9, 5));  // final ragged group
+  }
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->truncated);
+  EXPECT_EQ(loaded->dropped_bytes, 0u);
+  ASSERT_EQ(loaded->records.size(), 5u);
+  const std::uint64_t expect_groups[] = {3, 0, 7, 1, 9};
+  for (std::size_t i = 0; i < 5; ++i) {
+    expect_equal(loaded->records[i],
+                 make_record(expect_groups[i],
+                             expect_groups[i] == 9 ? 5u : 63u));
+  }
+}
+
+TEST(Journal, CreateReplacesPreviousJournal) {
+  const std::string path = temp_path("journal_replace.sbstj");
+  { JournalWriter::create(path, kMeta).add(make_record(1, 63)); }
+  { JournalWriter::create(path, kMeta); }
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_TRUE(loaded->records.empty());
+}
+
+TEST(Journal, TornFinalRecordIsDropped) {
+  const std::string path = temp_path("journal_torn.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    w.add(make_record(0, 63));
+    w.add(make_record(1, 63));
+  }
+  const std::string intact = slurp(path);
+  // Chop bytes off the last frame: the classic crash-mid-write shape.
+  for (std::size_t cut : {1u, 7u, 100u}) {
+    spit(path, intact.substr(0, intact.size() - cut));
+    const auto loaded = load_journal(path, kMeta);
+    ASSERT_TRUE(loaded);
+    EXPECT_TRUE(loaded->truncated) << "cut " << cut;
+    ASSERT_EQ(loaded->records.size(), 1u) << "cut " << cut;
+    expect_equal(loaded->records[0], make_record(0, 63));
+    EXPECT_EQ(loaded->valid_prefix.size() + loaded->dropped_bytes,
+              intact.size() - cut)
+        << "prefix + dropped tail must account for the whole file";
+  }
+}
+
+TEST(Journal, CorruptPayloadByteIsDropped) {
+  const std::string path = temp_path("journal_bitrot.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    w.add(make_record(0, 63));
+    w.add(make_record(1, 63));
+  }
+  std::string data = slurp(path);
+  data[data.size() - 3] ^= 0x40;  // flip a bit inside the last payload
+  spit(path, data);
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_TRUE(loaded->truncated);
+  ASSERT_EQ(loaded->records.size(), 1u);
+}
+
+TEST(Journal, AppendAfterTornLoadCutsTheTail) {
+  const std::string path = temp_path("journal_heal.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    w.add(make_record(0, 63));
+    w.add(make_record(1, 63));
+  }
+  std::string data = slurp(path);
+  spit(path, data.substr(0, data.size() - 9) + "garbage");
+  auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_TRUE(loaded->truncated);
+  {
+    JournalWriter w = JournalWriter::append(path, *loaded);
+    w.add(make_record(2, 63));
+  }
+  const auto healed = load_journal(path, kMeta);
+  ASSERT_TRUE(healed);
+  EXPECT_FALSE(healed->truncated);
+  ASSERT_EQ(healed->records.size(), 2u);
+  expect_equal(healed->records[0], make_record(0, 63));
+  expect_equal(healed->records[1], make_record(2, 63));
+}
+
+TEST(Journal, RejectsForeignCampaign) {
+  const std::string path = temp_path("journal_foreign.sbstj");
+  { JournalWriter::create(path, kMeta).add(make_record(0, 63)); }
+  JournalMeta other = kMeta;
+  other.fingerprint ^= 1;  // program/netlist/sampling changed
+  EXPECT_THROW(load_journal(path, other), std::runtime_error);
+  other = kMeta;
+  other.num_groups += 1;
+  EXPECT_THROW(load_journal(path, other), std::runtime_error);
+}
+
+TEST(Journal, RejectsNonJournalFile) {
+  const std::string path = temp_path("journal_bogus.sbstj");
+  spit(path, "this is not a journal at all");
+  EXPECT_THROW(load_journal(path, kMeta), std::runtime_error);
+  spit(path, "");
+  EXPECT_THROW(load_journal(path, kMeta), std::runtime_error);
+}
+
+TEST(Journal, RejectsCorruptHeader) {
+  const std::string path = temp_path("journal_badheader.sbstj");
+  { JournalWriter::create(path, kMeta); }
+  std::string data = slurp(path);
+  data[10] ^= 0x01;  // flip a fingerprint bit, CRC now mismatches
+  spit(path, data);
+  EXPECT_THROW(load_journal(path, kMeta), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sbst::campaign

@@ -112,5 +112,52 @@ TEST(Report, UnsimulatedComponentRendersNa) {
   EXPECT_EQ(count, 2u) << text;
 }
 
+// Timed-out (inconclusive) faults must surface as explicit lower bounds
+// (">=x%"), with a note naming their count — never silently folded into
+// the undetected bucket.
+TEST(Report, TimedOutFaultsRenderAsLowerBound) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 1);
+  res.simulated.assign(faults.size(), 1);
+  res.detect_cycle.assign(faults.size(), 0);
+  res.timed_out.assign(faults.size(), 0);
+  // Every fourth fault never got a verdict.
+  for (std::size_t i = 0; i < faults.size(); i += 4) {
+    res.detected[i] = 0;
+    res.detect_cycle[i] = -1;
+    res.timed_out[i] = 1;
+  }
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  EXPECT_TRUE(rep.overall.is_lower_bound());
+  EXPECT_GT(rep.overall.timed_out, 0u);
+
+  std::ostringstream os;
+  print_coverage_table(os, rep, nullptr);
+  const std::string text = os.str();
+  EXPECT_NE(text.find(">="), std::string::npos) << text;
+  EXPECT_NE(text.find("timed out before a verdict"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lower "), std::string::npos) << text;
+}
+
+// And a clean run must not mention bounds at all.
+TEST(Report, NoTimeoutsMeansNoBoundMarkers) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 1);
+  res.simulated.assign(faults.size(), 1);
+  res.detect_cycle.assign(faults.size(), 0);
+  res.timed_out.assign(faults.size(), 0);
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  EXPECT_FALSE(rep.overall.is_lower_bound());
+  std::ostringstream os;
+  print_coverage_table(os, rep, nullptr);
+  EXPECT_EQ(os.str().find(">="), std::string::npos);
+  EXPECT_EQ(os.str().find("timed out"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sbst::core

@@ -1,0 +1,65 @@
+// Atomic artifact writes: the destination either keeps its old content
+// or holds the complete new content — never a truncated hybrid — and no
+// stray .tmp survives a successful write.
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace sbst::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+TEST(AtomicFile, WritesNewFile) {
+  const std::string path = temp_path("atomic_new.bin");
+  const std::string content("binary\0payload\xff", 15);
+  write_file_atomic(path, content);
+  EXPECT_EQ(slurp(path), content);
+  EXPECT_FALSE(exists(path + ".tmp")) << "tmp file must not survive";
+}
+
+TEST(AtomicFile, ReplacesExistingContentCompletely) {
+  const std::string path = temp_path("atomic_replace.txt");
+  write_file_atomic(path, std::string(4096, 'A'));
+  write_file_atomic(path, "short");
+  EXPECT_EQ(slurp(path), "short") << "no stale tail from the longer file";
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST(AtomicFile, EmptyContentProducesEmptyFile) {
+  const std::string path = temp_path("atomic_empty.txt");
+  write_file_atomic(path, "");
+  EXPECT_TRUE(exists(path));
+  EXPECT_EQ(slurp(path), "");
+}
+
+TEST(AtomicFile, FailureLeavesDestinationUntouched) {
+  const std::string dir = temp_path("no_such_dir_atomic/");
+  EXPECT_THROW(write_file_atomic(dir + "x.txt", "data"), std::runtime_error);
+
+  // A write that cannot even open its tmp must not clobber the target.
+  const std::string path = temp_path("atomic_keep.txt");
+  write_file_atomic(path, "original");
+  EXPECT_THROW(write_file_atomic(dir + "y.txt", "data"), std::runtime_error);
+  EXPECT_EQ(slurp(path), "original");
+}
+
+}  // namespace
+}  // namespace sbst::util

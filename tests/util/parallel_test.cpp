@@ -83,6 +83,62 @@ TEST(ThreadPool, ReusableAcrossManyRuns) {
   EXPECT_EQ(total.load(), 500u);
 }
 
+TEST(ThreadPool, CancelSetBeforeRunExecutesNothing) {
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<bool> cancel{true};
+    std::atomic<std::size_t> executed{0};
+    pool.run(
+        100, [&](std::size_t, unsigned) { ++executed; }, &cancel);
+    EXPECT_EQ(executed.load(), 0u) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, CancelMidRunDrainsInFlightTasksOnly) {
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<bool> cancel{false};
+    std::atomic<std::size_t> executed{0};
+    constexpr std::size_t kTasks = 1000;
+    pool.run(
+        kTasks,
+        [&](std::size_t task, unsigned) {
+          ++executed;
+          if (task == 5) cancel.store(true);
+        },
+        &cancel);
+    // run() returned normally; after the flag no new task started, so at
+    // most the in-flight tasks (one per worker) completed on top.
+    EXPECT_GE(executed.load(), 1u) << threads << " threads";
+    EXPECT_LT(executed.load(), kTasks) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, SerialCancelIsExactlyBounded) {
+  // With one worker the drain point is deterministic: the task that sets
+  // the flag is the last one to run.
+  ThreadPool pool(1);
+  std::atomic<bool> cancel{false};
+  std::size_t executed = 0;
+  pool.run(
+      100,
+      [&](std::size_t task, unsigned) {
+        ++executed;
+        if (task == 6) cancel.store(true);
+      },
+      &cancel);
+  EXPECT_EQ(executed, 7u);
+}
+
+TEST(ThreadPool, ReusableAfterCancel) {
+  ThreadPool pool(4);
+  std::atomic<bool> cancel{true};
+  pool.run(16, [](std::size_t, unsigned) {}, &cancel);
+  std::atomic<std::size_t> count{0};
+  pool.run(64, [&](std::size_t, unsigned) { ++count; });
+  EXPECT_EQ(count.load(), 64u);
+}
+
 TEST(ThreadPool, PerWorkerStateStaysDisjoint) {
   // Each worker index owns a scratch slot; concurrent tasks must never
   // observe another worker mutating their slot mid-task.

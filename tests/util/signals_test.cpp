@@ -1,0 +1,58 @@
+// Graceful-drain signal plumbing: the first SIGINT/SIGTERM sets the
+// process-wide flag (that campaigns poll between fault groups) instead
+// of killing the process. The second-signal force-kill path cannot be
+// unit-tested in-process by design.
+#include "util/signals.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+namespace sbst::util {
+namespace {
+
+class SignalsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    install_drain_handlers();
+    reset_drain();
+  }
+  void TearDown() override {
+    // Leave no latched drain behind for unrelated tests.
+    reset_drain();
+  }
+};
+
+TEST_F(SignalsTest, StartsClear) {
+  EXPECT_FALSE(drain_requested().load());
+  EXPECT_EQ(drain_signal(), 0);
+}
+
+TEST_F(SignalsTest, SigtermSetsFlagInsteadOfKilling) {
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(drain_requested().load());
+  EXPECT_EQ(drain_signal(), SIGTERM);
+}
+
+TEST_F(SignalsTest, SigintSetsFlagInsteadOfKilling) {
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(drain_requested().load());
+  EXPECT_EQ(drain_signal(), SIGINT);
+}
+
+TEST_F(SignalsTest, ResetClearsFlagAndSignal) {
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  reset_drain();
+  EXPECT_FALSE(drain_requested().load());
+  EXPECT_EQ(drain_signal(), 0);
+}
+
+TEST_F(SignalsTest, InstallIsIdempotent) {
+  install_drain_handlers();
+  install_drain_handlers();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(drain_requested().load());
+}
+
+}  // namespace
+}  // namespace sbst::util

@@ -2,15 +2,26 @@
 //
 //   sbst info                          processor inventory (Tables 2/3)
 //   sbst asm FILE.s [-o out.bin]       assemble MIPS source
-//   sbst disasm FILE.bin               disassemble a word image
+//   sbst disasm FILE.bin [-o out.lst]  disassemble a word image
 //   sbst run FILE.s [--gate]           run on the ISS (or gate-level CPU)
 //   sbst cosim FILE.s                  run on both, compare traces
 //   sbst selftest [a|ab|abc] [-o f.s]  generate a self-test program
-//   sbst grade FILE.s [--sample N] [--threads N]
+//   sbst grade FILE.s [--sample N] [--threads N] [-o report.txt]
+//              [--journal F.sbstj] [--progress] [--retry-timeouts]
+//              [--group-timeout SEC] [--time-budget SEC]
 //                                      fault-grade a program (Table 5 style);
 //                                      --sample 0 simulates the full fault
 //                                      list, --threads 0 (default) uses
-//                                      every core
+//                                      every core. With --journal the run
+//                                      is a durable campaign: finished
+//                                      63-fault groups are checkpointed,
+//                                      SIGINT/SIGTERM drains gracefully
+//                                      (exit code 3, "resumable"), and
+//                                      rerunning the same command resumes
+//                                      where it stopped. Timed-out groups
+//                                      are reported as a distinct
+//                                      inconclusive count, making coverage
+//                                      an explicit lower bound.
 //   sbst fuzz [--seed S] [--iters N] [--body N] [-o repro.s]
 //             [--no-shrink] [--inject-alu-bug]
 //                                      differential co-sim fuzzing: random
@@ -22,6 +33,8 @@
 //
 // Programs must end with the `halt` pseudo-instruction (a store to
 // 0xFFFFFFFC).
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +42,7 @@
 #include <sstream>
 #include <string>
 
+#include "campaign/campaign.h"
 #include "core/program.h"
 #include "core/report.h"
 #include "iss/iss.h"
@@ -38,6 +52,7 @@
 #include "parwan/cpu.h"
 #include "plasma/testbench.h"
 #include "util/argparse.h"
+#include "util/atomic_file.h"
 #include "util/parallel.h"
 #include "verify/cosim_fuzz.h"
 
@@ -98,17 +113,17 @@ int cmd_asm(int argc, char** argv) {
       std::printf("  %08X %s\n", addr, name.c_str());
     }
   } else {
-    std::ofstream os(out, std::ios::binary);
-    os.write(reinterpret_cast<const char*>(p.words.data()),
-             static_cast<std::streamsize>(p.words.size() * 4));
-    if (!os) throw std::runtime_error("cannot write " + out);
+    util::write_file_atomic(
+        out, std::string_view(reinterpret_cast<const char*>(p.words.data()),
+                              p.words.size() * 4));
     std::printf("wrote %zu words to %s\n", p.size_words(), out.c_str());
   }
   return 0;
 }
 
 int cmd_disasm(int argc, char** argv) {
-  const auto pos = util::ArgParser(argc, argv).parse(1, 1);
+  std::string out;
+  const auto pos = util::ArgParser(argc, argv).value("-o", &out).parse(1, 1);
   const std::string raw = read_file(pos[0]);
   if (raw.size() % 4 != 0) {
     std::fprintf(stderr,
@@ -116,11 +131,20 @@ int cmd_disasm(int argc, char** argv) {
                  "%zu trailing byte(s)\n",
                  pos[0].c_str(), raw.size(), raw.size() % 4);
   }
+  std::string listing;
   for (std::size_t i = 0; i + 3 < raw.size(); i += 4) {
     std::uint32_t w = 0;
     std::memcpy(&w, raw.data() + i, 4);
-    std::printf("%08zX: %08X  %s\n", i, w,
-                isa::disassemble(w, static_cast<std::uint32_t>(i)).c_str());
+    char line[96];
+    std::snprintf(line, sizeof(line), "%08zX: %08X  %s\n", i, w,
+                  isa::disassemble(w, static_cast<std::uint32_t>(i)).c_str());
+    listing += line;
+  }
+  if (out.empty()) {
+    std::fputs(listing.c_str(), stdout);
+  } else {
+    util::write_file_atomic(out, listing);
+    std::printf("wrote %zu lines to %s\n", raw.size() / 4, out.c_str());
   }
   return 0;
 }
@@ -212,8 +236,7 @@ int cmd_selftest(int argc, char** argv) {
   for (const std::string& r : p.routines) std::printf(" %s", r.c_str());
   std::printf("\n");
   if (!out.empty()) {
-    std::ofstream os(out);
-    os << p.source;
+    util::write_file_atomic(out, p.source);
     std::printf("wrote assembly listing to %s\n", out.c_str());
   }
   return 0;
@@ -222,9 +245,21 @@ int cmd_selftest(int argc, char** argv) {
 int cmd_grade(int argc, char** argv) {
   std::size_t sample = 6300;
   unsigned threads = 0;  // 0 = one worker per hardware thread
+  std::uint64_t group_timeout_s = 0;
+  std::uint64_t time_budget_s = 0;
+  bool progress = false;
+  bool retry_timeouts = false;
+  std::string journal;
+  std::string out;
   const auto pos = util::ArgParser(argc, argv)
                        .value_size("--sample", &sample)
                        .value_unsigned("--threads", &threads)
+                       .value("--journal", &journal)
+                       .value_u64("--group-timeout", &group_timeout_s)
+                       .value_u64("--time-budget", &time_budget_s)
+                       .flag("--retry-timeouts", &retry_timeouts)
+                       .flag("--progress", &progress)
+                       .value("-o", &out)
                        .parse(1, 1);
   const isa::Program p = load_program(pos[0]);
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
@@ -234,10 +269,44 @@ int cmd_grade(int argc, char** argv) {
     return 1;
   }
   const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
-  fault::FaultSimOptions opt;
-  opt.sample = sample;  // 0 => full fault list
-  opt.max_cycles = 10'000'000;
-  opt.threads = threads;
+
+  campaign::CampaignOptions copt;
+  copt.journal = journal;
+  copt.retry_timed_out = retry_timeouts;
+  copt.handle_signals = true;
+  copt.sim.sample = sample;  // 0 => full fault list
+  copt.sim.max_cycles = 10'000'000;
+  copt.sim.threads = threads;
+  copt.sim.group_timeout_ms = group_timeout_s * 1000;
+  copt.sim.time_budget_ms = time_budget_s * 1000;
+  if (progress) {
+    // stderr so the stdout report stays machine-diffable. Serialized by
+    // the engine; ETA extrapolates the observed per-group rate.
+    const auto t0 = std::chrono::steady_clock::now();
+    copt.sim.progress = [t0](std::size_t done, std::size_t total) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double eta =
+          done != 0 ? elapsed * static_cast<double>(total - done) /
+                          static_cast<double>(done)
+                    : 0.0;
+      std::fprintf(stderr, "\r[grade] %zu/%zu groups  elapsed %.1fs  eta %.1fs ",
+                   done, total, elapsed, eta);
+      if (done == total) std::fputc('\n', stderr);
+    };
+  }
+
+  // The fingerprint ties a journal to this exact campaign: program
+  // image, netlist, fault universe, sampling and cycle budget.
+  std::uint64_t fp = campaign::fingerprint_init();
+  fp = campaign::fingerprint_bytes(fp, p.words.data(), p.words.size() * 4);
+  fp = campaign::fingerprint_u64(fp, cpu.netlist.size());
+  fp = campaign::fingerprint_u64(fp, faults.size());
+  fp = campaign::fingerprint_u64(fp, copt.sim.sample);
+  fp = campaign::fingerprint_u64(fp, copt.sim.sample_seed);
+  fp = campaign::fingerprint_u64(fp, copt.sim.max_cycles);
+
   const bool sampled = sample != 0 && sample < faults.size();
   std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles"
               " (%u threads)\n",
@@ -251,10 +320,51 @@ int cmd_grade(int argc, char** argv) {
                 "full fault list.\n",
                 sampled ? sample : faults.size());
   }
-  const fault::FaultSimResult res = fault::run_fault_sim(
-      cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p), opt);
-  const core::CoverageReport rep = core::make_coverage_report(cpu, faults, res);
-  core::print_coverage_table(std::cout, rep, nullptr);
+
+  const campaign::CampaignResult cres = campaign::run_campaign(
+      cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p), fp, copt);
+  if (cres.journal_truncated) {
+    std::fprintf(stderr,
+                 "warning: %s had a torn trailing record (interrupted "
+                 "mid-write); it was dropped and that group re-simulated\n",
+                 journal.c_str());
+  }
+  if (cres.resumed) {
+    std::printf("resumed from %s: %zu/%zu groups already journaled\n",
+                journal.c_str(), cres.seeded_groups, cres.groups_total);
+  }
+
+  if (cres.interrupted) {
+    const char* signame = cres.signal == SIGTERM ? "SIGTERM" : "SIGINT";
+    if (!journal.empty()) {
+      std::fprintf(stderr,
+                   "interrupted (%s): resumable — %zu/%zu groups done and "
+                   "journaled in %s; rerun the same command to continue\n",
+                   signame, cres.groups_done, cres.groups_total,
+                   journal.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "interrupted (%s): %zu/%zu groups done but discarded — "
+                   "pass --journal FILE to make campaigns resumable\n",
+                   signame, cres.groups_done, cres.groups_total);
+    }
+    return 3;
+  }
+
+  const core::CoverageReport rep =
+      core::make_coverage_report(cpu, faults, cres.result);
+  std::ostringstream table;
+  core::print_coverage_table(table, rep, nullptr);
+  std::fputs(table.str().c_str(), stdout);
+  if (cres.faults_timed_out != 0) {
+    std::printf("%zu collapsed faults inconclusive (wall-clock bound); "
+                "coverage is a lower bound\n",
+                cres.faults_timed_out);
+  }
+  if (!out.empty()) {
+    util::write_file_atomic(out, table.str());
+    std::printf("wrote report to %s\n", out.c_str());
+  }
   return 0;
 }
 
@@ -304,9 +414,7 @@ int cmd_fuzz(int argc, char** argv) {
       std::to_string(m.seed) + ", original " +
       std::to_string(m.program.size()) + " instructions\n" + m.detail;
   const std::string listing = verify::render_reproducer(m.reduced, header);
-  std::ofstream os(out);
-  os << listing;
-  if (!os) throw std::runtime_error("cannot write " + out);
+  util::write_file_atomic(out, listing);
   std::printf("reproducer written to %s:\n%s", out.c_str(), listing.c_str());
   return 1;
 }
