@@ -1,7 +1,8 @@
 // Campaign durability overhead: grades the same Plasma Phase A+B
-// sample three ways — bare engine, campaign without a journal, and
-// campaign with per-group journalling — and reports the wall-clock
-// cost of the crash-safety layer in BENCH_campaign_overhead.json.
+// sample four ways — bare engine, campaign without a journal, campaign
+// with per-group journalling, and campaign with process-isolated
+// workers (--isolate) — and reports the wall-clock cost of the
+// crash-safety and blast-radius layers in BENCH_campaign_overhead.json.
 //
 // The journal fsync policy is flush-per-record, so the overhead here
 // bounds what a user pays for resumability on a real Table-5 run. It
@@ -107,14 +108,32 @@ int main(int argc, char** argv) {
               t_resume, resumed.seeded_groups, resumed.groups_total);
   std::remove(copt.journal.c_str());
 
+  // 5. Process-isolated workers — fork per worker, groups over pipes.
+  // This is the price of containing a crashing/hanging group to one
+  // worker process instead of the whole campaign.
+  campaign::CampaignOptions iopt;
+  iopt.sim = sim;
+  iopt.isolate = true;
+  iopt.iso.workers = sim.threads;
+  campaign::CampaignResult isolated;
+  const double t_isolate = time_seconds([&] {
+    isolated = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, iopt);
+  });
+  std::printf("  campaign --isolate   %7.2fs\n", t_isolate);
+
   const bool correct = identical(bare, nojournal.result) &&
                        identical(bare, journaled.result) &&
                        identical(bare, resumed.result) &&
+                       identical(bare, isolated.result) &&
                        resumed.seeded_groups == groups;
   const double overhead_pct =
       t_bare > 0.0 ? 100.0 * (t_journal - t_bare) / t_bare : 0.0;
-  std::printf("journalling overhead %.2f%% over bare engine; results %s\n",
-              overhead_pct, correct ? "bit-identical" : "MISMATCH");
+  const double isolate_pct =
+      t_bare > 0.0 ? 100.0 * (t_isolate - t_bare) / t_bare : 0.0;
+  std::printf("journalling overhead %.2f%%, isolation overhead %.2f%% over "
+              "bare engine; results %s\n",
+              overhead_pct, isolate_pct,
+              correct ? "bit-identical" : "MISMATCH");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -132,12 +151,16 @@ int main(int argc, char** argv) {
                "  \"seconds_campaign_nojournal\": %.4f,\n"
                "  \"seconds_campaign_journal\": %.4f,\n"
                "  \"seconds_resume_seeded\": %.4f,\n"
+               "  \"seconds_campaign_isolate\": %.4f,\n"
                "  \"journal_overhead_percent\": %.3f,\n"
+               "  \"isolate_overhead_percent\": %.3f,\n"
+               "  \"worker_restarts\": %zu,\n"
                "  \"bit_identical\": %s\n"
                "}\n",
                pab.name.c_str(), groups, sim.threads,
                full ? "false" : "true", t_bare, t_nojournal, t_journal,
-               t_resume, overhead_pct, correct ? "true" : "false");
+               t_resume, t_isolate, overhead_pct, isolate_pct,
+               isolated.worker_restarts, correct ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return correct ? 0 : 1;

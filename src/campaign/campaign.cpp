@@ -1,12 +1,12 @@
 #include "campaign/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
-#include <optional>
-#include <unordered_map>
 #include <utility>
 
 #include "campaign/journal.h"
+#include "campaign/supervisor.h"
 #include "util/signals.h"
 
 namespace sbst::campaign {
@@ -37,11 +37,32 @@ std::size_t campaign_groups(const nl::FaultList& faults,
   return (active + 62) / 63;
 }
 
+void finish_campaign_result(const nl::FaultList& faults,
+                            const CampaignOptions& options,
+                            CampaignResult* out) {
+  out->signal = options.handle_signals ? util::drain_signal() : 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (out->result.timed_out[i]) ++out->faults_timed_out;
+    if (i < out->result.quarantined.size() && out->result.quarantined[i]) {
+      ++out->faults_quarantined;
+    }
+  }
+  std::sort(out->quarantined_groups.begin(), out->quarantined_groups.end(),
+            [](const QuarantinedGroup& a, const QuarantinedGroup& b) {
+              return a.group < b.group;
+            });
+}
+
 CampaignResult run_campaign(const nl::Netlist& netlist,
                             const nl::FaultList& faults,
                             const fault::EnvFactory& make_env,
                             std::uint64_t fingerprint,
                             const CampaignOptions& options) {
+  if (options.isolate) {
+    return run_campaign_isolated(netlist, faults, make_env, fingerprint,
+                                 options);
+  }
+
   CampaignResult out;
   out.groups_total = campaign_groups(faults, options.sim);
 
@@ -55,38 +76,26 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
   // this run resolves. Both the seed map and the writer outlive the
   // engine call; seed lookups run concurrently from worker threads on
   // the by-then-immutable map, appends are serialized by the engine.
-  std::optional<JournalWriter> writer;
-  std::unordered_map<std::uint64_t, fault::GroupRecord> seeds;
+  const JournalMeta meta{fingerprint, out.groups_total, faults.size()};
+  JournalSession journal =
+      open_journal_session(options.journal, meta, options.retry_timed_out);
+  out.journal_truncated = journal.truncated;
+  out.journal_empty = journal.was_empty;
+  for (const auto& [group, rec] : journal.seeds) {
+    if (rec.quarantined) out.quarantined_groups.push_back({group, rec.error});
+  }
   std::atomic<std::size_t> seeded{0};
-  if (!options.journal.empty()) {
-    const JournalMeta meta{fingerprint, out.groups_total, faults.size()};
-    std::optional<JournalLoad> loaded = load_journal(options.journal, meta);
-    if (loaded) {
-      out.journal_truncated = loaded->truncated;
-      for (fault::GroupRecord& rec : loaded->records) {
-        if (rec.timed_out && options.retry_timed_out) {
-          // Give the group a fresh chance; a new record supersedes this
-          // one in file order on the next load.
-          seeds.erase(rec.group);
-          continue;
-        }
-        seeds[rec.group] = std::move(rec);  // later record wins
-      }
-      writer = JournalWriter::append(options.journal, *loaded);
-    } else {
-      writer = JournalWriter::create(options.journal, meta);
-    }
-
-    sim.seed_group = [&seeds, &seeded](std::uint64_t group,
-                                       fault::GroupRecord* rec) {
-      const auto it = seeds.find(group);
-      if (it == seeds.end()) return false;
+  if (journal.writer) {
+    sim.seed_group = [&journal, &seeded](std::uint64_t group,
+                                         fault::GroupRecord* rec) {
+      const auto it = journal.seeds.find(group);
+      if (it == journal.seeds.end()) return false;
       *rec = it->second;
       seeded.fetch_add(1, std::memory_order_relaxed);
       return true;
     };
-    sim.on_group = [&writer](const fault::GroupRecord& rec) {
-      writer->add(rec);
+    sim.on_group = [&journal](const fault::GroupRecord& rec) {
+      journal.writer->add(rec);
     };
   }
 
@@ -95,10 +104,7 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
   out.seeded_groups = seeded.load(std::memory_order_relaxed);
   out.resumed = out.seeded_groups != 0;
   out.interrupted = out.result.cancelled;
-  out.signal = options.handle_signals ? util::drain_signal() : 0;
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (out.result.timed_out[i]) ++out.faults_timed_out;
-  }
+  finish_campaign_result(faults, options, &out);
   return out;
 }
 

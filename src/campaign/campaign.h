@@ -24,29 +24,65 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fault/faultsim.h"
 #include "netlist/fault.h"
 
 namespace sbst::campaign {
 
+/// Process-isolation knobs (CampaignOptions::isolate). The supervisor
+/// (supervisor.h) forks sandboxed worker processes and contains the
+/// blast radius of a pathological fault group to that group.
+struct IsolateOptions {
+  /// Worker processes; 0 = one per hardware thread.
+  unsigned workers = 0;
+  /// Retries a failed group gets on a fresh worker before it is
+  /// quarantined (so max_group_retries + 1 attempts total).
+  unsigned max_group_retries = 2;
+  /// RLIMIT_AS per worker in MiB (0 = unlimited): a leaking or
+  /// runaway-allocating group OOMs its own worker, not the campaign.
+  std::size_t worker_mem_mb = 0;
+  /// Test hook (the crash analogue of verify::inject_alu_carry_bug): a
+  /// worker asked to simulate this group calls abort() while the
+  /// attempt number is < crash_attempts. -1 disables.
+  std::int64_t crash_group = -1;
+  /// How many attempts of crash_group abort. UINT32_MAX = every attempt
+  /// (quarantine path); 1 = first attempt only (retry-then-success).
+  std::uint32_t crash_attempts = 0xffffffffu;
+};
+
 struct CampaignOptions {
   /// Journal path; empty runs the campaign without durability (the
   /// drain/timeout behaviour still applies).
   std::string journal;
-  /// Re-simulate journaled groups whose record is timed_out instead of
-  /// seeding them (e.g. resume on a faster machine or with a larger
-  /// group timeout).
+  /// Re-simulate journaled groups whose record is timed_out or
+  /// quarantined instead of seeding them (e.g. resume on a faster
+  /// machine, with a larger group timeout, or with more worker memory).
   bool retry_timed_out = false;
   /// Install SIGINT/SIGTERM drain handlers and wire them to the engine's
   /// cancel flag. Leave false when the caller manages options.sim.cancel
   /// itself (tests, embedding).
   bool handle_signals = false;
+  /// Run fault groups in forked, rlimit-sandboxed worker processes
+  /// (supervisor.h) instead of in-process threads. A worker that
+  /// segfaults, OOMs or hangs is reaped and respawned; a group that
+  /// fails every retry is quarantined instead of killing the campaign.
+  /// Results are bit-identical to the in-process mode for all
+  /// non-quarantined groups. sim.threads is ignored in this mode.
+  bool isolate = false;
+  IsolateOptions iso;
   /// Engine options (threads, sample, max_cycles, group_timeout_ms,
   /// time_budget_ms, progress). The seed_group/on_group hooks and —
   /// when handle_signals is set — the cancel flag are overwritten by
   /// run_campaign.
   fault::FaultSimOptions sim;
+};
+
+/// One quarantined group and why its workers kept dying.
+struct QuarantinedGroup {
+  std::uint64_t group = 0;
+  fault::GroupError error;
 };
 
 struct CampaignResult {
@@ -56,8 +92,15 @@ struct CampaignResult {
   std::size_t seeded_groups = 0;  // skipped thanks to the journal
   /// Uncollapsed-fault counts for the exit summary.
   std::size_t faults_timed_out = 0;
+  std::size_t faults_quarantined = 0;
+  /// Quarantined groups (this run's and seeded ones), sorted by group.
+  std::vector<QuarantinedGroup> quarantined_groups;
+  /// Isolated mode: worker processes that died (crash, OOM, hard kill)
+  /// and were respawned.
+  std::size_t worker_restarts = 0;
   bool resumed = false;            // at least one group was seeded
   bool journal_truncated = false;  // a torn record was dropped on load
+  bool journal_empty = false;      // journal existed but held no records
   bool interrupted = false;        // drained; rerun to resume
   int signal = 0;                  // signal that triggered the drain
 };

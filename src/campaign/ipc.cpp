@@ -1,0 +1,83 @@
+#include "campaign/ipc.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sbst::campaign::ipc {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n != 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n != 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame: peer died
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::uint8_t tag, std::string_view payload) {
+  if (payload.size() > kMaxFrameLen) return false;
+  // One buffer, one write: frames stay below PIPE_BUF, so the kernel
+  // writes them atomically and concurrent writers cannot interleave.
+  std::string frame;
+  frame.reserve(sizeof(std::uint32_t) + 1 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame.push_back(static_cast<char>(tag));
+  frame.append(payload);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+bool read_frame(int fd, Frame* out) {
+  std::uint32_t len = 0;
+  if (!read_all(fd, &len, sizeof(len))) return false;
+  if (len > kMaxFrameLen) return false;
+  if (!read_all(fd, &out->tag, sizeof(out->tag))) return false;
+  out->payload.resize(len);
+  return len == 0 || read_all(fd, out->payload.data(), len);
+}
+
+std::string encode_group_request(const GroupRequest& req) {
+  std::string out(sizeof(req.group) + sizeof(req.attempt), '\0');
+  std::memcpy(out.data(), &req.group, sizeof(req.group));
+  std::memcpy(out.data() + sizeof(req.group), &req.attempt,
+              sizeof(req.attempt));
+  return out;
+}
+
+bool decode_group_request(std::string_view payload, GroupRequest* req) {
+  if (payload.size() != sizeof(req->group) + sizeof(req->attempt)) {
+    return false;
+  }
+  std::memcpy(&req->group, payload.data(), sizeof(req->group));
+  std::memcpy(&req->attempt, payload.data() + sizeof(req->group),
+              sizeof(req->attempt));
+  return true;
+}
+
+}  // namespace sbst::campaign::ipc

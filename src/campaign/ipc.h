@@ -1,0 +1,64 @@
+// Length-prefixed pipe protocol between the campaign supervisor and its
+// forked worker processes.
+//
+// Each direction of a worker's pipe pair carries a stream of frames:
+//
+//   frame    len u32 | tag u8 | payload (len bytes)
+//
+//   request  tag kTagGroup,  payload: group u64 | attempt u32
+//            (supervisor -> worker: simulate this group; the attempt
+//            number feeds the seeded crash hook used by tests)
+//   result   tag kTagRecord, payload: encode_record_payload(rec)
+//            (worker -> supervisor: the finished GroupRecord, in the
+//            exact journal payload encoding — one codec for disk and
+//            wire keeps the two from drifting)
+//
+// Frames are far below PIPE_BUF (a record payload is <= 561 bytes), so
+// every write is atomic at the kernel level and a frame read either
+// yields a whole frame or hits EOF — a worker killed mid-simulation can
+// never leave a half-frame for the supervisor to misparse. Reads still
+// loop over partial read(2) returns, which POSIX permits even for
+// atomic writes.
+//
+// EOF is the only failure signal either side needs: a dead worker's
+// pipe reads EOF (the supervisor then reaps it and decides
+// retry-or-quarantine), and a dead supervisor's pipe turns worker
+// writes into EPIPE (workers ignore SIGPIPE and _exit on the error).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sbst::campaign::ipc {
+
+inline constexpr std::uint8_t kTagGroup = 1;   // supervisor -> worker
+inline constexpr std::uint8_t kTagRecord = 2;  // worker -> supervisor
+
+/// Upper bound on accepted payload length; anything larger means a
+/// desynchronized or corrupt stream and fails the read.
+inline constexpr std::uint32_t kMaxFrameLen = 4096;
+
+struct Frame {
+  std::uint8_t tag = 0;
+  std::string payload;
+};
+
+/// Writes one complete frame, retrying on EINTR. Returns false when the
+/// peer is gone (EPIPE) or the descriptor fails; never raises SIGPIPE
+/// semantics of its own — callers must have the signal ignored.
+bool write_frame(int fd, std::uint8_t tag, std::string_view payload);
+
+/// Blocking read of one complete frame. Returns false on EOF before or
+/// inside a frame, on read errors, or on an oversized length prefix.
+bool read_frame(int fd, Frame* out);
+
+struct GroupRequest {
+  std::uint64_t group = 0;
+  std::uint32_t attempt = 0;  // 0-based; first try is attempt 0
+};
+
+std::string encode_group_request(const GroupRequest& req);
+bool decode_group_request(std::string_view payload, GroupRequest* req);
+
+}  // namespace sbst::campaign::ipc

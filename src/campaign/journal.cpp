@@ -7,6 +7,7 @@
 
 #include "util/atomic_file.h"
 #include "util/crc32.h"
+#include "util/faulty_io.h"
 
 namespace sbst::campaign {
 
@@ -14,8 +15,12 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'B', 'S', 'T', 'J', 'R', 'N', '1'};
 constexpr std::size_t kHeaderBytes = 8 + 3 * 8 + 4;
-// group + count + flags + detected_mask + cycles + 63 detect cycles.
-constexpr std::size_t kMaxPayload = 8 + 4 + 1 + 8 + 8 + 63 * 8;
+// term_signal + exit_code + attempts + max_rss_kb + cpu_ms, present only
+// on quarantined records (flags bit1).
+constexpr std::size_t kErrorBytes = 4 + 4 + 4 + 8 + 8;
+// group + count + flags + detected_mask + cycles + 63 detect cycles
+// + optional quarantine error.
+constexpr std::size_t kMaxPayload = 8 + 4 + 1 + 8 + 8 + 63 * 8 + kErrorBytes;
 
 template <typename T>
 void put(std::string& out, T v) {
@@ -25,7 +30,7 @@ void put(std::string& out, T v) {
 }
 
 template <typename T>
-bool get(const std::string& in, std::size_t& off, T* v) {
+bool get(std::string_view in, std::size_t& off, T* v) {
   if (in.size() - off < sizeof(T)) return false;
   std::memcpy(v, in.data() + off, sizeof(T));
   off += sizeof(T);
@@ -51,25 +56,9 @@ bool parse_record(const std::string& data, std::size_t& off,
   if (!get(data, p, &len) || !get(data, p, &crc)) return false;
   if (len > kMaxPayload || data.size() - p < len) return false;
   if (util::crc32(data.data() + p, len) != crc) return false;
-
-  const std::string payload(data, p, len);
-  std::size_t q = 0;
-  std::uint8_t flags = 0;
-  fault::GroupRecord r;
-  if (!get(payload, q, &r.group) || !get(payload, q, &r.count) ||
-      !get(payload, q, &flags) || !get(payload, q, &r.detected_mask) ||
-      !get(payload, q, &r.cycles)) {
+  if (!decode_record_payload(std::string_view(data).substr(p, len), rec)) {
     return false;
   }
-  if (r.count > 63 || payload.size() - q != r.count * sizeof(std::int64_t)) {
-    return false;
-  }
-  r.timed_out = (flags & 1) != 0;
-  r.detect_cycle.resize(r.count);
-  for (std::uint32_t i = 0; i < r.count; ++i) {
-    get(payload, q, &r.detect_cycle[i]);
-  }
-  *rec = std::move(r);
   off = p + len;
   return true;
 }
@@ -80,11 +69,48 @@ std::string encode_record_payload(const fault::GroupRecord& rec) {
   std::string out;
   put(out, rec.group);
   put(out, rec.count);
-  put(out, static_cast<std::uint8_t>(rec.timed_out ? 1 : 0));
+  put(out, static_cast<std::uint8_t>((rec.timed_out ? 1 : 0) |
+                                     (rec.quarantined ? 2 : 0)));
   put(out, rec.detected_mask);
   put(out, rec.cycles);
   for (std::int64_t c : rec.detect_cycle) put(out, c);
+  if (rec.quarantined) {
+    put(out, rec.error.term_signal);
+    put(out, rec.error.exit_code);
+    put(out, rec.error.attempts);
+    put(out, rec.error.max_rss_kb);
+    put(out, rec.error.cpu_ms);
+  }
   return out;
+}
+
+bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec) {
+  std::size_t q = 0;
+  std::uint8_t flags = 0;
+  fault::GroupRecord r;
+  if (!get(payload, q, &r.group) || !get(payload, q, &r.count) ||
+      !get(payload, q, &flags) || !get(payload, q, &r.detected_mask) ||
+      !get(payload, q, &r.cycles)) {
+    return false;
+  }
+  r.timed_out = (flags & 1) != 0;
+  r.quarantined = (flags & 2) != 0;
+  const std::size_t tail = r.count * sizeof(std::int64_t) +
+                           (r.quarantined ? kErrorBytes : 0);
+  if (r.count > 63 || payload.size() - q != tail) return false;
+  r.detect_cycle.resize(r.count);
+  for (std::uint32_t i = 0; i < r.count; ++i) {
+    get(payload, q, &r.detect_cycle[i]);
+  }
+  if (r.quarantined) {
+    get(payload, q, &r.error.term_signal);
+    get(payload, q, &r.error.exit_code);
+    get(payload, q, &r.error.attempts);
+    get(payload, q, &r.error.max_rss_kb);
+    get(payload, q, &r.error.cpu_ms);
+  }
+  *rec = std::move(r);
+  return true;
 }
 
 std::optional<JournalLoad> load_journal(const std::string& path,
@@ -95,6 +121,15 @@ std::optional<JournalLoad> load_journal(const std::string& path,
   ss << in.rdbuf();
   const std::string data = ss.str();
 
+  if (data.empty()) {
+    // Zero-length file: a crash before the header landed, or a touched
+    // placeholder. Nothing was recorded, so this is an empty journal and
+    // a fresh start — not corruption.
+    JournalLoad out;
+    out.meta = expect;
+    out.empty_file = true;
+    return out;
+  }
   if (data.size() < kHeaderBytes ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error(path + " is not a campaign journal");
@@ -172,14 +207,40 @@ JournalWriter JournalWriter::append(const std::string& path,
   return JournalWriter(f, path);
 }
 
+JournalSession open_journal_session(const std::string& path,
+                                    const JournalMeta& meta,
+                                    bool retry_inconclusive) {
+  JournalSession s;
+  if (path.empty()) return s;
+  std::optional<JournalLoad> loaded = load_journal(path, meta);
+  if (loaded && !loaded->empty_file) {
+    s.truncated = loaded->truncated;
+    s.was_empty = loaded->records.empty();
+    for (fault::GroupRecord& rec : loaded->records) {
+      if ((rec.timed_out || rec.quarantined) && retry_inconclusive) {
+        // Give the group a fresh chance; a new record supersedes this
+        // one in file order on the next load.
+        s.seeds.erase(rec.group);
+        continue;
+      }
+      s.seeds[rec.group] = std::move(rec);  // later record wins
+    }
+    s.writer = JournalWriter::append(path, *loaded);
+  } else {
+    s.was_empty = loaded.has_value();  // existed, zero-length
+    s.writer = JournalWriter::create(path, meta);
+  }
+  return s;
+}
+
 void JournalWriter::add(const fault::GroupRecord& rec) {
   const std::string payload = encode_record_payload(rec);
   std::string frame;
   put(frame, static_cast<std::uint32_t>(payload.size()));
   put(frame, util::crc32(payload.data(), payload.size()));
   frame += payload;
-  if (std::fwrite(frame.data(), 1, frame.size(), f_) != frame.size() ||
-      std::fflush(f_) != 0) {
+  if (util::checked_fwrite(f_, frame.data(), frame.size()) != frame.size() ||
+      util::checked_fflush(f_) != 0) {
     throw std::runtime_error("cannot append to journal " + path_);
   }
 }

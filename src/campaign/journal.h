@@ -6,8 +6,11 @@
 //   header   "SBSTJRN1" | fingerprint u64 | num_groups u64 |
 //            num_faults u64 | crc32(previous 24 bytes) u32
 //   record*  payload_len u32 | crc32(payload) u32 | payload
-//   payload  group u64 | count u32 | flags u8 (bit0 = timed_out) |
-//            detected_mask u64 | cycles u64 | count x detect_cycle i64
+//   payload  group u64 | count u32 | flags u8 (bit0 = timed_out,
+//            bit1 = quarantined) | detected_mask u64 | cycles u64 |
+//            count x detect_cycle i64
+//            [iff quarantined: term_signal i32 | exit_code i32 |
+//             attempts u32 | max_rss_kb u64 | cpu_ms u64]
 //
 // Records are appended (and flushed to the OS) as fault groups finish,
 // in completion order — group indices are NOT sorted. A crash can tear
@@ -23,6 +26,8 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/faultsim.h"
@@ -48,11 +53,17 @@ struct JournalLoad {
   /// records). JournalWriter::append() rewrites the file to exactly this
   /// prefix before appending, so dropped garbage never resurfaces.
   std::string valid_prefix;
+  /// True when the file existed but was zero-length — e.g. created by a
+  /// crash before the header landed, or touch(1)'d. Not an error: the
+  /// campaign starts fresh ("empty journal"), it is not a corrupt tail.
+  bool empty_file = false;
 };
 
 /// Parses the journal at `path`. Returns nullopt when the file does not
-/// exist (a fresh campaign). Throws std::runtime_error when the header
-/// is unreadable/corrupt or does not match `expect` — a journal from a
+/// exist (a fresh campaign); a zero-length file loads with `empty_file`
+/// set and no records (also a fresh start, reported as such rather than
+/// as corruption). Throws std::runtime_error when the header is
+/// unreadable/corrupt or does not match `expect` — a journal from a
 /// different campaign must never be spliced into this one.
 std::optional<JournalLoad> load_journal(const std::string& path,
                                         const JournalMeta& expect);
@@ -89,7 +100,36 @@ class JournalWriter {
 };
 
 /// Serializes one record payload (without the length/CRC frame) —
-/// exposed for tests that need to build corrupt journals.
+/// exposed for tests that need to build corrupt journals, and reused as
+/// the wire encoding of worker results in the supervisor IPC protocol.
 std::string encode_record_payload(const fault::GroupRecord& rec);
+
+/// Inverse of encode_record_payload. Returns false on any malformed
+/// payload (bad sizes, count > 63) without touching `rec`'s validity
+/// guarantees. Shared by journal frame parsing and IPC result frames.
+bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec);
+
+/// One campaign's journal, opened for seeding + appending — the shared
+/// storage half of both campaign execution modes (in-process threads and
+/// the process-isolation supervisor).
+struct JournalSession {
+  /// Engaged iff a journal path was configured.
+  std::optional<JournalWriter> writer;
+  /// Latest record per group from previous runs (later records win);
+  /// groups present here are seeded instead of simulated.
+  std::unordered_map<std::uint64_t, fault::GroupRecord> seeds;
+  bool truncated = false;  // a torn tail was dropped on load
+  bool was_empty = false;  // file existed but held no records
+};
+
+/// Loads (or creates) the journal at `path` for the campaign identified
+/// by `meta` and folds its records into a seed map. When
+/// `retry_inconclusive` is set, timed-out and quarantined records are
+/// dropped from the seeds so those groups re-simulate (their superseding
+/// records win on the next load). Empty `path` returns a session with no
+/// writer and no seeds.
+JournalSession open_journal_session(const std::string& path,
+                                    const JournalMeta& meta,
+                                    bool retry_inconclusive);
 
 }  // namespace sbst::campaign

@@ -1,0 +1,426 @@
+#include "campaign/supervisor.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/ipc.h"
+#include "campaign/journal.h"
+#include "util/signals.h"
+
+namespace sbst::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Everything a worker needs, captured before forking so children
+/// inherit it copy-on-write (notably the levelized GroupSimulator —
+/// respawned workers fork from the supervisor's never-used pristine
+/// copy, so every attempt starts from identical state).
+struct WorkerContext {
+  fault::GroupSimulator& sim;
+  const IsolateOptions& iso;
+  std::uint64_t time_budget_ms = 0;
+};
+
+[[noreturn]] void worker_main(const WorkerContext& ctx, int in_fd,
+                              int out_fd) {
+  // Drain signals are the supervisor's job: a Ctrl-C reaches the whole
+  // process group, but only the supervisor should react (stop handing
+  // out groups); workers finish their in-flight group and exit on EOF.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGTERM, SIG_IGN);
+  ::signal(SIGPIPE, SIG_IGN);  // a dead supervisor turns writes into EPIPE
+
+  if (ctx.iso.worker_mem_mb != 0) {
+    const rlim_t bytes =
+        static_cast<rlim_t>(ctx.iso.worker_mem_mb) * 1024 * 1024;
+    rlimit lim{bytes, bytes};
+    ::setrlimit(RLIMIT_AS, &lim);
+  }
+  if (ctx.time_budget_ms != 0) {
+    // Coarse backstop only: the precise per-group bound is the
+    // cooperative deadline inside GroupSimulator plus the supervisor's
+    // wall-clock hard kill. RLIMIT_CPU is cumulative over the worker's
+    // whole life, so it cannot be a per-group limit.
+    const rlim_t secs = static_cast<rlim_t>(ctx.time_budget_ms / 1000) * 2 + 30;
+    rlimit lim{secs, secs};
+    ::setrlimit(RLIMIT_CPU, &lim);
+  }
+
+  // Nothing may unwind past this frame: the child's stack below here is
+  // a copy of the supervisor's (run_campaign, the test runner, main), and
+  // an escaping exception would resume the parent's program in the child.
+  try {
+    ipc::Frame frame;
+    while (ipc::read_frame(in_fd, &frame)) {
+      ipc::GroupRequest req;
+      if (frame.tag != ipc::kTagGroup ||
+          !ipc::decode_group_request(frame.payload, &req)) {
+        _exit(2);
+      }
+      if (ctx.iso.crash_group >= 0 &&
+          req.group == static_cast<std::uint64_t>(ctx.iso.crash_group) &&
+          req.attempt < ctx.iso.crash_attempts) {
+        // Seeded crash hook (tests): die exactly like a simulator bug
+        // would, after the request was accepted.
+        std::abort();
+      }
+      const fault::GroupRecord rec =
+          ctx.sim.simulate(static_cast<std::size_t>(req.group));
+      if (!ipc::write_frame(out_fd, ipc::kTagRecord,
+                            encode_record_payload(rec))) {
+        _exit(2);
+      }
+    }
+  } catch (...) {
+    // bad_alloc under RLIMIT_AS, or any simulator failure: die the way
+    // an uncaught exception would, so the supervisor records SIGABRT.
+    std::abort();
+  }
+  // EOF on the request pipe: the supervisor is done with us. _exit, not
+  // exit — the child inherited the parent's stdio/journal buffers and
+  // must not flush them a second time.
+  _exit(0);
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int to_fd = -1;    // supervisor -> worker requests
+  int from_fd = -1;  // worker -> supervisor results
+  bool busy = false;
+  std::uint64_t group = 0;
+  std::uint32_t attempt = 0;
+  Clock::time_point deadline = Clock::time_point::max();
+
+  bool alive() const { return pid > 0; }
+};
+
+Worker spawn_worker(const WorkerContext& ctx) {
+  int req[2] = {-1, -1};
+  int res[2] = {-1, -1};
+  if (::pipe(req) != 0 || ::pipe(res) != 0) {
+    if (req[0] >= 0) ::close(req[0]);
+    if (req[1] >= 0) ::close(req[1]);
+    throw std::runtime_error("cannot create worker pipes");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(req[0]);
+    ::close(req[1]);
+    ::close(res[0]);
+    ::close(res[1]);
+    throw std::runtime_error("cannot fork campaign worker");
+  }
+  if (pid == 0) {
+    ::close(req[1]);
+    ::close(res[0]);
+    worker_main(ctx, req[0], res[1]);  // never returns
+  }
+  ::close(req[0]);
+  ::close(res[1]);
+  Worker w;
+  w.pid = pid;
+  w.to_fd = req[1];
+  w.from_fd = res[0];
+  return w;
+}
+
+/// Reaps a dead (or about-to-die) worker and closes its pipes. Returns
+/// the structured post-mortem for quarantine records.
+fault::GroupError reap_worker(Worker* w) {
+  int status = 0;
+  rusage ru{};
+  while (::wait4(w->pid, &status, 0, &ru) < 0 && errno == EINTR) {
+  }
+  ::close(w->to_fd);
+  ::close(w->from_fd);
+  fault::GroupError err;
+  if (WIFSIGNALED(status)) err.term_signal = WTERMSIG(status);
+  if (WIFEXITED(status)) err.exit_code = WEXITSTATUS(status);
+  err.attempts = w->attempt + 1;
+  err.max_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
+  err.cpu_ms =
+      static_cast<std::uint64_t>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) *
+          1000 +
+      static_cast<std::uint64_t>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) /
+          1000;
+  w->pid = -1;
+  w->to_fd = w->from_fd = -1;
+  w->busy = false;
+  return err;
+}
+
+void shutdown_workers(std::vector<Worker>* workers) {
+  for (Worker& w : *workers) {
+    if (!w.alive()) continue;
+    ::close(w.to_fd);  // EOF tells the worker to _exit(0)
+    w.to_fd = -1;
+  }
+  for (Worker& w : *workers) {
+    if (!w.alive()) continue;
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (w.from_fd >= 0) ::close(w.from_fd);
+    w.pid = -1;
+    w.from_fd = -1;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
+                                     const nl::FaultList& faults,
+                                     const fault::EnvFactory& make_env,
+                                     std::uint64_t fingerprint,
+                                     const CampaignOptions& options) {
+  CampaignResult out;
+  const fault::GroupPlan plan(faults, options.sim);
+  out.groups_total = plan.num_groups();
+
+  const std::atomic<bool>* cancel = options.sim.cancel;
+  if (options.handle_signals) {
+    util::install_drain_handlers();
+    cancel = &util::drain_requested();
+  }
+
+  const JournalMeta meta{fingerprint, out.groups_total, faults.size()};
+  JournalSession journal =
+      open_journal_session(options.journal, meta, options.retry_timed_out);
+  out.journal_truncated = journal.truncated;
+  out.journal_empty = journal.was_empty;
+
+  out.result = plan.make_result();
+  out.result.groups_total = out.groups_total;
+  std::size_t done = 0;
+
+  // A journaled record resolves its group without touching a worker;
+  // everything else forms the dispatch queue, in group order.
+  std::deque<ipc::GroupRequest> pending;
+  for (std::size_t g = 0; g < out.groups_total; ++g) {
+    const auto it = journal.seeds.find(g);
+    if (it == journal.seeds.end()) {
+      pending.push_back({g, 0});
+      continue;
+    }
+    plan.apply(it->second, &out.result);
+    if (it->second.cycles > out.result.good_cycles) {
+      out.result.good_cycles = it->second.cycles;
+    }
+    if (it->second.quarantined) {
+      out.quarantined_groups.push_back({g, it->second.error});
+    }
+    ++out.seeded_groups;
+    ++done;
+  }
+  out.resumed = out.seeded_groups != 0;
+
+  Clock::time_point run_deadline = Clock::time_point::max();
+  if (options.sim.time_budget_ms != 0) {
+    run_deadline =
+        Clock::now() + std::chrono::milliseconds(options.sim.time_budget_ms);
+  }
+
+  // Built once, before any fork: children inherit the levelized
+  // simulator copy-on-write. The supervisor itself never simulates.
+  fault::GroupSimulator sim(netlist, faults, plan, make_env, options.sim);
+  sim.set_run_deadline(run_deadline);
+  WorkerContext ctx{sim, options.iso, options.sim.time_budget_ms};
+
+  // A worker that crashes mid-write leaves a half-closed pipe; writing
+  // the next request to it must yield EPIPE, not kill the supervisor.
+  struct sigaction ignore_pipe {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction saved_pipe {};
+  ::sigaction(SIGPIPE, &ignore_pipe, &saved_pipe);
+
+  unsigned num_workers = options.iso.workers != 0
+                             ? options.iso.workers
+                             : std::thread::hardware_concurrency();
+  if (num_workers == 0) num_workers = 1;
+  if (num_workers > pending.size() && !pending.empty()) {
+    num_workers = static_cast<unsigned>(pending.size());
+  }
+
+  std::vector<Worker> workers;
+  std::size_t inflight = 0;
+
+  // Grace period before a busy worker is declared hung and hard-killed.
+  // The worker enforces group_timeout_ms cooperatively inside simulate();
+  // the hard deadline only fires when the group wedges the worker so
+  // badly the cooperative check never runs.
+  const auto hang_grace =
+      options.sim.group_timeout_ms != 0
+          ? std::chrono::milliseconds(options.sim.group_timeout_ms * 2 + 1000)
+          : std::chrono::milliseconds(0);
+
+  const auto resolve = [&](const fault::GroupRecord& rec) {
+    plan.apply(rec, &out.result);
+    if (rec.cycles > out.result.good_cycles) {
+      out.result.good_cycles = rec.cycles;
+    }
+    if (rec.quarantined) {
+      out.quarantined_groups.push_back({rec.group, rec.error});
+    }
+    if (journal.writer) journal.writer->add(rec);
+    ++done;
+    if (options.sim.progress) options.sim.progress(done, out.groups_total);
+  };
+
+  // Retry-or-quarantine decision for a group whose worker died.
+  const auto fail_group = [&](std::uint64_t group, std::uint32_t attempt,
+                              const fault::GroupError& err) {
+    if (attempt >= options.iso.max_group_retries) {
+      fault::GroupRecord rec =
+          plan.unstarted_record(static_cast<std::size_t>(group));
+      rec.quarantined = true;
+      rec.error = err;
+      resolve(rec);
+    } else {
+      // Retry at the front so a transient failure is re-attempted while
+      // the campaign is still warm, with the attempt count advanced.
+      pending.push_front({group, attempt + 1});
+    }
+  };
+
+  try {
+    if (!pending.empty()) {
+      workers.reserve(num_workers);
+      for (unsigned i = 0; i < num_workers; ++i) {
+        workers.push_back(spawn_worker(ctx));
+      }
+    }
+
+    bool draining = false;
+    while (true) {
+      if (!draining && cancel != nullptr &&
+          cancel->load(std::memory_order_relaxed)) {
+        draining = true;  // in-flight groups finish; nothing new starts
+      }
+
+      if (!draining) {
+        for (Worker& w : workers) {
+          if (pending.empty()) break;
+          if (!w.alive() || w.busy) continue;
+          const ipc::GroupRequest req = pending.front();
+          pending.pop_front();
+          w.group = req.group;
+          w.attempt = req.attempt;
+          if (!ipc::write_frame(w.to_fd, ipc::kTagGroup,
+                                ipc::encode_group_request(req))) {
+            // The worker died while idle (startup OOM, external kill).
+            // Indistinguishable from dying right after reading the
+            // request, so it costs the group an attempt — keeping every
+            // failure path bounded by max_group_retries.
+            const fault::GroupError err = reap_worker(&w);
+            ++out.worker_restarts;
+            fail_group(req.group, req.attempt, err);
+            w = spawn_worker(ctx);
+            continue;
+          }
+          w.busy = true;
+          w.deadline = hang_grace.count() != 0 ? Clock::now() + hang_grace
+                                               : Clock::time_point::max();
+          ++inflight;
+        }
+      }
+
+      if (inflight == 0 && (draining || pending.empty())) break;
+
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> fd_worker;
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        if (!workers[i].alive() || !workers[i].busy) continue;
+        fds.push_back({workers[i].from_fd, POLLIN, 0});
+        fd_worker.push_back(i);
+      }
+
+      // Wake at least every 200 ms to notice drain requests and hang
+      // deadlines even when no worker produces events.
+      int timeout_ms = 200;
+      const Clock::time_point now = Clock::now();
+      for (std::size_t i : fd_worker) {
+        const Worker& w = workers[i];
+        if (w.deadline == Clock::time_point::max()) continue;
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        w.deadline - now)
+                        .count();
+        if (left < 0) left = 0;
+        if (left < timeout_ms) timeout_ms = static_cast<int>(left);
+      }
+      if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms) < 0 &&
+          errno != EINTR) {
+        throw std::runtime_error("poll failed in campaign supervisor");
+      }
+
+      const Clock::time_point after = Clock::now();
+      for (std::size_t k = 0; k < fds.size(); ++k) {
+        Worker& w = workers[fd_worker[k]];
+        if (!w.alive() || !w.busy) continue;  // handled earlier this pass
+        const bool readable = (fds[k].revents & (POLLIN | POLLHUP)) != 0;
+        if (!readable) {
+          if (after >= w.deadline) {
+            // Hung: the cooperative timeout inside the worker never
+            // fired. SIGKILL and let the EOF below classify it.
+            ::kill(w.pid, SIGKILL);
+            w.deadline = Clock::time_point::max();
+          }
+          continue;
+        }
+        ipc::Frame frame;
+        fault::GroupRecord rec;
+        const bool ok = ipc::read_frame(w.from_fd, &frame) &&
+                        frame.tag == ipc::kTagRecord &&
+                        decode_record_payload(frame.payload, &rec) &&
+                        rec.group == w.group;
+        if (ok) {
+          w.busy = false;
+          --inflight;
+          resolve(rec);
+          continue;
+        }
+        // EOF (crash/OOM/hard kill) or a desynchronized stream: make
+        // sure it is dead, reap it, charge the attempt, respawn.
+        ::kill(w.pid, SIGKILL);
+        const std::uint64_t group = w.group;
+        const std::uint32_t attempt = w.attempt;
+        const fault::GroupError err = reap_worker(&w);
+        --inflight;
+        ++out.worker_restarts;
+        fail_group(group, attempt, err);
+        if (!draining) w = spawn_worker(ctx);
+      }
+    }
+
+    out.interrupted = draining;
+    shutdown_workers(&workers);
+  } catch (...) {
+    shutdown_workers(&workers);
+    ::sigaction(SIGPIPE, &saved_pipe, nullptr);
+    throw;
+  }
+  ::sigaction(SIGPIPE, &saved_pipe, nullptr);
+
+  out.result.cancelled = out.interrupted;
+  out.result.groups_done = done;
+  out.groups_done = done;
+  finish_campaign_result(faults, options, &out);
+  return out;
+}
+
+}  // namespace sbst::campaign

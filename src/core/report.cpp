@@ -84,16 +84,26 @@ void print_coverage_table(std::ostream& os, const CoverageReport& phase_a,
     os << std::setw(14) << fc_cell(phase_ab->overall);
   }
   os << "\n";
-  auto timeout_note = [&os](const char* phase, const CoverageReport& rep) {
-    if (!rep.overall.is_lower_bound()) return;
-    os << "note: " << phase << rep.overall.timed_out << " of "
-       << rep.overall.total
-       << " faults timed out before a verdict; coverage above is a lower "
-          "bound (re-run with a larger timeout or --retry-timeouts to "
-          "resolve them)\n";
+  auto inconclusive_note = [&os](const char* phase,
+                                 const CoverageReport& rep) {
+    const fault::Coverage& c = rep.overall;
+    if (!c.is_lower_bound()) return;
+    os << "note: " << phase;
+    if (c.timed_out != 0) {
+      os << c.timed_out << " of " << c.total
+         << " faults timed out before a verdict";
+    }
+    if (c.timed_out != 0 && c.quarantined != 0) os << " and ";
+    if (c.quarantined != 0) {
+      os << c.quarantined << " of " << c.total
+         << " faults were quarantined (their isolated worker died on "
+            "every attempt)";
+    }
+    os << "; coverage above is a lower bound (re-run with a larger "
+          "timeout or --retry-timeouts to resolve them)\n";
   };
-  timeout_note(phase_ab ? "phase A: " : "", phase_a);
-  if (phase_ab) timeout_note("phase A+B: ", *phase_ab);
+  inconclusive_note(phase_ab ? "phase A: " : "", phase_a);
+  if (phase_ab) inconclusive_note("phase A+B: ", *phase_ab);
 }
 
 }  // namespace sbst::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -43,6 +44,18 @@ class Environment {
 
 using EnvFactory = std::function<std::unique_ptr<Environment>()>;
 
+/// Structured post-mortem of a fault group that repeatedly killed its
+/// isolated worker process (segfault, OOM under rlimit, supervisor
+/// hard-kill on a hang). Recorded alongside the quarantined verdict so
+/// a campaign report can say *why* the group has no result.
+struct GroupError {
+  std::int32_t term_signal = 0;  // signal that killed the last attempt, 0 = exited
+  std::int32_t exit_code = 0;    // exit status when term_signal == 0
+  std::uint32_t attempts = 0;    // total attempts before quarantine
+  std::uint64_t max_rss_kb = 0;  // peak RSS of the last attempt (rusage)
+  std::uint64_t cpu_ms = 0;      // user+sys CPU of the last attempt
+};
+
 /// Outcome of one 63-fault group — the unit of campaign checkpointing.
 /// Slot i is the i-th fault of the group, i.e. index `group * 63 + i`
 /// into the engine's active fault order (the sampled-and-sorted fault
@@ -55,9 +68,14 @@ struct GroupRecord {
   /// Group hit a wall-clock bound (group_timeout_ms or time_budget_ms)
   /// before every fault had a verdict; undetected slots are inconclusive.
   bool timed_out = false;
+  /// Group was quarantined by the process-isolation supervisor after
+  /// exhausting its retries (worker crash/OOM/hang each attempt). All
+  /// slots are inconclusive; `error` records the last failure.
+  bool quarantined = false;
   std::uint64_t detected_mask = 0;         // bit i: slot i detected
   std::uint64_t cycles = 0;                // good-machine cycles the group ran
   std::vector<std::int64_t> detect_cycle;  // size count, -1 when undetected
+  GroupError error;                        // meaningful iff quarantined
 };
 
 struct FaultSimOptions {
@@ -117,6 +135,12 @@ struct FaultSimResult {
   /// bound. May be empty (all zeros) for results built before this field
   /// existed; consumers must treat empty as "no timeouts".
   std::vector<std::uint8_t> timed_out;
+  /// Fourth verdict state: quarantined[i] == 1 iff fault i's group was
+  /// quarantined by the isolation supervisor (the worker simulating it
+  /// died on every retry). Like timed_out, the fault is inconclusive —
+  /// never "undetected" — and coverage is a lower bound. May be empty
+  /// for results built before this field existed (treat as none).
+  std::vector<std::uint8_t> quarantined;
   /// Cycles the good machine ran for (environment stop or max_cycles).
   std::uint64_t good_cycles = 0;
   /// Groups resolved by this run or a seed hook vs. the campaign total;
@@ -138,6 +162,78 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
                              const EnvFactory& make_env,
                              const FaultSimOptions& options = {});
 
+// --- single-group simulation -----------------------------------------------
+//
+// run_fault_sim is built from two smaller pieces that campaign layers
+// (notably the process-isolation supervisor, which schedules groups
+// across forked worker processes instead of threads) reuse directly:
+// GroupPlan owns the deterministic fault-to-group assignment and result
+// splicing, GroupSimulator owns the per-worker simulation state.
+
+/// The deterministic group universe of one campaign: which faults are
+/// active (sampling applied), how they partition into 63-fault groups,
+/// and how a GroupRecord splices back into a FaultSimResult. Cheap to
+/// construct (no netlist work); identical for equal (faults, sample,
+/// sample_seed).
+class GroupPlan {
+ public:
+  GroupPlan(const nl::FaultList& faults, const FaultSimOptions& options);
+
+  std::size_t num_faults() const { return num_faults_; }
+  std::size_t num_groups() const;
+  std::uint32_t group_count(std::size_t group) const;
+  /// Active (sampled) fault indices in engine order; group g covers
+  /// active()[g*63 .. g*63+group_count(g)).
+  const std::vector<std::size_t>& active() const { return active_; }
+
+  /// A FaultSimResult with all verdict arrays allocated and zeroed.
+  FaultSimResult make_result() const;
+
+  /// Splices one record into the verdict arrays. Groups own disjoint
+  /// fault indices, so concurrent calls for different groups are safe —
+  /// but this does NOT fold rec.cycles into res->good_cycles (callers
+  /// reduce cycle counts themselves: max for single-threaded merging,
+  /// CAS-max when merging from worker threads).
+  void apply(const GroupRecord& rec, FaultSimResult* res) const;
+
+  /// Record for a group never started before the campaign deadline (or
+  /// quarantined before simulation): count filled, all slots -1.
+  GroupRecord unstarted_record(std::size_t group) const;
+
+ private:
+  std::size_t num_faults_ = 0;
+  std::vector<std::size_t> active_;
+};
+
+/// Worker-owned simulation state (LogicSim + injection table) able to
+/// simulate any group of a plan. Construction levelizes the netlist —
+/// build one per worker thread, or once before forking isolated worker
+/// processes (children inherit it copy-on-write). Not thread-safe;
+/// `plan`, `netlist` and `faults` must outlive the simulator.
+class GroupSimulator {
+ public:
+  GroupSimulator(const nl::Netlist& netlist, const nl::FaultList& faults,
+                 const GroupPlan& plan, EnvFactory make_env,
+                 const FaultSimOptions& options);
+  ~GroupSimulator();
+  GroupSimulator(const GroupSimulator&) = delete;
+  GroupSimulator& operator=(const GroupSimulator&) = delete;
+
+  /// Campaign-wide wall-clock deadline (time_budget_ms). Set once,
+  /// before simulating, so every worker enforces the same instant;
+  /// defaults to "none".
+  void set_run_deadline(std::chrono::steady_clock::time_point deadline);
+
+  /// Simulates one group to a record (honours max_cycles,
+  /// group_timeout_ms and the run deadline; sets timed_out when a bound
+  /// cut the group short). Bit-deterministic absent wall-clock cutoffs.
+  GroupRecord simulate(std::size_t group);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 // --- coverage aggregation --------------------------------------------------
 
 struct Coverage {
@@ -147,6 +243,10 @@ struct Coverage {
   /// wall-clock bound). Included in `total`, so percent() understates
   /// true coverage — report it as a lower bound whenever this is != 0.
   std::size_t timed_out = 0;
+  /// Uncollapsed faults whose group was quarantined (isolated worker
+  /// died on every attempt). Inconclusive like timed_out: included in
+  /// `total`, so percent() is a lower bound whenever this is != 0.
+  std::size_t quarantined = 0;
 
   /// False when no fault was considered at all — coverage is then
   /// undefined, not 100%. Sampled runs routinely produce such rows for
@@ -156,7 +256,7 @@ struct Coverage {
 
   /// True when percent() is only a lower bound on the real coverage
   /// (some counted faults never reached a verdict).
-  bool is_lower_bound() const { return timed_out != 0; }
+  bool is_lower_bound() const { return timed_out != 0 || quarantined != 0; }
 
   double percent() const {
     return total == 0 ? 0.0 : 100.0 * static_cast<double>(detected) /

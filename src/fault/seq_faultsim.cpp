@@ -200,7 +200,183 @@ std::vector<std::size_t> choose_sample(std::size_t universe, std::size_t n,
   return idx;
 }
 
+constexpr int kFaultsPerGroup = 63;
+static_assert(kFaultsPerGroup < 64,
+              "bit 63 of the simulation word is reserved for the good "
+              "machine");
+
 }  // namespace
+
+// --- GroupPlan --------------------------------------------------------------
+
+GroupPlan::GroupPlan(const nl::FaultList& faults,
+                     const FaultSimOptions& options)
+    : num_faults_(faults.size()) {
+  if (options.sample != 0 && options.sample < faults.size()) {
+    active_ =
+        choose_sample(faults.size(), options.sample, options.sample_seed);
+  } else {
+    active_.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) active_[i] = i;
+  }
+}
+
+std::size_t GroupPlan::num_groups() const {
+  return (active_.size() + kFaultsPerGroup - 1) / kFaultsPerGroup;
+}
+
+std::uint32_t GroupPlan::group_count(std::size_t group) const {
+  const std::size_t base = group * kFaultsPerGroup;
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(kFaultsPerGroup, active_.size() - base));
+}
+
+FaultSimResult GroupPlan::make_result() const {
+  FaultSimResult res;
+  res.detected.assign(num_faults_, 0);
+  res.simulated.assign(num_faults_, 0);
+  res.detect_cycle.assign(num_faults_, -1);
+  res.timed_out.assign(num_faults_, 0);
+  res.quarantined.assign(num_faults_, 0);
+  res.groups_total = num_groups();
+  return res;
+}
+
+void GroupPlan::apply(const GroupRecord& rec, FaultSimResult* res) const {
+  const std::size_t base =
+      static_cast<std::size_t>(rec.group) * kFaultsPerGroup;
+  for (std::uint32_t i = 0; i < rec.count; ++i) {
+    const std::size_t fi = active_[base + i];
+    res->simulated[fi] = 1;
+    if ((rec.detected_mask >> i) & 1) {
+      res->detected[fi] = 1;
+      res->detect_cycle[fi] = rec.detect_cycle[i];
+    } else if (rec.quarantined) {
+      res->quarantined[fi] = 1;
+    } else if (rec.timed_out) {
+      res->timed_out[fi] = 1;
+    }
+  }
+}
+
+GroupRecord GroupPlan::unstarted_record(std::size_t group) const {
+  GroupRecord rec;
+  rec.group = group;
+  rec.count = group_count(group);
+  rec.detect_cycle.assign(rec.count, -1);
+  return rec;
+}
+
+// --- GroupSimulator ---------------------------------------------------------
+
+struct GroupSimulator::Impl {
+  const nl::Netlist& netlist;
+  const nl::FaultList& faults;
+  const GroupPlan& plan;
+  EnvFactory make_env;
+  std::uint64_t max_cycles;
+  std::uint64_t group_timeout_ms;
+  std::chrono::steady_clock::time_point run_deadline =
+      std::chrono::steady_clock::time_point::max();
+  sim::LogicSim sim;
+  InjectionTable inj;
+
+  Impl(const nl::Netlist& n, const nl::FaultList& f, const GroupPlan& p,
+       EnvFactory env, const FaultSimOptions& options)
+      : netlist(n),
+        faults(f),
+        plan(p),
+        make_env(std::move(env)),
+        max_cycles(options.max_cycles),
+        group_timeout_ms(options.group_timeout_ms),
+        sim(n),
+        inj(n.size()) {}
+};
+
+GroupSimulator::GroupSimulator(const nl::Netlist& netlist,
+                               const nl::FaultList& faults,
+                               const GroupPlan& plan, EnvFactory make_env,
+                               const FaultSimOptions& options)
+    : impl_(std::make_unique<Impl>(netlist, faults, plan, std::move(make_env),
+                                   options)) {}
+
+GroupSimulator::~GroupSimulator() = default;
+
+void GroupSimulator::set_run_deadline(
+    std::chrono::steady_clock::time_point deadline) {
+  impl_->run_deadline = deadline;
+}
+
+GroupRecord GroupSimulator::simulate(std::size_t group) {
+  using Clock = std::chrono::steady_clock;
+  Impl& im = *impl_;
+  const std::vector<std::size_t>& active = im.plan.active();
+  const std::size_t base = group * kFaultsPerGroup;
+  const int count = static_cast<int>(im.plan.group_count(group));
+
+  GroupRecord rec;
+  rec.group = group;
+  rec.count = static_cast<std::uint32_t>(count);
+  rec.detect_cycle.assign(static_cast<std::size_t>(count), -1);
+
+  im.inj.clear();
+  for (int i = 0; i < count; ++i) {
+    im.inj.add(im.netlist, im.faults.faults[active[base + i]], i);
+  }
+  const Word all_mask = (Word{1} << count) - 1;  // count <= 63
+
+  im.sim.reset();
+  apply_state_injections(im.sim, im.inj);
+  std::unique_ptr<Environment> env = im.make_env();
+
+  const bool has_clock_bounds =
+      im.group_timeout_ms != 0 ||
+      im.run_deadline != Clock::time_point::max();
+  const Clock::time_point group_deadline =
+      im.group_timeout_ms != 0
+          ? Clock::now() + std::chrono::milliseconds(im.group_timeout_ms)
+          : Clock::time_point::max();
+
+  Word detected = 0;
+  std::uint64_t cycle = 0;
+  for (; cycle < im.max_cycles; ++cycle) {
+    // Amortized watchdog: one clock read every 1024 cycles keeps the
+    // bound within ~ms granularity without slowing the hot loop.
+    if (has_clock_bounds && (cycle & 1023u) == 1023u) [[unlikely]] {
+      const Clock::time_point now = Clock::now();
+      if (now >= group_deadline || now >= im.run_deadline) {
+        rec.timed_out = true;
+        break;
+      }
+    }
+    env->drive(im.sim, cycle);
+    apply_state_injections(im.sim, im.inj);
+    eval_with_injections(im.sim, im.inj);
+
+    const Word diff = po_diff(im.sim) & all_mask & ~detected;
+    if (diff != 0) {
+      Word d = diff;
+      while (d != 0) {
+        const int bit = std::countr_zero(d);
+        d &= d - 1;
+        rec.detect_cycle[static_cast<std::size_t>(bit)] =
+            static_cast<std::int64_t>(cycle);
+      }
+      detected |= diff;
+      if (detected == all_mask) break;  // fault dropping: group done
+    }
+
+    const bool keep_going = env->observe(im.sim, cycle);
+    step_clock_with_injections(im.sim, im.inj);
+    if (!keep_going) {
+      ++cycle;
+      break;
+    }
+  }
+  rec.detected_mask = detected;
+  rec.cycles = cycle;
+  return rec;
+}
 
 FaultSimResult run_fault_sim(const nl::Netlist& netlist,
                              const nl::FaultList& faults,
@@ -208,27 +384,9 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
                              const FaultSimOptions& options) {
   using Clock = std::chrono::steady_clock;
 
-  FaultSimResult res;
-  res.detected.assign(faults.size(), 0);
-  res.simulated.assign(faults.size(), 0);
-  res.detect_cycle.assign(faults.size(), -1);
-  res.timed_out.assign(faults.size(), 0);
-
-  std::vector<std::size_t> active;
-  if (options.sample != 0 && options.sample < faults.size()) {
-    active = choose_sample(faults.size(), options.sample, options.sample_seed);
-  } else {
-    active.resize(faults.size());
-    for (std::size_t i = 0; i < faults.size(); ++i) active[i] = i;
-  }
-
-  constexpr int kFaultsPerGroup = 63;
-  static_assert(kFaultsPerGroup < 64,
-                "bit 63 of the simulation word is reserved for the good "
-                "machine");
-  const std::size_t num_groups =
-      (active.size() + kFaultsPerGroup - 1) / kFaultsPerGroup;
-  res.groups_total = num_groups;
+  const GroupPlan plan(faults, options);
+  FaultSimResult res = plan.make_result();
+  const std::size_t num_groups = plan.num_groups();
 
   // Wall-clock bounds. When neither is configured the hot loop performs
   // no clock reads at all, keeping the no-timeout path byte-identical to
@@ -255,28 +413,11 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     }
   };
 
-  auto group_count = [&](std::size_t group) -> std::uint32_t {
-    const std::size_t base = group * kFaultsPerGroup;
-    return static_cast<std::uint32_t>(
-        std::min<std::size_t>(kFaultsPerGroup, active.size() - base));
-  };
-
   // Splices a group outcome into the result arrays. Groups own disjoint
   // fault indices, so concurrent calls from workers never collide; only
   // good_cycles needs an atomic max-reduction.
   auto apply_record = [&](const GroupRecord& rec) {
-    const std::size_t base =
-        static_cast<std::size_t>(rec.group) * kFaultsPerGroup;
-    for (std::uint32_t i = 0; i < rec.count; ++i) {
-      const std::size_t fi = active[base + i];
-      res.simulated[fi] = 1;
-      if ((rec.detected_mask >> i) & 1) {
-        res.detected[fi] = 1;
-        res.detect_cycle[fi] = rec.detect_cycle[i];
-      } else if (rec.timed_out) {
-        res.timed_out[fi] = 1;
-      }
-    }
+    plan.apply(rec, &res);
     std::uint64_t cur = good_cycles.load(std::memory_order_relaxed);
     while (rec.cycles > cur &&
            !good_cycles.compare_exchange_weak(cur, rec.cycles,
@@ -284,84 +425,14 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     }
   };
 
-  // Simulates one 63-fault group on worker-owned state and returns its
-  // record. The simulation itself is bit-deterministic; only the
-  // (optional) wall-clock cutoff can vary between runs.
-  auto simulate_group = [&](sim::LogicSim& s, InjectionTable& inj,
-                            std::size_t group) -> GroupRecord {
-    const std::size_t base = group * kFaultsPerGroup;
-    const int count = static_cast<int>(group_count(group));
-
-    GroupRecord rec;
-    rec.group = group;
-    rec.count = static_cast<std::uint32_t>(count);
-    rec.detect_cycle.assign(static_cast<std::size_t>(count), -1);
-
-    inj.clear();
-    for (int i = 0; i < count; ++i) {
-      inj.add(netlist, faults.faults[active[base + i]], i);
-    }
-    const Word all_mask = (Word{1} << count) - 1;  // count <= 63
-
-    s.reset();
-    apply_state_injections(s, inj);
-    std::unique_ptr<Environment> env = make_env();
-
-    const Clock::time_point group_deadline =
-        options.group_timeout_ms != 0
-            ? Clock::now() + std::chrono::milliseconds(options.group_timeout_ms)
-            : Clock::time_point::max();
-
-    Word detected = 0;
-    std::uint64_t cycle = 0;
-    for (; cycle < options.max_cycles; ++cycle) {
-      // Amortized watchdog: one clock read every 1024 cycles keeps the
-      // bound within ~ms granularity without slowing the hot loop.
-      if (has_clock_bounds && (cycle & 1023u) == 1023u) [[unlikely]] {
-        const Clock::time_point now = Clock::now();
-        if (now >= group_deadline || now >= run_deadline) {
-          rec.timed_out = true;
-          break;
-        }
-      }
-      env->drive(s, cycle);
-      apply_state_injections(s, inj);
-      eval_with_injections(s, inj);
-
-      const Word diff = po_diff(s) & all_mask & ~detected;
-      if (diff != 0) {
-        Word d = diff;
-        while (d != 0) {
-          const int bit = std::countr_zero(d);
-          d &= d - 1;
-          rec.detect_cycle[static_cast<std::size_t>(bit)] =
-              static_cast<std::int64_t>(cycle);
-        }
-        detected |= diff;
-        if (detected == all_mask) break;  // fault dropping: group done
-      }
-
-      const bool keep_going = env->observe(s, cycle);
-      step_clock_with_injections(s, inj);
-      if (!keep_going) {
-        ++cycle;
-        break;
-      }
-    }
-    rec.detected_mask = detected;
-    rec.cycles = cycle;
-    return rec;
-  };
-
   // Resolves one group: seed from storage, expire against the campaign
   // deadline, or simulate. Seeded groups are not re-journaled; simulated
   // and deadline-expired ones go through on_group.
-  auto process_group = [&](sim::LogicSim& s, InjectionTable& inj,
-                           std::size_t group) {
+  auto process_group = [&](GroupSimulator& sim, std::size_t group) {
     GroupRecord rec;
     bool seeded = false;
     if (options.seed_group && options.seed_group(group, &rec)) {
-      if (rec.group != group || rec.count != group_count(group) ||
+      if (rec.group != group || rec.count != plan.group_count(group) ||
           rec.detect_cycle.size() != rec.count) {
         throw std::runtime_error(
             "fault-sim seed record does not match group " +
@@ -370,12 +441,10 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
       seeded = true;
     } else if (has_clock_bounds && Clock::now() >= run_deadline) {
       // Unstarted at the campaign deadline: every fault is inconclusive.
-      rec.group = group;
-      rec.count = group_count(group);
+      rec = plan.unstarted_record(group);
       rec.timed_out = true;
-      rec.detect_cycle.assign(rec.count, -1);
     } else {
-      rec = simulate_group(s, inj, group);
+      rec = sim.simulate(group);
     }
     apply_record(rec);
     if (!seeded && options.on_group) {
@@ -391,32 +460,30 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
       std::min<std::size_t>(threads, std::max<std::size_t>(num_groups, 1)));
 
   if (threads <= 1) {
-    sim::LogicSim s(netlist);
-    InjectionTable inj(netlist.size());
+    GroupSimulator sim(netlist, faults, plan, make_env, options);
+    sim.set_run_deadline(run_deadline);
     for (std::size_t group = 0; group < num_groups; ++group) {
       if (options.cancel &&
           options.cancel->load(std::memory_order_relaxed)) {
         break;
       }
-      process_group(s, inj, group);
+      process_group(sim, group);
     }
   } else {
     // Each worker lazily builds its own simulator + injection table (the
     // LogicSim constructor levelizes the netlist, so eager construction
     // of unused workers would be wasted).
-    struct WorkerState {
-      sim::LogicSim sim;
-      InjectionTable inj;
-      explicit WorkerState(const nl::Netlist& n) : sim(n), inj(n.size()) {}
-    };
     util::ThreadPool pool(threads);
-    std::vector<std::unique_ptr<WorkerState>> workers(pool.size());
+    std::vector<std::unique_ptr<GroupSimulator>> workers(pool.size());
     pool.run(
         num_groups,
         [&](std::size_t group, unsigned w) {
-          if (!workers[w]) workers[w] = std::make_unique<WorkerState>(netlist);
-          WorkerState& ws = *workers[w];
-          process_group(ws.sim, ws.inj, group);
+          if (!workers[w]) {
+            workers[w] = std::make_unique<GroupSimulator>(
+                netlist, faults, plan, make_env, options);
+            workers[w]->set_run_deadline(run_deadline);
+          }
+          process_group(*workers[w], group);
         },
         options.cancel);
   }
@@ -436,9 +503,13 @@ Coverage overall_coverage(const nl::FaultList& faults,
     if (!result.simulated[i]) continue;
     cov.total += faults.class_size[i];
     if (result.detected[i]) cov.detected += faults.class_size[i];
-    // timed_out may be empty on hand-built results; empty means none.
+    // timed_out/quarantined may be empty on hand-built results; empty
+    // means none.
     if (i < result.timed_out.size() && result.timed_out[i]) {
       cov.timed_out += faults.class_size[i];
+    }
+    if (i < result.quarantined.size() && result.quarantined[i]) {
+      cov.quarantined += faults.class_size[i];
     }
   }
   return cov;
@@ -455,6 +526,9 @@ std::vector<Coverage> component_coverage(const nl::Netlist& netlist,
     if (result.detected[i]) cov[c].detected += faults.class_size[i];
     if (i < result.timed_out.size() && result.timed_out[i]) {
       cov[c].timed_out += faults.class_size[i];
+    }
+    if (i < result.quarantined.size() && result.quarantined[i]) {
+      cov[c].quarantined += faults.class_size[i];
     }
   }
   return cov;

@@ -39,6 +39,11 @@ ArgParser& ArgParser::value_unsigned(std::string_view name, unsigned* out) {
   return *this;
 }
 
+ArgParser& ArgParser::value_count(std::string_view name, unsigned* out) {
+  specs_.push_back({std::string(name), Kind::kCount, out});
+  return *this;
+}
+
 const ArgParser::Spec* ArgParser::find(std::string_view name) const {
   for (const Spec& s : specs_) {
     if (s.name == name) return &s;
@@ -88,6 +93,18 @@ std::vector<std::string> ArgParser::parse(std::size_t min_positional,
         const std::uint64_t u = parse_u64(arg, v);
         if (u > std::numeric_limits<unsigned>::max()) {
           throw ArgError("value for '" + arg + "' out of range: " + v);
+        }
+        *static_cast<unsigned*>(spec->out) = static_cast<unsigned>(u);
+        break;
+      }
+      case Kind::kCount: {
+        const std::uint64_t u = parse_u64(arg, v);
+        if (u == 0) {
+          throw ArgError("value for '" + arg + "' must be at least 1");
+        }
+        if (u > 4096) {
+          throw ArgError("value for '" + arg + "' is implausibly large (" +
+                         v + "); the maximum is 4096");
         }
         *static_cast<unsigned*>(spec->out) = static_cast<unsigned>(u);
         break;

@@ -41,6 +41,11 @@ class ArgParser {
   ArgParser& value_size(std::string_view name, std::size_t* out);
   ArgParser& value_int(std::string_view name, int* out);
   ArgParser& value_unsigned(std::string_view name, unsigned* out);
+  /// Bounded count (`--threads N`, `--workers N`, `--max-group-retries K`):
+  /// the value must lie in [1, 4096]. 0 is rejected loudly rather than
+  /// silently meaning "auto" or "never retry", and absurd counts (a typo
+  /// like `--threads 40960`) fail instead of spawning a fork bomb.
+  ArgParser& value_count(std::string_view name, unsigned* out);
 
   /// Consumes the argument list. Returns the positional arguments and
   /// throws ArgError unless their count lies in [min_positional,
@@ -49,7 +54,7 @@ class ArgParser {
                                  std::size_t max_positional);
 
  private:
-  enum class Kind { kBool, kString, kU64, kSize, kInt, kUnsigned };
+  enum class Kind { kBool, kString, kU64, kSize, kInt, kUnsigned, kCount };
   struct Spec {
     std::string name;
     Kind kind;

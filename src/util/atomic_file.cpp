@@ -1,23 +1,30 @@
 #include "util/atomic_file.h"
 
 #include <cstdio>
-#include <fstream>
 #include <stdexcept>
+
+#include "util/faulty_io.h"
 
 namespace sbst::util {
 
 void write_file_atomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("cannot open " + tmp + " for writing");
-    os.write(content.data(), static_cast<std::streamsize>(content.size()));
-    os.flush();
-    if (!os) {
-      os.close();
-      std::remove(tmp.c_str());
-      throw std::runtime_error("cannot write " + tmp);
-    }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw std::runtime_error("cannot open " + tmp + " for writing");
+  bool ok = false;
+  try {
+    ok = checked_fwrite(f, content.data(), content.size()) == content.size() &&
+         checked_fflush(f) == 0;
+  } catch (...) {
+    // Simulated process death (IoKilled): leave the torn .tmp behind just
+    // like a real SIGKILL would — the destination is still untouched.
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot write " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());

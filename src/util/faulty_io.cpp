@@ -1,0 +1,95 @@
+#include "util/faulty_io.h"
+
+#include <cerrno>
+
+namespace sbst::util {
+
+namespace {
+
+// Process-global plan. The campaign's durable writes are serialized (the
+// journal mutex, atomic_file's single-threaded callers), and tests arm
+// plans before any worker starts, so plain globals suffice.
+IoFaultPlan g_plan;
+std::uint64_t g_written = 0;
+bool g_tripped = false;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void arm_io_faults(const IoFaultPlan& plan) {
+  g_plan = plan;
+  g_written = 0;
+  g_tripped = false;
+}
+
+void disarm_io_faults() {
+  g_plan = IoFaultPlan{};
+  g_written = 0;
+  g_tripped = false;
+}
+
+bool io_fault_tripped() { return g_tripped; }
+
+std::uint64_t io_bytes_written() { return g_written; }
+
+IoFaultPlan io_plan_from_seed(std::uint64_t seed, std::uint64_t max_byte) {
+  IoFaultPlan plan;
+  const std::uint64_t h = splitmix64(seed);
+  plan.kind = static_cast<IoFailure>(1 + static_cast<int>(h % 4));
+  plan.fail_at_byte = max_byte != 0 ? splitmix64(h) % max_byte : 0;
+  return plan;
+}
+
+std::size_t checked_fwrite(std::FILE* f, const void* data, std::size_t n) {
+  if (g_plan.kind == IoFailure::kNone) return std::fwrite(data, 1, n, f);
+
+  std::size_t allowed = n;
+  const bool past_boundary =
+      g_tripped || g_written + n > g_plan.fail_at_byte;
+  if (past_boundary && g_plan.kind != IoFailure::kFsyncFail) {
+    allowed = g_tripped ? 0
+                        : static_cast<std::size_t>(g_plan.fail_at_byte -
+                                                   g_written);
+  }
+  std::size_t wrote = allowed != 0 ? std::fwrite(data, 1, allowed, f) : 0;
+  if (allowed != 0) std::fflush(f);  // make the partial write durable
+  g_written += wrote;
+
+  if (past_boundary && g_plan.kind != IoFailure::kFsyncFail) {
+    g_tripped = true;
+    switch (g_plan.kind) {
+      case IoFailure::kShortWrite:
+        errno = 0;  // looks like a plain short count, no diagnosis
+        break;
+      case IoFailure::kEnospc:
+        errno = ENOSPC;
+        break;
+      case IoFailure::kKill:
+        throw IoKilled();
+      default:
+        break;
+    }
+    return wrote;
+  }
+  return wrote;
+}
+
+int checked_fflush(std::FILE* f) {
+  if (g_plan.kind == IoFailure::kNone) return std::fflush(f);
+  if (g_plan.kind == IoFailure::kFsyncFail &&
+      (g_tripped || g_written > g_plan.fail_at_byte)) {
+    g_tripped = true;
+    std::fflush(f);  // bytes may still land; only the durability ack fails
+    errno = EIO;
+    return EOF;
+  }
+  return std::fflush(f);
+}
+
+}  // namespace sbst::util

@@ -1,0 +1,93 @@
+// I/O fault-injection harness for durable-write code paths.
+//
+// Every write the campaign layer wants to survive a crash — journal
+// record appends, atomic whole-file writes — goes through the
+// checked_fwrite/checked_fflush wrappers below. Normally they are
+// pass-throughs. A test can arm a seeded failure plan and the wrappers
+// then inject exactly one of the classic storage failures at a chosen
+// byte offset of the cumulative durable-write stream:
+//
+//   kShortWrite  the write stops early (signal-interrupted write,
+//                NFS hiccup); the caller sees a partial count and no
+//                errno. Everything past the boundary is lost.
+//   kEnospc      the write stops early with errno == ENOSPC (disk
+//                full); subsequent writes keep failing.
+//   kFsyncFail   writes succeed, but the next flush past the boundary
+//                fails with errno == EIO (dying disk, thin-provisioned
+//                volume) and keeps failing.
+//   kKill        the process "dies" mid-write: exactly `fail_at_byte`
+//                cumulative bytes reach the file, then IoKilled is
+//                thrown — callers cannot handle it gracefully, exactly
+//                like SIGKILL. Chaos tests catch it at the top, reload,
+//                and must find at most a torn tail.
+//
+// Once a plan trips it stays tripped (a full disk does not heal between
+// two appends) until disarm_io_faults(). The injection point is a byte
+// offset so a seed sweep covers every structurally distinct failure
+// point of a journal: mid-header, mid-frame-length, mid-CRC, mid-payload
+// and at record boundaries. See tests/campaign/chaos_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sbst::util {
+
+enum class IoFailure : int {
+  kNone = 0,
+  kShortWrite = 1,
+  kEnospc = 2,
+  kFsyncFail = 3,
+  kKill = 4,
+};
+
+struct IoFaultPlan {
+  IoFailure kind = IoFailure::kNone;
+  /// Cumulative durable bytes written before the failure triggers. 0
+  /// fails the very first write.
+  std::uint64_t fail_at_byte = 0;
+};
+
+/// Thrown by the wrappers when a kKill plan trips: the simulated
+/// process death. Deliberately NOT derived from std::runtime_error so
+/// error-handling written for recoverable I/O failures cannot swallow
+/// it — only a chaos test's top-level catch should.
+class IoKilled : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "simulated process kill mid-write (faulty_io)";
+  }
+};
+
+/// Arms `plan` process-wide and resets the byte counter. Test-only;
+/// not meant to be armed from concurrent threads.
+void arm_io_faults(const IoFaultPlan& plan);
+
+/// Returns to pass-through mode and clears all counters.
+void disarm_io_faults();
+
+/// True once the armed plan has triggered at least once.
+bool io_fault_tripped();
+
+/// Cumulative bytes accepted by checked_fwrite since arming (capped at
+/// the failure boundary once tripped). 0 when disarmed.
+std::uint64_t io_bytes_written();
+
+/// Deterministically derives a failure plan from a seed: kind cycles
+/// through the four failures, fail_at_byte lands uniformly in
+/// [0, max_byte). A seed sweep therefore covers every failure kind at
+/// many byte offsets.
+IoFaultPlan io_plan_from_seed(std::uint64_t seed, std::uint64_t max_byte);
+
+/// fwrite with fault injection: returns the number of bytes (not items)
+/// accepted; on injected failures the count is short and errno is set
+/// per the plan. Pass-through `std::fwrite(data, 1, n, f)` when
+/// disarmed.
+std::size_t checked_fwrite(std::FILE* f, const void* data, std::size_t n);
+
+/// fflush with fault injection: 0 on success, EOF with errno set on an
+/// injected flush failure. Pass-through `std::fflush(f)` when disarmed.
+int checked_fflush(std::FILE* f);
+
+}  // namespace sbst::util

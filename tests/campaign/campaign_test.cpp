@@ -33,6 +33,7 @@ void expect_identical(const fault::FaultSimResult& a,
   EXPECT_EQ(a.simulated, b.simulated) << what;
   EXPECT_EQ(a.detect_cycle, b.detect_cycle) << what;
   EXPECT_EQ(a.timed_out, b.timed_out) << what;
+  EXPECT_EQ(a.quarantined, b.quarantined) << what;
   EXPECT_EQ(a.good_cycles, b.good_cycles) << what;
 }
 

@@ -1,0 +1,191 @@
+// Chaos tests: a campaign whose journal writes fail — short writes,
+// ENOSPC, failed flushes, a simulated SIGKILL mid-write — must lose at
+// most the record being written, and a resumed campaign must be
+// bit-identical to one that never failed. The failure point sweeps a
+// seeded range of byte offsets so every structural position in the file
+// (mid-header, mid-frame, record boundaries) gets hit over the sweep;
+// CI widens the sweep via SBST_CHAOS_SEEDS.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "campaign/journal.h"
+#include "netlist/fault.h"
+#include "util/atomic_file.h"
+#include "util/faulty_io.h"
+
+namespace sbst::campaign {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+/// Deterministic no-op environment: inputs never change, so the result
+/// is a pure function of the netlist and cycle cap — cheap and exactly
+/// reproducible, which is what bit-identity checks need.
+class ConstEnv final : public fault::Environment {
+ public:
+  void drive(sim::LogicSim&, std::uint64_t) override {}
+  bool observe(const sim::LogicSim&, std::uint64_t) override { return true; }
+};
+
+nl::Netlist make_small_netlist() {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 8);
+  std::vector<nl::GateId> nets(in.bits.begin(), in.bits.end());
+  std::vector<nl::GateId> outs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const nl::GateId g =
+        n.add_gate(i % 2 ? nl::GateKind::kAnd2 : nl::GateKind::kXor2,
+                   nets[(i * 5 + 1) % nets.size()],
+                   nets[(i * 11 + 3) % nets.size()]);
+    nets.push_back(g);
+    if (i % 2 == 0) outs.push_back(g);
+  }
+  n.add_output("o", outs);
+  return n;
+}
+
+constexpr std::uint64_t kFp = 0xc4a05c4a05ull;
+
+std::size_t file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<std::size_t>(in.tellg()) : 0;
+}
+
+int sweep_seeds() {
+  const char* env = std::getenv("SBST_CHAOS_SEEDS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 12;
+}
+
+TEST(Chaos, EveryJournalWriteFailurePointLosesAtMostTheTornTail) {
+  const nl::Netlist n = make_small_netlist();
+  const nl::FaultList faults = nl::enumerate_faults(n);
+  const auto env = []() { return std::make_unique<ConstEnv>(); };
+
+  CampaignOptions base;
+  base.sim.threads = 1;
+  base.sim.max_cycles = 256;
+
+  // Reference: one clean campaign, plus the intact journal's size — the
+  // sweep places failures across [0, size + margin) so offsets land in
+  // the header, inside frames, on frame boundaries and past the end.
+  const std::string ref_path = temp_path("chaos_ref.sbstj");
+  std::remove(ref_path.c_str());
+  CampaignOptions ref_opt = base;
+  ref_opt.journal = ref_path;
+  const CampaignResult reference =
+      run_campaign(n, faults, env, kFp, ref_opt);
+  ASSERT_EQ(reference.groups_done, reference.groups_total);
+  const std::uint64_t intact_bytes = file_size(ref_path);
+  ASSERT_GT(intact_bytes, 0u);
+
+  const JournalMeta meta{kFp, reference.groups_total, faults.size()};
+  const std::string path = temp_path("chaos_run.sbstj");
+
+  for (int seed = 0; seed < sweep_seeds(); ++seed) {
+    SCOPED_TRACE(seed);
+    const util::IoFaultPlan plan =
+        util::io_plan_from_seed(static_cast<std::uint64_t>(seed),
+                                intact_bytes + 64);
+    std::remove(path.c_str());
+
+    CampaignOptions opt = base;
+    opt.journal = path;
+    bool failed = false;
+    util::arm_io_faults(plan);
+    try {
+      run_campaign(n, faults, env, kFp, opt);
+    } catch (const util::IoKilled&) {
+      failed = true;  // simulated SIGKILL mid-write
+    } catch (const std::runtime_error&) {
+      failed = true;  // ENOSPC / short write / failed flush surfaced
+    }
+    const bool tripped = util::io_fault_tripped();
+    util::disarm_io_faults();
+    EXPECT_EQ(failed, tripped)
+        << "an injected failure must surface as an error, never silently";
+
+    // Whatever hit the disk must parse as an intact prefix: zero or
+    // more complete records plus at most one torn tail that load drops.
+    std::size_t salvaged = 0;
+    if (std::optional<JournalLoad> loaded = load_journal(path, meta)) {
+      salvaged = loaded->records.size();
+      EXPECT_LE(salvaged, reference.groups_total);
+      for (const fault::GroupRecord& rec : loaded->records) {
+        EXPECT_LT(rec.group, reference.groups_total);
+        EXPECT_LE(rec.count, 63u);
+      }
+    }
+
+    // Resume with healthy I/O: the journal heals and the final result
+    // is bit-identical to the never-failed run.
+    CampaignOptions resume = base;
+    resume.journal = path;
+    const CampaignResult full = run_campaign(n, faults, env, kFp, resume);
+    EXPECT_EQ(full.groups_done, full.groups_total);
+    EXPECT_EQ(full.seeded_groups, salvaged)
+        << "every salvaged record must seed, everything else re-simulates";
+    EXPECT_EQ(full.result.detected, reference.result.detected);
+    EXPECT_EQ(full.result.simulated, reference.result.simulated);
+    EXPECT_EQ(full.result.detect_cycle, reference.result.detect_cycle);
+    EXPECT_EQ(full.result.timed_out, reference.result.timed_out);
+    EXPECT_EQ(full.result.quarantined, reference.result.quarantined);
+    EXPECT_EQ(full.result.good_cycles, reference.result.good_cycles);
+
+    // And the healed journal now loads clean, with no torn tail left.
+    const auto healed = load_journal(path, meta);
+    ASSERT_TRUE(healed);
+    EXPECT_FALSE(healed->truncated);
+    EXPECT_EQ(healed->records.size(), reference.groups_total);
+  }
+}
+
+TEST(Chaos, AtomicFileWriteNeverLeavesAHalfWrittenDestination) {
+  const std::string path = temp_path("chaos_atomic.bin");
+  std::remove(path.c_str());
+  const std::string before(200, 'A');
+  util::write_file_atomic(path, before);
+
+  for (int seed = 0; seed < sweep_seeds(); ++seed) {
+    SCOPED_TRACE(seed);
+    util::arm_io_faults(util::io_plan_from_seed(
+        static_cast<std::uint64_t>(seed) + 7777, 260));
+    bool failed = false;
+    try {
+      util::write_file_atomic(path, std::string(250, 'B'));
+    } catch (const util::IoKilled&) {
+      failed = true;
+    } catch (const std::runtime_error&) {
+      failed = true;
+    }
+    const bool tripped = util::io_fault_tripped();
+    util::disarm_io_faults();
+    EXPECT_EQ(failed, tripped);
+
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string now = ss.str();
+    if (failed) {
+      EXPECT_EQ(now, before) << "a failed atomic write must not touch "
+                                "the destination";
+    } else {
+      EXPECT_EQ(now, std::string(250, 'B'));
+      util::write_file_atomic(path, before);  // restore for the next seed
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbst::campaign

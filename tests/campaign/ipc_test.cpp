@@ -1,0 +1,112 @@
+// Wire-level contract of the supervisor<->worker pipe protocol: frames
+// round-trip, EOF (a dead peer) is detected before and inside a frame,
+// and a desynchronized stream cannot make the reader allocate garbage.
+#include "campaign/ipc.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "campaign/journal.h"
+
+namespace sbst::campaign::ipc {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int r() const { return fds[0]; }
+  int w() const { return fds[1]; }
+  void close_write() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(Ipc, FramesRoundTrip) {
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.w(), kTagGroup, "payload"));
+  ASSERT_TRUE(write_frame(p.w(), kTagRecord, ""));
+  Frame f;
+  ASSERT_TRUE(read_frame(p.r(), &f));
+  EXPECT_EQ(f.tag, kTagGroup);
+  EXPECT_EQ(f.payload, "payload");
+  ASSERT_TRUE(read_frame(p.r(), &f));
+  EXPECT_EQ(f.tag, kTagRecord);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(Ipc, EofBetweenFramesFailsCleanly) {
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.w(), kTagGroup, "x"));
+  p.close_write();
+  Frame f;
+  ASSERT_TRUE(read_frame(p.r(), &f));
+  EXPECT_FALSE(read_frame(p.r(), &f)) << "EOF must read as failure, not hang";
+}
+
+TEST(Ipc, EofInsideAFrameFailsCleanly) {
+  // A worker killed mid-write can only happen between atomic pipe
+  // writes, but a desynchronized reader can still land mid-frame: a
+  // length prefix promising more bytes than ever arrive must fail.
+  Pipe p;
+  const std::uint32_t len = 100;
+  ASSERT_EQ(::write(p.w(), &len, sizeof(len)),
+            static_cast<ssize_t>(sizeof(len)));
+  const char tag = 1;
+  ASSERT_EQ(::write(p.w(), &tag, 1), 1);
+  ASSERT_EQ(::write(p.w(), "short", 5), 5);
+  p.close_write();
+  Frame f;
+  EXPECT_FALSE(read_frame(p.r(), &f));
+}
+
+TEST(Ipc, OversizedLengthPrefixIsRejected) {
+  Pipe p;
+  const std::uint32_t len = kMaxFrameLen + 1;
+  ASSERT_EQ(::write(p.w(), &len, sizeof(len)),
+            static_cast<ssize_t>(sizeof(len)));
+  Frame f;
+  EXPECT_FALSE(read_frame(p.r(), &f));
+  EXPECT_FALSE(write_frame(p.w(), kTagGroup, std::string(kMaxFrameLen + 1,
+                                                         'x')));
+}
+
+TEST(Ipc, GroupRequestRoundTrips) {
+  const GroupRequest req{0x1122334455667788ull, 3};
+  GroupRequest got;
+  ASSERT_TRUE(decode_group_request(encode_group_request(req), &got));
+  EXPECT_EQ(got.group, req.group);
+  EXPECT_EQ(got.attempt, req.attempt);
+  EXPECT_FALSE(decode_group_request("tooshort", &got));
+}
+
+TEST(Ipc, RecordPayloadIsTheJournalEncoding) {
+  // The worker result frame reuses the journal codec verbatim, so a
+  // record that survives the wire also survives the disk and vice versa.
+  fault::GroupRecord rec;
+  rec.group = 7;
+  rec.count = 3;
+  rec.detected_mask = 0b101;
+  rec.cycles = 4242;
+  rec.detect_cycle = {10, -1, 30};
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.w(), kTagRecord, encode_record_payload(rec)));
+  Frame f;
+  ASSERT_TRUE(read_frame(p.r(), &f));
+  ASSERT_EQ(f.tag, kTagRecord);
+  fault::GroupRecord got;
+  ASSERT_TRUE(decode_record_payload(f.payload, &got));
+  EXPECT_EQ(got.group, rec.group);
+  EXPECT_EQ(got.detected_mask, rec.detected_mask);
+  EXPECT_EQ(got.detect_cycle, rec.detect_cycle);
+}
+
+}  // namespace
+}  // namespace sbst::campaign::ipc

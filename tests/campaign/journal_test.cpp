@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -169,8 +171,86 @@ TEST(Journal, RejectsNonJournalFile) {
   const std::string path = temp_path("journal_bogus.sbstj");
   spit(path, "this is not a journal at all");
   EXPECT_THROW(load_journal(path, kMeta), std::runtime_error);
-  spit(path, "");
+  // A short file that is a valid header prefix is still not a journal.
+  spit(path, std::string("SBSTJRN1\x01", 9));
   EXPECT_THROW(load_journal(path, kMeta), std::runtime_error);
+}
+
+TEST(Journal, ZeroLengthFileIsEmptyJournalNotCorruption) {
+  // A crash between fopen and the header write (or touch(1)) leaves a
+  // zero-length file; that is an empty journal and a fresh start, not an
+  // error to throw on.
+  const std::string path = temp_path("journal_zerolen.sbstj");
+  spit(path, "");
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_TRUE(loaded->empty_file);
+  EXPECT_TRUE(loaded->records.empty());
+  EXPECT_FALSE(loaded->truncated);
+
+  // open_journal_session turns it into a writable fresh journal and
+  // reports the file as having held no records.
+  JournalSession session = open_journal_session(path, kMeta, false);
+  ASSERT_TRUE(session.writer);
+  EXPECT_TRUE(session.was_empty);
+  EXPECT_TRUE(session.seeds.empty());
+  session.writer->add(make_record(1, 63));
+  session.writer.reset();
+  const auto reloaded = load_journal(path, kMeta);
+  ASSERT_TRUE(reloaded);
+  EXPECT_FALSE(reloaded->empty_file);
+  ASSERT_EQ(reloaded->records.size(), 1u);
+}
+
+TEST(Journal, HeaderOnlyFileLoadsWithNoRecords) {
+  const std::string path = temp_path("journal_headeronly.sbstj");
+  { JournalWriter::create(path, kMeta); }
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->empty_file);
+  EXPECT_TRUE(loaded->records.empty());
+  EXPECT_FALSE(loaded->truncated);
+  JournalSession session = open_journal_session(path, kMeta, false);
+  EXPECT_TRUE(session.was_empty);
+  EXPECT_TRUE(session.seeds.empty());
+}
+
+TEST(Journal, QuarantinedRecordRoundTrips) {
+  const std::string path = temp_path("journal_quarantine.sbstj");
+  fault::GroupRecord rec = make_record(4, 63);
+  rec.quarantined = true;
+  rec.detected_mask = 0;
+  std::fill(rec.detect_cycle.begin(), rec.detect_cycle.end(),
+            std::int64_t{-1});
+  rec.error.term_signal = SIGABRT;
+  rec.error.exit_code = 0;
+  rec.error.attempts = 3;
+  rec.error.max_rss_kb = 51200;
+  rec.error.cpu_ms = 1234;
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    w.add(make_record(1, 63));
+    w.add(rec);
+  }
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  ASSERT_EQ(loaded->records.size(), 2u);
+  const fault::GroupRecord& got = loaded->records[1];
+  EXPECT_TRUE(got.quarantined);
+  EXPECT_EQ(got.error.term_signal, SIGABRT);
+  EXPECT_EQ(got.error.exit_code, 0);
+  EXPECT_EQ(got.error.attempts, 3u);
+  EXPECT_EQ(got.error.max_rss_kb, 51200u);
+  EXPECT_EQ(got.error.cpu_ms, 1234u);
+  expect_equal(loaded->records[0], make_record(1, 63));
+
+  // retry_inconclusive drops quarantined seeds like timed-out ones.
+  JournalSession keep = open_journal_session(path, kMeta, false);
+  EXPECT_EQ(keep.seeds.count(4), 1u);
+  keep.writer.reset();
+  JournalSession retry = open_journal_session(path, kMeta, true);
+  EXPECT_EQ(retry.seeds.count(4), 0u);
+  EXPECT_EQ(retry.seeds.count(1), 1u);
 }
 
 TEST(Journal, RejectsCorruptHeader) {

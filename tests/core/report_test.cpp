@@ -142,6 +142,50 @@ TEST(Report, TimedOutFaultsRenderAsLowerBound) {
   EXPECT_NE(text.find("lower "), std::string::npos) << text;
 }
 
+// Quarantined faults (isolated worker died every attempt) are the other
+// inconclusive verdict: same ">=x%" lower-bound rendering, with their
+// own count in the note — alongside, not instead of, the timeout count.
+TEST(Report, QuarantinedFaultsRenderAsLowerBound) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 1);
+  res.simulated.assign(faults.size(), 1);
+  res.detect_cycle.assign(faults.size(), 0);
+  res.timed_out.assign(faults.size(), 0);
+  res.quarantined.assign(faults.size(), 0);
+  for (std::size_t i = 0; i < faults.size() && i < 63; ++i) {
+    res.detected[i] = 0;
+    res.detect_cycle[i] = -1;
+    res.quarantined[i] = 1;
+  }
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  EXPECT_TRUE(rep.overall.is_lower_bound());
+  EXPECT_GT(rep.overall.quarantined, 0u);
+  EXPECT_EQ(rep.overall.timed_out, 0u);
+
+  std::ostringstream os;
+  print_coverage_table(os, rep, nullptr);
+  const std::string text = os.str();
+  EXPECT_NE(text.find(">="), std::string::npos) << text;
+  EXPECT_NE(text.find("quarantined"), std::string::npos) << text;
+  EXPECT_EQ(text.find("timed out"), std::string::npos)
+      << "no timeouts happened, the note must not claim any: " << text;
+
+  // Both verdicts at once: both counts appear in one note.
+  for (std::size_t i = 0; i < faults.size(); i += 5) {
+    if (res.quarantined[i]) continue;
+    res.detected[i] = 0;
+    res.detect_cycle[i] = -1;
+    res.timed_out[i] = 1;
+  }
+  const CoverageReport both = make_coverage_report(cpu, faults, res);
+  std::ostringstream os2;
+  print_coverage_table(os2, both, nullptr);
+  EXPECT_NE(os2.str().find("timed out before a verdict"), std::string::npos);
+  EXPECT_NE(os2.str().find("quarantined"), std::string::npos);
+}
+
 // And a clean run must not mention bounds at all.
 TEST(Report, NoTimeoutsMeansNoBoundMarkers) {
   const auto& cpu = shared_cpu();
@@ -157,6 +201,7 @@ TEST(Report, NoTimeoutsMeansNoBoundMarkers) {
   print_coverage_table(os, rep, nullptr);
   EXPECT_EQ(os.str().find(">="), std::string::npos);
   EXPECT_EQ(os.str().find("timed out"), std::string::npos);
+  EXPECT_EQ(os.str().find("quarantined"), std::string::npos);
 }
 
 }  // namespace

@@ -74,6 +74,41 @@ TEST(ArgParser, NumericRangeIsChecked) {
                ArgError);
 }
 
+// Counts of workers/threads/retry attempts: 0 must not silently mean
+// "auto" and a fat-fingered 40960 must not become a fork bomb.
+TEST(ArgParser, CountFlagRejectsZeroAndAbsurdValues) {
+  auto parse_count = [](const char* v) {
+    const auto args = argv_of({"--workers", v});
+    unsigned workers = 0;
+    ArgParser(static_cast<int>(args.size()), args.data())
+        .value_count("--workers", &workers)
+        .parse(0, 0);
+    return workers;
+  };
+  EXPECT_EQ(parse_count("1"), 1u);
+  EXPECT_EQ(parse_count("4096"), 4096u);
+  EXPECT_THROW(parse_count("0"), ArgError);
+  EXPECT_THROW(parse_count("4097"), ArgError);
+  EXPECT_THROW(parse_count("40960"), ArgError);
+
+  // The rejection message must say what is wrong, not just "bad value".
+  try {
+    parse_count("0");
+    FAIL() << "0 was accepted";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("at least 1"), std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_count("9999");
+    FAIL() << "9999 was accepted";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausibly large"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ParseU64, AcceptsFullRangeRejectsJunk) {
   EXPECT_EQ(parse_u64("x", "0"), 0u);
   EXPECT_EQ(parse_u64("x", "18446744073709551615"),

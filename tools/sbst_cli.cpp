@@ -9,10 +9,13 @@
 //   sbst grade FILE.s [--sample N] [--threads N] [-o report.txt]
 //              [--journal F.sbstj] [--progress] [--retry-timeouts]
 //              [--group-timeout SEC] [--time-budget SEC]
+//              [--isolate] [--workers N] [--max-group-retries K]
+//              [--worker-mem-mb M]
 //                                      fault-grade a program (Table 5 style);
 //                                      --sample 0 simulates the full fault
-//                                      list, --threads 0 (default) uses
-//                                      every core. With --journal the run
+//                                      list; omitting --threads (or
+//                                      --workers) uses every core. With
+//                                      --journal the run
 //                                      is a durable campaign: finished
 //                                      63-fault groups are checkpointed,
 //                                      SIGINT/SIGTERM drains gracefully
@@ -21,7 +24,14 @@
 //                                      where it stopped. Timed-out groups
 //                                      are reported as a distinct
 //                                      inconclusive count, making coverage
-//                                      an explicit lower bound.
+//                                      an explicit lower bound. --isolate
+//                                      runs each group in a forked,
+//                                      rlimit-sandboxed worker process; a
+//                                      group whose worker dies on every
+//                                      attempt (K retries, default 2) is
+//                                      quarantined with its signal/rusage
+//                                      recorded instead of killing the
+//                                      campaign.
 //   sbst fuzz [--seed S] [--iters N] [--body N] [-o repro.s]
 //             [--no-shrink] [--inject-alu-bug]
 //                                      differential co-sim fuzzing: random
@@ -39,6 +49,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -244,23 +255,43 @@ int cmd_selftest(int argc, char** argv) {
 
 int cmd_grade(int argc, char** argv) {
   std::size_t sample = 6300;
-  unsigned threads = 0;  // 0 = one worker per hardware thread
+  unsigned threads = 0;  // 0 = one worker per hardware thread (flag: >= 1)
   std::uint64_t group_timeout_s = 0;
   std::uint64_t time_budget_s = 0;
   bool progress = false;
   bool retry_timeouts = false;
+  bool isolate = false;
+  unsigned workers = 0;  // 0 = one per hardware thread (flag: >= 1)
+  unsigned max_group_retries = 2;
+  std::size_t worker_mem_mb = 0;
+  // Test hooks for the isolation machinery (CI kills a designated group's
+  // worker to prove retry/quarantine end to end). Deliberately undocumented
+  // in the usage header.
+  std::uint64_t crash_group = std::numeric_limits<std::uint64_t>::max();
+  unsigned crash_attempts = 0;
   std::string journal;
   std::string out;
   const auto pos = util::ArgParser(argc, argv)
                        .value_size("--sample", &sample)
-                       .value_unsigned("--threads", &threads)
+                       .value_count("--threads", &threads)
                        .value("--journal", &journal)
                        .value_u64("--group-timeout", &group_timeout_s)
                        .value_u64("--time-budget", &time_budget_s)
                        .flag("--retry-timeouts", &retry_timeouts)
                        .flag("--progress", &progress)
+                       .flag("--isolate", &isolate)
+                       .value_count("--workers", &workers)
+                       .value_count("--max-group-retries", &max_group_retries)
+                       .value_size("--worker-mem-mb", &worker_mem_mb)
+                       .value_u64("--crash-group", &crash_group)
+                       .value_unsigned("--crash-attempts", &crash_attempts)
                        .value("-o", &out)
                        .parse(1, 1);
+  if (!isolate && (workers != 0 || worker_mem_mb != 0 ||
+                   crash_group != std::numeric_limits<std::uint64_t>::max())) {
+    throw util::ArgError(
+        "--workers/--worker-mem-mb/--crash-group only apply to --isolate");
+  }
   const isa::Program p = load_program(pos[0]);
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
   const plasma::GateRunResult gr = plasma::run_gate_cpu(cpu, p, 10'000'000);
@@ -274,6 +305,14 @@ int cmd_grade(int argc, char** argv) {
   copt.journal = journal;
   copt.retry_timed_out = retry_timeouts;
   copt.handle_signals = true;
+  copt.isolate = isolate;
+  copt.iso.workers = workers;
+  copt.iso.max_group_retries = max_group_retries;
+  copt.iso.worker_mem_mb = worker_mem_mb;
+  if (crash_group != std::numeric_limits<std::uint64_t>::max()) {
+    copt.iso.crash_group = static_cast<std::int64_t>(crash_group);
+    if (crash_attempts != 0) copt.iso.crash_attempts = crash_attempts;
+  }
   copt.sim.sample = sample;  // 0 => full fault list
   copt.sim.max_cycles = 10'000'000;
   copt.sim.threads = threads;
@@ -281,17 +320,24 @@ int cmd_grade(int argc, char** argv) {
   copt.sim.time_budget_ms = time_budget_s * 1000;
   if (progress) {
     // stderr so the stdout report stays machine-diffable. Serialized by
-    // the engine; ETA extrapolates the observed per-group rate.
+    // the engine; ETA extrapolates the observed per-group rate, which
+    // needs at least two finished groups to mean anything — before that
+    // (and in particular at done == 0, where the naive formula divides
+    // by zero) it renders as "--:--".
     const auto t0 = std::chrono::steady_clock::now();
     copt.sim.progress = [t0](std::size_t done, std::size_t total) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      const double eta =
-          done != 0 ? elapsed * static_cast<double>(total - done) /
-                          static_cast<double>(done)
-                    : 0.0;
-      std::fprintf(stderr, "\r[grade] %zu/%zu groups  elapsed %.1fs  eta %.1fs ",
+      char eta[24];
+      if (done >= 2 && total >= done) {
+        std::snprintf(eta, sizeof(eta), "%.1fs",
+                      elapsed * static_cast<double>(total - done) /
+                          static_cast<double>(done));
+      } else {
+        std::snprintf(eta, sizeof(eta), "--:--");
+      }
+      std::fprintf(stderr, "\r[grade] %zu/%zu groups  elapsed %.1fs  eta %s ",
                    done, total, elapsed, eta);
       if (done == total) std::fputc('\n', stderr);
     };
@@ -308,11 +354,19 @@ int cmd_grade(int argc, char** argv) {
   fp = campaign::fingerprint_u64(fp, copt.sim.max_cycles);
 
   const bool sampled = sample != 0 && sample < faults.size();
-  std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles"
-              " (%u threads)\n",
-              sampled ? sample : faults.size(), faults.size(),
-              (unsigned long long)gr.cycles,
-              threads == 0 ? util::hardware_threads() : threads);
+  if (isolate) {
+    std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles"
+                " (%u isolated worker processes)\n",
+                sampled ? sample : faults.size(), faults.size(),
+                (unsigned long long)gr.cycles,
+                workers == 0 ? util::hardware_threads() : workers);
+  } else {
+    std::printf("fault-grading %zu of %zu collapsed faults over %llu cycles"
+                " (%u threads)\n",
+                sampled ? sample : faults.size(), faults.size(),
+                (unsigned long long)gr.cycles,
+                threads == 0 ? util::hardware_threads() : threads);
+  }
   if (sampled) {
     std::printf("note: sampled run — coverage below is a statistical "
                 "estimate over %zu randomly chosen faults; components whose "
@@ -329,9 +383,18 @@ int cmd_grade(int argc, char** argv) {
                  "mid-write); it was dropped and that group re-simulated\n",
                  journal.c_str());
   }
+  if (!journal.empty() && cres.journal_empty) {
+    std::fprintf(stderr, "note: %s is an empty journal, starting fresh\n",
+                 journal.c_str());
+  }
   if (cres.resumed) {
     std::printf("resumed from %s: %zu/%zu groups already journaled\n",
                 journal.c_str(), cres.seeded_groups, cres.groups_total);
+  }
+  if (cres.worker_restarts != 0) {
+    std::fprintf(stderr,
+                 "warning: %zu worker process(es) died and were respawned\n",
+                 cres.worker_restarts);
   }
 
   if (cres.interrupted) {
@@ -360,6 +423,29 @@ int cmd_grade(int argc, char** argv) {
     std::printf("%zu collapsed faults inconclusive (wall-clock bound); "
                 "coverage is a lower bound\n",
                 cres.faults_timed_out);
+  }
+  if (!cres.quarantined_groups.empty()) {
+    std::printf("%zu collapsed faults quarantined across %zu group(s); "
+                "coverage is a lower bound:\n",
+                cres.faults_quarantined, cres.quarantined_groups.size());
+    for (const campaign::QuarantinedGroup& q : cres.quarantined_groups) {
+      if (q.error.term_signal != 0) {
+        std::printf("  group %llu: worker killed by signal %d (%s) on all "
+                    "%u attempts (peak rss %llu KB, cpu %llu ms)\n",
+                    (unsigned long long)q.group, q.error.term_signal,
+                    strsignal(q.error.term_signal), q.error.attempts,
+                    (unsigned long long)q.error.max_rss_kb,
+                    (unsigned long long)q.error.cpu_ms);
+      } else {
+        std::printf("  group %llu: worker exited with code %d on all "
+                    "%u attempts (peak rss %llu KB, cpu %llu ms)\n",
+                    (unsigned long long)q.group, q.error.exit_code,
+                    q.error.attempts, (unsigned long long)q.error.max_rss_kb,
+                    (unsigned long long)q.error.cpu_ms);
+      }
+    }
+    std::printf("re-run with --retry-timeouts (and more --worker-mem-mb or "
+                "fewer --workers) to give them a fresh chance\n");
   }
   if (!out.empty()) {
     util::write_file_atomic(out, table.str());
