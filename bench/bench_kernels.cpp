@@ -4,6 +4,7 @@
 
 #include "core/program.h"
 #include "fault/faultsim.h"
+#include "fault/good_trace.h"
 #include "iss/iss.h"
 #include "netlist/fault.h"
 #include "plasma/cpu.h"
@@ -71,6 +72,7 @@ BENCHMARK(BM_IssSelfTestRun)->Unit(benchmark::kMicrosecond);
 void BM_FaultSimGroup(benchmark::State& state) {
   Shared& s = shared();
   fault::FaultSimOptions opt;
+  opt.engine = state.range(0) ? fault::Engine::kEvent : fault::Engine::kSweep;
   opt.sample = 63;  // exactly one 63-fault group
   opt.max_cycles = 100000;
   for (auto _ : state) {
@@ -79,9 +81,26 @@ void BM_FaultSimGroup(benchmark::State& state) {
         plasma::make_cpu_env_factory(s.cpu, s.pa.image), opt);
     benchmark::DoNotOptimize(r.detected.size());
   }
-  state.SetLabel("63 faults x full Phase A program");
+  state.SetLabel(state.range(0)
+                     ? "63 faults x Phase A, event-driven kernel"
+                     : "63 faults x Phase A, full-sweep kernel");
 }
-BENCHMARK(BM_FaultSimGroup)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultSimGroup)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GoodTraceRecord(benchmark::State& state) {
+  Shared& s = shared();
+  for (auto _ : state) {
+    const auto trace = fault::record_good_trace(
+        s.cpu.netlist, plasma::make_cpu_env_factory(s.cpu, s.pa.image),
+        100000, 0);
+    benchmark::DoNotOptimize(trace->cycles());
+  }
+  state.SetLabel("good-machine trace of the full Phase A program");
+}
+BENCHMARK(BM_GoodTraceRecord)->Unit(benchmark::kMillisecond);
 
 void BM_AssembleSelfTest(benchmark::State& state) {
   Shared& s = shared();

@@ -17,8 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "campaign/ipc.h"
 #include "campaign/journal.h"
+#include "fault/good_trace.h"
 #include "util/signals.h"
 
 namespace sbst::campaign {
@@ -236,9 +239,37 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
         Clock::now() + std::chrono::milliseconds(options.sim.time_budget_ms);
   }
 
+  // Event engine: record the good trace eagerly, before any fork, so
+  // every worker process inherits the finished trace copy-on-write
+  // instead of each re-recording it after fork. Skipped when the
+  // journal already resolved every group (nothing left to simulate).
+  std::shared_ptr<fault::SharedTraceSource> trace_source;
+  if (options.sim.engine == fault::Engine::kEvent) {
+    const std::size_t cap_bytes =
+        options.sim.trace_mem_mb == 0
+            ? 0
+            : options.sim.trace_mem_mb * std::size_t{1024} * 1024;
+    trace_source = std::make_shared<fault::SharedTraceSource>(
+        netlist, make_env, options.sim.max_cycles, cap_bytes);
+    // Like a single group, the good run must fit within group_timeout_ms
+    // (otherwise every group would time out under the event engine too);
+    // exceeding it falls back to the sweep kernel.
+    Clock::time_point trace_deadline = run_deadline;
+    if (options.sim.group_timeout_ms != 0) {
+      const Clock::time_point d =
+          Clock::now() +
+          std::chrono::milliseconds(options.sim.group_timeout_ms);
+      if (d < trace_deadline) trace_deadline = d;
+    }
+    trace_source->set_deadline(trace_deadline);
+    trace_source->set_cancel(cancel);
+    if (!pending.empty()) trace_source->get();
+  }
+
   // Built once, before any fork: children inherit the levelized
   // simulator copy-on-write. The supervisor itself never simulates.
-  fault::GroupSimulator sim(netlist, faults, plan, make_env, options.sim);
+  fault::GroupSimulator sim(netlist, faults, plan, make_env, options.sim,
+                            trace_source);
   sim.set_run_deadline(run_deadline);
   WorkerContext ctx{sim, options.iso, options.sim.time_budget_ms};
 
@@ -416,6 +447,10 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
   }
   ::sigaction(SIGPIPE, &saved_pipe, nullptr);
 
+  if (trace_source) {
+    out.result.trace_bytes = trace_source->trace_bytes();
+    out.result.trace_fallback = trace_source->fell_back();
+  }
   out.result.cancelled = out.interrupted;
   out.result.groups_done = done;
   out.groups_done = done;

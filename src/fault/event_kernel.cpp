@@ -1,0 +1,259 @@
+#include "fault/event_kernel.h"
+
+#include <bit>
+
+#include "fault/faultsim.h"
+#include "sim/logicsim.h"
+
+namespace sbst::fault {
+
+using sim::Word;
+
+EventKernel::EventKernel(const nl::Netlist& netlist,
+                         const nl::Levelization& lv,
+                         const std::vector<nl::GateId>& po_bits,
+                         std::shared_ptr<const GoodTrace> trace)
+    : netlist_(&netlist), lv_(&lv), trace_(std::move(trace)) {
+  const std::size_t n = netlist.size();
+  is_po_.assign(n, 0);
+  for (nl::GateId b : po_bits) {
+    if (b < n) is_po_[b] = 1;
+  }
+  v_.assign(n, 0);
+  mark_.assign(n, 0);
+  seen_.assign(n, 0);
+  queued_.assign(n, 0);
+  cand_mark_.assign(n, 0);
+  buckets_.resize(static_cast<std::size_t>(lv.max_level) + 1);
+}
+
+void EventKernel::simulate(const detail::InjectionTable& inj, int count,
+                           const KernelDeadlines& deadlines,
+                           GroupRecord* rec) {
+  using Clock = std::chrono::steady_clock;
+  const GoodTrace& tr = *trace_;
+  const std::uint64_t T = tr.cycles();
+  const Word all_mask = (Word{1} << count) - 1;  // count <= 63
+
+  // Partition this group's injection sites.
+  comb_injected_.clear();
+  dffd_gates_.clear();
+  for (nl::GateId g : inj.slotted_gates()) {
+    if (netlist_->gate(g).kind == nl::GateKind::kDff) {
+      dffd_gates_.push_back(g);
+    } else {
+      comb_injected_.push_back(g);
+    }
+  }
+  auto aggregate = [](const std::vector<detail::Injection>& list,
+                      std::vector<SeedForce>* out) {
+    out->clear();
+    for (const detail::Injection& i : list) {
+      SeedForce* f = nullptr;
+      for (SeedForce& s : *out) {
+        if (s.gate == i.gate) {
+          f = &s;
+          break;
+        }
+      }
+      if (f == nullptr) {
+        out->push_back(SeedForce{i.gate, 0, 0});
+        f = &out->back();
+      }
+      if (i.stuck) {
+        f->set |= i.mask;
+      } else {
+        f->clr |= i.mask;
+      }
+    }
+  };
+  aggregate(inj.sources(), &src_forces_);
+  aggregate(inj.dff_q(), &q_forces_);
+
+  diverged_dffs_.clear();
+  next_diverged_.clear();
+  dff_cands_.clear();
+
+  Word detected = 0;
+  // Machines still awaiting a verdict. Divergence is masked with this
+  // before it propagates: once a machine is detected, its detection
+  // mask bit is frozen (the sweep kernel masks it out of every later
+  // PO comparison), so its divergence can never be observed again and
+  // its wavefront collapses immediately — the event-driven form of
+  // fault dropping. Results stay bit-identical by construction.
+  Word live = all_mask;
+  std::uint64_t cycle = 0;
+  for (; cycle < T; ++cycle) {
+    // Same amortized watchdog cadence and verdict as the sweep kernel.
+    if (deadlines.active && (cycle & 1023u) == 1023u) [[unlikely]] {
+      const Clock::time_point now = Clock::now();
+      if (now >= deadlines.group_deadline || now >= deadlines.run_deadline) {
+        rec->timed_out = true;
+        break;
+      }
+    }
+
+    const Word* const plane = tr.plane(cycle);
+    const std::uint64_t st = ++stamp_;
+    Word po_acc = 0;
+    std::uint32_t lvl_hi = 0;
+
+    // Value of a net as the faulty machines see it this cycle: the
+    // diverged word when one was computed, otherwise the good broadcast.
+    auto value_of = [&](nl::GateId d) -> Word {
+      return mark_[d] == st ? v_[d] : GoodTrace::broadcast_bit(plane, d);
+    };
+    auto schedule_consumers = [&](nl::GateId g) {
+      for (nl::GateId c : lv_->consumers(g)) {
+        if (netlist_->gate(c).kind == nl::GateKind::kDff) {
+          // Flip-flops do not propagate combinationally; they become
+          // re-clock candidates at this cycle's edge.
+          if (cand_mark_[c] != st) {
+            cand_mark_[c] = st;
+            dff_cands_.push_back(c);
+          }
+        } else if (queued_[c] != st) {
+          queued_[c] = st;
+          const std::uint32_t lvl = lv_->level[c];
+          buckets_[lvl].push_back(c);
+          if (lvl > lvl_hi) lvl_hi = lvl;
+        }
+      }
+    };
+    // Seeds one already-valued gate: accumulate PO divergence and wake
+    // its fanout iff it actually differs from the good machine.
+    auto seed = [&](nl::GateId g) {
+      if (seen_[g] == st) return;
+      seen_[g] = st;
+      const Word dv = (v_[g] ^ GoodTrace::broadcast_bit(plane, g)) & live;
+      if (dv == 0) return;
+      if (is_po_[g]) po_acc |= dv;
+      schedule_consumers(g);
+    };
+
+    // 1. Carry diverged flip-flop state into this cycle.
+    for (const auto& [g, w] : diverged_dffs_) {
+      v_[g] = w;
+      mark_[g] = st;
+    }
+    // 2. Re-force Q-output and source-gate injections against this
+    //    cycle's good values (forcing can create or mask divergence,
+    //    and sweep semantics re-apply these forces every cycle).
+    for (const SeedForce& f : q_forces_) {
+      const Word base =
+          mark_[f.gate] == st ? v_[f.gate]
+                              : GoodTrace::broadcast_bit(plane, f.gate);
+      v_[f.gate] = (base | f.set) & ~f.clr;
+      mark_[f.gate] = st;
+    }
+    for (const SeedForce& f : src_forces_) {
+      v_[f.gate] =
+          (GoodTrace::broadcast_bit(plane, f.gate) | f.set) & ~f.clr;
+      mark_[f.gate] = st;
+    }
+    // 3. Schedule the fanout of every diverged seed.
+    for (const auto& [g, w] : diverged_dffs_) seed(g);
+    for (const SeedForce& f : q_forces_) seed(f.gate);
+    for (const SeedForce& f : src_forces_) seed(f.gate);
+    // 4. Injected combinational gates force machine bits every cycle
+    //    regardless of input divergence, so they are always evaluated.
+    for (nl::GateId g : comb_injected_) {
+      if (queued_[g] != st) {
+        queued_[g] = st;
+        const std::uint32_t lvl = lv_->level[g];
+        buckets_[lvl].push_back(g);
+        if (lvl > lvl_hi) lvl_hi = lvl;
+      }
+    }
+
+    // 5. Levelized wavefront: evaluate scheduled gates; a gate whose
+    //    word matches the good broadcast stops propagating. lvl_hi can
+    //    grow while iterating (consumers always sit at higher levels).
+    std::uint64_t evals = 0;
+    for (std::uint32_t lvl = 1; lvl <= lvl_hi; ++lvl) {
+      std::vector<nl::GateId>& bucket = buckets_[lvl];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const nl::GateId g = bucket[i];
+        const nl::Gate& gate = netlist_->gate(g);
+        Word a = value_of(gate.in[0]);
+        Word b = gate.in[1] == nl::kNoGate ? 0 : value_of(gate.in[1]);
+        Word c = gate.in[2] == nl::kNoGate ? 0 : value_of(gate.in[2]);
+        Word w;
+        if (const std::uint32_t slot = inj.slot(g); slot != 0)
+            [[unlikely]] {
+          const detail::GateForce& f = inj.force_record(slot);
+          a = (a | f.set[1]) & ~f.clr[1];
+          b = (b | f.set[2]) & ~f.clr[2];
+          c = (c | f.set[3]) & ~f.clr[3];
+          w = (sim::eval_gate(gate.kind, a, b, c) | f.set[0]) & ~f.clr[0];
+        } else {
+          w = sim::eval_gate(gate.kind, a, b, c);
+        }
+        v_[g] = w;
+        mark_[g] = st;
+        ++evals;
+        const Word dv = (w ^ GoodTrace::broadcast_bit(plane, g)) & live;
+        if (dv != 0) {
+          if (is_po_[g]) po_acc |= dv;
+          schedule_consumers(g);
+        }
+      }
+      bucket.clear();
+    }
+    stats_.gates_evaluated += evals;
+    ++stats_.cycles;
+
+    // 6. Detection — identical to the sweep kernel's po_diff handling.
+    //    po_acc only holds divergence words, whose good-machine bit 63
+    //    is zero by construction.
+    const Word diff = po_acc & all_mask & ~detected;
+    if (diff != 0) {
+      Word d = diff;
+      while (d != 0) {
+        const int bit = std::countr_zero(d);
+        d &= d - 1;
+        rec->detect_cycle[static_cast<std::size_t>(bit)] =
+            static_cast<std::int64_t>(cycle);
+      }
+      detected |= diff;
+      if (detected == all_mask) {
+        dff_cands_.clear();
+        break;  // fault dropping: group done
+      }
+      live = all_mask & ~detected;
+    }
+
+    // 7. Clock edge: recompute the next state of every flip-flop whose
+    //    D input diverged this cycle or carries a D-pin injection; all
+    //    other flip-flops converge to the recorded good state.
+    if (cycle + 1 < T) {
+      for (nl::GateId g : dffd_gates_) {
+        if (cand_mark_[g] != st) {
+          cand_mark_[g] = st;
+          dff_cands_.push_back(g);
+        }
+      }
+      next_diverged_.clear();
+      for (nl::GateId g : dff_cands_) {
+        const nl::GateId d = netlist_->gate(g).in[0];
+        Word next = value_of(d);
+        if (const std::uint32_t slot = inj.slot(g); slot != 0) {
+          const detail::GateForce& f = inj.force_record(slot);
+          next = (next | f.set[1]) & ~f.clr[1];
+        }
+        // Good next state of a DFF is the good machine's D value now.
+        const Word dv = (next ^ GoodTrace::broadcast_bit(plane, d)) & live;
+        if (dv != 0) next_diverged_.emplace_back(g, next);
+      }
+      dff_cands_.clear();
+      diverged_dffs_.swap(next_diverged_);
+    } else {
+      dff_cands_.clear();
+    }
+  }
+
+  rec->detected_mask = detected;
+  rec->cycles = cycle;
+}
+
+}  // namespace sbst::fault

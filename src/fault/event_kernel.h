@@ -1,0 +1,99 @@
+// Event-driven differential fault-simulation kernel (PROOFS-style).
+//
+// The sweep kernel re-evaluates every combinational gate of all 64
+// machines each cycle. This kernel instead simulates only *divergence*
+// from a pre-recorded good-machine trace (good_trace.h):
+//
+//   invariant  v[g] == broadcast(good[t][g]) ^ divergence word,
+//              where any gate not evaluated at cycle t has divergence 0
+//              and is reconstructed from the trace on demand.
+//
+// Per cycle, events are seeded at the group's injection sites and at
+// flip-flops whose state diverged on an earlier clock edge; they
+// propagate forward through the netlist's CSR fanout index in levelized
+// order, and a gate whose recomputed word equals the good broadcast
+// stops the wavefront. Because fault dropping removes detected machines
+// quickly, the surviving divergence cones are tiny on most cycles and
+// per-group cost collapses from O(gates x cycles) to O(activity).
+//
+// The kernel is bit-identical to the sweep kernel: same detection masks,
+// detect cycles, fault dropping, cycle accounting and watchdog cadence.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/faultsim.h"
+#include "fault/good_trace.h"
+#include "fault/injection.h"
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+
+namespace sbst::fault {
+
+/// Wall-clock bounds shared with the sweep kernel (time_point::max() =
+/// unbounded; `active` mirrors the sweep's has_clock_bounds fast path).
+struct KernelDeadlines {
+  bool active = false;
+  std::chrono::steady_clock::time_point group_deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::chrono::steady_clock::time_point run_deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Per-worker differential simulator state. Not thread-safe; the trace
+/// is immutable and shared. `netlist` and `lv` must outlive the kernel.
+class EventKernel {
+ public:
+  EventKernel(const nl::Netlist& netlist, const nl::Levelization& lv,
+              const std::vector<nl::GateId>& po_bits,
+              std::shared_ptr<const GoodTrace> trace);
+
+  /// Simulates one injected group differentially against the trace,
+  /// filling rec->detected_mask, detect_cycle, cycles and timed_out
+  /// (rec->group/count/detect_cycle must be pre-sized by the caller).
+  void simulate(const detail::InjectionTable& inj, int count,
+                const KernelDeadlines& deadlines, GroupRecord* rec);
+
+  const KernelStats& stats() const { return stats_; }
+
+ private:
+  using Word = sim::Word;
+
+  const nl::Netlist* netlist_;
+  const nl::Levelization* lv_;
+  std::shared_ptr<const GoodTrace> trace_;
+  std::vector<std::uint8_t> is_po_;
+
+  // Per-cycle scratch, validity tracked by monotone stamps (never reset,
+  // so state is trivially clean across cycles and groups).
+  std::uint64_t stamp_ = 0;
+  std::vector<Word> v_;
+  std::vector<std::uint64_t> mark_;       // v_[g] valid for this stamp
+  std::vector<std::uint64_t> seen_;       // seed processed this stamp
+  std::vector<std::uint64_t> queued_;     // in a level bucket this stamp
+  std::vector<std::uint64_t> cand_mark_;  // DFF candidate this stamp
+  std::vector<std::vector<nl::GateId>> buckets_;  // indexed by level
+  std::vector<nl::GateId> dff_cands_;
+
+  // Sparse diverged flip-flop state carried across clock edges.
+  std::vector<std::pair<nl::GateId, Word>> diverged_dffs_;
+  std::vector<std::pair<nl::GateId, Word>> next_diverged_;
+
+  // Per-group injection site partition (rebuilt by simulate()).
+  struct SeedForce {
+    nl::GateId gate;
+    Word set;
+    Word clr;
+  };
+  std::vector<nl::GateId> comb_injected_;  // slotted comb gates
+  std::vector<nl::GateId> dffd_gates_;     // D-pin-injected DFFs
+  std::vector<SeedForce> src_forces_;      // PI/const, aggregated per gate
+  std::vector<SeedForce> q_forces_;        // DFF Q-output, aggregated
+
+  KernelStats stats_;
+};
+
+}  // namespace sbst::fault

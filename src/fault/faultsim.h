@@ -78,8 +78,28 @@ struct GroupRecord {
   GroupError error;                        // meaningful iff quarantined
 };
 
+/// Simulation kernel selection. Both kernels produce bit-identical
+/// GroupRecords (same detection masks, detect cycles and cycle counts),
+/// so records journaled by one engine seed resumes under the other.
+enum class Engine : std::uint8_t {
+  /// Event-driven differential kernel (event_kernel.h): records the good
+  /// machine once per campaign, then per group simulates only the
+  /// divergence wavefront. Falls back to kSweep automatically when the
+  /// good trace would exceed `trace_mem_mb`.
+  kEvent,
+  /// Full levelized sweep of every gate each cycle (historical engine).
+  kSweep,
+};
+
 struct FaultSimOptions {
   std::uint64_t max_cycles = 1'000'000;
+  /// Kernel used to simulate fault groups; see Engine.
+  Engine engine = Engine::kEvent;
+  /// Memory cap for the event engine's recorded good trace, in MiB
+  /// (0 = unlimited). One packed bit per gate per cycle; exceeding the
+  /// cap silently falls back to the sweep kernel for the whole run
+  /// (reported via FaultSimResult::trace_fallback).
+  std::size_t trace_mem_mb = 1024;
   /// If non-zero, simulate only a pseudo-random sample of this many
   /// representative faults (statistical fault grading); coverage is then
   /// an estimate over the sample.
@@ -150,6 +170,24 @@ struct FaultSimResult {
   /// True when options.cancel was observed set: some groups were never
   /// started and their faults are left with simulated == 0 (resumable).
   bool cancelled = false;
+  /// Work accounting for the activity-factor benchmarks: combinational
+  /// gate evaluations actually performed and machine cycles simulated,
+  /// summed over every group this run simulated (seeded groups add 0).
+  std::uint64_t gates_evaluated = 0;
+  std::uint64_t sim_cycles = 0;
+  /// Size of the recorded good trace (0 when the sweep engine ran or no
+  /// group needed simulating), and whether the event engine had to fall
+  /// back to the sweep kernel (trace exceeded trace_mem_mb, or recording
+  /// was cut short by the run deadline / cancellation).
+  std::size_t trace_bytes = 0;
+  bool trace_fallback = false;
+};
+
+/// Work counters exposed by GroupSimulator for benchmarks: gate
+/// evaluations actually performed and machine cycles simulated.
+struct KernelStats {
+  std::uint64_t gates_evaluated = 0;
+  std::uint64_t cycles = 0;
 };
 
 /// Runs sequential fault simulation of `faults` on `netlist` inside the
@@ -205,16 +243,24 @@ class GroupPlan {
   std::vector<std::size_t> active_;
 };
 
+class SharedTraceSource;
+
 /// Worker-owned simulation state (LogicSim + injection table) able to
 /// simulate any group of a plan. Construction levelizes the netlist —
 /// build one per worker thread, or once before forking isolated worker
 /// processes (children inherit it copy-on-write). Not thread-safe;
 /// `plan`, `netlist` and `faults` must outlive the simulator.
+///
+/// When `trace_source` is non-null the simulator runs the event-driven
+/// differential kernel against the (lazily recorded, campaign-shared)
+/// good trace, falling back to the full sweep if recording aborted;
+/// null selects the sweep kernel unconditionally.
 class GroupSimulator {
  public:
   GroupSimulator(const nl::Netlist& netlist, const nl::FaultList& faults,
                  const GroupPlan& plan, EnvFactory make_env,
-                 const FaultSimOptions& options);
+                 const FaultSimOptions& options,
+                 std::shared_ptr<SharedTraceSource> trace_source = nullptr);
   ~GroupSimulator();
   GroupSimulator(const GroupSimulator&) = delete;
   GroupSimulator& operator=(const GroupSimulator&) = delete;
@@ -226,8 +272,12 @@ class GroupSimulator {
 
   /// Simulates one group to a record (honours max_cycles,
   /// group_timeout_ms and the run deadline; sets timed_out when a bound
-  /// cut the group short). Bit-deterministic absent wall-clock cutoffs.
+  /// cut the group short). Bit-deterministic absent wall-clock cutoffs,
+  /// and bit-identical across both kernels.
   GroupRecord simulate(std::size_t group);
+
+  /// Work performed by this simulator so far, whichever kernel ran.
+  KernelStats stats() const;
 
  private:
   struct Impl;

@@ -1,0 +1,59 @@
+#include "fault/good_trace.h"
+
+#include "fault/faultsim.h"
+
+namespace sbst::fault {
+
+std::shared_ptr<const GoodTrace> record_good_trace(
+    const nl::Netlist& netlist, const EnvFactory& make_env,
+    std::uint64_t max_cycles, std::size_t mem_cap_bytes,
+    std::chrono::steady_clock::time_point deadline,
+    const std::atomic<bool>* cancel) {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t n = netlist.size();
+  const std::size_t wpc = (n + 63) / 64;
+  const bool has_deadline = deadline != Clock::time_point::max();
+
+  sim::LogicSim s(netlist);
+  s.reset();
+  std::unique_ptr<Environment> env = make_env();
+
+  std::vector<sim::Word> planes;
+  std::uint64_t cycle = 0;
+  for (; cycle < max_cycles; ++cycle) {
+    if (mem_cap_bytes != 0 &&
+        (planes.size() + wpc) * sizeof(sim::Word) > mem_cap_bytes) {
+      return nullptr;
+    }
+    // Same amortized cadence as the simulation kernels' watchdog.
+    if ((cycle & 1023u) == 1023u) [[unlikely]] {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return nullptr;
+      }
+      if (has_deadline && Clock::now() >= deadline) return nullptr;
+    }
+
+    env->drive(s, cycle);
+    s.eval();
+
+    // Pack the post-eval values: every word is a broadcast, so bit 0 of
+    // each net is the good value.
+    const std::size_t base = planes.size();
+    planes.resize(base + wpc, 0);
+    const sim::Word* const v = s.values().data();
+    sim::Word* const plane = planes.data() + base;
+    for (std::size_t g = 0; g < n; ++g) {
+      plane[g >> 6] |= (v[g] & 1) << (g & 63);
+    }
+
+    const bool keep_going = env->observe(s, cycle);
+    s.step_clock();
+    if (!keep_going) {
+      ++cycle;
+      break;
+    }
+  }
+  return std::make_shared<const GoodTrace>(n, std::move(planes), cycle);
+}
+
+}  // namespace sbst::fault

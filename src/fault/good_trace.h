@@ -1,0 +1,136 @@
+// Recorded good-machine trace for the event-driven differential kernel.
+//
+// The environment around the netlist (memory model, testbench) is a
+// function of the good machine only: an undetected faulty machine has by
+// definition issued bit-identical memory traffic (DESIGN.md §5), so the
+// closed-loop run of every 63-fault group replays the *same* good
+// machine. Recording that run once per campaign — one packed bit per
+// gate per cycle — lets the differential kernel reconstruct any
+// non-diverged net without re-simulating it, and removes the environment
+// from the per-group hot loop entirely.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logicsim.h"
+
+namespace sbst::fault {
+
+class Environment;
+using EnvFactory = std::function<std::unique_ptr<Environment>()>;
+
+/// Immutable packed good-value bitplanes: plane t holds one bit per gate
+/// with the value after drive+eval of cycle t (the instant the sweep
+/// kernel compares primary outputs). Shared read-only across worker
+/// threads and inherited copy-on-write by forked --isolate workers.
+class GoodTrace {
+ public:
+  GoodTrace(std::size_t num_gates, std::vector<sim::Word> planes,
+            std::uint64_t cycles)
+      : words_per_cycle_((num_gates + 63) / 64),
+        planes_(std::move(planes)),
+        cycles_(cycles) {}
+
+  /// Cycles recorded: the environment's stop cycle, or max_cycles.
+  std::uint64_t cycles() const { return cycles_; }
+  std::size_t words_per_cycle() const { return words_per_cycle_; }
+  std::size_t memory_bytes() const {
+    return planes_.size() * sizeof(sim::Word);
+  }
+
+  /// Packed plane of cycle t (words_per_cycle words).
+  const sim::Word* plane(std::uint64_t t) const {
+    return planes_.data() + t * words_per_cycle_;
+  }
+
+  /// Good value of gate g at cycle t, broadcast to a full word.
+  sim::Word broadcast(std::uint64_t t, nl::GateId g) const {
+    return broadcast_bit(plane(t), g);
+  }
+
+  /// Broadcasts one bit of a packed plane to all 64 machine lanes.
+  static sim::Word broadcast_bit(const sim::Word* plane, nl::GateId g) {
+    return sim::Word{0} - ((plane[g >> 6] >> (g & 63)) & 1);
+  }
+
+ private:
+  std::size_t words_per_cycle_;
+  std::vector<sim::Word> planes_;
+  std::uint64_t cycles_;
+};
+
+/// Runs the environment once on a plain LogicSim and records the packed
+/// trace. Returns nullptr — the caller then falls back to the sweep
+/// kernel — when the trace would exceed `mem_cap_bytes` (0 = unlimited)
+/// or when `deadline`/`cancel` fire mid-recording.
+std::shared_ptr<const GoodTrace> record_good_trace(
+    const nl::Netlist& netlist, const EnvFactory& make_env,
+    std::uint64_t max_cycles, std::size_t mem_cap_bytes,
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max(),
+    const std::atomic<bool>* cancel = nullptr);
+
+/// One-per-campaign lazy trace holder shared by every worker's
+/// GroupSimulator. The first simulate() call records (serialized by
+/// call_once; concurrent workers wait, which costs no more than the
+/// serial good run they all depend on); later calls reuse the immutable
+/// trace. A campaign that is fully seeded from its journal never
+/// records. A failed recording (memory cap, deadline, cancel) latches
+/// the sweep fallback for the whole campaign.
+class SharedTraceSource {
+ public:
+  SharedTraceSource(const nl::Netlist& netlist, EnvFactory make_env,
+                    std::uint64_t max_cycles, std::size_t mem_cap_bytes)
+      : netlist_(&netlist),
+        make_env_(std::move(make_env)),
+        max_cycles_(max_cycles),
+        mem_cap_bytes_(mem_cap_bytes) {}
+
+  /// Campaign wall-clock deadline and cancel flag honoured while
+  /// recording. Set before the first get() (i.e. before workers start).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+  void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
+  /// Records on first call; thread-safe. nullptr = fall back to sweep.
+  std::shared_ptr<const GoodTrace> get() {
+    std::call_once(once_, [this] {
+      trace_ = record_good_trace(*netlist_, make_env_, max_cycles_,
+                                 mem_cap_bytes_, deadline_, cancel_);
+      attempted_.store(true, std::memory_order_release);
+    });
+    return trace_;
+  }
+
+  /// True when a recording was attempted (read after workers joined).
+  bool attempted() const {
+    return attempted_.load(std::memory_order_acquire);
+  }
+  /// True when recording was attempted and aborted (cap/deadline/cancel).
+  bool fell_back() const { return attempted() && trace_ == nullptr; }
+  std::size_t trace_bytes() const {
+    return attempted() && trace_ ? trace_->memory_bytes() : 0;
+  }
+
+ private:
+  const nl::Netlist* netlist_;
+  EnvFactory make_env_;
+  std::uint64_t max_cycles_;
+  std::size_t mem_cap_bytes_;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::once_flag once_;
+  std::shared_ptr<const GoodTrace> trace_;
+  std::atomic<bool> attempted_{false};
+};
+
+}  // namespace sbst::fault

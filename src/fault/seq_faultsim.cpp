@@ -5,9 +5,14 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "fault/event_kernel.h"
 #include "fault/faultsim.h"
+#include "fault/good_trace.h"
+#include "fault/injection.h"
 #include "util/parallel.h"
 
 namespace sbst::fault {
@@ -15,94 +20,9 @@ namespace sbst::fault {
 namespace {
 
 using sim::Word;
-
-/// One injected fault inside the active group.
-struct Injection {
-  nl::GateId gate;
-  std::uint8_t pin;    // 0 = output, 1..3 = input branch
-  std::uint8_t stuck;  // forced value
-  Word mask;           // single machine bit
-};
-
-/// Applies output-style forcing of `stuck` on `mask` bits of `w`.
-inline Word force(Word w, Word mask, std::uint8_t stuck) {
-  return stuck ? (w | mask) : (w & ~mask);
-}
-
-/// Aggregated forcing masks for every injection on one gate: pin p of a
-/// faulty gate computes (w | set[p]) & ~clr[p]. Each injection owns a
-/// distinct machine bit, so set/clr never collide on a bit and the
-/// aggregate is order-independent.
-struct GateForce {
-  Word set[4] = {0, 0, 0, 0};
-  Word clr[4] = {0, 0, 0, 0};
-};
-
-/// Per-group injection table. Combinational injections are indexed per
-/// gate (slot() is an O(1) lookup into dense GateForce records), so the
-/// evaluation sweep never scans the group's fault list.
-class InjectionTable {
- public:
-  explicit InjectionTable(std::size_t num_gates) : slot_(num_gates, 0) {}
-
-  void clear() {
-    for (nl::GateId g : touched_) slot_[g] = 0;
-    touched_.clear();
-    forces_.clear();
-    source_list_.clear();
-    dff_d_list_.clear();
-    dff_q_list_.clear();
-  }
-
-  void add(const nl::Netlist& netlist, const nl::Fault& f, int machine_bit) {
-    const Word mask = Word{1} << machine_bit;
-    const nl::GateKind kind = netlist.gate(f.gate).kind;
-    const bool is_source = kind == nl::GateKind::kInput ||
-                           kind == nl::GateKind::kConst0 ||
-                           kind == nl::GateKind::kConst1;
-    if (kind == nl::GateKind::kDff) {
-      Injection inj{f.gate, f.pin, f.stuck, mask};
-      if (f.pin == 0) {
-        dff_q_list_.push_back(inj);
-      } else {
-        dff_d_list_.push_back(inj);
-      }
-    } else if (is_source) {
-      // Output faults on PIs/constants.
-      source_list_.push_back(Injection{f.gate, f.pin, f.stuck, mask});
-    } else {
-      std::uint32_t s = slot_[f.gate];
-      if (s == 0) {
-        forces_.emplace_back();
-        touched_.push_back(f.gate);
-        s = static_cast<std::uint32_t>(forces_.size());
-        slot_[f.gate] = s;
-      }
-      GateForce& gf = forces_[s - 1];
-      if (f.stuck) {
-        gf.set[f.pin] |= mask;
-      } else {
-        gf.clr[f.pin] |= mask;
-      }
-    }
-  }
-
-  std::uint32_t slot(nl::GateId g) const { return slot_[g]; }
-  const GateForce& force_record(std::uint32_t slot) const {
-    return forces_[slot - 1];
-  }
-  const std::vector<Injection>& sources() const { return source_list_; }
-  const std::vector<Injection>& dff_d() const { return dff_d_list_; }
-  const std::vector<Injection>& dff_q() const { return dff_q_list_; }
-
- private:
-  std::vector<std::uint32_t> slot_;  // 0 = clean, else index+1 into forces_
-  std::vector<nl::GateId> touched_;
-  std::vector<GateForce> forces_;
-  std::vector<Injection> source_list_;
-  std::vector<Injection> dff_d_list_;
-  std::vector<Injection> dff_q_list_;
-};
+using detail::force;
+using detail::Injection;
+using detail::InjectionTable;
 
 /// Fault-aware evaluation sweep. Identical to LogicSim::eval() except that
 /// flagged gates apply input-branch and output-stem forcing.
@@ -116,7 +36,7 @@ void eval_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
     Word b = gate.in[1] == nl::kNoGate ? 0 : v[gate.in[1]];
     Word c = gate.in[2] == nl::kNoGate ? 0 : v[gate.in[2]];
     if (const std::uint32_t slot = inj.slot(g); slot != 0) [[unlikely]] {
-      const GateForce& f = inj.force_record(slot);
+      const detail::GateForce& f = inj.force_record(slot);
       a = (a | f.set[1]) & ~f.clr[1];
       b = (b | f.set[2]) & ~f.clr[2];
       c = (c | f.set[3]) & ~f.clr[3];
@@ -141,6 +61,8 @@ void apply_state_injections(sim::LogicSim& s, const InjectionTable& inj) {
 }
 
 /// Clocks DFFs with D-pin fault forcing, then re-applies Q-output faults.
+/// D-pin injections are folded into the per-gate slot table, so forcing
+/// is an O(1) lookup per DFF instead of a scan of the group's fault list.
 void step_clock_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
   const nl::Netlist& netlist = s.netlist();
   const auto& dffs = s.levelization().dffs;
@@ -148,14 +70,13 @@ void step_clock_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
   thread_local std::vector<Word> next;
   next.resize(dffs.size());
   for (std::size_t i = 0; i < dffs.size(); ++i) {
-    next[i] = v[netlist.gate(dffs[i]).in[0]];
-  }
-  if (!inj.dff_d().empty()) {
-    for (std::size_t i = 0; i < dffs.size(); ++i) {
-      for (const Injection& f : inj.dff_d()) {
-        if (f.gate == dffs[i]) next[i] = force(next[i], f.mask, f.stuck);
-      }
+    const nl::GateId g = dffs[i];
+    Word nx = v[netlist.gate(g).in[0]];
+    if (const std::uint32_t slot = inj.slot(g); slot != 0) [[unlikely]] {
+      const detail::GateForce& f = inj.force_record(slot);
+      nx = (nx | f.set[1]) & ~f.clr[1];
     }
+    next[i] = nx;
   }
   for (std::size_t i = 0; i < dffs.size(); ++i) v[dffs[i]] = next[i];
   for (const Injection& f : inj.dff_q()) {
@@ -180,9 +101,12 @@ inline Word po_diff(const sim::LogicSim& s) {
 
 std::vector<std::size_t> choose_sample(std::size_t universe, std::size_t n,
                                        std::uint64_t seed) {
-  std::vector<std::size_t> idx(universe);
-  for (std::size_t i = 0; i < universe; ++i) idx[i] = i;
-  // Fisher-Yates with a splitmix64 generator (deterministic, seedable).
+  // Partial Fisher-Yates with a splitmix64 generator (deterministic,
+  // seedable), over a *virtual* identity permutation: only displaced
+  // entries are materialized, so cost is O(sample) in time and space
+  // rather than O(universe). Consumes the generator exactly like the
+  // dense formulation, so the chosen set is bit-identical to it (and to
+  // every previously journaled campaign).
   std::uint64_t state = seed;
   auto next_u64 = [&state]() {
     state += 0x9E3779B97f4A7C15ull;
@@ -191,11 +115,27 @@ std::vector<std::size_t> choose_sample(std::size_t universe, std::size_t n,
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return z ^ (z >> 31);
   };
-  for (std::size_t i = 0; i < n && i + 1 < universe; ++i) {
-    const std::size_t j = i + next_u64() % (universe - i);
-    std::swap(idx[i], idx[j]);
+  std::unordered_map<std::size_t, std::size_t> moved;
+  auto value = [&moved](std::size_t p) {
+    const auto it = moved.find(p);
+    return it == moved.end() ? p : it->second;
+  };
+  const std::size_t take = std::min(n, universe);
+  std::vector<std::size_t> idx;
+  idx.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    if (i + 1 < universe) {
+      const std::size_t j = i + next_u64() % (universe - i);
+      const std::size_t vj = value(j);
+      const std::size_t vi = value(i);
+      moved[j] = vi;
+      idx.push_back(vj);
+    } else {
+      // Last position of the universe: the dense loop stopped swapping
+      // here (and consumed no random draw for it).
+      idx.push_back(value(i));
+    }
   }
-  idx.resize(std::min(n, universe));
   std::sort(idx.begin(), idx.end());
   return idx;
 }
@@ -280,9 +220,17 @@ struct GroupSimulator::Impl {
       std::chrono::steady_clock::time_point::max();
   sim::LogicSim sim;
   InjectionTable inj;
+  // Event-engine state: the campaign-shared trace source (null = sweep),
+  // the differential kernel built on first successful trace fetch, and a
+  // latch that pins the sweep fallback once recording has failed.
+  std::shared_ptr<SharedTraceSource> trace_source;
+  std::optional<EventKernel> event;
+  bool event_unavailable = false;
+  KernelStats sweep_stats;
 
   Impl(const nl::Netlist& n, const nl::FaultList& f, const GroupPlan& p,
-       EnvFactory env, const FaultSimOptions& options)
+       EnvFactory env, const FaultSimOptions& options,
+       std::shared_ptr<SharedTraceSource> trace)
       : netlist(n),
         faults(f),
         plan(p),
@@ -290,21 +238,32 @@ struct GroupSimulator::Impl {
         max_cycles(options.max_cycles),
         group_timeout_ms(options.group_timeout_ms),
         sim(n),
-        inj(n.size()) {}
+        inj(n.size()),
+        trace_source(std::move(trace)) {}
 };
 
 GroupSimulator::GroupSimulator(const nl::Netlist& netlist,
                                const nl::FaultList& faults,
                                const GroupPlan& plan, EnvFactory make_env,
-                               const FaultSimOptions& options)
+                               const FaultSimOptions& options,
+                               std::shared_ptr<SharedTraceSource> trace_source)
     : impl_(std::make_unique<Impl>(netlist, faults, plan, std::move(make_env),
-                                   options)) {}
+                                   options, std::move(trace_source))) {}
 
 GroupSimulator::~GroupSimulator() = default;
 
 void GroupSimulator::set_run_deadline(
     std::chrono::steady_clock::time_point deadline) {
   impl_->run_deadline = deadline;
+}
+
+KernelStats GroupSimulator::stats() const {
+  KernelStats s = impl_->sweep_stats;
+  if (impl_->event) {
+    s.gates_evaluated += impl_->event->stats().gates_evaluated;
+    s.cycles += impl_->event->stats().cycles;
+  }
+  return s;
 }
 
 GroupRecord GroupSimulator::simulate(std::size_t group) {
@@ -325,9 +284,18 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
   }
   const Word all_mask = (Word{1} << count) - 1;  // count <= 63
 
-  im.sim.reset();
-  apply_state_injections(im.sim, im.inj);
-  std::unique_ptr<Environment> env = im.make_env();
+  // Event engine: fetch the campaign-shared good trace (the first fetch
+  // records it; recording honours the run deadline and cancel flag). A
+  // failed recording latches the sweep fallback for this worker.
+  if (im.trace_source && !im.event && !im.event_unavailable) {
+    std::shared_ptr<const GoodTrace> trace = im.trace_source->get();
+    if (trace) {
+      im.event.emplace(im.netlist, im.sim.levelization(), im.sim.po_bits(),
+                       std::move(trace));
+    } else {
+      im.event_unavailable = true;
+    }
+  }
 
   const bool has_clock_bounds =
       im.group_timeout_ms != 0 ||
@@ -337,8 +305,22 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
           ? Clock::now() + std::chrono::milliseconds(im.group_timeout_ms)
           : Clock::time_point::max();
 
+  if (im.event) {
+    KernelDeadlines deadlines;
+    deadlines.active = has_clock_bounds;
+    deadlines.group_deadline = group_deadline;
+    deadlines.run_deadline = im.run_deadline;
+    im.event->simulate(im.inj, count, deadlines, &rec);
+    return rec;
+  }
+
+  im.sim.reset();
+  apply_state_injections(im.sim, im.inj);
+  std::unique_ptr<Environment> env = im.make_env();
+
   Word detected = 0;
   std::uint64_t cycle = 0;
+  std::uint64_t evaluated_cycles = 0;
   for (; cycle < im.max_cycles; ++cycle) {
     // Amortized watchdog: one clock read every 1024 cycles keeps the
     // bound within ~ms granularity without slowing the hot loop.
@@ -352,6 +334,7 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
     env->drive(im.sim, cycle);
     apply_state_injections(im.sim, im.inj);
     eval_with_injections(im.sim, im.inj);
+    ++evaluated_cycles;
 
     const Word diff = po_diff(im.sim) & all_mask & ~detected;
     if (diff != 0) {
@@ -375,6 +358,9 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
   }
   rec.detected_mask = detected;
   rec.cycles = cycle;
+  im.sweep_stats.cycles += evaluated_cycles;
+  im.sweep_stats.gates_evaluated +=
+      evaluated_cycles * im.sim.levelization().comb_order.size();
   return rec;
 }
 
@@ -397,6 +383,31 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
       options.time_budget_ms != 0
           ? Clock::now() + std::chrono::milliseconds(options.time_budget_ms)
           : Clock::time_point::max();
+
+  // Event engine: one lazily recorded good trace shared read-only by
+  // every worker (a campaign fully seeded from its journal never pays
+  // for recording at all).
+  std::shared_ptr<SharedTraceSource> trace_source;
+  if (options.engine == Engine::kEvent) {
+    const std::size_t cap_bytes =
+        options.trace_mem_mb == 0
+            ? 0
+            : options.trace_mem_mb * std::size_t{1024} * 1024;
+    trace_source = std::make_shared<SharedTraceSource>(
+        netlist, make_env, options.max_cycles, cap_bytes);
+    // The good run is bounded like a single group: if it cannot finish
+    // within group_timeout_ms, every group would time out under the
+    // event engine too, so falling back to the sweep kernel preserves
+    // the timeout semantics exactly.
+    Clock::time_point trace_deadline = run_deadline;
+    if (options.group_timeout_ms != 0) {
+      const Clock::time_point d =
+          Clock::now() + std::chrono::milliseconds(options.group_timeout_ms);
+      if (d < trace_deadline) trace_deadline = d;
+    }
+    trace_source->set_deadline(trace_deadline);
+    trace_source->set_cancel(options.cancel);
+  }
 
   // Thread-safe progress: groups complete out of order across workers,
   // but the reported count is monotonic and ends at num_groups (fewer on
@@ -459,8 +470,15 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(num_groups, 1)));
 
+  auto fold_stats = [&res](const GroupSimulator& sim) {
+    const KernelStats s = sim.stats();
+    res.gates_evaluated += s.gates_evaluated;
+    res.sim_cycles += s.cycles;
+  };
+
   if (threads <= 1) {
-    GroupSimulator sim(netlist, faults, plan, make_env, options);
+    GroupSimulator sim(netlist, faults, plan, make_env, options,
+                       trace_source);
     sim.set_run_deadline(run_deadline);
     for (std::size_t group = 0; group < num_groups; ++group) {
       if (options.cancel &&
@@ -469,6 +487,7 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
       }
       process_group(sim, group);
     }
+    fold_stats(sim);
   } else {
     // Each worker lazily builds its own simulator + injection table (the
     // LogicSim constructor levelizes the netlist, so eager construction
@@ -480,14 +499,21 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
         [&](std::size_t group, unsigned w) {
           if (!workers[w]) {
             workers[w] = std::make_unique<GroupSimulator>(
-                netlist, faults, plan, make_env, options);
+                netlist, faults, plan, make_env, options, trace_source);
             workers[w]->set_run_deadline(run_deadline);
           }
           process_group(*workers[w], group);
         },
         options.cancel);
+    for (const std::unique_ptr<GroupSimulator>& w : workers) {
+      if (w) fold_stats(*w);
+    }
   }
 
+  if (trace_source) {
+    res.trace_bytes = trace_source->trace_bytes();
+    res.trace_fallback = trace_source->fell_back();
+  }
   res.good_cycles = good_cycles.load(std::memory_order_relaxed);
   res.groups_done = groups_done.load(std::memory_order_relaxed);
   res.cancelled = options.cancel &&

@@ -269,6 +269,11 @@ TEST(Supervisor, WorkerMemoryLimitTurnsOomIntoQuarantineNotCampaignDeath) {
   CampaignOptions opt;
   opt.sim.threads = 1;
   opt.sim.max_cycles = 256;
+  // Pin the sweep kernel: the OOM must happen inside the *workers*, and
+  // the event engine deliberately never constructs the Environment in
+  // per-group simulation (the supervisor records the good trace once,
+  // outside any rlimit), so under it HungryEnv cannot OOM a worker.
+  opt.sim.engine = fault::Engine::kSweep;
   opt.isolate = true;
   opt.iso.workers = 1;
   opt.iso.max_group_retries = 0;

@@ -1,0 +1,397 @@
+// Bit-identity contract of the event-driven differential kernel
+// (Engine::kEvent): for every netlist, environment, injection kind
+// (combinational pin, PI/constant output, DFF D-pin, DFF Q-output),
+// sampling, thread count and isolation mode, it must produce
+// FaultSimResults bit-identical to the full-sweep kernel
+// (Engine::kSweep) — including detect cycles and per-group cycle
+// counts, which is what lets journals mix records from both engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "core/classify.h"
+#include "core/program.h"
+#include "fault/comb_faultsim.h"
+#include "fault/event_kernel.h"
+#include "fault/faultsim.h"
+#include "fault/good_trace.h"
+#include "netlist/fault.h"
+#include "parwan/sbst.h"
+#include "parwan/testbench.h"
+#include "plasma/cpu.h"
+#include "plasma/testbench.h"
+
+namespace sbst::fault {
+namespace {
+
+void expect_identical(const FaultSimResult& a, const FaultSimResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.detected, b.detected) << what;
+  EXPECT_EQ(a.simulated, b.simulated) << what;
+  EXPECT_EQ(a.detect_cycle, b.detect_cycle) << what;
+  EXPECT_EQ(a.timed_out, b.timed_out) << what;
+  EXPECT_EQ(a.quarantined, b.quarantined) << what;
+  EXPECT_EQ(a.good_cycles, b.good_cycles) << what;
+}
+
+// A combinational mesh with constant gates mixed in, so the fault list
+// holds combinational-pin, PI-output and constant-output injections.
+nl::Netlist make_comb_netlist() {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 16);
+  std::vector<nl::GateId> nets(in.bits.begin(), in.bits.end());
+  nets.push_back(n.add_gate(nl::GateKind::kConst0));
+  nets.push_back(n.add_gate(nl::GateKind::kConst1));
+  constexpr nl::GateKind kKinds[] = {nl::GateKind::kXor2, nl::GateKind::kAnd2,
+                                     nl::GateKind::kOr2, nl::GateKind::kNand2};
+  std::vector<nl::GateId> outs;
+  for (std::size_t i = 0; i < 96; ++i) {
+    const nl::GateId a = nets[(i * 7 + 3) % nets.size()];
+    const nl::GateId b = nets[(i * 13 + 5) % nets.size()];
+    const nl::GateId g = n.add_gate(kKinds[i % 4], a, b);
+    nets.push_back(g);
+    if (i % 3 == 0) outs.push_back(g);
+  }
+  n.add_output("o", outs);
+  return n;
+}
+
+// A sequential netlist with enough flip-flops to exercise DFF D-pin and
+// Q-output injections, cross-register feedback and divergence that must
+// persist across clock edges to reach an output.
+nl::Netlist make_seq_netlist() {
+  nl::Netlist n;
+  const auto& in = n.add_input("in", 8);
+  std::vector<nl::GateId> nets(in.bits.begin(), in.bits.end());
+  std::vector<nl::GateId> dffs;
+  for (std::size_t i = 0; i < 24; ++i) {
+    const nl::GateId d = nets[(i * 5 + 1) % nets.size()];
+    const nl::GateId q = n.add_dff(d, (i % 3) == 0);
+    dffs.push_back(q);
+    nets.push_back(q);
+    const nl::GateId mix = n.add_gate(
+        (i % 2) ? nl::GateKind::kXor2 : nl::GateKind::kNand2, q,
+        nets[(i * 11 + 2) % nets.size()]);
+    nets.push_back(mix);
+  }
+  // Feedback: route some mixes back into earlier flip-flop D-pins.
+  for (std::size_t i = 0; i < dffs.size(); i += 4) {
+    n.set_gate_input(dffs[i], 0, nets[nets.size() - 1 - i]);
+  }
+  std::vector<nl::GateId> outs;
+  for (std::size_t i = 0; i < nets.size(); i += 7) outs.push_back(nets[i]);
+  n.add_output("o", outs);
+  return n;
+}
+
+// Drives the inputs with a cycle-dependent pattern for a fixed number
+// of cycles. Deterministic and good-machine-only, like all engine
+// environments.
+class PatternEnv : public Environment {
+ public:
+  explicit PatternEnv(std::uint64_t cycles) : cycles_(cycles) {}
+  void drive(sim::LogicSim& sim, std::uint64_t cycle) override {
+    sim.set_input(sim.netlist().input("in"),
+                  (cycle * 0x9E37u + 0x79B9u) ^ (cycle >> 3));
+  }
+  bool observe(const sim::LogicSim&, std::uint64_t cycle) override {
+    return cycle + 1 < cycles_;
+  }
+
+ private:
+  std::uint64_t cycles_;
+};
+
+EnvFactory pattern_env(std::uint64_t cycles) {
+  return [cycles]() { return std::make_unique<PatternEnv>(cycles); };
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(EventKernel, CombinationalIdenticalToSweep) {
+  const nl::Netlist n = make_comb_netlist();
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  ASSERT_GT(fl.size(), 63u) << "need more than one fault group";
+  VectorSet vs;
+  for (unsigned v = 0; v < 24; ++v) vs.push_back({{"in", v * 0x0AD7u}});
+
+  FaultSimOptions opt;
+  opt.threads = 1;
+  opt.engine = Engine::kSweep;
+  const FaultSimResult sweep = grade_vectors(n, fl, vs, opt);
+  opt.engine = Engine::kEvent;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    opt.threads = threads;
+    const FaultSimResult event = grade_vectors(n, fl, vs, opt);
+    expect_identical(sweep, event, "comb");
+    EXPECT_FALSE(event.trace_fallback);
+    EXPECT_GT(event.trace_bytes, 0u);
+  }
+}
+
+TEST(EventKernel, SequentialDffInjectionsIdenticalToSweep) {
+  const nl::Netlist n = make_seq_netlist();
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  ASSERT_GT(fl.size(), 63u) << "need more than one fault group";
+  bool has_dff_d = false;
+  bool has_dff_q = false;
+  for (const nl::Fault& f : fl.faults) {
+    if (n.gate(f.gate).kind == nl::GateKind::kDff) {
+      (f.pin == 0 ? has_dff_q : has_dff_d) = true;
+    }
+  }
+  ASSERT_TRUE(has_dff_d) << "fault list must include DFF D-pin faults";
+  ASSERT_TRUE(has_dff_q) << "fault list must include DFF Q-output faults";
+
+  FaultSimOptions opt;
+  opt.max_cycles = 4096;
+  opt.threads = 1;
+  opt.engine = Engine::kSweep;
+  const FaultSimResult sweep = run_fault_sim(n, fl, pattern_env(500), opt);
+  opt.engine = Engine::kEvent;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    opt.threads = threads;
+    const FaultSimResult event = run_fault_sim(n, fl, pattern_env(500), opt);
+    expect_identical(sweep, event, "sequential");
+  }
+}
+
+TEST(EventKernel, SampledRunIdenticalToSweep) {
+  const nl::Netlist n = make_seq_netlist();
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  FaultSimOptions opt;
+  opt.max_cycles = 4096;
+  opt.sample = fl.size() / 2;
+  opt.threads = 1;
+  opt.engine = Engine::kSweep;
+  const FaultSimResult sweep = run_fault_sim(n, fl, pattern_env(300), opt);
+  opt.engine = Engine::kEvent;
+  const FaultSimResult event = run_fault_sim(n, fl, pattern_env(300), opt);
+  expect_identical(sweep, event, "sampled");
+}
+
+TEST(EventKernel, ParwanSelfTestIdenticalToSweep) {
+  const parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  const parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  ASSERT_TRUE(st.halted);
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  FaultSimOptions opt;
+  opt.max_cycles = 10000;
+  opt.sample = 630;
+  opt.threads = 1;
+  opt.engine = Engine::kSweep;
+  const FaultSimResult sweep = run_fault_sim(
+      cpu.netlist, faults, parwan::make_parwan_env_factory(cpu, st.image),
+      opt);
+  opt.engine = Engine::kEvent;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    opt.threads = threads;
+    const FaultSimResult event = run_fault_sim(
+        cpu.netlist, faults, parwan::make_parwan_env_factory(cpu, st.image),
+        opt);
+    expect_identical(sweep, event, "parwan sbst");
+  }
+}
+
+TEST(EventKernel, PlasmaPhaseABSampledIdenticalToSweep) {
+  const plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const core::SelfTestProgram p =
+      core::build_phase_ab(core::classify_plasma(cpu));
+  ASSERT_TRUE(p.halted);
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  FaultSimOptions opt;
+  opt.max_cycles = 1'000'000;
+  opt.sample = 315;  // 5 groups keeps the sweep reference affordable
+  opt.threads = 1;
+  opt.engine = Engine::kSweep;
+  const FaultSimResult sweep = run_fault_sim(
+      cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p.image), opt);
+  opt.engine = Engine::kEvent;
+  for (unsigned threads : {1u, 2u}) {
+    opt.threads = threads;
+    const FaultSimResult event = run_fault_sim(
+        cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p.image), opt);
+    expect_identical(sweep, event, "plasma phase ab");
+    EXPECT_FALSE(event.trace_fallback);
+  }
+  // The entire point of the differential kernel: far fewer gate
+  // evaluations for the same bit-identical verdicts. The committed
+  // benchmark (BENCH_event_driven.json) tracks the precise factor; this
+  // guards against regressions that quietly destroy the sparsity.
+  opt.threads = 1;
+  const FaultSimResult event = run_fault_sim(
+      cpu.netlist, faults, plasma::make_cpu_env_factory(cpu, p.image), opt);
+  ASSERT_GT(event.gates_evaluated, 0u);
+  EXPECT_GE(sweep.gates_evaluated, 5 * event.gates_evaluated)
+      << "event kernel lost its >=5x activity reduction";
+}
+
+TEST(EventKernel, GroupTimeoutBoundsIdenticalWhenNothingTimesOut) {
+  // Clock bounds enabled (watchdog active, trace recording bounded by
+  // the group timeout) but generous enough that nothing actually trips:
+  // results must stay bit-identical, with no sweep fallback.
+  const nl::Netlist n = make_seq_netlist();
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  FaultSimOptions opt;
+  opt.max_cycles = 4096;
+  opt.threads = 1;
+  opt.group_timeout_ms = 60'000;
+  opt.engine = Engine::kSweep;
+  const FaultSimResult sweep = run_fault_sim(n, fl, pattern_env(400), opt);
+  opt.engine = Engine::kEvent;
+  const FaultSimResult event = run_fault_sim(n, fl, pattern_env(400), opt);
+  expect_identical(sweep, event, "timeout bounds");
+  EXPECT_FALSE(event.trace_fallback);
+}
+
+TEST(EventKernel, TraceMemoryCapFallsBackToSweep) {
+  const nl::Netlist n = make_seq_netlist();
+  const nl::FaultList fl = nl::enumerate_faults(n);
+
+  // Unit level: a cap smaller than one plane aborts recording.
+  EXPECT_EQ(record_good_trace(n, pattern_env(100), 4096, 8), nullptr);
+  SharedTraceSource source(n, pattern_env(100), 4096, 8);
+  EXPECT_EQ(source.get(), nullptr);
+  EXPECT_TRUE(source.fell_back());
+
+  // Engine level: a run whose trace exceeds trace_mem_mb completes on
+  // the sweep kernel with identical results and reports the fallback.
+  const std::size_t wpc = (n.size() + 63) / 64;
+  const std::uint64_t cycles =
+      (std::size_t{1} << 20) / (wpc * sizeof(sim::Word)) + 64;
+  FaultSimOptions opt;
+  opt.max_cycles = cycles + 64;
+  opt.threads = 1;
+  opt.engine = Engine::kSweep;
+  const FaultSimResult sweep = run_fault_sim(n, fl, pattern_env(cycles), opt);
+  opt.engine = Engine::kEvent;
+  opt.trace_mem_mb = 1;
+  const FaultSimResult event = run_fault_sim(n, fl, pattern_env(cycles), opt);
+  expect_identical(sweep, event, "mem cap fallback");
+  EXPECT_TRUE(event.trace_fallback);
+  EXPECT_EQ(event.trace_bytes, 0u);
+}
+
+TEST(EventKernel, IsolatedCampaignIdenticalAcrossEngines) {
+  const parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  const parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  const auto env = parwan::make_parwan_env_factory(cpu, st.image);
+  constexpr std::uint64_t kFp = 0xe4e47dead0001ull;
+
+  campaign::CampaignOptions base;
+  base.sim.max_cycles = 10000;
+  base.sim.sample = 630;
+  base.sim.threads = 1;
+
+  campaign::CampaignOptions sweep_opt = base;
+  sweep_opt.sim.engine = Engine::kSweep;
+  const campaign::CampaignResult sweep =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, sweep_opt);
+
+  campaign::CampaignOptions iso_opt = base;
+  iso_opt.sim.engine = Engine::kEvent;
+  iso_opt.isolate = true;
+  iso_opt.iso.workers = 2;
+  const campaign::CampaignResult iso =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, iso_opt);
+  expect_identical(sweep.result, iso.result, "isolated event campaign");
+  EXPECT_EQ(iso.result.groups_done, iso.result.groups_total);
+}
+
+TEST(EventKernel, JournalResumeMixesEngines) {
+  // Records journaled by one engine must seed a resume under the other:
+  // start a campaign on the sweep kernel, drain it early, resume on the
+  // event kernel — final result bit-identical to an uninterrupted run.
+  const parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  const parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  const auto env = parwan::make_parwan_env_factory(cpu, st.image);
+  constexpr std::uint64_t kFp = 0xe4e47dead0002ull;
+
+  campaign::CampaignOptions base;
+  base.sim.max_cycles = 10000;
+  base.sim.sample = 630;
+  base.sim.threads = 1;
+
+  campaign::CampaignOptions full = base;
+  full.sim.engine = Engine::kEvent;
+  const campaign::CampaignResult uninterrupted =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, full);
+
+  const std::string journal = temp_path("event_mixed_resume.sbstj");
+  std::remove(journal.c_str());
+
+  std::atomic<bool> stop{false};
+  campaign::CampaignOptions first = base;
+  first.journal = journal;
+  first.sim.engine = Engine::kSweep;
+  first.sim.cancel = &stop;
+  first.sim.progress = [&stop](std::size_t done, std::size_t) {
+    if (done >= 3) stop.store(true);
+  };
+  const campaign::CampaignResult partial =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, first);
+  ASSERT_TRUE(partial.interrupted);
+  ASSERT_LT(partial.groups_done, partial.groups_total);
+  ASSERT_GE(partial.groups_done, 3u);
+
+  campaign::CampaignOptions second = base;
+  second.journal = journal;
+  second.sim.engine = Engine::kEvent;
+  const campaign::CampaignResult resumed =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, second);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.groups_done, resumed.groups_total);
+  expect_identical(uninterrupted.result, resumed.result,
+                   "sweep-journal resumed under event engine");
+
+  // And the reverse direction: event-journaled records seed a sweep run.
+  campaign::CampaignOptions third = base;
+  third.journal = journal;
+  third.sim.engine = Engine::kSweep;
+  const campaign::CampaignResult reread =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, third);
+  EXPECT_TRUE(reread.resumed);
+  EXPECT_EQ(reread.seeded_groups, reread.groups_total);
+  expect_identical(uninterrupted.result, reread.result,
+                   "event-journal reread under sweep engine");
+  std::remove(journal.c_str());
+}
+
+TEST(EventKernel, FullySeededResumeRecordsNoTrace) {
+  // A campaign whose journal already resolves every group must not pay
+  // for good-trace recording (SharedTraceSource is lazy).
+  const nl::Netlist n = make_seq_netlist();
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  std::vector<GroupRecord> records;
+  FaultSimOptions opt;
+  opt.max_cycles = 4096;
+  opt.threads = 1;
+  opt.engine = Engine::kEvent;
+  opt.on_group = [&records](const GroupRecord& rec) {
+    records.push_back(rec);
+  };
+  const FaultSimResult first = run_fault_sim(n, fl, pattern_env(300), opt);
+  EXPECT_GT(first.trace_bytes, 0u);
+
+  FaultSimOptions seeded = opt;
+  seeded.on_group = nullptr;
+  seeded.seed_group = [&records](std::uint64_t group, GroupRecord* out) {
+    *out = records.at(group);
+    return true;
+  };
+  const FaultSimResult second =
+      run_fault_sim(n, fl, pattern_env(300), seeded);
+  expect_identical(first, second, "fully seeded");
+  EXPECT_EQ(second.trace_bytes, 0u) << "no group simulated => no recording";
+}
+
+}  // namespace
+}  // namespace sbst::fault

@@ -11,6 +11,7 @@
 //              [--group-timeout SEC] [--time-budget SEC]
 //              [--isolate] [--workers N] [--max-group-retries K]
 //              [--worker-mem-mb M]
+//              [--engine event|sweep] [--trace-mem-mb M]
 //                                      fault-grade a program (Table 5 style);
 //                                      --sample 0 simulates the full fault
 //                                      list; omitting --threads (or
@@ -31,7 +32,16 @@
 //                                      attempt (K retries, default 2) is
 //                                      quarantined with its signal/rusage
 //                                      recorded instead of killing the
-//                                      campaign.
+//                                      campaign. --engine picks the
+//                                      simulation kernel (default: event,
+//                                      the differential engine; sweep is
+//                                      the full per-cycle re-evaluation) —
+//                                      both produce bit-identical grades,
+//                                      and journals mix freely across
+//                                      engines. --trace-mem-mb caps the
+//                                      event engine's recorded good trace
+//                                      (default 1024 MiB, 0 = unlimited);
+//                                      exceeding it falls back to sweep.
 //   sbst fuzz [--seed S] [--iters N] [--body N] [-o repro.s]
 //             [--no-shrink] [--inject-alu-bug]
 //                                      differential co-sim fuzzing: random
@@ -271,8 +281,12 @@ int cmd_grade(int argc, char** argv) {
   unsigned crash_attempts = 0;
   std::string journal;
   std::string out;
+  std::string engine = "event";
+  std::size_t trace_mem_mb = 1024;
   const auto pos = util::ArgParser(argc, argv)
                        .value_size("--sample", &sample)
+                       .value("--engine", &engine)
+                       .value_size("--trace-mem-mb", &trace_mem_mb)
                        .value_count("--threads", &threads)
                        .value("--journal", &journal)
                        .value_u64("--group-timeout", &group_timeout_s)
@@ -313,6 +327,15 @@ int cmd_grade(int argc, char** argv) {
     copt.iso.crash_group = static_cast<std::int64_t>(crash_group);
     if (crash_attempts != 0) copt.iso.crash_attempts = crash_attempts;
   }
+  if (engine == "event") {
+    copt.sim.engine = fault::Engine::kEvent;
+  } else if (engine == "sweep") {
+    copt.sim.engine = fault::Engine::kSweep;
+  } else {
+    throw util::ArgError("unknown --engine '" + engine +
+                         "' (want event or sweep)");
+  }
+  copt.sim.trace_mem_mb = trace_mem_mb;
   copt.sim.sample = sample;  // 0 => full fault list
   copt.sim.max_cycles = 10'000'000;
   copt.sim.threads = threads;
@@ -395,6 +418,12 @@ int cmd_grade(int argc, char** argv) {
     std::fprintf(stderr,
                  "warning: %zu worker process(es) died and were respawned\n",
                  cres.worker_restarts);
+  }
+  if (cres.result.trace_fallback) {
+    std::fprintf(stderr,
+                 "note: good trace exceeded --trace-mem-mb %zu (or recording "
+                 "was cut short); fell back to the sweep engine\n",
+                 trace_mem_mb);
   }
 
   if (cres.interrupted) {
