@@ -13,7 +13,7 @@
 //            exact journal payload encoding — one codec for disk and
 //            wire keeps the two from drifting)
 //
-// Frames are far below PIPE_BUF (a record payload is <= 561 bytes), so
+// Frames are far below PIPE_BUF (a record payload is <= 578 bytes), so
 // every write is atomic at the kernel level and a frame read either
 // yields a whole frame or hits EOF — a worker killed mid-simulation can
 // never leave a half-frame for the supervisor to misparse. Reads still

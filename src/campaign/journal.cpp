@@ -18,9 +18,14 @@ constexpr std::size_t kHeaderBytes = 8 + 3 * 8 + 4;
 // term_signal + exit_code + attempts + max_rss_kb + cpu_ms, present only
 // on quarantined records (flags bit1).
 constexpr std::size_t kErrorBytes = 4 + 4 + 4 + 8 + 8;
+// gates_evaluated + sim_cycles + engine_used, present when flags bit2 is
+// set (every record written since work accounting; absent in journals
+// from older runs, which decode with zero counters).
+constexpr std::size_t kWorkBytes = 8 + 8 + 1;
 // group + count + flags + detected_mask + cycles + 63 detect cycles
-// + optional quarantine error.
-constexpr std::size_t kMaxPayload = 8 + 4 + 1 + 8 + 8 + 63 * 8 + kErrorBytes;
+// + optional quarantine error + optional work section.
+constexpr std::size_t kMaxPayload =
+    8 + 4 + 1 + 8 + 8 + 63 * 8 + kErrorBytes + kWorkBytes;
 
 template <typename T>
 void put(std::string& out, T v) {
@@ -70,7 +75,7 @@ std::string encode_record_payload(const fault::GroupRecord& rec) {
   put(out, rec.group);
   put(out, rec.count);
   put(out, static_cast<std::uint8_t>((rec.timed_out ? 1 : 0) |
-                                     (rec.quarantined ? 2 : 0)));
+                                     (rec.quarantined ? 2 : 0) | 4));
   put(out, rec.detected_mask);
   put(out, rec.cycles);
   for (std::int64_t c : rec.detect_cycle) put(out, c);
@@ -81,6 +86,12 @@ std::string encode_record_payload(const fault::GroupRecord& rec) {
     put(out, rec.error.max_rss_kb);
     put(out, rec.error.cpu_ms);
   }
+  // Work section (flags bit2, always written since work accounting):
+  // keeps campaign-wide gate/cycle aggregates exact across --isolate
+  // wire transfers and journal resumes.
+  put(out, rec.gates_evaluated);
+  put(out, rec.sim_cycles);
+  put(out, static_cast<std::uint8_t>(rec.engine_used));
   return out;
 }
 
@@ -95,8 +106,13 @@ bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec) {
   }
   r.timed_out = (flags & 1) != 0;
   r.quarantined = (flags & 2) != 0;
+  // bit2: record carries a work-counter section. Journals written before
+  // work accounting existed lack it; their records decode with zero
+  // counters (honest: that work was never measured).
+  const bool has_work = (flags & 4) != 0;
   const std::size_t tail = r.count * sizeof(std::int64_t) +
-                           (r.quarantined ? kErrorBytes : 0);
+                           (r.quarantined ? kErrorBytes : 0) +
+                           (has_work ? kWorkBytes : 0);
   if (r.count > 63 || payload.size() - q != tail) return false;
   r.detect_cycle.resize(r.count);
   for (std::uint32_t i = 0; i < r.count; ++i) {
@@ -108,6 +124,16 @@ bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec) {
     get(payload, q, &r.error.attempts);
     get(payload, q, &r.error.max_rss_kb);
     get(payload, q, &r.error.cpu_ms);
+  }
+  if (has_work) {
+    std::uint8_t engine = 0;
+    get(payload, q, &r.gates_evaluated);
+    get(payload, q, &r.sim_cycles);
+    get(payload, q, &engine);
+    if (engine > static_cast<std::uint8_t>(fault::GroupEngine::kSweep)) {
+      return false;
+    }
+    r.engine_used = static_cast<fault::GroupEngine>(engine);
   }
   *rec = std::move(r);
   return true;

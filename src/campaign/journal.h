@@ -7,10 +7,14 @@
 //            num_faults u64 | crc32(previous 24 bytes) u32
 //   record*  payload_len u32 | crc32(payload) u32 | payload
 //   payload  group u64 | count u32 | flags u8 (bit0 = timed_out,
-//            bit1 = quarantined) | detected_mask u64 | cycles u64 |
+//            bit1 = quarantined, bit2 = has work section) |
+//            detected_mask u64 | cycles u64 |
 //            count x detect_cycle i64
 //            [iff quarantined: term_signal i32 | exit_code i32 |
 //             attempts u32 | max_rss_kb u64 | cpu_ms u64]
+//            [iff bit2: gates_evaluated u64 | sim_cycles u64 |
+//             engine_used u8 — written by every run since work
+//             accounting; older journals decode with zero counters]
 //
 // Records are appended (and flushed to the OS) as fault groups finish,
 // in completion order — group indices are NOT sorted. A crash can tear

@@ -222,6 +222,10 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
       continue;
     }
     plan.apply(it->second, &out.result);
+    // Fold the seeded record's work counters into the run aggregate so a
+    // resumed campaign reports the same totals as an uninterrupted one.
+    out.result.gates_evaluated += it->second.gates_evaluated;
+    out.result.sim_cycles += it->second.sim_cycles;
     if (it->second.cycles > out.result.good_cycles) {
       out.result.good_cycles = it->second.cycles;
     }
@@ -302,6 +306,11 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
 
   const auto resolve = [&](const fault::GroupRecord& rec) {
     plan.apply(rec, &out.result);
+    // The record carried its work counters across the worker pipe
+    // (journal payload encoding); fold them in — before this, isolated
+    // campaigns reported zero gates_evaluated/sim_cycles.
+    out.result.gates_evaluated += rec.gates_evaluated;
+    out.result.sim_cycles += rec.sim_cycles;
     if (rec.cycles > out.result.good_cycles) {
       out.result.good_cycles = rec.cycles;
     }
@@ -310,7 +319,10 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
     }
     if (journal.writer) journal.writer->add(rec);
     ++done;
-    if (options.sim.progress) options.sim.progress(done, out.groups_total);
+    if (options.sim.progress) {
+      options.sim.progress(
+          fault::Progress{done, out.seeded_groups, out.groups_total});
+    }
   };
 
   // Retry-or-quarantine decision for a group whose worker died.

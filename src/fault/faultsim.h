@@ -56,6 +56,16 @@ struct GroupError {
   std::uint64_t cpu_ms = 0;      // user+sys CPU of the last attempt
 };
 
+/// Which kernel actually produced a group's record. Stored with the
+/// record (journal + supervisor wire) so resumed campaigns and telemetry
+/// attribute per-group work to the engine that really ran — detection
+/// verdicts are bit-identical across kernels, work counters are not.
+enum class GroupEngine : std::uint8_t {
+  kNone = 0,   // never simulated (unstarted/quarantined record)
+  kEvent = 1,  // event-driven differential kernel
+  kSweep = 2,  // full levelized sweep
+};
+
 /// Outcome of one 63-fault group — the unit of campaign checkpointing.
 /// Slot i is the i-th fault of the group, i.e. index `group * 63 + i`
 /// into the engine's active fault order (the sampled-and-sorted fault
@@ -76,6 +86,15 @@ struct GroupRecord {
   std::uint64_t cycles = 0;                // good-machine cycles the group ran
   std::vector<std::int64_t> detect_cycle;  // size count, -1 when undetected
   GroupError error;                        // meaningful iff quarantined
+  /// Work spent simulating this group (0 for unstarted records, and for
+  /// records journaled before work accounting existed). Carried in the
+  /// journal payload and across the supervisor's worker pipes so
+  /// campaign-level aggregates survive --isolate and journal resumes.
+  std::uint64_t gates_evaluated = 0;
+  std::uint64_t sim_cycles = 0;
+  /// Kernel that produced the verdicts (engine-dependent counters above
+  /// only compare between records with equal engines).
+  GroupEngine engine_used = GroupEngine::kNone;
 };
 
 /// Simulation kernel selection. Both kernels produce bit-identical
@@ -89,6 +108,17 @@ enum class Engine : std::uint8_t {
   kEvent,
   /// Full levelized sweep of every gate each cycle (historical engine).
   kSweep,
+};
+
+/// Snapshot passed to the progress callback after each resolved group.
+/// `seeded` counts the groups (of `done`) that were replayed from stored
+/// records rather than simulated — ETA estimators must derive their rate
+/// from `done - seeded`, because seeded groups resolve in ~zero time and
+/// a resumed campaign would otherwise extrapolate absurdly fast.
+struct Progress {
+  std::size_t done = 0;    // groups resolved so far (simulated + seeded)
+  std::size_t seeded = 0;  // of `done`, replayed from stored records
+  std::size_t total = 0;   // groups in the whole campaign
 };
 
 struct FaultSimOptions {
@@ -111,11 +141,11 @@ struct FaultSimOptions {
   /// result indices), so the result is bit-identical for every thread
   /// count.
   unsigned threads = 0;
-  /// Optional progress callback: (groups_done, groups_total). Invoked
-  /// under an internal mutex (never concurrently), but from worker
-  /// threads when threads != 1; groups complete out of order, yet
-  /// groups_done is a monotonically increasing count.
-  std::function<void(std::size_t, std::size_t)> progress;
+  /// Optional progress callback. Invoked under an internal mutex (never
+  /// concurrently), but from worker threads when threads != 1; groups
+  /// complete out of order, yet Progress::done is a monotonically
+  /// increasing count.
+  std::function<void(const Progress&)> progress;
   /// Cooperative cancellation (graceful drain). Checked between groups
   /// only: when the flag becomes true, in-flight groups finish normally,
   /// unstarted groups are left unsimulated, and the run returns early
@@ -139,6 +169,14 @@ struct FaultSimOptions {
   /// (simulated or deadline-expired, not seeded), serialized under an
   /// internal mutex but from worker threads when threads != 1.
   std::function<void(const GroupRecord&)> on_group;
+  /// Telemetry hook: invoked once per group resolved by this run —
+  /// simulated, deadline-expired, AND seeded (unlike on_group) — under
+  /// the same internal mutex as progress/on_group. `duration_ms` is the
+  /// wall clock this run spent resolving the group (~0 when seeded).
+  /// The engine stays oblivious to sinks; callers (src/campaign) own
+  /// the metrics stream.
+  std::function<void(const GroupRecord&, bool seeded, double duration_ms)>
+      on_group_metric;
 };
 
 struct FaultSimResult {
@@ -170,9 +208,13 @@ struct FaultSimResult {
   /// True when options.cancel was observed set: some groups were never
   /// started and their faults are left with simulated == 0 (resumable).
   bool cancelled = false;
-  /// Work accounting for the activity-factor benchmarks: combinational
-  /// gate evaluations actually performed and machine cycles simulated,
-  /// summed over every group this run simulated (seeded groups add 0).
+  /// Work accounting for the activity-factor benchmarks and campaign
+  /// telemetry: combinational gate evaluations actually performed and
+  /// machine cycles simulated, summed over the per-group record counters
+  /// of every resolved group — seeded groups contribute the work their
+  /// original simulation recorded, so a resumed campaign's aggregate
+  /// equals the uninterrupted run's (records journaled before work
+  /// accounting existed contribute 0).
   std::uint64_t gates_evaluated = 0;
   std::uint64_t sim_cycles = 0;
   /// Size of the recorded good trace (0 when the sweep engine ran or no

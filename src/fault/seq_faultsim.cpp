@@ -306,11 +306,16 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
           : Clock::time_point::max();
 
   if (im.event) {
+    const std::uint64_t before = im.event->stats().gates_evaluated;
+    const std::uint64_t before_cycles = im.event->stats().cycles;
     KernelDeadlines deadlines;
     deadlines.active = has_clock_bounds;
     deadlines.group_deadline = group_deadline;
     deadlines.run_deadline = im.run_deadline;
     im.event->simulate(im.inj, count, deadlines, &rec);
+    rec.gates_evaluated = im.event->stats().gates_evaluated - before;
+    rec.sim_cycles = im.event->stats().cycles - before_cycles;
+    rec.engine_used = GroupEngine::kEvent;
     return rec;
   }
 
@@ -358,9 +363,12 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
   }
   rec.detected_mask = detected;
   rec.cycles = cycle;
-  im.sweep_stats.cycles += evaluated_cycles;
-  im.sweep_stats.gates_evaluated +=
+  rec.gates_evaluated =
       evaluated_cycles * im.sim.levelization().comb_order.size();
+  rec.sim_cycles = evaluated_cycles;
+  rec.engine_used = GroupEngine::kSweep;
+  im.sweep_stats.cycles += evaluated_cycles;
+  im.sweep_stats.gates_evaluated += rec.gates_evaluated;
   return rec;
 }
 
@@ -414,21 +422,34 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
   // a cancelled run). The same mutex serializes the on_group checkpoint
   // hook so journal appends never interleave.
   std::atomic<std::size_t> groups_done{0};
+  std::atomic<std::size_t> groups_seeded{0};
   std::atomic<std::uint64_t> good_cycles{0};
   std::mutex hook_mutex;
-  auto report_progress = [&]() {
-    const std::size_t done = groups_done.fetch_add(1) + 1;
+  auto report_progress = [&](bool seeded) {
+    Progress p;
+    p.seeded = seeded ? groups_seeded.fetch_add(1) + 1
+                      : groups_seeded.load(std::memory_order_relaxed);
+    p.done = groups_done.fetch_add(1) + 1;
+    p.total = num_groups;
     if (options.progress) {
       std::lock_guard<std::mutex> lock(hook_mutex);
-      options.progress(done, num_groups);
+      options.progress(p);
     }
   };
 
-  // Splices a group outcome into the result arrays. Groups own disjoint
-  // fault indices, so concurrent calls from workers never collide; only
-  // good_cycles needs an atomic max-reduction.
+  // Splices a group outcome into the result arrays and folds its work
+  // counters into the run totals. Groups own disjoint fault indices, so
+  // concurrent calls from workers never collide; the scalar reductions
+  // are atomic. Summing per-record counters (instead of per-worker
+  // KernelStats) makes the aggregate a pure function of the resolved
+  // records: seeded groups contribute the work their original
+  // simulation recorded, so resumed and uninterrupted campaigns agree.
+  std::atomic<std::uint64_t> agg_gates{0};
+  std::atomic<std::uint64_t> agg_cycles{0};
   auto apply_record = [&](const GroupRecord& rec) {
     plan.apply(rec, &res);
+    agg_gates.fetch_add(rec.gates_evaluated, std::memory_order_relaxed);
+    agg_cycles.fetch_add(rec.sim_cycles, std::memory_order_relaxed);
     std::uint64_t cur = good_cycles.load(std::memory_order_relaxed);
     while (rec.cycles > cur &&
            !good_cycles.compare_exchange_weak(cur, rec.cycles,
@@ -440,6 +461,9 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
   // deadline, or simulate. Seeded groups are not re-journaled; simulated
   // and deadline-expired ones go through on_group.
   auto process_group = [&](GroupSimulator& sim, std::size_t group) {
+    const bool timed =
+        static_cast<bool>(options.on_group_metric);  // one clock pair/group
+    const Clock::time_point started = timed ? Clock::now() : Clock::time_point();
     GroupRecord rec;
     bool seeded = false;
     if (options.seed_group && options.seed_group(group, &rec)) {
@@ -462,19 +486,20 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
       std::lock_guard<std::mutex> lock(hook_mutex);
       options.on_group(rec);
     }
-    report_progress();
+    if (timed) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - started)
+              .count();
+      std::lock_guard<std::mutex> lock(hook_mutex);
+      options.on_group_metric(rec, seeded, ms);
+    }
+    report_progress(seeded);
   };
 
   unsigned threads =
       options.threads == 0 ? util::hardware_threads() : options.threads;
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(num_groups, 1)));
-
-  auto fold_stats = [&res](const GroupSimulator& sim) {
-    const KernelStats s = sim.stats();
-    res.gates_evaluated += s.gates_evaluated;
-    res.sim_cycles += s.cycles;
-  };
 
   if (threads <= 1) {
     GroupSimulator sim(netlist, faults, plan, make_env, options,
@@ -487,7 +512,6 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
       }
       process_group(sim, group);
     }
-    fold_stats(sim);
   } else {
     // Each worker lazily builds its own simulator + injection table (the
     // LogicSim constructor levelizes the netlist, so eager construction
@@ -505,10 +529,9 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
           process_group(*workers[w], group);
         },
         options.cancel);
-    for (const std::unique_ptr<GroupSimulator>& w : workers) {
-      if (w) fold_stats(*w);
-    }
   }
+  res.gates_evaluated = agg_gates.load(std::memory_order_relaxed);
+  res.sim_cycles = agg_cycles.load(std::memory_order_relaxed);
 
   if (trace_source) {
     res.trace_bytes = trace_source->trace_bytes();

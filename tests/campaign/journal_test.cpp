@@ -46,6 +46,10 @@ fault::GroupRecord make_record(std::uint64_t group, std::uint32_t count) {
                             ? static_cast<std::int64_t>(group * 10 + i)
                             : -1;
   }
+  r.gates_evaluated = group * 100003 + count;
+  r.sim_cycles = group * 977 + 1;
+  r.engine_used =
+      group % 2 == 0 ? fault::GroupEngine::kEvent : fault::GroupEngine::kSweep;
   return r;
 }
 
@@ -56,6 +60,9 @@ void expect_equal(const fault::GroupRecord& a, const fault::GroupRecord& b) {
   EXPECT_EQ(a.detected_mask, b.detected_mask);
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.detect_cycle, b.detect_cycle);
+  EXPECT_EQ(a.gates_evaluated, b.gates_evaluated);
+  EXPECT_EQ(a.sim_cycles, b.sim_cycles);
+  EXPECT_EQ(a.engine_used, b.engine_used);
 }
 
 const JournalMeta kMeta{0x1234abcd5678ef01ull, 10, 630};
@@ -251,6 +258,54 @@ TEST(Journal, QuarantinedRecordRoundTrips) {
   JournalSession retry = open_journal_session(path, kMeta, true);
   EXPECT_EQ(retry.seeds.count(4), 0u);
   EXPECT_EQ(retry.seeds.count(1), 1u);
+}
+
+TEST(Journal, WorkCountersRoundTripThroughPayloadCodec) {
+  // The payload codec doubles as the supervisor's wire format, so the
+  // work counters must survive encode/decode exactly — this is the
+  // dropped-counter bug: records used to lose gates_evaluated/sim_cycles
+  // at every serialization boundary.
+  for (std::uint64_t g : {0u, 1u, 9u}) {
+    fault::GroupRecord rec = make_record(g, g == 9 ? 5u : 63u);
+    fault::GroupRecord back;
+    ASSERT_TRUE(decode_record_payload(encode_record_payload(rec), &back));
+    expect_equal(rec, back);
+  }
+  // Quarantined records carry both the error section and the work
+  // section; order in the payload must not confuse the decoder.
+  fault::GroupRecord rec = make_record(4, 63);
+  rec.quarantined = true;
+  rec.error.term_signal = SIGSEGV;
+  rec.error.attempts = 3;
+  fault::GroupRecord back;
+  ASSERT_TRUE(decode_record_payload(encode_record_payload(rec), &back));
+  expect_equal(rec, back);
+  EXPECT_EQ(back.error.term_signal, SIGSEGV);
+  EXPECT_EQ(back.error.attempts, 3u);
+}
+
+TEST(Journal, LegacyPayloadWithoutWorkSectionDecodesWithZeroCounters) {
+  // Journals written before work accounting existed have no bit2 work
+  // section. Re-encode a record the old way (strip flags bit2 and the
+  // 17-byte tail) and require it to decode — with honest zero counters.
+  const fault::GroupRecord rec = make_record(2, 63);
+  std::string payload = encode_record_payload(rec);
+  payload.resize(payload.size() - (8 + 8 + 1));  // drop the work section
+  payload[8 + 4] &= static_cast<char>(~4);       // clear flags bit2
+  fault::GroupRecord back;
+  ASSERT_TRUE(decode_record_payload(payload, &back));
+  EXPECT_EQ(back.group, rec.group);
+  EXPECT_EQ(back.detected_mask, rec.detected_mask);
+  EXPECT_EQ(back.detect_cycle, rec.detect_cycle);
+  EXPECT_EQ(back.gates_evaluated, 0u);
+  EXPECT_EQ(back.sim_cycles, 0u);
+  EXPECT_EQ(back.engine_used, fault::GroupEngine::kNone);
+
+  // A work section with an engine byte from the future is corruption,
+  // not silently accepted.
+  std::string bogus = encode_record_payload(rec);
+  bogus.back() = 7;
+  EXPECT_FALSE(decode_record_payload(bogus, &back));
 }
 
 TEST(Journal, RejectsCorruptHeader) {

@@ -205,8 +205,8 @@ TEST(Supervisor, DrainStopsDispatchAndResumesBitIdentical) {
   opt.journal = path;
   std::atomic<bool> cancel{false};
   opt.sim.cancel = &cancel;
-  opt.sim.progress = [&cancel](std::size_t done, std::size_t) {
-    if (done >= 3) cancel.store(true);
+  opt.sim.progress = [&cancel](const fault::Progress& p) {
+    if (p.done >= 3) cancel.store(true);
   };
   const CampaignResult part =
       run_campaign(fx.cpu.netlist, fx.faults, fx.env(), kFp, opt);

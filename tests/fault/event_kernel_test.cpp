@@ -333,8 +333,8 @@ TEST(EventKernel, JournalResumeMixesEngines) {
   first.journal = journal;
   first.sim.engine = Engine::kSweep;
   first.sim.cancel = &stop;
-  first.sim.progress = [&stop](std::size_t done, std::size_t) {
-    if (done >= 3) stop.store(true);
+  first.sim.progress = [&stop](const fault::Progress& p) {
+    if (p.done >= 3) stop.store(true);
   };
   const campaign::CampaignResult partial =
       campaign::run_campaign(cpu.netlist, faults, env, kFp, first);

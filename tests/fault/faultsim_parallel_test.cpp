@@ -126,11 +126,12 @@ TEST(FaultSimParallel, ProgressReportsEveryGroupMonotonically) {
     bool monotonic = true;
     // The engine serializes progress invocations under a mutex, so plain
     // variables captured here need no further locking.
-    opt.progress = [&](std::size_t done, std::size_t total) {
+    opt.progress = [&](const Progress& p) {
       ++calls;
-      if (done <= last_done || done > total) monotonic = false;
-      last_done = done;
-      EXPECT_EQ(total, groups);
+      if (p.done <= last_done || p.done > p.total) monotonic = false;
+      if (p.seeded > p.done) monotonic = false;
+      last_done = p.done;
+      EXPECT_EQ(p.total, groups);
     };
     grade_vectors(n, fl, vs, opt);
     EXPECT_EQ(calls, groups) << threads << " threads";

@@ -343,26 +343,30 @@ int cmd_grade(int argc, char** argv) {
   copt.sim.time_budget_ms = time_budget_s * 1000;
   if (progress) {
     // stderr so the stdout report stays machine-diffable. Serialized by
-    // the engine; ETA extrapolates the observed per-group rate, which
-    // needs at least two finished groups to mean anything — before that
-    // (and in particular at done == 0, where the naive formula divides
-    // by zero) it renders as "--:--".
+    // the engine; ETA extrapolates the per-group rate of groups
+    // simulated by *this run* (done - seeded): journal-seeded groups
+    // replay in ~zero time against an elapsed clock that started at
+    // this process's t0, so counting them used to make a resumed
+    // campaign's ETA wildly optimistic. Needs at least two groups
+    // simulated this run to mean anything — before that it renders as
+    // "--:--".
     const auto t0 = std::chrono::steady_clock::now();
-    copt.sim.progress = [t0](std::size_t done, std::size_t total) {
+    copt.sim.progress = [t0](const fault::Progress& p) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
       char eta[24];
-      if (done >= 2 && total >= done) {
+      const std::size_t fresh = p.done > p.seeded ? p.done - p.seeded : 0;
+      if (fresh >= 2 && p.total >= p.done) {
         std::snprintf(eta, sizeof(eta), "%.1fs",
-                      elapsed * static_cast<double>(total - done) /
-                          static_cast<double>(done));
+                      elapsed * static_cast<double>(p.total - p.done) /
+                          static_cast<double>(fresh));
       } else {
         std::snprintf(eta, sizeof(eta), "--:--");
       }
       std::fprintf(stderr, "\r[grade] %zu/%zu groups  elapsed %.1fs  eta %s ",
-                   done, total, elapsed, eta);
-      if (done == total) std::fputc('\n', stderr);
+                   p.done, p.total, elapsed, eta);
+      if (p.done == p.total) std::fputc('\n', stderr);
     };
   }
 
