@@ -1,8 +1,10 @@
 // Campaign durability overhead: grades the same Plasma Phase A+B
-// sample four ways — bare engine, campaign without a journal, campaign
-// with per-group journalling, and campaign with process-isolated
-// workers (--isolate) — and reports the wall-clock cost of the
-// crash-safety and blast-radius layers in BENCH_campaign_overhead.json.
+// sample six ways — bare engine, campaign without a journal, campaign
+// with the NDJSON telemetry stream (--metrics), campaign with
+// per-group journalling, a fully seeded resume, and campaign with
+// process-isolated workers (--isolate) — and reports the wall-clock
+// cost of the observability, crash-safety and blast-radius layers in
+// BENCH_campaign_overhead.json.
 //
 // The journal fsync policy is flush-per-record, so the overhead here
 // bounds what a user pays for resumability on a real Table-5 run. It
@@ -90,7 +92,22 @@ int main(int argc, char** argv) {
   });
   std::printf("  campaign, no journal %7.2fs\n", t_nojournal);
 
-  // 3. Campaign with journalling — flush one record per finished group.
+  // 3. Campaign with telemetry — NDJSON metrics stream + heartbeat
+  // status file, no journal. Isolates the price of --metrics, which
+  // must stay within noise of leg 2.
+  campaign::CampaignOptions mopt;
+  mopt.sim = sim;
+  mopt.telemetry.metrics_path = "bench_campaign_overhead.ndjson";
+  mopt.telemetry.status_path = "bench_campaign_overhead_status.json";
+  campaign::CampaignResult metered;
+  const double t_metrics = time_seconds([&] {
+    metered = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, mopt);
+  });
+  std::printf("  campaign + metrics   %7.2fs\n", t_metrics);
+  std::remove(mopt.telemetry.metrics_path.c_str());
+  std::remove(mopt.telemetry.status_path.c_str());
+
+  // 4. Campaign with journalling — flush one record per finished group.
   copt.journal = "bench_campaign_overhead.sbstj";
   std::remove(copt.journal.c_str());
   campaign::CampaignResult journaled;
@@ -99,7 +116,7 @@ int main(int argc, char** argv) {
   });
   std::printf("  campaign + journal   %7.2fs\n", t_journal);
 
-  // 4. Fully seeded resume — every group read back, none simulated.
+  // 5. Fully seeded resume — every group read back, none simulated.
   campaign::CampaignResult resumed;
   const double t_resume = time_seconds([&] {
     resumed = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, copt);
@@ -108,7 +125,7 @@ int main(int argc, char** argv) {
               t_resume, resumed.seeded_groups, resumed.groups_total);
   std::remove(copt.journal.c_str());
 
-  // 5. Process-isolated workers — fork per worker, groups over pipes.
+  // 6. Process-isolated workers — fork per worker, groups over pipes.
   // This is the price of containing a crashing/hanging group to one
   // worker process instead of the whole campaign.
   campaign::CampaignOptions iopt;
@@ -122,17 +139,21 @@ int main(int argc, char** argv) {
   std::printf("  campaign --isolate   %7.2fs\n", t_isolate);
 
   const bool correct = identical(bare, nojournal.result) &&
+                       identical(bare, metered.result) &&
                        identical(bare, journaled.result) &&
                        identical(bare, resumed.result) &&
                        identical(bare, isolated.result) &&
                        resumed.seeded_groups == groups;
   const double overhead_pct =
       t_bare > 0.0 ? 100.0 * (t_journal - t_bare) / t_bare : 0.0;
+  const double metrics_pct =
+      t_nojournal > 0.0 ? 100.0 * (t_metrics - t_nojournal) / t_nojournal
+                        : 0.0;
   const double isolate_pct =
       t_bare > 0.0 ? 100.0 * (t_isolate - t_bare) / t_bare : 0.0;
-  std::printf("journalling overhead %.2f%%, isolation overhead %.2f%% over "
-              "bare engine; results %s\n",
-              overhead_pct, isolate_pct,
+  std::printf("journalling overhead %.2f%%, metrics overhead %.2f%%, "
+              "isolation overhead %.2f%%; results %s\n",
+              overhead_pct, metrics_pct, isolate_pct,
               correct ? "bit-identical" : "MISMATCH");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -149,18 +170,21 @@ int main(int argc, char** argv) {
                "  \"sampled\": %s,\n"
                "  \"seconds_engine\": %.4f,\n"
                "  \"seconds_campaign_nojournal\": %.4f,\n"
+               "  \"seconds_campaign_metrics\": %.4f,\n"
                "  \"seconds_campaign_journal\": %.4f,\n"
                "  \"seconds_resume_seeded\": %.4f,\n"
                "  \"seconds_campaign_isolate\": %.4f,\n"
                "  \"journal_overhead_percent\": %.3f,\n"
+               "  \"metrics_overhead_percent\": %.3f,\n"
                "  \"isolate_overhead_percent\": %.3f,\n"
                "  \"worker_restarts\": %zu,\n"
                "  \"bit_identical\": %s\n"
                "}\n",
                pab.name.c_str(), groups, sim.threads,
-               full ? "false" : "true", t_bare, t_nojournal, t_journal,
-               t_resume, t_isolate, overhead_pct, isolate_pct,
-               isolated.worker_restarts, correct ? "true" : "false");
+               full ? "false" : "true", t_bare, t_nojournal, t_metrics,
+               t_journal, t_resume, t_isolate, overhead_pct, metrics_pct,
+               isolate_pct, isolated.worker_restarts,
+               correct ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return correct ? 0 : 1;

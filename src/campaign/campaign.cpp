@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "campaign/journal.h"
@@ -35,6 +37,35 @@ std::size_t campaign_groups(const nl::FaultList& faults,
       (sim.sample != 0 && sim.sample < faults.size()) ? sim.sample
                                                       : faults.size();
   return (active + 62) / 63;
+}
+
+telemetry::GroupMetric to_group_metric(const fault::GroupRecord& rec,
+                                       bool seeded, double duration_ms) {
+  telemetry::GroupMetric m;
+  m.group = rec.group;
+  m.faults = rec.count;
+  const std::uint64_t live =
+      rec.count >= 64 ? ~0ull : ((1ull << rec.count) - 1);
+  m.detected =
+      static_cast<std::uint32_t>(std::popcount(rec.detected_mask & live));
+  switch (rec.engine_used) {
+    case fault::GroupEngine::kEvent: m.engine = "event"; break;
+    case fault::GroupEngine::kSweep: m.engine = "sweep"; break;
+    case fault::GroupEngine::kNone: m.engine = "none"; break;
+  }
+  m.seeded = seeded;
+  m.timed_out = rec.timed_out;
+  m.quarantined = rec.quarantined;
+  m.cycles = rec.cycles;
+  m.gates_evaluated = rec.gates_evaluated;
+  m.sim_cycles = rec.sim_cycles;
+  m.duration_ms = duration_ms;
+  if (rec.quarantined) {
+    m.attempts = rec.error.attempts;
+    m.max_rss_kb = rec.error.max_rss_kb;
+    m.cpu_ms = rec.error.cpu_ms;
+  }
+  return m;
 }
 
 void finish_campaign_result(const nl::FaultList& faults,
@@ -99,11 +130,25 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
     };
   }
 
+  // Telemetry rides the engine's per-group hook — one metric per
+  // resolved group, seeded groups included (at ~zero duration), so the
+  // stream always covers every group the run touched.
+  std::optional<telemetry::CampaignTelemetry> tele;
+  if (!options.telemetry.metrics_path.empty() ||
+      !options.telemetry.status_path.empty()) {
+    tele.emplace(options.telemetry, "threads", out.groups_total);
+    sim.on_group_metric = [&tele](const fault::GroupRecord& rec, bool seeded,
+                                  double duration_ms) {
+      tele->record(to_group_metric(rec, seeded, duration_ms));
+    };
+  }
+
   out.result = fault::run_fault_sim(netlist, faults, make_env, sim);
   out.groups_done = out.result.groups_done;
   out.seeded_groups = seeded.load(std::memory_order_relaxed);
   out.resumed = out.seeded_groups != 0;
   out.interrupted = out.result.cancelled;
+  if (tele) tele->finish(out.interrupted);
   finish_campaign_result(faults, options, &out);
   return out;
 }

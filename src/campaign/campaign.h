@@ -28,6 +28,7 @@
 
 #include "fault/faultsim.h"
 #include "netlist/fault.h"
+#include "telemetry/metrics.h"
 
 namespace sbst::campaign {
 
@@ -72,6 +73,11 @@ struct CampaignOptions {
   /// non-quarantined groups. sim.threads is ignored in this mode.
   bool isolate = false;
   IsolateOptions iso;
+  /// Telemetry sinks (per-group metrics NDJSON + heartbeat status JSON,
+  /// telemetry/metrics.h). Both paths empty = telemetry off. Written
+  /// for every resolved group, seeded ones included, in both execution
+  /// modes.
+  telemetry::TelemetryOptions telemetry;
   /// Engine options (threads, sample, max_cycles, group_timeout_ms,
   /// time_budget_ms, progress). The seed_group/on_group hooks and —
   /// when handle_signals is set — the cancel flag are overwritten by
@@ -117,6 +123,13 @@ std::uint64_t fingerprint_u64(std::uint64_t h, std::uint64_t v);
 /// list under `sim` (sampling included) — the journal's group universe.
 std::size_t campaign_groups(const nl::FaultList& faults,
                             const fault::FaultSimOptions& sim);
+
+/// Translates one engine GroupRecord into the telemetry schema: verdict
+/// counts from the detection mask, engine attribution, and the work
+/// counters the record carried. The isolated supervisor overrides the
+/// attempt/rusage fields afterwards; threaded mode uses the defaults.
+telemetry::GroupMetric to_group_metric(const fault::GroupRecord& rec,
+                                       bool seeded, double duration_ms);
 
 /// Runs (or resumes) a campaign. Throws std::runtime_error when the
 /// journal exists but belongs to a different campaign or is corrupt

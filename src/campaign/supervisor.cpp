@@ -18,10 +18,13 @@
 #include <vector>
 
 #include <memory>
+#include <optional>
+#include <unordered_map>
 
 #include "campaign/ipc.h"
 #include "campaign/journal.h"
 #include "fault/good_trace.h"
+#include "telemetry/metrics.h"
 #include "util/signals.h"
 
 namespace sbst::campaign {
@@ -108,6 +111,7 @@ struct Worker {
   bool busy = false;
   std::uint64_t group = 0;
   std::uint32_t attempt = 0;
+  Clock::time_point started;  // when the current request was dispatched
   Clock::time_point deadline = Clock::time_point::max();
 
   bool alive() const { return pid > 0; }
@@ -212,6 +216,12 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
   out.result.groups_total = out.groups_total;
   std::size_t done = 0;
 
+  std::optional<telemetry::CampaignTelemetry> tele;
+  if (!options.telemetry.metrics_path.empty() ||
+      !options.telemetry.status_path.empty()) {
+    tele.emplace(options.telemetry, "isolate", out.groups_total);
+  }
+
   // A journaled record resolves its group without touching a worker;
   // everything else forms the dispatch queue, in group order.
   std::deque<ipc::GroupRequest> pending;
@@ -232,6 +242,7 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
     if (it->second.quarantined) {
       out.quarantined_groups.push_back({g, it->second.error});
     }
+    if (tele) tele->record(to_group_metric(it->second, /*seeded=*/true, 0.0));
     ++out.seeded_groups;
     ++done;
   }
@@ -304,7 +315,20 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
           ? std::chrono::milliseconds(options.sim.group_timeout_ms * 2 + 1000)
           : std::chrono::milliseconds(0);
 
-  const auto resolve = [&](const fault::GroupRecord& rec) {
+  // Rusage of worker attempts that died on a still-unresolved group,
+  // keyed by group: peak RSS across attempts, summed CPU. Folded into
+  // the group's telemetry metric (and, on quarantine, its GroupError)
+  // when the group finally resolves — without the carry, a
+  // crash-then-succeed group would report only its surviving attempt
+  // and the dead attempts' cost would vanish from every report.
+  struct AttemptCost {
+    std::uint64_t max_rss_kb = 0;
+    std::uint64_t cpu_ms = 0;
+  };
+  std::unordered_map<std::uint64_t, AttemptCost> attempt_cost;
+
+  const auto resolve = [&](const fault::GroupRecord& rec, double duration_ms,
+                           std::uint32_t attempts) {
     plan.apply(rec, &out.result);
     // The record carried its work counters across the worker pipe
     // (journal payload encoding); fold them in — before this, isolated
@@ -318,6 +342,18 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
       out.quarantined_groups.push_back({rec.group, rec.error});
     }
     if (journal.writer) journal.writer->add(rec);
+    if (tele) {
+      telemetry::GroupMetric m =
+          to_group_metric(rec, /*seeded=*/false, duration_ms);
+      m.attempts = attempts;
+      const auto it = attempt_cost.find(rec.group);
+      if (it != attempt_cost.end()) {
+        m.max_rss_kb = std::max(m.max_rss_kb, it->second.max_rss_kb);
+        m.cpu_ms += it->second.cpu_ms;
+      }
+      tele->record(m);
+    }
+    attempt_cost.erase(rec.group);
     ++done;
     if (options.sim.progress) {
       options.sim.progress(
@@ -327,14 +363,28 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
 
   // Retry-or-quarantine decision for a group whose worker died.
   const auto fail_group = [&](std::uint64_t group, std::uint32_t attempt,
-                              const fault::GroupError& err) {
+                              fault::GroupError err, double duration_ms) {
     if (attempt >= options.iso.max_group_retries) {
+      // The quarantine post-mortem covers *all* attempts — fold the
+      // earlier dead attempts' rusage into the final one's, matching
+      // the "on all N attempts" wording of the CLI report.
+      const auto it = attempt_cost.find(group);
+      if (it != attempt_cost.end()) {
+        err.max_rss_kb = std::max(err.max_rss_kb, it->second.max_rss_kb);
+        err.cpu_ms += it->second.cpu_ms;
+        // Erase before resolve(): the record's GroupError now owns the
+        // carried rusage, and resolve() would otherwise fold it twice.
+        attempt_cost.erase(it);
+      }
       fault::GroupRecord rec =
           plan.unstarted_record(static_cast<std::size_t>(group));
       rec.quarantined = true;
       rec.error = err;
-      resolve(rec);
+      resolve(rec, duration_ms, err.attempts);
     } else {
+      AttemptCost& acc = attempt_cost[group];
+      acc.max_rss_kb = std::max(acc.max_rss_kb, err.max_rss_kb);
+      acc.cpu_ms += err.cpu_ms;
       // Retry at the front so a transient failure is re-attempted while
       // the campaign is still warm, with the attempt count advanced.
       pending.push_front({group, attempt + 1});
@@ -372,12 +422,13 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
             // failure path bounded by max_group_retries.
             const fault::GroupError err = reap_worker(&w);
             ++out.worker_restarts;
-            fail_group(req.group, req.attempt, err);
+            fail_group(req.group, req.attempt, err, 0.0);
             w = spawn_worker(ctx);
             continue;
           }
           w.busy = true;
-          w.deadline = hang_grace.count() != 0 ? Clock::now() + hang_grace
+          w.started = Clock::now();
+          w.deadline = hang_grace.count() != 0 ? w.started + hang_grace
                                                : Clock::time_point::max();
           ++inflight;
         }
@@ -431,10 +482,13 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
                         frame.tag == ipc::kTagRecord &&
                         decode_record_payload(frame.payload, &rec) &&
                         rec.group == w.group;
+        const double attempt_ms =
+            std::chrono::duration<double, std::milli>(after - w.started)
+                .count();
         if (ok) {
           w.busy = false;
           --inflight;
-          resolve(rec);
+          resolve(rec, attempt_ms, w.attempt + 1);
           continue;
         }
         // EOF (crash/OOM/hard kill) or a desynchronized stream: make
@@ -445,7 +499,7 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
         const fault::GroupError err = reap_worker(&w);
         --inflight;
         ++out.worker_restarts;
-        fail_group(group, attempt, err);
+        fail_group(group, attempt, err, attempt_ms);
         if (!draining) w = spawn_worker(ctx);
       }
     }
@@ -466,6 +520,7 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
   out.result.cancelled = out.interrupted;
   out.result.groups_done = done;
   out.groups_done = done;
+  if (tele) tele->finish(out.interrupted);
   finish_campaign_result(faults, options, &out);
   return out;
 }

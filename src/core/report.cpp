@@ -1,10 +1,41 @@
 #include "core/report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 #include <ostream>
 
 namespace sbst::core {
+
+std::string format_percent(double pct, Rounding rounding) {
+  // Work in scaled hundredths so the direction of the final rounding is
+  // explicit. The epsilon is far below the resolution a coverage ratio
+  // can produce (1/total with total in the thousands is ~1e-4 of a
+  // percent) but far above the representation error of a double near
+  // 100, so it only cancels binary noise — 91.995 parsed as
+  // 91.99499999... still floors to 91.99 only when the true decimal
+  // value is below 91.995.
+  constexpr double kEps = 1e-7;
+  const double scaled = pct * 100.0;
+  long long hundredths = 0;
+  switch (rounding) {
+    case Rounding::kNearest:
+      hundredths = std::llround(scaled);
+      break;
+    case Rounding::kDown:
+      hundredths = static_cast<long long>(std::floor(scaled + kEps));
+      break;
+    case Rounding::kUp:
+      hundredths = static_cast<long long>(std::ceil(scaled - kEps));
+      break;
+  }
+  char buf[32];
+  const char* sign = hundredths < 0 ? "-" : "";
+  if (hundredths < 0) hundredths = -hundredths;
+  std::snprintf(buf, sizeof(buf), "%s%lld.%02lld%%", sign, hundredths / 100,
+                hundredths % 100);
+  return buf;
+}
 
 namespace {
 
@@ -13,23 +44,25 @@ namespace {
 /// coverage of an untested component. Rows containing timed-out
 /// (inconclusive) faults render as ">=x%": the true coverage cannot be
 /// lower, and folding inconclusive faults into "undetected" silently
-/// would understate the campaign without saying so.
+/// would understate the campaign without saying so. Bounds round
+/// towards the safe side (format_percent): a ">=" cell floors so the
+/// printed figure never exceeds what the campaign proved.
 std::string fc_cell(const fault::Coverage& c) {
   if (!c.defined()) return "n/a";
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "%s%.2f%%", c.is_lower_bound() ? ">=" : "",
-                c.percent());
-  return buf;
+  if (c.is_lower_bound()) {
+    return ">=" + format_percent(c.percent(), Rounding::kDown);
+  }
+  return format_percent(c.percent(), Rounding::kNearest);
 }
 
 std::string mofc_cell(const fault::Coverage& c, double mofc) {
   if (!c.defined()) return "n/a";
-  char buf[16];
   // Symmetrically, missed coverage over inconclusive faults is an upper
-  // bound.
-  std::snprintf(buf, sizeof(buf), "%s%.2f%%", c.is_lower_bound() ? "<=" : "",
-                mofc);
-  return buf;
+  // bound, and ceils.
+  if (c.is_lower_bound()) {
+    return "<=" + format_percent(mofc, Rounding::kUp);
+  }
+  return format_percent(mofc, Rounding::kNearest);
 }
 
 }  // namespace

@@ -30,6 +30,21 @@ CoverageReport make_coverage_report(const plasma::PlasmaCpu& cpu,
                                     const nl::FaultList& faults,
                                     const fault::FaultSimResult& result);
 
+/// How a percentage is rounded to the two printed decimals.
+enum class Rounding {
+  kNearest,  // plain values: round half away from zero
+  kDown,     // ">=" lower bounds: floor, so the printed bound stays true
+  kUp,       // "<=" upper bounds: ceil, symmetrically
+};
+
+/// Renders `pct` as "12.34%" with directed rounding. A ">=91.996%"
+/// coverage must print as ">=91.99%", not ">=92.00%" — round-to-nearest
+/// on a bound manufactures a guarantee the campaign never made. An
+/// epsilon absorbs binary representation error (e.g. 91.995 stored as
+/// 91.99499999...) so exactly-representable-in-decimal inputs are not
+/// nudged across a hundredth.
+std::string format_percent(double pct, Rounding rounding);
+
 /// Prints one or two phases side by side in the Table 5 layout.
 void print_coverage_table(std::ostream& os, const CoverageReport& phase_a,
                           const CoverageReport* phase_ab);

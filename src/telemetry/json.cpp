@@ -1,0 +1,194 @@
+#include "telemetry/json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace sbst::telemetry {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool done() {
+    skip_ws();
+    return pos >= text.size();
+  }
+};
+
+/// Body of a string literal; the opening quote is already consumed.
+bool parse_string(Cursor* c, std::string* out) {
+  out->clear();
+  const std::string_view t = c->text;
+  while (c->pos < t.size()) {
+    const char ch = t[c->pos++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch != '\\') {
+      out->push_back(ch);
+      continue;
+    }
+    if (c->pos >= t.size()) return false;
+    const char esc = t[c->pos++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (c->pos + 4 > t.size()) return false;
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = t[c->pos++];
+          v <<= 4;
+          if (h >= '0' && h <= '9') {
+            v |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            v |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            v |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        // UTF-8-encode the code point. Surrogate pairs are not
+        // reassembled: our own writer only emits \u below 0x20, so
+        // this branch only sees foreign files, where a lone surrogate
+        // round-trips as its 3-byte encoding.
+        if (v < 0x80) {
+          out->push_back(static_cast<char>(v));
+        } else if (v < 0x800) {
+          out->push_back(static_cast<char>(0xc0 | (v >> 6)));
+          out->push_back(static_cast<char>(0x80 | (v & 0x3f)));
+        } else {
+          out->push_back(static_cast<char>(0xe0 | (v >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3f)));
+          out->push_back(static_cast<char>(0x80 | (v & 0x3f)));
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // EOF inside the literal
+}
+
+bool parse_number(Cursor* c, JsonValue* out) {
+  const std::size_t start = c->pos;
+  const std::string_view t = c->text;
+  while (c->pos < t.size()) {
+    const char ch = t[c->pos];
+    const bool number_char = (ch >= '0' && ch <= '9') || ch == '-' ||
+                             ch == '+' || ch == '.' || ch == 'e' || ch == 'E';
+    if (!number_char) break;
+    ++c->pos;
+  }
+  if (c->pos == start) return false;
+  const std::string token(t.substr(start, c->pos - start));
+  char* end = nullptr;
+  out->number = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  out->kind = JsonValue::Kind::kNumber;
+  bool digits_only = true;
+  for (const char ch : token) digits_only = digits_only && ch >= '0' && ch <= '9';
+  if (digits_only) {
+    errno = 0;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (errno == 0 && end == token.c_str() + token.size()) {
+      out->u64 = v;
+      out->u64_valid = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_flat_json_object(std::string_view text,
+                            std::map<std::string, JsonValue>* out) {
+  out->clear();
+  Cursor c{text};
+  if (!c.eat('{')) return false;
+  if (c.eat('}')) return c.done();
+  while (true) {
+    if (!c.eat('"')) return false;
+    std::string key;
+    if (!parse_string(&c, &key)) return false;
+    if (!c.eat(':')) return false;
+    c.skip_ws();
+    if (c.pos >= text.size()) return false;
+    JsonValue v;
+    const char head = text[c.pos];
+    if (head == '"') {
+      ++c.pos;
+      v.kind = JsonValue::Kind::kString;
+      if (!parse_string(&c, &v.str)) return false;
+    } else if (text.compare(c.pos, 4, "true") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      c.pos += 4;
+    } else if (text.compare(c.pos, 5, "false") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      c.pos += 5;
+    } else if (text.compare(c.pos, 4, "null") == 0) {
+      c.pos += 4;
+    } else if (head == '{' || head == '[') {
+      return false;  // the telemetry schema is flat by design
+    } else if (!parse_number(&c, &v)) {
+      return false;
+    }
+    (*out)[key] = std::move(v);
+    if (c.eat(',')) continue;
+    if (c.eat('}')) return c.done();
+    return false;
+  }
+}
+
+}  // namespace sbst::telemetry

@@ -1,0 +1,43 @@
+// Minimal JSON support for the telemetry subsystem: an escaping string
+// writer and a parser for flat objects of scalars — exactly the shape of
+// a metrics NDJSON line and of the campaign status file. Deliberately
+// not a general JSON library: nested objects and arrays are rejected,
+// which keeps the telemetry schema honest (flat, diffable, greppable)
+// and the parser small enough to audit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sbst::telemetry {
+
+/// Appends `s` to `out` as a JSON string literal (quotes included),
+/// escaping quotes, backslashes and control characters per RFC 8259.
+void append_json_string(std::string& out, std::string_view s);
+
+/// One scalar value in a flat JSON object.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;  // kBool
+  /// kNumber: the value as a double, always valid.
+  double number = 0.0;
+  /// kNumber: exact value when the literal was a plain non-negative
+  /// integer that fits in 64 bits. Gate-evaluation counters can exceed
+  /// 2^53, where a double silently loses low bits — consumers of
+  /// counter fields must read `u64`, not `number`.
+  std::uint64_t u64 = 0;
+  bool u64_valid = false;
+  std::string str;  // kString
+};
+
+/// Parses `{"key": scalar, ...}` — strings, numbers, true/false/null.
+/// Nested objects/arrays, trailing garbage and duplicate syntax errors
+/// all return false (`*out` is then unspecified). Duplicate keys keep
+/// the last value, matching every mainstream parser.
+bool parse_flat_json_object(std::string_view text,
+                            std::map<std::string, JsonValue>* out);
+
+}  // namespace sbst::telemetry

@@ -1,0 +1,98 @@
+#include "telemetry/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace sbst::telemetry {
+
+double percentile_nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+MetricsSummary summarize_metrics(std::istream& in) {
+  MetricsSummary s;
+  std::vector<double> durations;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    GroupMetric m;
+    if (!metric_from_json(line, &m)) {
+      ++s.malformed;
+      continue;
+    }
+    ++s.records;
+    if (m.seeded) {
+      ++s.seeded;
+    } else {
+      ++s.simulated;
+      durations.push_back(m.duration_ms);
+      s.total_ms += m.duration_ms;
+    }
+    if (m.timed_out) ++s.timed_out_groups;
+    if (m.quarantined) ++s.quarantined_groups;
+    if (m.engine == "event") ++s.event_groups;
+    else if (m.engine == "sweep") ++s.sweep_groups;
+    else ++s.none_groups;
+    s.faults += m.faults;
+    s.detected += m.detected;
+    if (m.attempts > 1) s.retries += m.attempts - 1;
+    s.gates_evaluated += m.gates_evaluated;
+    s.sim_cycles += m.sim_cycles;
+    s.max_rss_kb = std::max(s.max_rss_kb, m.max_rss_kb);
+    s.cpu_ms += m.cpu_ms;
+  }
+  std::sort(durations.begin(), durations.end());
+  s.p50_ms = percentile_nearest_rank(durations, 50.0);
+  s.p95_ms = percentile_nearest_rank(durations, 95.0);
+  s.p99_ms = percentile_nearest_rank(durations, 99.0);
+  if (!durations.empty()) s.max_ms = durations.back();
+  return s;
+}
+
+void print_metrics_summary(std::ostream& os, const MetricsSummary& s) {
+  os << "records: " << s.records << " groups (" << s.simulated
+     << " simulated, " << s.seeded << " seeded), " << s.malformed
+     << " malformed line(s)\n";
+  os << "engines: event=" << s.event_groups << " sweep=" << s.sweep_groups
+     << " none=" << s.none_groups << "\n";
+  os << "verdicts: faults=" << s.faults << " detected=" << s.detected
+     << " timed_out_groups=" << s.timed_out_groups
+     << " quarantined_groups=" << s.quarantined_groups << "\n";
+  char buf[160];
+  if (s.sim_cycles != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "counters: gates_evaluated=%llu sim_cycles=%llu "
+                  "gates_per_cycle=%.2f\n",
+                  static_cast<unsigned long long>(s.gates_evaluated),
+                  static_cast<unsigned long long>(s.sim_cycles),
+                  static_cast<double>(s.gates_evaluated) /
+                      static_cast<double>(s.sim_cycles));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "counters: gates_evaluated=%llu sim_cycles=%llu "
+                  "gates_per_cycle=n/a\n",
+                  static_cast<unsigned long long>(s.gates_evaluated),
+                  static_cast<unsigned long long>(s.sim_cycles));
+  }
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "latency: p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms "
+                "total=%.3fms\n",
+                s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms, s.total_ms);
+  os << buf;
+  os << "isolate: retries=" << s.retries << " peak_dead_rss_kb="
+     << s.max_rss_kb << " dead_cpu_ms=" << s.cpu_ms << "\n";
+}
+
+}  // namespace sbst::telemetry

@@ -1,0 +1,54 @@
+// Offline aggregation of a --metrics NDJSON stream: the `sbst stats`
+// subcommand. Reads metric lines (metrics.h schema), folds them into
+// one MetricsSummary, and renders it with deterministic `engines:` /
+// `verdicts:` / `counters:` lines that CI diffs between a clean and a
+// killed-and-resumed campaign — for a pinned engine those lines are
+// bit-equal, which is the whole telemetry correctness contract.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace sbst::telemetry {
+
+struct MetricsSummary {
+  std::size_t records = 0;    // well-formed metric lines
+  std::size_t malformed = 0;  // lines that failed to parse (blank skipped)
+  std::size_t seeded = 0;     // groups replayed from a journal
+  std::size_t simulated = 0;  // records - seeded
+  std::size_t timed_out_groups = 0;
+  std::size_t quarantined_groups = 0;
+  std::size_t event_groups = 0;  // per-engine group attribution
+  std::size_t sweep_groups = 0;
+  std::size_t none_groups = 0;  // never simulated (quarantined/unstarted)
+  std::uint64_t faults = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t retries = 0;  // sum of (attempts - 1) over all groups
+  std::uint64_t gates_evaluated = 0;
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t max_rss_kb = 0;  // peak over groups (dead worker attempts)
+  std::uint64_t cpu_ms = 0;      // summed dead-attempt CPU
+  /// Wall-clock latency of the groups *simulated* in the recorded run
+  /// (seeded groups replay in ~zero time and would poison the
+  /// percentiles, so they are excluded).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Nearest-rank percentile (q in (0, 100]) of an ascending-sorted
+/// sample; 0.0 for an empty sample.
+double percentile_nearest_rank(const std::vector<double>& sorted, double q);
+
+/// Folds every NDJSON line of `in` into a summary. Never throws on bad
+/// content — malformed lines are counted, not fatal (callers decide).
+MetricsSummary summarize_metrics(std::istream& in);
+
+/// Renders the summary, one labelled line per aspect. The `engines:`,
+/// `verdicts:` and `counters:` lines depend only on counter fields.
+void print_metrics_summary(std::ostream& os, const MetricsSummary& s);
+
+}  // namespace sbst::telemetry

@@ -186,6 +186,60 @@ TEST(Report, QuarantinedFaultsRenderAsLowerBound) {
   EXPECT_NE(os2.str().find("quarantined"), std::string::npos);
 }
 
+// Regression: bound cells used to render with printf's round-to-nearest,
+// so a campaign that proved ">=91.996%" printed ">=92.00%" — claiming a
+// hundredth of coverage it never measured. Bounds must round toward the
+// safe side: floor for ">=", ceil for "<=".
+TEST(Report, FormatPercentRoundsBoundsTowardTheSafeSide) {
+  // The whole 91.995..92.004 boundary band, in 0.001 steps.
+  for (int i = 0; i <= 9; ++i) {
+    const double pct = 91.995 + 0.001 * i;
+    SCOPED_TRACE(pct);
+    EXPECT_EQ(format_percent(pct, Rounding::kDown),
+              pct < 92.0 ? "91.99%" : "92.00%");
+    EXPECT_EQ(format_percent(pct, Rounding::kUp),
+              pct <= 92.0 ? "92.00%" : "92.01%");
+  }
+  // Exactly representable inputs stay put in every mode (the epsilon
+  // must only cancel binary noise, not nudge true values).
+  for (const Rounding r : {Rounding::kNearest, Rounding::kDown, Rounding::kUp}) {
+    EXPECT_EQ(format_percent(92.0, r), "92.00%");
+    EXPECT_EQ(format_percent(0.0, r), "0.00%");
+    EXPECT_EQ(format_percent(100.0, r), "100.00%");
+  }
+  // Plain (non-bound) cells keep round-to-nearest.
+  EXPECT_EQ(format_percent(91.996, Rounding::kNearest), "92.00%");
+  EXPECT_EQ(format_percent(91.994, Rounding::kNearest), "91.99%");
+}
+
+// The directed rounding must reach the printed table: a lower-bound
+// coverage of 91.996% renders ">=91.99%", its missed-coverage partner
+// ceils.
+TEST(Report, LowerBoundCellsFloorAtPrintedPrecision) {
+  const auto& cpu = shared_cpu();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  fault::FaultSimResult res;
+  res.detected.assign(faults.size(), 1);
+  res.simulated.assign(faults.size(), 1);
+  res.detect_cycle.assign(faults.size(), 0);
+  res.timed_out.assign(faults.size(), 0);
+  // One inconclusive fault puts overall coverage strictly between two
+  // printed hundredths (1/total of ~20k uncollapsed faults is a few
+  // thousandths of a percent below 100).
+  res.detected[0] = 0;
+  res.detect_cycle[0] = -1;
+  res.timed_out[0] = 1;
+  const CoverageReport rep = make_coverage_report(cpu, faults, res);
+  ASSERT_TRUE(rep.overall.is_lower_bound());
+  std::ostringstream os;
+  print_coverage_table(os, rep, nullptr);
+  const std::string want =
+      ">=" + format_percent(rep.overall.percent(), Rounding::kDown);
+  EXPECT_NE(os.str().find(want), std::string::npos)
+      << "expected " << want << " in:\n"
+      << os.str();
+}
+
 // And a clean run must not mention bounds at all.
 TEST(Report, NoTimeoutsMeansNoBoundMarkers) {
   const auto& cpu = shared_cpu();

@@ -1,0 +1,146 @@
+// Aggregation contract of `sbst stats`: nearest-rank percentiles, the
+// seeded/simulated split (seeded replays must not poison latency), and
+// the determinism of the `engines:`/`verdicts:`/`counters:` lines that
+// CI diffs between a clean and a killed-and-resumed campaign.
+#include "telemetry/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sbst::telemetry {
+namespace {
+
+TEST(Stats, PercentileNearestRank) {
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({7.0}, 99.0), 7.0);
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(s, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(s, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(s, 75.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(s, 95.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(s, 100.0), 4.0);
+}
+
+std::string lines_for(const std::vector<GroupMetric>& metrics) {
+  std::string out;
+  for (const GroupMetric& m : metrics) {
+    out += metric_to_json(m);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<GroupMetric> sample_campaign() {
+  std::vector<GroupMetric> ms;
+  for (std::uint64_t g = 0; g < 10; ++g) {
+    GroupMetric m;
+    m.group = g;
+    m.faults = 63;
+    m.detected = static_cast<std::uint32_t>(40 + g);
+    m.engine = g < 8 ? "event" : "sweep";
+    m.seeded = g < 3;  // a resumed campaign: three groups replayed
+    m.cycles = 1000;
+    m.gates_evaluated = 1000 * (g + 1);
+    m.sim_cycles = 100;
+    m.duration_ms = m.seeded ? 0.001 : static_cast<double>(g);
+    ms.push_back(m);
+  }
+  ms[9].timed_out = true;
+  ms[9].attempts = 3;  // two dead workers before the verdict
+  ms[9].max_rss_kb = 4096;
+  ms[9].cpu_ms = 250;
+  return ms;
+}
+
+TEST(Stats, SummarizeFoldsCountersAndSplitsSeeded) {
+  std::string text = lines_for(sample_campaign());
+  text += "\n";              // blank lines are skipped, not malformed
+  text += "{ garbage }\n";   // malformed lines are counted, not fatal
+  std::istringstream in(text);
+  const MetricsSummary s = summarize_metrics(in);
+
+  EXPECT_EQ(s.records, 10u);
+  EXPECT_EQ(s.malformed, 1u);
+  EXPECT_EQ(s.seeded, 3u);
+  EXPECT_EQ(s.simulated, 7u);
+  EXPECT_EQ(s.event_groups, 8u);
+  EXPECT_EQ(s.sweep_groups, 2u);
+  EXPECT_EQ(s.none_groups, 0u);
+  EXPECT_EQ(s.timed_out_groups, 1u);
+  EXPECT_EQ(s.quarantined_groups, 0u);
+  EXPECT_EQ(s.faults, 630u);
+  EXPECT_EQ(s.detected, 40u * 10 + 45);
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.gates_evaluated, 1000u * 55);
+  EXPECT_EQ(s.sim_cycles, 1000u);
+  EXPECT_EQ(s.max_rss_kb, 4096u);
+  EXPECT_EQ(s.cpu_ms, 250u);
+
+  // Latency is over the 7 simulated groups (durations 3..9 ms); the
+  // three ~0ms seeded replays must not drag the percentiles down.
+  EXPECT_DOUBLE_EQ(s.p50_ms, 6.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 9.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 9.0);
+  EXPECT_DOUBLE_EQ(s.total_ms, 3.0 + 4 + 5 + 6 + 7 + 8 + 9);
+}
+
+std::string line_with_prefix(const std::string& text, const char* prefix) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) return line;
+  }
+  ADD_FAILURE() << "no line starting with '" << prefix << "' in:\n" << text;
+  return "";
+}
+
+// The CI contract: for the same campaign, the counter lines are equal no
+// matter how the run was executed — record order, durations, rusage and
+// the seeded split may all differ, the counters may not.
+TEST(Stats, CounterLinesIgnoreTimingsAndRecordOrder) {
+  std::vector<GroupMetric> clean = sample_campaign();
+  for (GroupMetric& m : clean) m.seeded = false;
+
+  std::vector<GroupMetric> resumed = sample_campaign();
+  std::mt19937 rng(1234);
+  std::shuffle(resumed.begin(), resumed.end(), rng);
+  for (GroupMetric& m : resumed) m.duration_ms *= 17.0;
+
+  std::istringstream a(lines_for(clean));
+  std::istringstream b(lines_for(resumed));
+  std::ostringstream pa, pb;
+  print_metrics_summary(pa, summarize_metrics(a));
+  print_metrics_summary(pb, summarize_metrics(b));
+
+  for (const char* prefix : {"engines:", "verdicts:", "counters:"}) {
+    EXPECT_EQ(line_with_prefix(pa.str(), prefix),
+              line_with_prefix(pb.str(), prefix))
+        << prefix;
+  }
+  // ...while the latency line legitimately differs.
+  EXPECT_NE(line_with_prefix(pa.str(), "latency:"),
+            line_with_prefix(pb.str(), "latency:"));
+}
+
+TEST(Stats, PrintedSummaryNamesEveryAspect) {
+  std::istringstream in(lines_for(sample_campaign()));
+  std::ostringstream os;
+  print_metrics_summary(os, summarize_metrics(in));
+  const std::string text = os.str();
+  for (const char* want :
+       {"records:", "engines:", "verdicts:", "counters:", "gates_per_cycle=",
+        "latency:", "p50=", "p95=", "p99=", "isolate:", "retries="}) {
+    EXPECT_NE(text.find(want), std::string::npos) << want << "\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace sbst::telemetry

@@ -12,6 +12,7 @@
 //              [--isolate] [--workers N] [--max-group-retries K]
 //              [--worker-mem-mb M]
 //              [--engine event|sweep] [--trace-mem-mb M]
+//              [--metrics F.ndjson] [--status F.json]
 //                                      fault-grade a program (Table 5 style);
 //                                      --sample 0 simulates the full fault
 //                                      list; omitting --threads (or
@@ -42,6 +43,20 @@
 //                                      event engine's recorded good trace
 //                                      (default 1024 MiB, 0 = unlimited);
 //                                      exceeding it falls back to sweep.
+//                                      --metrics streams one NDJSON object
+//                                      per resolved 63-fault group (see
+//                                      telemetry/metrics.h for the schema);
+//                                      --status keeps an atomically
+//                                      rewritten heartbeat JSON for live
+//                                      dashboards. Both files are written
+//                                      whole-file-atomically, so readers
+//                                      never see a torn line.
+//   sbst stats METRICS.ndjson          aggregate a --metrics file: group
+//                                      latency percentiles, per-engine
+//                                      attribution, gate-evaluation
+//                                      activity, retry/quarantine counts.
+//                                      Exits non-zero when the file is
+//                                      empty or has malformed lines.
 //   sbst fuzz [--seed S] [--iters N] [--body N] [-o repro.s]
 //             [--no-shrink] [--inject-alu-bug]
 //                                      differential co-sim fuzzing: random
@@ -72,6 +87,8 @@
 #include "netlist/lint.h"
 #include "parwan/cpu.h"
 #include "plasma/testbench.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stats.h"
 #include "util/argparse.h"
 #include "util/atomic_file.h"
 #include "util/parallel.h"
@@ -84,7 +101,8 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: sbst <info|asm|disasm|run|cosim|selftest|grade|fuzz|lint> ...\n"
+      "usage: sbst "
+      "<info|asm|disasm|run|cosim|selftest|grade|stats|fuzz|lint> ...\n"
       "see the header of tools/sbst_cli.cpp for details\n");
   return 2;
 }
@@ -282,6 +300,8 @@ int cmd_grade(int argc, char** argv) {
   std::string journal;
   std::string out;
   std::string engine = "event";
+  std::string metrics;
+  std::string status;
   std::size_t trace_mem_mb = 1024;
   const auto pos = util::ArgParser(argc, argv)
                        .value_size("--sample", &sample)
@@ -289,6 +309,8 @@ int cmd_grade(int argc, char** argv) {
                        .value_size("--trace-mem-mb", &trace_mem_mb)
                        .value_count("--threads", &threads)
                        .value("--journal", &journal)
+                       .value("--metrics", &metrics)
+                       .value("--status", &status)
                        .value_u64("--group-timeout", &group_timeout_s)
                        .value_u64("--time-budget", &time_budget_s)
                        .flag("--retry-timeouts", &retry_timeouts)
@@ -323,6 +345,8 @@ int cmd_grade(int argc, char** argv) {
   copt.iso.workers = workers;
   copt.iso.max_group_retries = max_group_retries;
   copt.iso.worker_mem_mb = worker_mem_mb;
+  copt.telemetry.metrics_path = metrics;
+  copt.telemetry.status_path = status;
   if (crash_group != std::numeric_limits<std::uint64_t>::max()) {
     copt.iso.crash_group = static_cast<std::int64_t>(crash_group);
     if (crash_attempts != 0) copt.iso.crash_attempts = crash_attempts;
@@ -343,24 +367,19 @@ int cmd_grade(int argc, char** argv) {
   copt.sim.time_budget_ms = time_budget_s * 1000;
   if (progress) {
     // stderr so the stdout report stays machine-diffable. Serialized by
-    // the engine; ETA extrapolates the per-group rate of groups
-    // simulated by *this run* (done - seeded): journal-seeded groups
-    // replay in ~zero time against an elapsed clock that started at
-    // this process's t0, so counting them used to make a resumed
-    // campaign's ETA wildly optimistic. Needs at least two groups
-    // simulated this run to mean anything — before that it renders as
-    // "--:--".
+    // the engine. telemetry::eta_seconds extrapolates the per-group
+    // rate of groups simulated by *this run* (done - seeded) and
+    // returns negative — rendered "--:--" — until that is meaningful.
     const auto t0 = std::chrono::steady_clock::now();
     copt.sim.progress = [t0](const fault::Progress& p) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
+      const double eta_s =
+          telemetry::eta_seconds(p.done, p.seeded, p.total, elapsed);
       char eta[24];
-      const std::size_t fresh = p.done > p.seeded ? p.done - p.seeded : 0;
-      if (fresh >= 2 && p.total >= p.done) {
-        std::snprintf(eta, sizeof(eta), "%.1fs",
-                      elapsed * static_cast<double>(p.total - p.done) /
-                          static_cast<double>(fresh));
+      if (eta_s >= 0) {
+        std::snprintf(eta, sizeof(eta), "%.1fs", eta_s);
       } else {
         std::snprintf(eta, sizeof(eta), "--:--");
       }
@@ -487,6 +506,30 @@ int cmd_grade(int argc, char** argv) {
   return 0;
 }
 
+int cmd_stats(int argc, char** argv) {
+  const auto pos = util::ArgParser(argc, argv).parse(1, 1);
+  std::ifstream in(pos[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", pos[0].c_str());
+    return 1;
+  }
+  const telemetry::MetricsSummary s = telemetry::summarize_metrics(in);
+  std::ostringstream os;
+  telemetry::print_metrics_summary(os, s);
+  std::fputs(os.str().c_str(), stdout);
+  if (s.records == 0) {
+    std::fprintf(stderr, "error: %s holds no metric records\n",
+                 pos[0].c_str());
+    return 1;
+  }
+  if (s.malformed != 0) {
+    std::fprintf(stderr, "error: %zu malformed line(s) in %s\n", s.malformed,
+                 pos[0].c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_fuzz(int argc, char** argv) {
   verify::FuzzOptions opt;
   bool no_shrink = false;
@@ -579,6 +622,7 @@ int main(int argc, char** argv) {
     if (cmd == "cosim") return cmd_cosim(argc - 2, argv + 2);
     if (cmd == "selftest") return cmd_selftest(argc - 2, argv + 2);
     if (cmd == "grade") return cmd_grade(argc - 2, argv + 2);
+    if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
     if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
   } catch (const util::ArgError& e) {
