@@ -1,13 +1,15 @@
 // Campaign durability overhead: grades the same Plasma Phase A+B
-// sample six ways — bare engine, campaign without a journal, campaign
+// sample eight ways — bare engine, campaign without a journal, campaign
 // with the NDJSON telemetry stream (--metrics), campaign with
-// per-group journalling, a fully seeded resume, and campaign with
-// process-isolated workers (--isolate) — and reports the wall-clock
-// cost of the observability, crash-safety and blast-radius layers in
+// per-group journalling at each durability level (none / flush /
+// fsync), a fully seeded resume, and campaign with process-isolated
+// workers (--isolate) — and reports the wall-clock cost of the
+// observability, crash-safety and blast-radius layers in
 // BENCH_campaign_overhead.json.
 //
-// The journal fsync policy is flush-per-record, so the overhead here
-// bounds what a user pays for resumability on a real Table-5 run. It
+// The default journal policy is flush-per-record, so that leg bounds
+// what a user pays for resumability on a real Table-5 run; the none and
+// fsync legs bracket it from both sides of the durability ladder. It
 // also re-verifies the seeding contract: a second journaled run must
 // skip every group and still reproduce the result bit-identically.
 //
@@ -125,6 +127,25 @@ int main(int argc, char** argv) {
               t_resume, resumed.seeded_groups, resumed.groups_total);
   std::remove(copt.journal.c_str());
 
+  // 5b/5c. Durability ladder — the same journaled campaign buffered
+  // (none) and power-loss-safe (per-record fsync), bracketing the
+  // default flush-per-record leg above from both sides.
+  campaign::CampaignResult dur_none;
+  copt.durability = util::Durability::kNone;
+  const double t_dur_none = time_seconds([&] {
+    dur_none = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, copt);
+  });
+  std::printf("  journal (none)       %7.2fs\n", t_dur_none);
+  std::remove(copt.journal.c_str());
+  campaign::CampaignResult dur_fsync;
+  copt.durability = util::Durability::kFsync;
+  const double t_dur_fsync = time_seconds([&] {
+    dur_fsync = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, copt);
+  });
+  std::printf("  journal (fsync)      %7.2fs\n", t_dur_fsync);
+  std::remove(copt.journal.c_str());
+  copt.durability = util::Durability::kFlush;
+
   // 6. Process-isolated workers — fork per worker, groups over pipes.
   // This is the price of containing a crashing/hanging group to one
   // worker process instead of the whole campaign.
@@ -142,6 +163,8 @@ int main(int argc, char** argv) {
                        identical(bare, metered.result) &&
                        identical(bare, journaled.result) &&
                        identical(bare, resumed.result) &&
+                       identical(bare, dur_none.result) &&
+                       identical(bare, dur_fsync.result) &&
                        identical(bare, isolated.result) &&
                        resumed.seeded_groups == groups;
   const double overhead_pct =
@@ -172,6 +195,8 @@ int main(int argc, char** argv) {
                "  \"seconds_campaign_nojournal\": %.4f,\n"
                "  \"seconds_campaign_metrics\": %.4f,\n"
                "  \"seconds_campaign_journal\": %.4f,\n"
+               "  \"seconds_campaign_journal_none\": %.4f,\n"
+               "  \"seconds_campaign_journal_fsync\": %.4f,\n"
                "  \"seconds_resume_seeded\": %.4f,\n"
                "  \"seconds_campaign_isolate\": %.4f,\n"
                "  \"journal_overhead_percent\": %.3f,\n"
@@ -182,9 +207,9 @@ int main(int argc, char** argv) {
                "}\n",
                pab.name.c_str(), groups, sim.threads,
                full ? "false" : "true", t_bare, t_nojournal, t_metrics,
-               t_journal, t_resume, t_isolate, overhead_pct, metrics_pct,
-               isolate_pct, isolated.worker_restarts,
-               correct ? "true" : "false");
+               t_journal, t_dur_none, t_dur_fsync, t_resume, t_isolate,
+               overhead_pct, metrics_pct, isolate_pct,
+               isolated.worker_restarts, correct ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return correct ? 0 : 1;

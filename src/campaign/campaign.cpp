@@ -108,10 +108,12 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
   // engine call; seed lookups run concurrently from worker threads on
   // the by-then-immutable map, appends are serialized by the engine.
   const JournalMeta meta{fingerprint, out.groups_total, faults.size()};
-  JournalSession journal =
-      open_journal_session(options.journal, meta, options.retry_timed_out);
+  JournalSession journal = open_journal_session(
+      options.journal, meta, options.retry_timed_out, options.durability);
   out.journal_truncated = journal.truncated;
   out.journal_empty = journal.was_empty;
+  out.journal_salvage = journal.stats;
+  out.journal_compacted = journal.compacted;
   for (const auto& [group, rec] : journal.seeds) {
     if (rec.quarantined) out.quarantined_groups.push_back({group, rec.error});
   }

@@ -26,9 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "campaign/journal.h"
 #include "fault/faultsim.h"
 #include "netlist/fault.h"
 #include "telemetry/metrics.h"
+#include "util/atomic_file.h"
 
 namespace sbst::campaign {
 
@@ -78,6 +80,13 @@ struct CampaignOptions {
   /// for every resolved group, seeded ones included, in both execution
   /// modes.
   telemetry::TelemetryOptions telemetry;
+  /// How hard every durable artifact of the campaign — journal appends,
+  /// journal heals/compactions, telemetry rewrites — pushes toward
+  /// stable storage. kFlush (default) survives any process death;
+  /// kFsync additionally survives power loss at a per-record fsync
+  /// cost; kNone is fastest and still crash-consistent on load (the
+  /// salvaging reader drops whatever never landed).
+  util::Durability durability = util::Durability::kFlush;
   /// Engine options (threads, sample, max_cycles, group_timeout_ms,
   /// time_budget_ms, progress). The seed_group/on_group hooks and —
   /// when handle_signals is set — the cancel flag are overwritten by
@@ -107,6 +116,12 @@ struct CampaignResult {
   bool resumed = false;            // at least one group was seeded
   bool journal_truncated = false;  // a torn record was dropped on load
   bool journal_empty = false;      // journal existed but held no records
+  /// Salvage accounting from the journal load: interior damage skipped
+  /// by the resynchronizing reader (those groups re-simulate).
+  JournalLoadStats journal_salvage;
+  /// Dead records exceeded the auto-compaction threshold and the
+  /// journal was rewritten at open.
+  bool journal_compacted = false;
   bool interrupted = false;        // drained; rerun to resume
   int signal = 0;                  // signal that triggered the drain
 };

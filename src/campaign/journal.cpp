@@ -1,5 +1,8 @@
 #include "campaign/journal.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -26,6 +29,9 @@ constexpr std::size_t kWorkBytes = 8 + 8 + 1;
 // + optional quarantine error + optional work section.
 constexpr std::size_t kMaxPayload =
     8 + 4 + 1 + 8 + 8 + 63 * 8 + kErrorBytes + kWorkBytes;
+// Smallest well-formed frame: len + crc + a zero-fault legacy payload.
+// Resynchronization never needs to look for anything shorter.
+constexpr std::size_t kMinFrame = 4 + 4 + (8 + 4 + 1 + 8 + 8);
 
 template <typename T>
 void put(std::string& out, T v) {
@@ -53,7 +59,7 @@ std::string encode_header(const JournalMeta& meta) {
 
 /// Parses one framed record starting at `off`. Returns true and advances
 /// `off` past the frame on success; false on any torn/corrupt frame
-/// (leaving `off` at the frame start = the end of the valid prefix).
+/// (leaving `off` at the frame start).
 bool parse_record(const std::string& data, std::size_t& off,
                   fault::GroupRecord* rec) {
   std::size_t p = off;
@@ -66,6 +72,94 @@ bool parse_record(const std::string& data, std::size_t& off,
   }
   off = p + len;
   return true;
+}
+
+/// Scans forward from `from` for the next offset where a complete frame
+/// validates (length sane, CRC matches, payload decodes). Returns
+/// std::string::npos when no later frame exists — the damage runs to
+/// the end of the file. A false resync needs a 32-bit CRC collision
+/// *and* a structurally valid payload at a random offset, so in
+/// practice the first hit is a real frame boundary.
+std::size_t find_resync(const std::string& data, std::size_t from) {
+  fault::GroupRecord scratch;
+  for (std::size_t cand = from; cand + kMinFrame <= data.size(); ++cand) {
+    std::size_t p = cand;
+    if (parse_record(data, p, &scratch)) return cand;
+  }
+  return std::string::npos;
+}
+
+/// The salvaging load shared by the campaign path (expect != nullptr:
+/// the header must match this campaign) and the offline tools
+/// (expect == nullptr: trust the header found).
+std::optional<JournalLoad> load_impl(const std::string& path,
+                                     const JournalMeta* expect) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string data = ss.str();
+
+  if (data.empty()) {
+    // Zero-length file: a crash before the header landed, or a touched
+    // placeholder. Nothing was recorded, so this is an empty journal and
+    // a fresh start — not corruption.
+    JournalLoad out;
+    if (expect != nullptr) out.meta = *expect;
+    out.empty_file = true;
+    return out;
+  }
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + " is not a campaign journal");
+  }
+  JournalLoad out;
+  std::size_t off = sizeof(kMagic);
+  std::uint32_t hcrc = 0;
+  get(data, off, &out.meta.fingerprint);
+  get(data, off, &out.meta.num_groups);
+  get(data, off, &out.meta.num_faults);
+  get(data, off, &hcrc);
+  if (util::crc32(data.data() + sizeof(kMagic), 3 * 8) != hcrc) {
+    throw std::runtime_error(path + ": journal header checksum mismatch");
+  }
+  if (expect != nullptr &&
+      (out.meta.fingerprint != expect->fingerprint ||
+       out.meta.num_groups != expect->num_groups ||
+       out.meta.num_faults != expect->num_faults)) {
+    throw std::runtime_error(
+        path +
+        " records a different campaign (program, netlist, sampling or "
+        "cycle budget changed); delete it or pass a fresh --journal path");
+  }
+
+  out.intact_bytes.assign(data, 0, kHeaderBytes);
+  fault::GroupRecord rec;
+  while (off < data.size()) {
+    const std::size_t frame_start = off;
+    if (parse_record(data, off, &rec)) {
+      out.records.push_back(std::move(rec));
+      out.intact_bytes.append(data, frame_start, off - frame_start);
+      continue;
+    }
+    // Damaged frame. Resynchronize on the next validating frame and
+    // count what the damage destroyed; with no later frame the damage
+    // is a torn tail and the loop ends.
+    const std::size_t next = find_resync(data, frame_start + 1);
+    if (next == std::string::npos) break;
+    ++out.stats.skipped_records;
+    out.stats.skipped_bytes += next - frame_start;
+    off = next;
+  }
+  out.truncated = off < data.size();
+  out.dropped_bytes = data.size() - off;
+  out.stats.salvaged = out.records.size();
+  return out;
+}
+
+std::size_t journal_file_bytes(const JournalLoad& loaded) {
+  return loaded.intact_bytes.size() + loaded.stats.skipped_bytes +
+         loaded.dropped_bytes;
 }
 
 }  // namespace
@@ -139,61 +233,51 @@ bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec) {
   return true;
 }
 
-std::optional<JournalLoad> load_journal(const std::string& path,
-                                        const JournalMeta& expect) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string data = ss.str();
-
-  if (data.empty()) {
-    // Zero-length file: a crash before the header landed, or a touched
-    // placeholder. Nothing was recorded, so this is an empty journal and
-    // a fresh start — not corruption.
-    JournalLoad out;
-    out.meta = expect;
-    out.empty_file = true;
-    return out;
+std::string encode_journal(const JournalMeta& meta,
+                           const std::vector<fault::GroupRecord>& records) {
+  std::string out = encode_header(meta);
+  for (const fault::GroupRecord& rec : records) {
+    const std::string payload = encode_record_payload(rec);
+    put(out, static_cast<std::uint32_t>(payload.size()));
+    put(out, util::crc32(payload.data(), payload.size()));
+    out += payload;
   }
-  if (data.size() < kHeaderBytes ||
-      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error(path + " is not a campaign journal");
-  }
-  JournalLoad out;
-  std::size_t off = sizeof(kMagic);
-  std::uint32_t hcrc = 0;
-  get(data, off, &out.meta.fingerprint);
-  get(data, off, &out.meta.num_groups);
-  get(data, off, &out.meta.num_faults);
-  get(data, off, &hcrc);
-  if (util::crc32(data.data() + sizeof(kMagic), 3 * 8) != hcrc) {
-    throw std::runtime_error(path + ": journal header checksum mismatch");
-  }
-  if (out.meta.fingerprint != expect.fingerprint ||
-      out.meta.num_groups != expect.num_groups ||
-      out.meta.num_faults != expect.num_faults) {
-    throw std::runtime_error(
-        path +
-        " records a different campaign (program, netlist, sampling or "
-        "cycle budget changed); delete it or pass a fresh --journal path");
-  }
-
-  fault::GroupRecord rec;
-  while (off < data.size() && parse_record(data, off, &rec)) {
-    out.records.push_back(std::move(rec));
-  }
-  out.truncated = off < data.size();
-  out.dropped_bytes = data.size() - off;
-  out.valid_prefix.assign(data, 0, off);
   return out;
 }
 
-JournalWriter::JournalWriter(std::FILE* f, std::string path)
-    : f_(f), path_(std::move(path)) {}
+std::vector<fault::GroupRecord> winning_records(
+    const std::vector<fault::GroupRecord>& records) {
+  std::unordered_map<std::uint64_t, std::size_t> latest;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    latest[records[i].group] = i;  // later file position wins
+  }
+  std::vector<fault::GroupRecord> winners;
+  winners.reserve(latest.size());
+  for (const auto& [group, idx] : latest) winners.push_back(records[idx]);
+  std::sort(winners.begin(), winners.end(),
+            [](const fault::GroupRecord& a, const fault::GroupRecord& b) {
+              return a.group < b.group;
+            });
+  return winners;
+}
+
+std::optional<JournalLoad> load_journal(const std::string& path,
+                                        const JournalMeta& expect) {
+  return load_impl(path, &expect);
+}
+
+std::optional<JournalLoad> load_journal_raw(const std::string& path) {
+  return load_impl(path, nullptr);
+}
+
+JournalWriter::JournalWriter(std::FILE* f, std::string path,
+                             util::Durability durability)
+    : f_(f), path_(std::move(path)), durability_(durability) {}
 
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
-    : f_(other.f_), path_(std::move(other.path_)) {
+    : f_(other.f_),
+      path_(std::move(other.path_)),
+      durability_(other.durability_) {
   other.f_ = nullptr;
 }
 
@@ -202,6 +286,7 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
     if (f_) std::fclose(f_);
     f_ = other.f_;
     path_ = std::move(other.path_);
+    durability_ = other.durability_;
     other.f_ = nullptr;
   }
   return *this;
@@ -212,51 +297,28 @@ JournalWriter::~JournalWriter() {
 }
 
 JournalWriter JournalWriter::create(const std::string& path,
-                                    const JournalMeta& meta) {
+                                    const JournalMeta& meta,
+                                    util::Durability durability) {
   // The header goes through the atomic-write helper so a crash during
   // creation leaves either no journal or a complete empty one.
-  util::write_file_atomic(path, encode_header(meta));
+  util::write_file_atomic(path, encode_header(meta), durability);
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (!f) throw std::runtime_error("cannot open journal " + path);
-  return JournalWriter(f, path);
+  return JournalWriter(f, path, durability);
 }
 
 JournalWriter JournalWriter::append(const std::string& path,
-                                    const JournalLoad& loaded) {
-  if (loaded.truncated) {
-    // Cut the torn tail off first, atomically — otherwise new records
-    // would land after garbage and be dropped by the next load.
-    util::write_file_atomic(path, loaded.valid_prefix);
+                                    const JournalLoad& loaded,
+                                    util::Durability durability) {
+  if (loaded.damaged()) {
+    // Heal before appending, atomically: cut the torn tail and close up
+    // interior damage — otherwise new records would land after garbage
+    // and the next load would skip or drop them.
+    util::write_file_atomic(path, loaded.intact_bytes, durability);
   }
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (!f) throw std::runtime_error("cannot open journal " + path);
-  return JournalWriter(f, path);
-}
-
-JournalSession open_journal_session(const std::string& path,
-                                    const JournalMeta& meta,
-                                    bool retry_inconclusive) {
-  JournalSession s;
-  if (path.empty()) return s;
-  std::optional<JournalLoad> loaded = load_journal(path, meta);
-  if (loaded && !loaded->empty_file) {
-    s.truncated = loaded->truncated;
-    s.was_empty = loaded->records.empty();
-    for (fault::GroupRecord& rec : loaded->records) {
-      if ((rec.timed_out || rec.quarantined) && retry_inconclusive) {
-        // Give the group a fresh chance; a new record supersedes this
-        // one in file order on the next load.
-        s.seeds.erase(rec.group);
-        continue;
-      }
-      s.seeds[rec.group] = std::move(rec);  // later record wins
-    }
-    s.writer = JournalWriter::append(path, *loaded);
-  } else {
-    s.was_empty = loaded.has_value();  // existed, zero-length
-    s.writer = JournalWriter::create(path, meta);
-  }
-  return s;
+  return JournalWriter(f, path, durability);
 }
 
 void JournalWriter::add(const fault::GroupRecord& rec) {
@@ -265,10 +327,104 @@ void JournalWriter::add(const fault::GroupRecord& rec) {
   put(frame, static_cast<std::uint32_t>(payload.size()));
   put(frame, util::crc32(payload.data(), payload.size()));
   frame += payload;
-  if (util::checked_fwrite(f_, frame.data(), frame.size()) != frame.size() ||
+  if (util::checked_fwrite(f_, frame.data(), frame.size()) != frame.size()) {
+    throw std::runtime_error("cannot append to journal " + path_);
+  }
+  if (durability_ != util::Durability::kNone &&
       util::checked_fflush(f_) != 0) {
     throw std::runtime_error("cannot append to journal " + path_);
   }
+  if (durability_ == util::Durability::kFsync &&
+      util::checked_fsync(::fileno(f_)) != 0) {
+    throw std::runtime_error("cannot fsync journal " + path_);
+  }
+}
+
+CompactionStats compact_journal(const std::string& path,
+                                const std::string& out,
+                                util::Durability durability) {
+  std::optional<JournalLoad> loaded = load_journal_raw(path);
+  if (!loaded) throw std::runtime_error("cannot open " + path);
+  if (loaded->empty_file) {
+    throw std::runtime_error(path + " is an empty journal (no header yet)");
+  }
+  const std::vector<fault::GroupRecord> winners =
+      winning_records(loaded->records);
+  const std::string data = encode_journal(loaded->meta, winners);
+  CompactionStats stats;
+  stats.records_before = loaded->records.size();
+  stats.records_after = winners.size();
+  stats.bytes_before = journal_file_bytes(*loaded);
+  stats.bytes_after = data.size();
+  util::write_file_atomic(out.empty() ? path : out, data, durability);
+  return stats;
+}
+
+RepairStats repair_journal(const std::string& path, const std::string& out,
+                           util::Durability durability) {
+  std::optional<JournalLoad> loaded = load_journal_raw(path);
+  if (!loaded) throw std::runtime_error("cannot open " + path);
+  if (loaded->empty_file) {
+    throw std::runtime_error(path + " is an empty journal (no header yet)");
+  }
+  RepairStats stats;
+  stats.stats = loaded->stats;
+  stats.kept_records = loaded->records.size();
+  stats.bytes_before = journal_file_bytes(*loaded);
+  stats.bytes_after = loaded->intact_bytes.size();
+  stats.was_damaged = loaded->damaged();
+  util::write_file_atomic(out.empty() ? path : out, loaded->intact_bytes,
+                          durability);
+  return stats;
+}
+
+JournalSession open_journal_session(const std::string& path,
+                                    const JournalMeta& meta,
+                                    bool retry_inconclusive,
+                                    util::Durability durability) {
+  JournalSession s;
+  if (path.empty()) return s;
+  std::optional<JournalLoad> loaded = load_journal(path, meta);
+  if (loaded && !loaded->empty_file) {
+    s.truncated = loaded->truncated;
+    s.stats = loaded->stats;
+    s.was_empty = loaded->records.empty();
+    for (const fault::GroupRecord& rec : loaded->records) {
+      if ((rec.timed_out || rec.quarantined) && retry_inconclusive) {
+        // Give the group a fresh chance; a new record supersedes this
+        // one in file order on the next load.
+        s.seeds.erase(rec.group);
+        continue;
+      }
+      s.seeds[rec.group] = rec;  // later record wins
+    }
+
+    // Dead-record pressure: retries, quarantine heals and resume churn
+    // append superseding records without ever reclaiming the old ones.
+    // When the dead outnumber the live by more than the threshold,
+    // rewrite the file down to one winning record per group — the
+    // append writer below then continues on the compacted file. (The
+    // winning records are exactly what the seeds were computed from, so
+    // compaction never changes what a resume sees.)
+    const std::vector<fault::GroupRecord> winners =
+        winning_records(loaded->records);
+    const std::size_t dead = loaded->records.size() - winners.size();
+    if (dead > kCompactDeadFactor * winners.size()) {
+      loaded->intact_bytes = encode_journal(loaded->meta, winners);
+      loaded->records = winners;
+      loaded->truncated = false;
+      loaded->dropped_bytes = 0;
+      loaded->stats.skipped_records = 0;
+      loaded->stats.skipped_bytes = 0;
+      util::write_file_atomic(path, loaded->intact_bytes, durability);
+      s.compacted = true;
+    }
+    s.writer = JournalWriter::append(path, *loaded, durability);
+  } else {
+    s.was_empty = loaded.has_value();  // existed, zero-length
+    s.writer = JournalWriter::create(path, meta, durability);
+  }
+  return s;
 }
 
 }  // namespace sbst::campaign

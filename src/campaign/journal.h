@@ -16,14 +16,25 @@
 //             engine_used u8 — written by every run since work
 //             accounting; older journals decode with zero counters]
 //
-// Records are appended (and flushed to the OS) as fault groups finish,
-// in completion order — group indices are NOT sorted. A crash can tear
-// at most the final record: load_journal() verifies each frame's length
-// and CRC and drops everything from the first bad frame on, reporting
-// how many bytes were discarded. The fingerprint in the header ties the
-// journal to one exact campaign (netlist + fault list + program +
-// sampling + cycle bound); resuming with a different campaign is an
-// error, not silent corruption.
+// Records are appended (and made durable per JournalWriter's
+// Durability policy) as fault groups finish, in completion order —
+// group indices are NOT sorted.
+//
+// Self-healing: each frame carries its own length and CRC, so damage is
+// contained to the records it touches. load_journal() *salvages*: on a
+// corrupt frame it scans forward for the next frame whose CRC and
+// payload validate, skips the damaged span, and keeps going — a flipped
+// bit, a zeroed page or a torn-out chunk in the middle of a multi-hour
+// campaign's journal loses only the records it damaged, and resume
+// re-simulates exactly those groups. A torn *tail* (crash mid-append)
+// is the degenerate case: nothing to resync onto, the tail is dropped.
+// Retries and quarantine-heals append superseding records, so a
+// long-lived journal accumulates dead records; compaction rewrites it
+// keeping only the winning (latest) record per group, atomically.
+//
+// The fingerprint in the header ties the journal to one exact campaign
+// (netlist + fault list + program + sampling + cycle bound); resuming
+// with a different campaign is an error, not silent corruption.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "fault/faultsim.h"
+#include "util/atomic_file.h"
 
 namespace sbst::campaign {
 
@@ -44,47 +56,81 @@ struct JournalMeta {
   std::uint64_t num_faults = 0;
 };
 
+/// What the salvaging loader recovered and what it had to give up.
+struct JournalLoadStats {
+  /// Intact records recovered (including any after damaged spans).
+  std::size_t salvaged = 0;
+  /// Damaged interior spans skipped by resynchronization. Each span
+  /// covers at least one destroyed record (exact record counts are
+  /// unknowable — the length fields inside the span are untrusted).
+  std::size_t skipped_records = 0;
+  /// Bytes inside those interior spans (the torn tail is counted
+  /// separately in JournalLoad::dropped_bytes).
+  std::size_t skipped_bytes = 0;
+};
+
 struct JournalLoad {
   JournalMeta meta;
   /// Records in file (= completion) order. A group may appear more than
   /// once — e.g. a timed-out group re-simulated on a retry run — and
   /// the later record supersedes the earlier one.
   std::vector<fault::GroupRecord> records;
-  /// True when a torn/corrupt tail was detected and dropped.
+  /// Salvage accounting: how many records survived, how many damaged
+  /// spans were skipped and how many bytes they held.
+  JournalLoadStats stats;
+  /// True when a torn/corrupt tail was detected and dropped (no later
+  /// frame to resynchronize onto).
   bool truncated = false;
   std::size_t dropped_bytes = 0;
-  /// The raw bytes of the longest valid prefix (header + intact
-  /// records). JournalWriter::append() rewrites the file to exactly this
-  /// prefix before appending, so dropped garbage never resurfaces.
-  std::string valid_prefix;
+  /// The journal re-serialized without the damage: header + every
+  /// intact frame, in order. Equal to the file content when the file is
+  /// clean. JournalWriter::append() rewrites the file to exactly these
+  /// bytes before appending, so damage never resurfaces; `sbst journal
+  /// repair` writes them to a fresh file.
+  std::string intact_bytes;
   /// True when the file existed but was zero-length — e.g. created by a
   /// crash before the header landed, or touch(1)'d. Not an error: the
   /// campaign starts fresh ("empty journal"), it is not a corrupt tail.
   bool empty_file = false;
+
+  bool damaged() const { return truncated || stats.skipped_records != 0; }
 };
 
-/// Parses the journal at `path`. Returns nullopt when the file does not
-/// exist (a fresh campaign); a zero-length file loads with `empty_file`
-/// set and no records (also a fresh start, reported as such rather than
-/// as corruption). Throws std::runtime_error when the header is
-/// unreadable/corrupt or does not match `expect` — a journal from a
-/// different campaign must never be spliced into this one.
+/// Parses the journal at `path`, salvaging around damaged records.
+/// Returns nullopt when the file does not exist (a fresh campaign); a
+/// zero-length file loads with `empty_file` set and no records (also a
+/// fresh start, reported as such rather than as corruption). Throws
+/// std::runtime_error when the header is unreadable/corrupt or does not
+/// match `expect` — a journal from a different campaign must never be
+/// spliced into this one.
 std::optional<JournalLoad> load_journal(const std::string& path,
                                         const JournalMeta& expect);
 
+/// Same salvaging load, but trusts the header it finds instead of
+/// checking it against an expected campaign — the basis of the offline
+/// `sbst journal` tools, which operate on a journal without being able
+/// to reconstruct its campaign. Header corruption still throws: with
+/// the fingerprint gone the records cannot be attributed to any
+/// campaign, so there is nothing safe to salvage them into.
+std::optional<JournalLoad> load_journal_raw(const std::string& path);
+
 /// Append-only record writer. Every add() writes one complete frame and
-/// flushes it to the OS, so a killed process loses at most the record
-/// being written — which the next load detects and drops.
+/// makes it durable per the configured policy, so a killed process
+/// loses at most the record being written — which the next load
+/// detects and drops.
 class JournalWriter {
  public:
   /// Creates `path` (replacing any previous content) with a fresh header.
-  static JournalWriter create(const std::string& path,
-                              const JournalMeta& meta);
+  static JournalWriter create(const std::string& path, const JournalMeta& meta,
+                              util::Durability durability =
+                                  util::Durability::kFlush);
 
   /// Opens an existing journal for appending, first rewriting it to
-  /// `loaded.valid_prefix` if a torn tail was dropped.
+  /// `loaded.intact_bytes` if any damage (interior or tail) was dropped.
   static JournalWriter append(const std::string& path,
-                              const JournalLoad& loaded);
+                              const JournalLoad& loaded,
+                              util::Durability durability =
+                                  util::Durability::kFlush);
 
   JournalWriter(JournalWriter&& other) noexcept;
   JournalWriter& operator=(JournalWriter&& other) noexcept;
@@ -92,15 +138,18 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
   ~JournalWriter();
 
-  /// Appends one framed, checksummed record and flushes. Throws
+  /// Appends one framed, checksummed record and applies the durability
+  /// policy (kFlush: fflush; kFsync: fflush + fsync). Throws
   /// std::runtime_error on I/O failure.
   void add(const fault::GroupRecord& rec);
 
  private:
-  explicit JournalWriter(std::FILE* f, std::string path);
+  explicit JournalWriter(std::FILE* f, std::string path,
+                         util::Durability durability);
 
   std::FILE* f_ = nullptr;
   std::string path_;
+  util::Durability durability_ = util::Durability::kFlush;
 };
 
 /// Serializes one record payload (without the length/CRC frame) —
@@ -113,6 +162,52 @@ std::string encode_record_payload(const fault::GroupRecord& rec);
 /// guarantees. Shared by journal frame parsing and IPC result frames.
 bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec);
 
+/// Serializes a complete journal: header + one frame per record, in
+/// order. The building block of compaction and repair (both stay in the
+/// SBSTJRN1 format, so old readers load their output unchanged).
+std::string encode_journal(const JournalMeta& meta,
+                           const std::vector<fault::GroupRecord>& records);
+
+/// Collapses `records` (file order) to the winning — latest — record
+/// per group, returned sorted by group for deterministic output.
+std::vector<fault::GroupRecord> winning_records(
+    const std::vector<fault::GroupRecord>& records);
+
+struct CompactionStats {
+  std::size_t records_before = 0;
+  std::size_t records_after = 0;  // live (= distinct groups)
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+};
+
+/// Rewrites the journal at `path` keeping only the winning record per
+/// group, atomically (util::write_file_atomic under `durability`).
+/// Damaged spans are dropped as a side effect — a compacted journal is
+/// always clean. `out` may name a different destination (repair-into-
+/// fresh-file workflows); equal or empty `out` compacts in place.
+/// Throws on missing/corrupt-header/unwritable files.
+CompactionStats compact_journal(const std::string& path,
+                                const std::string& out = std::string(),
+                                util::Durability durability =
+                                    util::Durability::kFsync);
+
+struct RepairStats {
+  JournalLoadStats stats;      // what the salvaging load saw
+  std::size_t kept_records = 0;
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+  bool was_damaged = false;
+};
+
+/// Salvages the journal at `path` into `out` (in place when `out` is
+/// empty or equal): header + every intact record, damage dropped. The
+/// output always passes a verify sweep. Throws on missing files or
+/// corrupt headers (nothing attributable to salvage).
+RepairStats repair_journal(const std::string& path,
+                           const std::string& out = std::string(),
+                           util::Durability durability =
+                               util::Durability::kFsync);
+
 /// One campaign's journal, opened for seeding + appending — the shared
 /// storage half of both campaign execution modes (in-process threads and
 /// the process-isolation supervisor).
@@ -122,18 +217,29 @@ struct JournalSession {
   /// Latest record per group from previous runs (later records win);
   /// groups present here are seeded instead of simulated.
   std::unordered_map<std::uint64_t, fault::GroupRecord> seeds;
-  bool truncated = false;  // a torn tail was dropped on load
-  bool was_empty = false;  // file existed but held no records
+  /// Salvage accounting from the load (skipped spans re-simulate).
+  JournalLoadStats stats;
+  bool truncated = false;   // a torn tail was dropped on load
+  bool was_empty = false;   // file existed but held no records
+  bool compacted = false;   // dead records exceeded the auto-compaction
+                            // threshold and the file was rewritten
 };
+
+/// Auto-compaction trigger: a journal whose dead (superseded) records
+/// outnumber live ones by more than this factor is rewritten at open.
+constexpr std::size_t kCompactDeadFactor = 2;
 
 /// Loads (or creates) the journal at `path` for the campaign identified
 /// by `meta` and folds its records into a seed map. When
 /// `retry_inconclusive` is set, timed-out and quarantined records are
 /// dropped from the seeds so those groups re-simulate (their superseding
-/// records win on the next load). Empty `path` returns a session with no
-/// writer and no seeds.
+/// records win on the next load). Journals whose dead records exceed
+/// kCompactDeadFactor x live ones are compacted in passing. Empty
+/// `path` returns a session with no writer and no seeds.
 JournalSession open_journal_session(const std::string& path,
                                     const JournalMeta& meta,
-                                    bool retry_inconclusive);
+                                    bool retry_inconclusive,
+                                    util::Durability durability =
+                                        util::Durability::kFlush);
 
 }  // namespace sbst::campaign

@@ -207,10 +207,12 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
   }
 
   const JournalMeta meta{fingerprint, out.groups_total, faults.size()};
-  JournalSession journal =
-      open_journal_session(options.journal, meta, options.retry_timed_out);
+  JournalSession journal = open_journal_session(
+      options.journal, meta, options.retry_timed_out, options.durability);
   out.journal_truncated = journal.truncated;
   out.journal_empty = journal.was_empty;
+  out.journal_salvage = journal.stats;
+  out.journal_compacted = journal.compacted;
 
   out.result = plan.make_result();
   out.result.groups_total = out.groups_total;

@@ -170,7 +170,7 @@ void CampaignTelemetry::flush_metrics_locked() {
   // reported once and abandoned, the simulation (and its journal, which
   // keeps its own fail-loudly contract) continues.
   try {
-    util::write_file_atomic(opt_.metrics_path, lines_);
+    util::write_file_atomic(opt_.metrics_path, lines_, opt_.durability);
     unflushed_ = 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "warning: metrics sink disabled: %s\n", e.what());
@@ -211,7 +211,7 @@ void CampaignTelemetry::write_status_locked(const char* state) {
   }
   out += "}\n";
   try {
-    util::write_file_atomic(opt_.status_path, out);
+    util::write_file_atomic(opt_.status_path, out, opt_.durability);
     last_status_ = std::chrono::steady_clock::now();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "warning: status sink disabled: %s\n", e.what());

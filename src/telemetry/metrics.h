@@ -37,6 +37,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/atomic_file.h"
+
 namespace sbst::telemetry {
 
 /// One resolved fault group, in telemetry terms. Decoupled from
@@ -93,6 +95,10 @@ struct TelemetryOptions {
   std::size_t rewrite_every = 256;
   /// Minimum seconds between status rewrites (finish always writes).
   double heartbeat_period_s = 1.0;
+  /// Durability of both sinks' atomic rewrites. The campaign forwards
+  /// its own policy here so "--durability fsync" makes the heartbeat
+  /// and the metrics stream power-loss-safe along with the journal.
+  util::Durability durability = util::Durability::kFlush;
 };
 
 /// Thread-safe telemetry sink for one campaign run. record() is called

@@ -20,44 +20,54 @@ double percentile_nearest_rank(const std::vector<double>& sorted, double q) {
   return sorted[rank - 1];
 }
 
+void MetricsFolder::fold(const GroupMetric& m) {
+  MetricsSummary& s = summary_;
+  ++s.records;
+  if (m.seeded) {
+    ++s.seeded;
+  } else {
+    ++s.simulated;
+    durations_.push_back(m.duration_ms);
+    s.total_ms += m.duration_ms;
+  }
+  if (m.timed_out) ++s.timed_out_groups;
+  if (m.quarantined) ++s.quarantined_groups;
+  if (m.engine == "event") ++s.event_groups;
+  else if (m.engine == "sweep") ++s.sweep_groups;
+  else ++s.none_groups;
+  s.faults += m.faults;
+  s.detected += m.detected;
+  if (m.attempts > 1) s.retries += m.attempts - 1;
+  s.gates_evaluated += m.gates_evaluated;
+  s.sim_cycles += m.sim_cycles;
+  s.max_rss_kb = std::max(s.max_rss_kb, m.max_rss_kb);
+  s.cpu_ms += m.cpu_ms;
+}
+
+void MetricsFolder::count_malformed() { ++summary_.malformed; }
+
+MetricsSummary MetricsFolder::finish() {
+  std::sort(durations_.begin(), durations_.end());
+  summary_.p50_ms = percentile_nearest_rank(durations_, 50.0);
+  summary_.p95_ms = percentile_nearest_rank(durations_, 95.0);
+  summary_.p99_ms = percentile_nearest_rank(durations_, 99.0);
+  if (!durations_.empty()) summary_.max_ms = durations_.back();
+  return summary_;
+}
+
 MetricsSummary summarize_metrics(std::istream& in) {
-  MetricsSummary s;
-  std::vector<double> durations;
+  MetricsFolder folder;
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     GroupMetric m;
     if (!metric_from_json(line, &m)) {
-      ++s.malformed;
+      folder.count_malformed();
       continue;
     }
-    ++s.records;
-    if (m.seeded) {
-      ++s.seeded;
-    } else {
-      ++s.simulated;
-      durations.push_back(m.duration_ms);
-      s.total_ms += m.duration_ms;
-    }
-    if (m.timed_out) ++s.timed_out_groups;
-    if (m.quarantined) ++s.quarantined_groups;
-    if (m.engine == "event") ++s.event_groups;
-    else if (m.engine == "sweep") ++s.sweep_groups;
-    else ++s.none_groups;
-    s.faults += m.faults;
-    s.detected += m.detected;
-    if (m.attempts > 1) s.retries += m.attempts - 1;
-    s.gates_evaluated += m.gates_evaluated;
-    s.sim_cycles += m.sim_cycles;
-    s.max_rss_kb = std::max(s.max_rss_kb, m.max_rss_kb);
-    s.cpu_ms += m.cpu_ms;
+    folder.fold(m);
   }
-  std::sort(durations.begin(), durations.end());
-  s.p50_ms = percentile_nearest_rank(durations, 50.0);
-  s.p95_ms = percentile_nearest_rank(durations, 95.0);
-  s.p99_ms = percentile_nearest_rank(durations, 99.0);
-  if (!durations.empty()) s.max_ms = durations.back();
-  return s;
+  return folder.finish();
 }
 
 void print_metrics_summary(std::ostream& os, const MetricsSummary& s) {

@@ -43,6 +43,25 @@ struct MetricsSummary {
 /// sample; 0.0 for an empty sample.
 double percentile_nearest_rank(const std::vector<double>& sorted, double q);
 
+struct GroupMetric;
+
+/// Incremental folder behind summarize_metrics, exposed so the same
+/// counter lines can be derived from sources other than an NDJSON
+/// stream — `sbst stats --journal` folds a journal's winning records
+/// directly, reconstructing the counter aggregates a crash between
+/// periodic --metrics rewrites would otherwise have lost.
+class MetricsFolder {
+ public:
+  void fold(const GroupMetric& m);
+  void count_malformed();
+  /// Sorts the latency sample and returns the finished summary.
+  MetricsSummary finish();
+
+ private:
+  MetricsSummary summary_;
+  std::vector<double> durations_;
+};
+
 /// Folds every NDJSON line of `in` into a summary. Never throws on bad
 /// content — malformed lines are counted, not fatal (callers decide).
 MetricsSummary summarize_metrics(std::istream& in);

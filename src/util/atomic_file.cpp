@@ -1,5 +1,9 @@
 #include "util/atomic_file.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <stdexcept>
 
@@ -7,7 +11,46 @@
 
 namespace sbst::util {
 
-void write_file_atomic(const std::string& path, std::string_view content) {
+Durability parse_durability(std::string_view name) {
+  if (name == "none") return Durability::kNone;
+  if (name == "flush") return Durability::kFlush;
+  if (name == "fsync") return Durability::kFsync;
+  throw std::runtime_error("unknown durability '" + std::string(name) +
+                           "' (want none, flush or fsync)");
+}
+
+const char* durability_name(Durability d) {
+  switch (d) {
+    case Durability::kNone: return "none";
+    case Durability::kFlush: return "flush";
+    case Durability::kFsync: return "fsync";
+  }
+  return "?";
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open directory " + dir +
+                             " to fsync it");
+  }
+  // Some filesystems (and some container overlays) reject fsync on a
+  // directory fd with EINVAL; treat that as "as durable as it gets".
+  if (checked_fsync(fd) != 0 && errno != EINVAL) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw std::runtime_error("cannot fsync directory " + dir);
+  }
+  ::close(fd);
+}
+
+void write_file_atomic(const std::string& path, std::string_view content,
+                       Durability durability) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) throw std::runtime_error("cannot open " + tmp + " for writing");
@@ -15,6 +58,12 @@ void write_file_atomic(const std::string& path, std::string_view content) {
   try {
     ok = checked_fwrite(f, content.data(), content.size()) == content.size() &&
          checked_fflush(f) == 0;
+    // The rename only makes the content *visible*; under kFsync the
+    // bytes must be on stable storage before the swap, or a power cut
+    // can promote an empty/torn tmp over the good old file.
+    if (ok && durability == Durability::kFsync) {
+      ok = checked_fsync(::fileno(f)) == 0;
+    }
   } catch (...) {
     // Simulated process death (IoKilled): leave the torn .tmp behind just
     // like a real SIGKILL would — the destination is still untouched.
@@ -29,6 +78,12 @@ void write_file_atomic(const std::string& path, std::string_view content) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+  if (durability == Durability::kFsync) {
+    // The rename lives in the directory, not the file: without this
+    // fsync the swap itself can vanish on power loss even though both
+    // the old and new inodes were durable.
+    fsync_parent_dir(path);
   }
 }
 

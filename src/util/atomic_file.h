@@ -10,9 +10,41 @@
 
 namespace sbst::util {
 
+/// How hard durable writes push data toward stable storage. One policy
+/// serves every durable sink (journal appends, atomic file swaps,
+/// telemetry rewrites) so a campaign's crash-safety story is a single
+/// knob rather than per-file folklore.
+enum class Durability {
+  /// Buffered only: fastest, survives a process crash (the OS holds the
+  /// data) but not a kernel panic or power cut.
+  kNone,
+  /// Flush to the OS after every durable write (fflush). Default —
+  /// survives any process death; an OS crash can still lose the tail.
+  kFlush,
+  /// fsync after every durable write; atomic swaps additionally fsync
+  /// the file before rename and the parent directory after, so the
+  /// rename itself survives power loss. Slowest, strongest.
+  kFsync,
+};
+
+/// Parses "none" | "flush" | "fsync". Throws std::runtime_error on
+/// anything else (shared by CLI flags and config plumbing).
+Durability parse_durability(std::string_view name);
+const char* durability_name(Durability d);
+
 /// Writes `content` to `path` via tmp-file + rename. Throws
 /// std::runtime_error (with the path in the message) if the temporary
 /// cannot be written, flushed, or renamed; `path` is untouched on error.
-void write_file_atomic(const std::string& path, std::string_view content);
+/// Under Durability::kFsync the temporary is fsync'd before the rename
+/// and the parent directory after it — without that pair, a power cut
+/// shortly after "success" can roll the file back or lose it entirely
+/// (rename durability needs the directory entry on disk too).
+void write_file_atomic(const std::string& path, std::string_view content,
+                       Durability durability = Durability::kFlush);
+
+/// fsyncs the directory containing `path` (the parent of the final
+/// component). Best effort on filesystems that refuse directory fds;
+/// throws only when the directory cannot even be opened.
+void fsync_parent_dir(const std::string& path);
 
 }  // namespace sbst::util

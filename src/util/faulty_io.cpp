@@ -1,5 +1,7 @@
 #include "util/faulty_io.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 
 namespace sbst::util {
@@ -90,6 +92,74 @@ int checked_fflush(std::FILE* f) {
     return EOF;
   }
   return std::fflush(f);
+}
+
+int checked_fsync(int fd) {
+  if (g_plan.kind == IoFailure::kFsyncFail &&
+      (g_tripped || g_written > g_plan.fail_at_byte)) {
+    g_tripped = true;
+    errno = EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+DamagePlan damage_plan_from_seed(std::uint64_t seed, std::uint64_t min_offset,
+                                 std::uint64_t file_size) {
+  DamagePlan plan;
+  const std::uint64_t h = splitmix64(seed ^ 0xdead10ccull);
+  plan.kind = static_cast<DamageKind>(1 + static_cast<int>(h % 3));
+  const std::uint64_t span =
+      file_size > min_offset ? file_size - min_offset : 1;
+  plan.offset = min_offset + splitmix64(h) % span;
+  switch (plan.kind) {
+    case DamageKind::kBitFlip:
+      plan.length = 1 + splitmix64(h + 1) % 8;  // bit index via length % 8
+      break;
+    case DamageKind::kZeroPage:
+      plan.length = 64 + splitmix64(h + 1) % 448;
+      break;
+    case DamageKind::kTruncateInterior:
+      plan.length = 8 + splitmix64(h + 1) % 120;
+      break;
+  }
+  return plan;
+}
+
+void apply_file_damage(const std::string& path, const DamagePlan& plan) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in) throw std::runtime_error("cannot open " + path + " to damage it");
+  std::string data;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) != 0) data.append(buf, n);
+  std::fclose(in);
+
+  if (!data.empty() && plan.offset < data.size()) {
+    const std::size_t off = static_cast<std::size_t>(plan.offset);
+    std::size_t len = static_cast<std::size_t>(plan.length);
+    if (len > data.size() - off) len = data.size() - off;
+    switch (plan.kind) {
+      case DamageKind::kBitFlip:
+        data[off] = static_cast<char>(
+            data[off] ^ static_cast<char>(1u << (plan.length % 8)));
+        break;
+      case DamageKind::kZeroPage:
+        data.replace(off, len, len, '\0');
+        break;
+      case DamageKind::kTruncateInterior:
+        data.erase(off, len);
+        break;
+    }
+  }
+
+  // Plain rewrite, not write_file_atomic: the damage injector *is* the
+  // storage failure and must not be subject to injected write faults.
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (!out) throw std::runtime_error("cannot rewrite " + path);
+  const bool ok = std::fwrite(data.data(), 1, data.size(), out) == data.size();
+  std::fclose(out);
+  if (!ok) throw std::runtime_error("cannot rewrite " + path);
 }
 
 }  // namespace sbst::util

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace sbst::util {
 
@@ -89,5 +90,50 @@ std::size_t checked_fwrite(std::FILE* f, const void* data, std::size_t n);
 /// fflush with fault injection: 0 on success, EOF with errno set on an
 /// injected flush failure. Pass-through `std::fflush(f)` when disarmed.
 int checked_fflush(std::FILE* f);
+
+/// fsync with fault injection: 0 on success, -1 with errno == EIO on an
+/// injected durability failure (same kFsyncFail boundary semantics as
+/// checked_fflush — a dying disk fails the ack, not the buffering).
+/// Pass-through `::fsync(fd)` when disarmed.
+int checked_fsync(int fd);
+
+// ---------------------------------------------------------------------
+// Mid-file damage: what long-lived state suffers *between* runs.
+//
+// The write-failure plans above model a crash while writing; these
+// plans model what a disk does to a file that was written correctly —
+// a flipped bit (cosmic ray, failing cell), a zeroed page (FTL losing a
+// mapping, fsck punching a hole), or a span torn out of the middle
+// (lost writeback of an interior extent). The journal's salvage loader
+// must survive all three losing only the records the damage touched.
+
+enum class DamageKind : int {
+  kBitFlip = 1,           // flip one bit of one byte
+  kZeroPage = 2,          // zero a span, as if the page never hit disk
+  kTruncateInterior = 3,  // splice a span out of the middle of the file
+};
+
+struct DamagePlan {
+  DamageKind kind = DamageKind::kBitFlip;
+  /// First damaged byte offset.
+  std::uint64_t offset = 0;
+  /// Damaged span length (kZeroPage/kTruncateInterior); for kBitFlip,
+  /// `length % 8` selects the flipped bit.
+  std::uint64_t length = 1;
+};
+
+/// Deterministically derives a damage plan from a seed: kind cycles
+/// through the three damage shapes, offset lands uniformly in
+/// [min_offset, file_size), lengths span a page-ish range. A seed sweep
+/// therefore hits frame headers, CRCs, payload bytes and record
+/// boundaries alike.
+DamagePlan damage_plan_from_seed(std::uint64_t seed, std::uint64_t min_offset,
+                                 std::uint64_t file_size);
+
+/// Applies `plan` to the file at `path` in place (spans clamped to the
+/// file size). Throws std::runtime_error when the file cannot be read
+/// or rewritten. Test/chaos harness only — this is the damage injector,
+/// not a recovery tool.
+void apply_file_damage(const std::string& path, const DamagePlan& plan);
 
 }  // namespace sbst::util

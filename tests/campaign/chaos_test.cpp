@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "campaign/campaign.h"
 #include "campaign/journal.h"
@@ -148,6 +149,170 @@ TEST(Chaos, EveryJournalWriteFailurePointLosesAtMostTheTornTail) {
     ASSERT_TRUE(healed);
     EXPECT_FALSE(healed->truncated);
     EXPECT_EQ(healed->records.size(), reference.groups_total);
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << data;
+}
+
+TEST(Chaos, MidFileJournalDamageLosesOnlyTheDamagedRecords) {
+  // The write-failure sweep above models crashes *while writing*; this
+  // sweep models what storage does to a finished journal *between*
+  // runs — a flipped bit, a zeroed page, an interior span torn out. The
+  // salvaging loader must keep every undamaged record, `sbst journal
+  // repair`'s engine must produce a clean file, and a resume must be
+  // bit-identical to a run that never saw damage.
+  const nl::Netlist n = make_small_netlist();
+  const nl::FaultList faults = nl::enumerate_faults(n);
+  const auto env = []() { return std::make_unique<ConstEnv>(); };
+
+  CampaignOptions base;
+  base.sim.threads = 1;
+  base.sim.max_cycles = 256;
+
+  const std::string ref_path = temp_path("chaos_dmg_ref.sbstj");
+  std::remove(ref_path.c_str());
+  CampaignOptions ref_opt = base;
+  ref_opt.journal = ref_path;
+  const CampaignResult reference = run_campaign(n, faults, env, kFp, ref_opt);
+  ASSERT_EQ(reference.groups_done, reference.groups_total);
+  const std::string intact = slurp(ref_path);
+  ASSERT_GT(intact.size(), 36u);
+
+  const JournalMeta meta{kFp, reference.groups_total, faults.size()};
+  const auto ref_loaded = load_journal(ref_path, meta);
+  ASSERT_TRUE(ref_loaded);
+  std::unordered_map<std::uint64_t, fault::GroupRecord> originals;
+  for (const fault::GroupRecord& rec : ref_loaded->records) {
+    originals[rec.group] = rec;
+  }
+
+  const std::string path = temp_path("chaos_dmg_run.sbstj");
+  for (int seed = 0; seed < sweep_seeds(); ++seed) {
+    SCOPED_TRACE(seed);
+    spit(path, intact);
+    const util::DamagePlan plan = util::damage_plan_from_seed(
+        static_cast<std::uint64_t>(seed) + 31337, 36, intact.size());
+    util::apply_file_damage(path, plan);
+
+    // Salvage: the header survives (damage starts past byte 36), every
+    // undamaged record is recovered bit-exact, and one damage event
+    // destroys at most two adjacent frames.
+    auto loaded = load_journal(path, meta);
+    ASSERT_TRUE(loaded);
+    const std::size_t salvaged = loaded->records.size();
+    EXPECT_GE(salvaged + 2, reference.groups_total);
+    for (const fault::GroupRecord& rec : loaded->records) {
+      const auto it = originals.find(rec.group);
+      ASSERT_NE(it, originals.end());
+      EXPECT_EQ(rec.detected_mask, it->second.detected_mask);
+      EXPECT_EQ(rec.detect_cycle, it->second.detect_cycle);
+      EXPECT_EQ(rec.cycles, it->second.cycles);
+    }
+
+    // Odd seeds run the offline repair first (the `sbst journal repair`
+    // engine); even seeds resume straight off the damaged file — both
+    // paths must converge to the same bit-identical result.
+    if (seed % 2 == 1) {
+      const RepairStats r = repair_journal(path);
+      EXPECT_EQ(r.was_damaged, loaded->damaged());
+      EXPECT_EQ(r.kept_records, salvaged);
+      const auto repaired = load_journal(path, meta);
+      ASSERT_TRUE(repaired);
+      EXPECT_FALSE(repaired->damaged());
+      EXPECT_EQ(repaired->records.size(), salvaged);
+    }
+
+    CampaignOptions resume = base;
+    resume.journal = path;
+    const CampaignResult full = run_campaign(n, faults, env, kFp, resume);
+    EXPECT_EQ(full.groups_done, full.groups_total);
+    EXPECT_EQ(full.seeded_groups, salvaged)
+        << "exactly the salvaged groups seed; the damaged ones re-simulate";
+    EXPECT_EQ(full.result.detected, reference.result.detected);
+    EXPECT_EQ(full.result.simulated, reference.result.simulated);
+    EXPECT_EQ(full.result.detect_cycle, reference.result.detect_cycle);
+    EXPECT_EQ(full.result.timed_out, reference.result.timed_out);
+    EXPECT_EQ(full.result.good_cycles, reference.result.good_cycles);
+
+    const auto healed = load_journal(path, meta);
+    ASSERT_TRUE(healed);
+    EXPECT_FALSE(healed->damaged()) << "resume must heal the journal";
+    EXPECT_EQ(healed->records.size(), reference.groups_total);
+  }
+}
+
+TEST(Chaos, CompactionKeepsResumeBitIdenticalAcrossModes) {
+  // A retry-heavy journal (dead records > 2x live) auto-compacts at
+  // open; the compacted resume must stay bit-identical to the clean
+  // reference at every thread count and under process isolation.
+  const nl::Netlist n = make_small_netlist();
+  const nl::FaultList faults = nl::enumerate_faults(n);
+  const auto env = []() { return std::make_unique<ConstEnv>(); };
+
+  CampaignOptions base;
+  base.sim.threads = 1;
+  base.sim.max_cycles = 256;
+
+  const std::string ref_path = temp_path("chaos_cmp_ref.sbstj");
+  std::remove(ref_path.c_str());
+  CampaignOptions ref_opt = base;
+  ref_opt.journal = ref_path;
+  const CampaignResult reference = run_campaign(n, faults, env, kFp, ref_opt);
+  ASSERT_EQ(reference.groups_done, reference.groups_total);
+
+  const JournalMeta meta{kFp, reference.groups_total, faults.size()};
+  const auto ref_loaded = load_journal(ref_path, meta);
+  ASSERT_TRUE(ref_loaded);
+
+  // Bloat: every record written four times — three dead, one winner.
+  const std::string bloated = temp_path("chaos_cmp_bloat.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(bloated, meta);
+    for (const fault::GroupRecord& rec : ref_loaded->records) {
+      for (int copy = 0; copy < 4; ++copy) w.add(rec);
+    }
+  }
+  const std::size_t bloated_size = slurp(bloated).size();
+
+  const std::string path = temp_path("chaos_cmp_run.sbstj");
+  struct Mode {
+    const char* name;
+    unsigned threads;
+    bool isolate;
+  };
+  for (const Mode mode : {Mode{"threads1", 1, false}, Mode{"threads2", 2, false},
+                          Mode{"threads4", 4, false}, Mode{"isolate", 0, true}}) {
+    SCOPED_TRACE(mode.name);
+    spit(path, slurp(bloated));
+    CampaignOptions opt = base;
+    opt.journal = path;
+    opt.sim.threads = mode.threads;
+    opt.isolate = mode.isolate;
+    if (mode.isolate) opt.iso.workers = 2;
+    const CampaignResult res = run_campaign(n, faults, env, kFp, opt);
+    EXPECT_TRUE(res.journal_compacted)
+        << "3x dead records must trip the auto-compaction threshold";
+    EXPECT_EQ(res.seeded_groups, reference.groups_total)
+        << "compaction must not lose a single winning record";
+    EXPECT_EQ(res.result.detected, reference.result.detected);
+    EXPECT_EQ(res.result.simulated, reference.result.simulated);
+    EXPECT_EQ(res.result.detect_cycle, reference.result.detect_cycle);
+    EXPECT_EQ(res.result.timed_out, reference.result.timed_out);
+    EXPECT_LT(slurp(path).size(), bloated_size);
+    const auto compacted = load_journal(path, meta);
+    ASSERT_TRUE(compacted);
+    EXPECT_FALSE(compacted->damaged());
+    EXPECT_EQ(compacted->records.size(), reference.groups_total);
   }
 }
 

@@ -1,8 +1,11 @@
-// Crash-safety contract of the campaign journal: every intact prefix
-// loads; any torn or corrupt tail is detected via the per-record CRC
-// frame and dropped; appending after a torn load first cuts the tail so
-// garbage never resurfaces; and a journal can never be spliced into a
-// campaign it does not belong to.
+// Crash-safety contract of the campaign journal: every intact record
+// loads — including records *after* mid-file damage, which the loader
+// salvages by resynchronizing on the [len][crc][payload] framing; a
+// torn or corrupt tail is detected and dropped; appending after a
+// damaged load first rewrites the intact bytes so garbage never
+// resurfaces; compaction and repair rewrite journals atomically in the
+// same format; and a journal can never be spliced into a campaign it
+// does not belong to.
 #include "campaign/journal.h"
 
 #include <gtest/gtest.h>
@@ -10,9 +13,11 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace sbst::campaign {
 namespace {
@@ -67,6 +72,23 @@ void expect_equal(const fault::GroupRecord& a, const fault::GroupRecord& b) {
 
 const JournalMeta kMeta{0x1234abcd5678ef01ull, 10, 630};
 
+constexpr std::size_t kHeaderBytes = 36;
+
+/// Byte range [begin, end) of record `i`'s frame, walked via the length
+/// fields — only valid on an intact journal.
+std::pair<std::size_t, std::size_t> frame_range(const std::string& data,
+                                                std::size_t i) {
+  std::size_t off = kHeaderBytes;
+  for (;;) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, data.data() + off, 4);
+    const std::size_t end = off + 8 + len;
+    if (i == 0) return {off, end};
+    --i;
+    off = end;
+  }
+}
+
 TEST(Journal, MissingFileLoadsAsNullopt) {
   EXPECT_FALSE(load_journal(temp_path("journal_missing.sbstj"), kMeta));
 }
@@ -117,9 +139,9 @@ TEST(Journal, TornFinalRecordIsDropped) {
     EXPECT_TRUE(loaded->truncated) << "cut " << cut;
     ASSERT_EQ(loaded->records.size(), 1u) << "cut " << cut;
     expect_equal(loaded->records[0], make_record(0, 63));
-    EXPECT_EQ(loaded->valid_prefix.size() + loaded->dropped_bytes,
+    EXPECT_EQ(loaded->intact_bytes.size() + loaded->dropped_bytes,
               intact.size() - cut)
-        << "prefix + dropped tail must account for the whole file";
+        << "intact bytes + dropped tail must account for the whole file";
   }
 }
 
@@ -306,6 +328,290 @@ TEST(Journal, LegacyPayloadWithoutWorkSectionDecodesWithZeroCounters) {
   std::string bogus = encode_record_payload(rec);
   bogus.back() = 7;
   EXPECT_FALSE(decode_record_payload(bogus, &back));
+}
+
+TEST(Journal, MidFileBitFlipSalvagesLaterRecords) {
+  const std::string path = temp_path("journal_midflip.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    for (std::uint64_t g : {0u, 1u, 2u, 3u}) w.add(make_record(g, 63));
+  }
+  std::string data = slurp(path);
+  const auto [begin, end] = frame_range(data, 1);
+  data[begin + 8 + 3] ^= 0x10;  // flip a payload bit of record 1
+  spit(path, data);
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->truncated) << "damage is interior, not a torn tail";
+  EXPECT_TRUE(loaded->damaged());
+  EXPECT_EQ(loaded->stats.skipped_records, 1u);
+  EXPECT_EQ(loaded->stats.skipped_bytes, end - begin);
+  EXPECT_EQ(loaded->stats.salvaged, 3u);
+  ASSERT_EQ(loaded->records.size(), 3u);
+  expect_equal(loaded->records[0], make_record(0, 63));
+  expect_equal(loaded->records[1], make_record(2, 63));
+  expect_equal(loaded->records[2], make_record(3, 63));
+  EXPECT_EQ(loaded->intact_bytes.size() + loaded->stats.skipped_bytes +
+                loaded->dropped_bytes,
+            data.size())
+      << "every file byte must be accounted intact, skipped or dropped";
+}
+
+TEST(Journal, ZeroedSpanAcrossTwoRecordsSalvagesTheRest) {
+  const std::string path = temp_path("journal_zerospan.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    for (std::uint64_t g : {0u, 1u, 2u, 3u, 4u}) w.add(make_record(g, 63));
+  }
+  std::string data = slurp(path);
+  // Zero from inside record 1 into record 2's frame header: both die,
+  // one contiguous damaged span.
+  const auto f1 = frame_range(data, 1);
+  const auto f2 = frame_range(data, 2);
+  std::fill(data.begin() + static_cast<std::ptrdiff_t>(f1.first + 10),
+            data.begin() + static_cast<std::ptrdiff_t>(f2.first + 10), '\0');
+  spit(path, data);
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->truncated);
+  EXPECT_EQ(loaded->stats.skipped_records, 1u)
+      << "one contiguous span, even though it destroyed two records";
+  EXPECT_EQ(loaded->stats.skipped_bytes, f2.second - f1.first);
+  ASSERT_EQ(loaded->records.size(), 3u);
+  expect_equal(loaded->records[0], make_record(0, 63));
+  expect_equal(loaded->records[1], make_record(3, 63));
+  expect_equal(loaded->records[2], make_record(4, 63));
+}
+
+TEST(Journal, InteriorTruncationResynchronizes) {
+  const std::string path = temp_path("journal_cutout.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    for (std::uint64_t g : {0u, 1u, 2u, 3u}) w.add(make_record(g, 63));
+  }
+  std::string data = slurp(path);
+  // Tear 17 bytes out of the middle of record 1 — everything after
+  // shifts, so the loader must find record 2 at an unaligned offset.
+  const auto f1 = frame_range(data, 1);
+  data.erase(f1.first + 12, 17);
+  spit(path, data);
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->truncated);
+  EXPECT_EQ(loaded->stats.skipped_records, 1u);
+  ASSERT_EQ(loaded->records.size(), 3u);
+  expect_equal(loaded->records[0], make_record(0, 63));
+  expect_equal(loaded->records[1], make_record(2, 63));
+  expect_equal(loaded->records[2], make_record(3, 63));
+}
+
+TEST(Journal, AppendAfterMidFileDamageHealsTheFile) {
+  const std::string path = temp_path("journal_midheal.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    for (std::uint64_t g : {0u, 1u, 2u}) w.add(make_record(g, 63));
+  }
+  std::string data = slurp(path);
+  data[frame_range(data, 1).first + 9] ^= 0x01;
+  spit(path, data);
+  auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  ASSERT_TRUE(loaded->damaged());
+  {
+    JournalWriter w = JournalWriter::append(path, *loaded);
+    w.add(make_record(1, 63));  // re-simulated lost group
+  }
+  const auto healed = load_journal(path, kMeta);
+  ASSERT_TRUE(healed);
+  EXPECT_FALSE(healed->damaged());
+  EXPECT_EQ(healed->stats.skipped_records, 0u);
+  ASSERT_EQ(healed->records.size(), 3u);
+  expect_equal(healed->records[0], make_record(0, 63));
+  expect_equal(healed->records[1], make_record(2, 63));
+  expect_equal(healed->records[2], make_record(1, 63));
+}
+
+TEST(Journal, WinningRecordsKeepsLatestPerGroupSortedByGroup) {
+  std::vector<fault::GroupRecord> records;
+  records.push_back(make_record(3, 63));
+  records.push_back(make_record(1, 63));
+  fault::GroupRecord retry = make_record(3, 63);
+  retry.timed_out = false;
+  retry.cycles = 99999;
+  records.push_back(retry);
+  records.push_back(make_record(0, 63));
+  const auto winners = winning_records(records);
+  ASSERT_EQ(winners.size(), 3u);
+  EXPECT_EQ(winners[0].group, 0u);
+  EXPECT_EQ(winners[1].group, 1u);
+  EXPECT_EQ(winners[2].group, 3u);
+  EXPECT_EQ(winners[2].cycles, 99999u) << "the later record must win";
+  EXPECT_FALSE(winners[2].timed_out);
+}
+
+TEST(Journal, CompactKeepsWinnersAndShrinksTheFile) {
+  const std::string path = temp_path("journal_compact.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      for (std::uint64_t g : {2u, 0u, 1u}) {
+        fault::GroupRecord rec = make_record(g, 63);
+        rec.cycles = 1000 * static_cast<std::uint64_t>(attempt + 1) + g;
+        w.add(rec);
+      }
+    }
+  }
+  const std::size_t before = slurp(path).size();
+  const CompactionStats stats = compact_journal(path);
+  EXPECT_EQ(stats.records_before, 9u);
+  EXPECT_EQ(stats.records_after, 3u);
+  EXPECT_EQ(stats.bytes_before, before);
+  EXPECT_LT(stats.bytes_after, before);
+  EXPECT_EQ(slurp(path).size(), stats.bytes_after);
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->damaged());
+  ASSERT_EQ(loaded->records.size(), 3u);
+  for (std::uint64_t g : {0u, 1u, 2u}) {
+    EXPECT_EQ(loaded->records[g].group, g) << "compaction sorts by group";
+    EXPECT_EQ(loaded->records[g].cycles, 3000 + g) << "latest attempt wins";
+  }
+}
+
+TEST(Journal, CompactToSeparateOutputLeavesSourceUntouched) {
+  const std::string path = temp_path("journal_compact_src.sbstj");
+  const std::string out = temp_path("journal_compact_dst.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    w.add(make_record(0, 63));
+    w.add(make_record(0, 63));
+    w.add(make_record(5, 63));
+  }
+  const std::string original = slurp(path);
+  const CompactionStats stats = compact_journal(path, out);
+  EXPECT_EQ(stats.records_after, 2u);
+  EXPECT_EQ(slurp(path), original);
+  const auto loaded = load_journal(out, kMeta);
+  ASSERT_TRUE(loaded);
+  ASSERT_EQ(loaded->records.size(), 2u);
+}
+
+TEST(Journal, RepairDropsDamageAndOutputVerifiesClean) {
+  const std::string path = temp_path("journal_repair.sbstj");
+  const std::string out = temp_path("journal_repaired.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    for (std::uint64_t g : {0u, 1u, 2u, 3u}) w.add(make_record(g, 63));
+  }
+  std::string data = slurp(path);
+  // Interior damage in record 1 (record 2 stays as a resync target) plus
+  // a torn tail eating into record 3.
+  data[frame_range(data, 1).first + 11] ^= 0x80;
+  data.resize(data.size() - 5);
+  spit(path, data);
+
+  const RepairStats r = repair_journal(path, out);
+  EXPECT_TRUE(r.was_damaged);
+  EXPECT_EQ(r.kept_records, 2u);
+  EXPECT_EQ(r.stats.skipped_records, 1u);
+  EXPECT_EQ(r.bytes_before, data.size());
+  EXPECT_LT(r.bytes_after, r.bytes_before);
+  EXPECT_EQ(slurp(path), data) << "repair into OUT must not touch the source";
+
+  const auto repaired = load_journal(out, kMeta);
+  ASSERT_TRUE(repaired);
+  EXPECT_FALSE(repaired->damaged());
+  ASSERT_EQ(repaired->records.size(), 2u);
+  expect_equal(repaired->records[0], make_record(0, 63));
+  expect_equal(repaired->records[1], make_record(2, 63));
+
+  // Repairing an intact journal is a no-op rewrite.
+  const RepairStats clean = repair_journal(out);
+  EXPECT_FALSE(clean.was_damaged);
+  EXPECT_EQ(clean.kept_records, 2u);
+  EXPECT_EQ(clean.bytes_after, clean.bytes_before);
+}
+
+TEST(Journal, RepairAndCompactThrowOnEmptyOrMissingFiles) {
+  const std::string missing = temp_path("journal_not_there.sbstj");
+  EXPECT_THROW(repair_journal(missing), std::runtime_error);
+  EXPECT_THROW(compact_journal(missing), std::runtime_error);
+  const std::string empty = temp_path("journal_repair_empty.sbstj");
+  spit(empty, "");
+  EXPECT_THROW(repair_journal(empty), std::runtime_error);
+  EXPECT_THROW(compact_journal(empty), std::runtime_error);
+}
+
+TEST(Journal, SessionSeedsOnlySalvagedGroupsAfterMidFileDamage) {
+  const std::string path = temp_path("journal_session_salvage.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    for (std::uint64_t g : {0u, 1u, 2u, 3u}) w.add(make_record(g, 63));
+  }
+  std::string data = slurp(path);
+  data[frame_range(data, 1).first + 13] ^= 0x04;
+  spit(path, data);
+  JournalSession session = open_journal_session(path, kMeta, false);
+  ASSERT_TRUE(session.writer);
+  EXPECT_EQ(session.stats.skipped_records, 1u);
+  EXPECT_EQ(session.stats.salvaged, 3u);
+  EXPECT_EQ(session.seeds.size(), 3u);
+  EXPECT_EQ(session.seeds.count(1), 0u)
+      << "the damaged group must re-simulate";
+  for (std::uint64_t g : {0u, 2u, 3u}) EXPECT_EQ(session.seeds.count(g), 1u);
+  session.writer->add(make_record(1, 63));
+  session.writer.reset();
+  const auto healed = load_journal(path, kMeta);
+  ASSERT_TRUE(healed);
+  EXPECT_FALSE(healed->damaged()) << "opening a session heals the file";
+  EXPECT_EQ(healed->records.size(), 4u);
+}
+
+TEST(Journal, SessionAutoCompactsWhenDeadRecordsDominate) {
+  const std::string path = temp_path("journal_autocompact.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    // 2 live groups, 8 records: dead (6) > kCompactDeadFactor (2) x live.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      for (std::uint64_t g : {0u, 1u}) {
+        fault::GroupRecord rec = make_record(g, 63);
+        rec.cycles = 100 * static_cast<std::uint64_t>(attempt + 1) + g;
+        w.add(rec);
+      }
+    }
+  }
+  const std::size_t before = slurp(path).size();
+  JournalSession session = open_journal_session(path, kMeta, false);
+  EXPECT_TRUE(session.compacted);
+  EXPECT_EQ(session.seeds.size(), 2u);
+  EXPECT_EQ(session.seeds.at(0).cycles, 400u) << "latest attempt seeds";
+  EXPECT_EQ(session.seeds.at(1).cycles, 401u);
+  session.writer.reset();
+  EXPECT_LT(slurp(path).size(), before);
+  const auto loaded = load_journal(path, kMeta);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->damaged());
+  EXPECT_EQ(loaded->records.size(), 2u);
+
+  // At or below the threshold (dead == 2 x live) nothing is rewritten.
+  JournalSession again = open_journal_session(path, kMeta, false);
+  EXPECT_FALSE(again.compacted);
+}
+
+TEST(Journal, RawLoadTrustsTheHeaderItFinds) {
+  const std::string path = temp_path("journal_rawload.sbstj");
+  {
+    JournalWriter w = JournalWriter::create(path, kMeta);
+    w.add(make_record(7, 63));
+  }
+  const auto loaded = load_journal_raw(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->meta.fingerprint, kMeta.fingerprint);
+  EXPECT_EQ(loaded->meta.num_groups, kMeta.num_groups);
+  EXPECT_EQ(loaded->meta.num_faults, kMeta.num_faults);
+  ASSERT_EQ(loaded->records.size(), 1u);
+  expect_equal(loaded->records[0], make_record(7, 63));
+  EXPECT_FALSE(load_journal_raw(temp_path("journal_rawload_nope.sbstj")));
 }
 
 TEST(Journal, RejectsCorruptHeader) {

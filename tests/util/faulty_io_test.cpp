@@ -115,6 +115,87 @@ TEST_F(FaultyIoTest, ZeroBoundaryFailsTheFirstWrite) {
   EXPECT_EQ(slurp(path), "");
 }
 
+TEST_F(FaultyIoTest, FsyncInjectionFailsWithEioAtTheBoundary) {
+  const std::string path = temp_path("fio_fsyncfd.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  arm_io_faults({IoFailure::kFsyncFail, 4});
+  EXPECT_EQ(checked_fwrite(f, "0123", 4), 4u);
+  EXPECT_EQ(checked_fsync(fileno(f)), 0) << "at the boundary, still healthy";
+  EXPECT_EQ(checked_fwrite(f, "45", 2), 2u);
+  errno = 0;
+  EXPECT_EQ(checked_fsync(fileno(f)), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_TRUE(io_fault_tripped());
+  EXPECT_EQ(checked_fsync(fileno(f)), -1) << "a dying disk stays dead";
+  std::fclose(f);
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << data;
+}
+
+TEST_F(FaultyIoTest, DamagePlansAreDeterministicAndCoverEveryKind) {
+  std::set<int> kinds;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const DamagePlan a = damage_plan_from_seed(seed, 36, 1000);
+    const DamagePlan b = damage_plan_from_seed(seed, 36, 1000);
+    EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.length, b.length);
+    EXPECT_GE(a.offset, 36u) << "damage must stay past min_offset";
+    EXPECT_LT(a.offset, 1000u);
+    kinds.insert(static_cast<int>(a.kind));
+  }
+  EXPECT_EQ(kinds.size(), 3u) << "16 seeds must hit all three damage kinds";
+}
+
+TEST_F(FaultyIoTest, BitFlipDamageFlipsExactlyOneBit) {
+  const std::string path = temp_path("fio_dmg_flip.bin");
+  const std::string original = "0123456789";
+  spit(path, original);
+  apply_file_damage(path, {DamageKind::kBitFlip, 4, 10});  // bit 10 % 8 = 2
+  const std::string damaged = slurp(path);
+  ASSERT_EQ(damaged.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (i == 4) {
+      EXPECT_EQ(damaged[i], static_cast<char>(original[i] ^ 0x04));
+    } else {
+      EXPECT_EQ(damaged[i], original[i]) << "byte " << i;
+    }
+  }
+}
+
+TEST_F(FaultyIoTest, ZeroPageDamageZeroesTheSpanClampedToEof) {
+  const std::string path = temp_path("fio_dmg_zero.bin");
+  spit(path, "0123456789");
+  apply_file_damage(path, {DamageKind::kZeroPage, 6, 100});
+  EXPECT_EQ(slurp(path), std::string("012345") + std::string(4, '\0'));
+}
+
+TEST_F(FaultyIoTest, TruncateInteriorSplicesTheSpanOut) {
+  const std::string path = temp_path("fio_dmg_cut.bin");
+  spit(path, "0123456789");
+  apply_file_damage(path, {DamageKind::kTruncateInterior, 3, 4});
+  EXPECT_EQ(slurp(path), "012789");
+}
+
+TEST_F(FaultyIoTest, DamagePastEofIsANoOp) {
+  const std::string path = temp_path("fio_dmg_eof.bin");
+  spit(path, "abc");
+  apply_file_damage(path, {DamageKind::kZeroPage, 3, 8});
+  EXPECT_EQ(slurp(path), "abc");
+  apply_file_damage(path, {DamageKind::kBitFlip, 100, 1});
+  EXPECT_EQ(slurp(path), "abc");
+}
+
+TEST_F(FaultyIoTest, DamagingAMissingFileThrows) {
+  EXPECT_THROW(
+      apply_file_damage(temp_path("fio_dmg_missing.bin"), DamagePlan{}),
+      std::runtime_error);
+}
+
 TEST_F(FaultyIoTest, SeededPlansAreDeterministicAndCoverEveryKind) {
   std::set<int> kinds;
   for (std::uint64_t seed = 0; seed < 16; ++seed) {

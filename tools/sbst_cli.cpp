@@ -7,6 +7,7 @@
 //   sbst cosim FILE.s                  run on both, compare traces
 //   sbst selftest [a|ab|abc] [-o f.s]  generate a self-test program
 //   sbst grade FILE.s [--sample N] [--threads N] [-o report.txt]
+//              [--durability none|flush|fsync]
 //              [--journal F.sbstj] [--progress] [--retry-timeouts]
 //              [--group-timeout SEC] [--time-budget SEC]
 //              [--isolate] [--workers N] [--max-group-retries K]
@@ -52,11 +53,41 @@
 //                                      whole-file-atomically, so readers
 //                                      never see a torn line.
 //   sbst stats METRICS.ndjson          aggregate a --metrics file: group
-//                                      latency percentiles, per-engine
+//        [--journal F.sbstj]           latency percentiles, per-engine
 //                                      attribution, gate-evaluation
 //                                      activity, retry/quarantine counts.
 //                                      Exits non-zero when the file is
 //                                      empty or has malformed lines.
+//                                      --journal (instead of a metrics
+//                                      file) derives the counter lines
+//                                      straight from a campaign journal's
+//                                      winning records — post-hoc
+//                                      reconstruction when a crash
+//                                      landed between periodic --metrics
+//                                      rewrites (latency fields are not
+//                                      recorded in journals and read 0).
+//   sbst journal <verb> F.sbstj        offline journal toolchain:
+//        [-o OUT] [--durability D]       inspect  header, fingerprint,
+//                                                 per-verdict record
+//                                                 tally, dead-record
+//                                                 ratio, damage summary
+//                                        verify   full CRC sweep; exit 0
+//                                                 only when every byte
+//                                                 of every frame checks
+//                                                 out (CI validator)
+//                                        repair   salvage intact records
+//                                                 into OUT (default: in
+//                                                 place), dropping
+//                                                 damaged spans and the
+//                                                 torn tail; prints what
+//                                                 was lost
+//                                        compact  rewrite keeping only
+//                                                 the winning record per
+//                                                 group (retries and
+//                                                 heals leave dead
+//                                                 records behind)
+//                                      repair/compact swap atomically and
+//                                      default to --durability fsync.
 //   sbst fuzz [--seed S] [--iters N] [--body N] [-o repro.s]
 //             [--no-shrink] [--inject-alu-bug]
 //                                      differential co-sim fuzzing: random
@@ -102,7 +133,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sbst "
-      "<info|asm|disasm|run|cosim|selftest|grade|stats|fuzz|lint> ...\n"
+      "<info|asm|disasm|run|cosim|selftest|grade|stats|journal|fuzz|lint> "
+      "...\n"
       "see the header of tools/sbst_cli.cpp for details\n");
   return 2;
 }
@@ -302,10 +334,12 @@ int cmd_grade(int argc, char** argv) {
   std::string engine = "event";
   std::string metrics;
   std::string status;
+  std::string durability = "flush";
   std::size_t trace_mem_mb = 1024;
   const auto pos = util::ArgParser(argc, argv)
                        .value_size("--sample", &sample)
                        .value("--engine", &engine)
+                       .value("--durability", &durability)
                        .value_size("--trace-mem-mb", &trace_mem_mb)
                        .value_count("--threads", &threads)
                        .value("--journal", &journal)
@@ -347,6 +381,10 @@ int cmd_grade(int argc, char** argv) {
   copt.iso.worker_mem_mb = worker_mem_mb;
   copt.telemetry.metrics_path = metrics;
   copt.telemetry.status_path = status;
+  // One policy for every durable artifact of the run: journal appends,
+  // heals/compactions, metrics and status rewrites.
+  copt.durability = util::parse_durability(durability);
+  copt.telemetry.durability = copt.durability;
   if (crash_group != std::numeric_limits<std::uint64_t>::max()) {
     copt.iso.crash_group = static_cast<std::int64_t>(crash_group);
     if (crash_attempts != 0) copt.iso.crash_attempts = crash_attempts;
@@ -429,6 +467,22 @@ int cmd_grade(int argc, char** argv) {
                  "mid-write); it was dropped and that group re-simulated\n",
                  journal.c_str());
   }
+  if (cres.journal_salvage.skipped_records != 0) {
+    std::fprintf(
+        stderr,
+        "warning: %s had %zu damaged span(s) (%zu bytes) mid-file; %zu "
+        "intact record(s) were salvaged around them and the damaged "
+        "groups re-simulated (`sbst journal verify` checks a journal "
+        "without running the campaign)\n",
+        journal.c_str(), cres.journal_salvage.skipped_records,
+        cres.journal_salvage.skipped_bytes, cres.journal_salvage.salvaged);
+  }
+  if (cres.journal_compacted) {
+    std::fprintf(stderr,
+                 "note: %s was compacted on open (superseded records "
+                 "outnumbered live ones)\n",
+                 journal.c_str());
+  }
   if (!journal.empty() && cres.journal_empty) {
     std::fprintf(stderr, "note: %s is an empty journal, starting fresh\n",
                  journal.c_str());
@@ -507,7 +561,57 @@ int cmd_grade(int argc, char** argv) {
 }
 
 int cmd_stats(int argc, char** argv) {
-  const auto pos = util::ArgParser(argc, argv).parse(1, 1);
+  std::string journal;
+  const auto pos =
+      util::ArgParser(argc, argv).value("--journal", &journal).parse(0, 1);
+  if (journal.empty() == pos.empty()) {
+    throw util::ArgError(
+        "pass exactly one input: METRICS.ndjson or --journal F.sbstj");
+  }
+
+  if (!journal.empty()) {
+    // Counter reconstruction from the journal itself: the metrics file
+    // is rewritten periodically, so a crash can lose up to a rewrite
+    // window of records — the journal has every one of them. Winning
+    // records only, matching what a resume would see; counter lines are
+    // bit-equal to a clean run's `sbst stats` output, latency fields
+    // (never journaled) read zero.
+    const auto loaded = campaign::load_journal_raw(journal);
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot open %s\n", journal.c_str());
+      return 1;
+    }
+    if (loaded->empty_file) {
+      std::fprintf(stderr, "error: %s is an empty journal\n", journal.c_str());
+      return 1;
+    }
+    if (loaded->damaged()) {
+      std::fprintf(stderr,
+                   "warning: %s is damaged (%zu span(s), torn tail %zu "
+                   "bytes); stats cover the %zu salvaged record(s)\n",
+                   journal.c_str(), loaded->stats.skipped_records,
+                   loaded->dropped_bytes, loaded->stats.salvaged);
+    }
+    telemetry::MetricsFolder folder;
+    for (const fault::GroupRecord& rec :
+         campaign::winning_records(loaded->records)) {
+      folder.fold(campaign::to_group_metric(rec, /*seeded=*/false, 0.0));
+    }
+    const telemetry::MetricsSummary s = folder.finish();
+    std::printf("source: journal %s (%llu/%llu groups journaled; latency "
+                "not recorded in journals)\n",
+                journal.c_str(), static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(loaded->meta.num_groups));
+    std::ostringstream os;
+    telemetry::print_metrics_summary(os, s);
+    std::fputs(os.str().c_str(), stdout);
+    if (s.records == 0) {
+      std::fprintf(stderr, "error: %s holds no records\n", journal.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   std::ifstream in(pos[0], std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", pos[0].c_str());
@@ -527,6 +631,110 @@ int cmd_stats(int argc, char** argv) {
                  pos[0].c_str());
     return 1;
   }
+  return 0;
+}
+
+/// Renders one journal's health: the shared core of `journal inspect`
+/// (informational) and `journal verify` (CI validator, exit status).
+/// Returns true when the journal is fully intact.
+bool print_journal_health(const campaign::JournalLoad& loaded,
+                          const std::string& path) {
+  std::printf("journal: %s\n", path.c_str());
+  std::printf("  fingerprint: %016llx\n",
+              static_cast<unsigned long long>(loaded.meta.fingerprint));
+  std::printf("  campaign: %llu groups, %llu faults\n",
+              static_cast<unsigned long long>(loaded.meta.num_groups),
+              static_cast<unsigned long long>(loaded.meta.num_faults));
+  std::size_t ok = 0, timed_out = 0, quarantined = 0;
+  for (const fault::GroupRecord& rec : loaded.records) {
+    if (rec.quarantined) ++quarantined;
+    else if (rec.timed_out) ++timed_out;
+    else ++ok;
+  }
+  const std::size_t live = campaign::winning_records(loaded.records).size();
+  const std::size_t dead = loaded.records.size() - live;
+  std::printf("  records: %zu (ok=%zu timed_out=%zu quarantined=%zu)\n",
+              loaded.records.size(), ok, timed_out, quarantined);
+  if (live != 0) {
+    std::printf("  live groups: %zu, dead records: %zu (dead ratio %.2f%s)\n",
+                live, dead,
+                static_cast<double>(dead) / static_cast<double>(live),
+                dead > campaign::kCompactDeadFactor * live
+                    ? ", compaction due" : "");
+  }
+  if (loaded.stats.skipped_records != 0) {
+    std::printf("  damage: %zu span(s), %zu bytes skipped mid-file\n",
+                loaded.stats.skipped_records, loaded.stats.skipped_bytes);
+  }
+  if (loaded.truncated) {
+    std::printf("  damage: torn tail, %zu bytes dropped\n",
+                loaded.dropped_bytes);
+  }
+  if (!loaded.damaged()) std::printf("  damage: none\n");
+  return !loaded.damaged();
+}
+
+int cmd_journal(int argc, char** argv) {
+  std::string out;
+  std::string durability = "fsync";
+  const auto pos = util::ArgParser(argc, argv)
+                       .value("-o", &out)
+                       .value("--durability", &durability)
+                       .parse(2, 2);
+  const std::string verb = pos[0];
+  const std::string path = pos[1];
+  if (verb != "inspect" && verb != "verify" && verb != "repair" &&
+      verb != "compact") {
+    throw util::ArgError("unknown journal verb '" + verb +
+                         "' (want inspect, verify, repair or compact)");
+  }
+  if (!out.empty() && verb != "repair" && verb != "compact") {
+    throw util::ArgError("-o only applies to repair and compact");
+  }
+  const util::Durability dur = util::parse_durability(durability);
+
+  if (verb == "inspect" || verb == "verify") {
+    const auto loaded = campaign::load_journal_raw(path);
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    if (loaded->empty_file) {
+      std::printf("journal: %s\n  empty file (no header yet) — a fresh "
+                  "campaign will recreate it\n", path.c_str());
+      return 0;
+    }
+    const bool clean = print_journal_health(*loaded, path);
+    if (verb == "inspect") return 0;
+    std::printf("%s\n", clean ? "VERIFY OK" : "VERIFY FAILED");
+    return clean ? 0 : 1;
+  }
+
+  if (verb == "repair") {
+    const campaign::RepairStats r = campaign::repair_journal(path, out, dur);
+    const std::string dest = out.empty() ? path : out;
+    if (!r.was_damaged) {
+      std::printf("%s is intact; wrote %zu record(s) (%zu bytes) to %s "
+                  "unchanged\n",
+                  path.c_str(), r.kept_records, r.bytes_after, dest.c_str());
+      return 0;
+    }
+    std::printf("repaired %s -> %s: kept %zu record(s), dropped %zu damaged "
+                "span(s) (%zu bytes) and a %zu-byte tail; %zu -> %zu bytes\n",
+                path.c_str(), dest.c_str(), r.kept_records,
+                r.stats.skipped_records, r.stats.skipped_bytes,
+                r.bytes_before - r.bytes_after - r.stats.skipped_bytes,
+                r.bytes_before, r.bytes_after);
+    std::printf("damaged groups re-simulate on the next resume\n");
+    return 0;
+  }
+
+  // compact
+  const campaign::CompactionStats c = campaign::compact_journal(path, out, dur);
+  std::printf("compacted %s -> %s: %zu -> %zu record(s), %zu -> %zu bytes\n",
+              path.c_str(), out.empty() ? path.c_str() : out.c_str(),
+              c.records_before, c.records_after, c.bytes_before,
+              c.bytes_after);
   return 0;
 }
 
@@ -623,6 +831,7 @@ int main(int argc, char** argv) {
     if (cmd == "selftest") return cmd_selftest(argc - 2, argv + 2);
     if (cmd == "grade") return cmd_grade(argc - 2, argv + 2);
     if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
+    if (cmd == "journal") return cmd_journal(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
     if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
   } catch (const util::ArgError& e) {
