@@ -1,11 +1,12 @@
 // Campaign durability overhead: grades the same Plasma Phase A+B
-// sample eight ways — bare engine, campaign without a journal, campaign
+// sample nine ways — bare engine, campaign without a journal, campaign
 // with the NDJSON telemetry stream (--metrics), campaign with
 // per-group journalling at each durability level (none / flush /
-// fsync), a fully seeded resume, and campaign with process-isolated
-// workers (--isolate) — and reports the wall-clock cost of the
-// observability, crash-safety and blast-radius layers in
-// BENCH_campaign_overhead.json.
+// fsync), a fully seeded resume, campaign with process-isolated
+// workers (--isolate), and the campaign split into two shards whose
+// journals are merged and resumed — and reports the wall-clock cost of
+// the observability, crash-safety, blast-radius and distribution layers
+// in BENCH_campaign_overhead.json.
 //
 // The default journal policy is flush-per-record, so that leg bounds
 // what a user pays for resumability on a real Table-5 run; the none and
@@ -159,6 +160,38 @@ int main(int argc, char** argv) {
   });
   std::printf("  campaign --isolate   %7.2fs\n", t_isolate);
 
+  // 7. Sharded execution — the campaign split into two in-process
+  // shards (the residue-class restriction the dispatcher gives each
+  // runner), their journals merged, and the merged journal resumed.
+  // The cost of "run it on two machines" over one run is the merge plus
+  // the seeded resume; the result must stay bit-identical.
+  const std::string shard_a = "bench_campaign_shard0.sbstj";
+  const std::string shard_b = "bench_campaign_shard1.sbstj";
+  const std::string shard_merged = "bench_campaign_merged.sbstj";
+  std::remove(shard_a.c_str());
+  std::remove(shard_b.c_str());
+  campaign::CampaignResult sharded;
+  const double t_sharded = time_seconds([&] {
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      campaign::CampaignOptions sopt;
+      sopt.sim = sim;
+      sopt.sim.shard_count = 2;
+      sopt.sim.shard_index = i;
+      sopt.journal = i == 0 ? shard_a : shard_b;
+      campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, sopt);
+    }
+    campaign::merge_journals({shard_a, shard_b}, shard_merged);
+    campaign::CampaignOptions ropt;
+    ropt.sim = sim;
+    ropt.journal = shard_merged;
+    sharded = campaign::run_campaign(ctx.cpu.netlist, faults, env, fp, ropt);
+  });
+  std::printf("  sharded x2 + merge   %7.2fs  (%zu/%zu groups seeded)\n",
+              t_sharded, sharded.seeded_groups, sharded.groups_total);
+  std::remove(shard_a.c_str());
+  std::remove(shard_b.c_str());
+  std::remove(shard_merged.c_str());
+
   const bool correct = identical(bare, nojournal.result) &&
                        identical(bare, metered.result) &&
                        identical(bare, journaled.result) &&
@@ -166,6 +199,8 @@ int main(int argc, char** argv) {
                        identical(bare, dur_none.result) &&
                        identical(bare, dur_fsync.result) &&
                        identical(bare, isolated.result) &&
+                       identical(bare, sharded.result) &&
+                       sharded.seeded_groups == groups &&
                        resumed.seeded_groups == groups;
   const double overhead_pct =
       t_bare > 0.0 ? 100.0 * (t_journal - t_bare) / t_bare : 0.0;
@@ -199,6 +234,7 @@ int main(int argc, char** argv) {
                "  \"seconds_campaign_journal_fsync\": %.4f,\n"
                "  \"seconds_resume_seeded\": %.4f,\n"
                "  \"seconds_campaign_isolate\": %.4f,\n"
+               "  \"seconds_campaign_sharded\": %.4f,\n"
                "  \"journal_overhead_percent\": %.3f,\n"
                "  \"metrics_overhead_percent\": %.3f,\n"
                "  \"isolate_overhead_percent\": %.3f,\n"
@@ -208,7 +244,7 @@ int main(int argc, char** argv) {
                pab.name.c_str(), groups, sim.threads,
                full ? "false" : "true", t_bare, t_nojournal, t_metrics,
                t_journal, t_dur_none, t_dur_fsync, t_resume, t_isolate,
-               overhead_pct, metrics_pct, isolate_pct,
+               t_sharded, overhead_pct, metrics_pct, isolate_pct,
                isolated.worker_restarts, correct ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

@@ -39,6 +39,14 @@ std::size_t campaign_groups(const nl::FaultList& faults,
   return (active + 62) / 63;
 }
 
+std::size_t shard_groups(std::size_t total_groups,
+                         const fault::FaultSimOptions& sim) {
+  if (sim.shard_count <= 1) return total_groups;
+  if (total_groups <= sim.shard_index) return 0;
+  return (total_groups - sim.shard_index + sim.shard_count - 1) /
+         sim.shard_count;
+}
+
 telemetry::GroupMetric to_group_metric(const fault::GroupRecord& rec,
                                        bool seeded, double duration_ms) {
   telemetry::GroupMetric m;
@@ -89,6 +97,14 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
                             const fault::EnvFactory& make_env,
                             std::uint64_t fingerprint,
                             const CampaignOptions& options) {
+  if (options.sim.shard_count > 1 &&
+      options.sim.shard_index >= options.sim.shard_count) {
+    throw std::runtime_error("shard index " +
+                             std::to_string(options.sim.shard_index) +
+                             " out of range for " +
+                             std::to_string(options.sim.shard_count) +
+                             " shards");
+  }
   if (options.isolate) {
     return run_campaign_isolated(netlist, faults, make_env, fingerprint,
                                  options);
@@ -96,6 +112,8 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
 
   CampaignResult out;
   out.groups_total = campaign_groups(faults, options.sim);
+  out.shard_groups_total = shard_groups(out.groups_total, options.sim);
+  const bool sharded = options.sim.shard_count > 1;
 
   fault::FaultSimOptions sim = options.sim;
   if (options.handle_signals) {
@@ -115,6 +133,11 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
   out.journal_salvage = journal.stats;
   out.journal_compacted = journal.compacted;
   for (const auto& [group, rec] : journal.seeds) {
+    // A merged (or foreign-shard) journal may seed groups outside this
+    // shard's residue class; they are neither scheduled nor reported.
+    if (sharded && group % options.sim.shard_count != options.sim.shard_index) {
+      continue;
+    }
     if (rec.quarantined) out.quarantined_groups.push_back({group, rec.error});
   }
   std::atomic<std::size_t> seeded{0};
@@ -138,7 +161,12 @@ CampaignResult run_campaign(const nl::Netlist& netlist,
   std::optional<telemetry::CampaignTelemetry> tele;
   if (!options.telemetry.metrics_path.empty() ||
       !options.telemetry.status_path.empty()) {
-    tele.emplace(options.telemetry, "threads", out.groups_total);
+    telemetry::TelemetryOptions topt = options.telemetry;
+    topt.shard_index = options.sim.shard_index;
+    topt.shard_count = options.sim.shard_count;
+    // Shard-local total: the heartbeat's groups_total/ETA describe what
+    // this runner is responsible for, not the whole campaign.
+    tele.emplace(topt, "threads", out.shard_groups_total);
     sim.on_group_metric = [&tele](const fault::GroupRecord& rec, bool seeded,
                                   double duration_ms) {
       tele->record(to_group_metric(rec, seeded, duration_ms));

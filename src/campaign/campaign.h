@@ -103,8 +103,13 @@ struct QuarantinedGroup {
 struct CampaignResult {
   fault::FaultSimResult result;
   std::size_t groups_total = 0;
-  std::size_t groups_done = 0;    // seeded + newly resolved
+  std::size_t groups_done = 0;    // seeded + newly resolved (this shard's)
   std::size_t seeded_groups = 0;  // skipped thanks to the journal
+  /// Sharded runs (sim.shard_count > 1): the groups this run was
+  /// responsible for — its residue class of the campaign universe.
+  /// Equal to groups_total when unsharded. groups_done counts against
+  /// this total; the journal header always records the full universe.
+  std::size_t shard_groups_total = 0;
   /// Uncollapsed-fault counts for the exit summary.
   std::size_t faults_timed_out = 0;
   std::size_t faults_quarantined = 0;
@@ -138,6 +143,11 @@ std::uint64_t fingerprint_u64(std::uint64_t h, std::uint64_t v);
 /// list under `sim` (sampling included) — the journal's group universe.
 std::size_t campaign_groups(const nl::FaultList& faults,
                             const fault::FaultSimOptions& sim);
+
+/// Groups in this run's shard residue class: |{g < total_groups :
+/// g % shard_count == shard_index}|. total_groups when unsharded.
+std::size_t shard_groups(std::size_t total_groups,
+                         const fault::FaultSimOptions& sim);
 
 /// Translates one engine GroupRecord into the telemetry schema: verdict
 /// counts from the detection mask, engine attribution, and the work

@@ -1,0 +1,560 @@
+#include "campaign/dispatch.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/json.h"
+
+namespace sbst::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr char kLeaseMagic[] = "SBSTLEASE1";
+
+/// splitmix64 — the jitter source. Deterministic in (shard, attempt) so
+/// re-dispatch timing is reproducible in tests, spread enough that
+/// shards dying together don't re-dispatch in lockstep.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double backoff_seconds(const DispatchOptions& opt, unsigned shard,
+                       unsigned attempt) {
+  double delay = opt.backoff_initial_s;
+  for (unsigned i = 1; i < attempt && delay < opt.backoff_cap_s; ++i) {
+    delay *= 2.0;
+  }
+  if (delay > opt.backoff_cap_s) delay = opt.backoff_cap_s;
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(shard) << 32) | attempt);
+  const double jitter = 0.75 + 0.5 * static_cast<double>(h % 1024) / 1024.0;
+  return delay * jitter;
+}
+
+std::string shard_file(const std::string& dir, unsigned shard,
+                       unsigned shard_count, const char* ext) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/shard-%u-of-%u.%s", shard, shard_count,
+                ext);
+  return dir + buf;
+}
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Seconds since the file was last written; negative when it does not
+/// exist. 1-second mtime granularity is fine against stale_after_s.
+double file_age_s(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return -1.0;
+  return std::difftime(std::time(nullptr), st.st_mtime);
+}
+
+pid_t spawn_runner(const std::vector<std::string>& argv) {
+  if (argv.empty()) return -1;
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    // Runners own their drain handling; the dispatcher signals them
+    // explicitly, so a terminal Ctrl-C must not also reach every runner
+    // twice (once from the terminal's process group, once forwarded).
+    ::setpgid(0, 0);
+    ::execv(cargv[0], cargv.data());
+    std::fprintf(stderr, "exec %s failed: %s\n", cargv[0],
+                 std::strerror(errno));
+    _exit(127);
+  }
+  return pid;
+}
+
+enum class ShardState { kPending, kRunning, kBackoff, kDone, kResumable,
+                        kFailed };
+
+struct Shard {
+  unsigned id = 0;
+  ShardState state = ShardState::kPending;
+  pid_t pid = -1;
+  unsigned attempt = 0;  // runners spawned so far
+  unsigned redispatches = 0;
+  unsigned stale_leases = 0;
+  Clock::time_point eligible = Clock::time_point::min();  // backoff gate
+  std::time_t spawned_wall = 0;
+  std::string journal, lease, status;
+  // Speculative duplicate (straggler re-execution).
+  pid_t spec_pid = -1;
+  bool spec_ran = false;
+  std::string spec_journal, spec_lease, spec_status;
+  std::string error;
+};
+
+const char* state_name(ShardState s) {
+  switch (s) {
+    case ShardState::kPending: return "pending";
+    case ShardState::kRunning: return "running";
+    case ShardState::kBackoff: return "backoff";
+    case ShardState::kDone: return "done";
+    case ShardState::kResumable: return "resumable";
+    case ShardState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// Non-blocking reap. Returns true when the child exited, with a
+/// human-readable description and a completed/resumable classification.
+bool try_reap(pid_t pid, bool* completed, bool* resumable,
+              std::string* describe) {
+  int status = 0;
+  pid_t r;
+  while ((r = ::waitpid(pid, &status, WNOHANG)) < 0 && errno == EINTR) {
+  }
+  if (r != pid) return false;
+  *completed = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  *resumable = WIFEXITED(status) && WEXITSTATUS(status) == 3;
+  char buf[64];
+  if (WIFEXITED(status)) {
+    std::snprintf(buf, sizeof(buf), "exit %d", WEXITSTATUS(status));
+  } else if (WIFSIGNALED(status)) {
+    std::snprintf(buf, sizeof(buf), "signal %d", WTERMSIG(status));
+  } else {
+    std::snprintf(buf, sizeof(buf), "status 0x%x", status);
+  }
+  *describe = buf;
+  return true;
+}
+
+void reap_blocking(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+std::string encode_lease(const LeaseInfo& info) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s\nshard %u/%u\npid %lld\nfingerprint %016" PRIx64 "\n",
+                kLeaseMagic, info.shard, info.shard_count,
+                static_cast<long long>(info.pid), info.fingerprint);
+  return buf;
+}
+
+bool decode_lease(std::string_view text, LeaseInfo* out) {
+  LeaseInfo info;
+  unsigned long long pid = 0;
+  char magic[16] = {0};
+  if (std::sscanf(std::string(text).c_str(),
+                  "%15s\nshard %u/%u\npid %llu\nfingerprint %" SCNx64,
+                  magic, &info.shard, &info.shard_count, &pid,
+                  &info.fingerprint) != 5) {
+    return false;
+  }
+  if (std::strcmp(magic, kLeaseMagic) != 0) return false;
+  if (info.shard_count == 0 || info.shard >= info.shard_count) return false;
+  info.pid = static_cast<std::int64_t>(pid);
+  *out = info;
+  return true;
+}
+
+std::string shard_journal_path(const std::string& dir, unsigned shard,
+                               unsigned shard_count) {
+  return shard_file(dir, shard, shard_count, "sbstj");
+}
+
+std::string shard_lease_path(const std::string& dir, unsigned shard,
+                             unsigned shard_count) {
+  return shard_file(dir, shard, shard_count, "lease");
+}
+
+std::string shard_status_path(const std::string& dir, unsigned shard,
+                              unsigned shard_count) {
+  return shard_file(dir, shard, shard_count, "status.json");
+}
+
+LeaseHolder::LeaseHolder(std::string path, const LeaseInfo& info,
+                         double period_s)
+    : path_(std::move(path)), content_(encode_lease(info)) {
+  // First heartbeat lands before the constructor returns, so the lease
+  // exists the moment the holder does — a dispatcher's pre-spawn check
+  // on a freshly started runner never sees a missing lease window
+  // longer than exec-to-here.
+  try {
+    util::write_file_atomic(path_, content_, util::Durability::kNone);
+  } catch (...) {
+    // Unwritable lease directory: the dispatcher will see staleness.
+  }
+  thread_ = std::thread([this, period_s] {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto period = std::chrono::duration<double>(period_s);
+    while (!stop_) {
+      cv_.wait_for(lock, period, [this] { return stop_; });
+      if (stop_) break;
+      try {
+        util::write_file_atomic(path_, content_, util::Durability::kNone);
+      } catch (...) {
+      }
+    }
+  });
+}
+
+LeaseHolder::~LeaseHolder() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::remove(path_.c_str());
+}
+
+DispatchResult run_dispatch(const DispatchOptions& options) {
+  if (options.shards == 0) {
+    throw std::runtime_error("dispatch needs at least one shard");
+  }
+  if (!options.make_runner_argv) {
+    throw std::runtime_error("dispatch needs a runner argv factory");
+  }
+  struct stat st {};
+  if (::stat(options.journal_dir.c_str(), &st) != 0 ||
+      !S_ISDIR(st.st_mode)) {
+    throw std::runtime_error("journal directory " + options.journal_dir +
+                             " does not exist");
+  }
+  std::FILE* log = options.log ? options.log : stderr;
+
+  std::vector<Shard> shards(options.shards);
+  for (unsigned i = 0; i < options.shards; ++i) {
+    Shard& s = shards[i];
+    s.id = i;
+    s.journal = shard_journal_path(options.journal_dir, i, options.shards);
+    s.lease = shard_lease_path(options.journal_dir, i, options.shards);
+    s.status = shard_status_path(options.journal_dir, i, options.shards);
+    s.spec_journal = s.journal + ".spec";
+    s.spec_lease = s.lease + ".spec";
+    s.spec_status = s.status + ".spec";
+  }
+
+  const auto fail_shard = [&](Shard& s, const std::string& why) {
+    s.state = ShardState::kFailed;
+    s.error = why;
+    std::fprintf(log, "[dispatch] shard %u/%u FAILED: %s\n", s.id,
+                 options.shards, why.c_str());
+  };
+
+  // Schedules a re-dispatch (or gives up) after an abnormal death.
+  const auto redispatch = [&](Shard& s, const std::string& why) {
+    if (s.redispatches >= options.max_shard_retries) {
+      fail_shard(s, why + "; retries exhausted after " +
+                        std::to_string(s.attempt) + " attempts");
+      return;
+    }
+    ++s.redispatches;
+    const double delay = backoff_seconds(options, s.id, s.redispatches);
+    s.eligible = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(delay));
+    s.state = ShardState::kBackoff;
+    std::fprintf(log,
+                 "[dispatch] shard %u/%u died (%s); re-dispatch %u/%u after "
+                 "%.2fs backoff\n",
+                 s.id, options.shards, why.c_str(), s.redispatches,
+                 options.max_shard_retries, delay);
+  };
+
+  // A fresh lease held by a live pid that is not our child means some
+  // other dispatcher (or a hand-started runner) owns the shard.
+  const auto lease_blocks_spawn = [&](Shard& s, std::string* why) {
+    std::string text;
+    if (!read_text_file(s.lease, &text)) return false;
+    LeaseInfo info;
+    if (!decode_lease(text, &info)) {
+      std::remove(s.lease.c_str());  // garbage lease: reclaim
+      return false;
+    }
+    const double age = file_age_s(s.lease);
+    const bool fresh = age >= 0 && age <= options.stale_after_s;
+    const bool alive =
+        info.pid > 0 && ::kill(static_cast<pid_t>(info.pid), 0) == 0;
+    if (fresh && alive) {
+      if (info.fingerprint != options.fingerprint) {
+        *why = "lease held by pid " + std::to_string(info.pid) +
+               " for a different campaign (journal directory collision)";
+      } else {
+        *why = "lease already held by live pid " + std::to_string(info.pid);
+      }
+      return true;
+    }
+    // Stale or orphaned: reclaim. The holder is gone (or wedged past
+    // stale_after_s, in which case it lost the shard by contract).
+    std::remove(s.lease.c_str());
+    return false;
+  };
+
+  const auto spawn_shard = [&](Shard& s) {
+    std::string why;
+    if (lease_blocks_spawn(s, &why)) {
+      fail_shard(s, why);
+      return;
+    }
+    ++s.attempt;
+    const std::vector<std::string> argv =
+        options.make_runner_argv(s.id, s.journal, s.lease, s.status);
+    s.pid = spawn_runner(argv);
+    if (s.pid < 0) {
+      fail_shard(s, "cannot spawn runner");
+      return;
+    }
+    s.spawned_wall = std::time(nullptr);
+    s.state = ShardState::kRunning;
+    std::fprintf(log, "[dispatch] shard %u/%u -> pid %d (attempt %u)\n", s.id,
+                 options.shards, static_cast<int>(s.pid), s.attempt);
+  };
+
+  DispatchResult out;
+  std::size_t spec_launches = 0;
+  bool draining = false;
+  Clock::time_point last_status = Clock::time_point::min();
+
+  const auto write_status = [&](const char* state) {
+    if (options.status_path.empty()) return;
+    std::string j = "{\"schema\":\"sbst-dispatch-status-v1\",\"state\":\"";
+    j += state;
+    j += "\",\"shards\":[";
+    for (const Shard& s : shards) {
+      if (s.id != 0) j += ',';
+      j += "{\"shard\":" + std::to_string(s.id) + ",\"state\":\"";
+      j += state_name(s.state);
+      j += "\",\"attempt\":" + std::to_string(s.attempt) +
+           ",\"redispatches\":" + std::to_string(s.redispatches);
+      // Fold in the runner's own heartbeat so one file answers "how far
+      // along is the whole campaign".
+      std::string text;
+      std::map<std::string, telemetry::JsonValue> obj;
+      if (read_text_file(s.status, &text)) {
+        while (!text.empty() &&
+               (text.back() == '\n' || text.back() == '\r' ||
+                text.back() == ' ')) {
+          text.pop_back();
+        }
+      }
+      if (!text.empty() && telemetry::parse_flat_json_object(text, &obj)) {
+        const auto put = [&](const char* key) {
+          const auto it = obj.find(key);
+          if (it != obj.end() && it->second.u64_valid) {
+            j += ",\"";
+            j += key;
+            j += "\":" + std::to_string(it->second.u64);
+          }
+        };
+        put("groups_done");
+        put("groups_total");
+        put("groups_seeded");
+      }
+      j += '}';
+    }
+    j += "]}\n";
+    try {
+      util::write_file_atomic(options.status_path, j, options.durability);
+    } catch (...) {
+    }
+    last_status = Clock::now();
+  };
+
+  const auto signal_running = [&](int sig) {
+    for (Shard& s : shards) {
+      if (s.state == ShardState::kRunning && s.pid > 0) ::kill(s.pid, sig);
+      if (s.spec_pid > 0) ::kill(s.spec_pid, sig);
+    }
+  };
+
+  while (true) {
+    if (!draining && options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      draining = true;
+      std::fprintf(log,
+                   "[dispatch] drain requested; signalling running shards\n");
+      signal_running(SIGTERM);
+      for (Shard& s : shards) {
+        // Never-started or waiting-out-backoff shards will not run this
+        // dispatch; their journals (possibly empty) resume later.
+        if (s.state == ShardState::kPending ||
+            s.state == ShardState::kBackoff) {
+          s.state = ShardState::kResumable;
+        }
+      }
+    }
+
+    const Clock::time_point now = Clock::now();
+    bool active = false;
+    unsigned running = 0, done = 0;
+    for (Shard& s : shards) {
+      switch (s.state) {
+        case ShardState::kPending:
+        case ShardState::kBackoff:
+          if (!draining && now >= s.eligible) spawn_shard(s);
+          break;
+        case ShardState::kRunning: {
+          bool completed = false, resumable = false;
+          std::string describe;
+          if (try_reap(s.pid, &completed, &resumable, &describe)) {
+            s.pid = -1;
+            if (completed) {
+              s.state = ShardState::kDone;
+              std::fprintf(log, "[dispatch] shard %u/%u complete\n", s.id,
+                           options.shards);
+              if (s.spec_pid > 0) {
+                ::kill(s.spec_pid, SIGTERM);
+                reap_blocking(s.spec_pid);
+                s.spec_pid = -1;
+              }
+            } else if (resumable && draining) {
+              s.state = ShardState::kResumable;
+            } else {
+              // Abnormal death — or a runner that drained on a signal
+              // the dispatcher never sent (external kill): both mean
+              // the shard is incomplete and needs a fresh runner.
+              redispatch(s, describe);
+            }
+            break;
+          }
+          // Heartbeat check: lease mtime, or spawn time until the first
+          // heartbeat lands.
+          const double lease_age = file_age_s(s.lease);
+          const double age =
+              lease_age >= 0
+                  ? lease_age
+                  : std::difftime(std::time(nullptr), s.spawned_wall);
+          if (!draining && age > options.stale_after_s) {
+            ++s.stale_leases;
+            std::fprintf(
+                log,
+                "[dispatch] shard %u/%u lease stale (%.1fs > %.1fs); "
+                "revoking\n",
+                s.id, options.shards, age, options.stale_after_s);
+            ::kill(s.pid, SIGKILL);
+            reap_blocking(s.pid);
+            s.pid = -1;
+            redispatch(s, "stale lease");
+          }
+          break;
+        }
+        case ShardState::kDone:
+        case ShardState::kResumable:
+        case ShardState::kFailed:
+          break;
+      }
+      if (s.state == ShardState::kPending ||
+          s.state == ShardState::kBackoff ||
+          s.state == ShardState::kRunning) {
+        active = true;
+      }
+      if (s.state == ShardState::kRunning) ++running;
+      if (s.state == ShardState::kDone) ++done;
+    }
+
+    // Straggler speculation: exactly one shard still running, everything
+    // else done — duplicate it into .spec files. Whoever finishes first
+    // wins; the merge dedups the overlap.
+    if (options.speculative && !draining && running == 1 &&
+        done == options.shards - 1) {
+      for (Shard& s : shards) {
+        if (s.state != ShardState::kRunning || s.spec_ran) continue;
+        const std::vector<std::string> argv = options.make_runner_argv(
+            s.id, s.spec_journal, s.spec_lease, s.spec_status);
+        s.spec_pid = spawn_runner(argv);
+        if (s.spec_pid > 0) {
+          s.spec_ran = true;
+          ++spec_launches;
+          std::fprintf(log,
+                       "[dispatch] shard %u/%u straggling; speculative "
+                       "duplicate -> pid %d\n",
+                       s.id, options.shards, static_cast<int>(s.spec_pid));
+        }
+      }
+    }
+    // A finished speculative duplicate settles its shard.
+    for (Shard& s : shards) {
+      if (s.spec_pid <= 0) continue;
+      bool completed = false, resumable = false;
+      std::string describe;
+      if (!try_reap(s.spec_pid, &completed, &resumable, &describe)) continue;
+      s.spec_pid = -1;
+      if (completed && s.state == ShardState::kRunning) {
+        std::fprintf(log,
+                     "[dispatch] shard %u/%u speculative duplicate won\n",
+                     s.id, options.shards);
+        if (s.pid > 0) {
+          ::kill(s.pid, SIGTERM);
+          reap_blocking(s.pid);
+          s.pid = -1;
+        }
+        s.state = ShardState::kDone;
+      }
+      // A failed duplicate is not re-dispatched: the primary still runs
+      // under the normal supervision rules.
+    }
+
+    if (now - last_status >=
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(options.heartbeat_period_s))) {
+      write_status("running");
+    }
+
+    if (!active) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.poll_period_s));
+  }
+
+  out.interrupted = draining;
+  out.shards.reserve(shards.size());
+  for (const Shard& s : shards) {
+    ShardOutcome o;
+    o.shard = s.id;
+    o.attempts = s.attempt;
+    o.redispatches = s.redispatches;
+    o.stale_leases = s.stale_leases;
+    o.completed = s.state == ShardState::kDone;
+    o.resumable = s.state == ShardState::kResumable;
+    o.failed = s.state == ShardState::kFailed;
+    o.journal = s.journal;
+    o.error = s.error;
+    out.shards.push_back(std::move(o));
+    out.journals.push_back(s.journal);
+    if (s.spec_ran) out.journals.push_back(s.spec_journal);
+  }
+  out.speculative_launches = spec_launches;
+  write_status(out.interrupted ? "interrupted"
+                               : (out.all_completed() ? "done" : "failed"));
+  return out;
+}
+
+}  // namespace sbst::campaign

@@ -1,0 +1,184 @@
+// Lease-based shard dispatcher: elastic, failure-tolerant fan-out of
+// one campaign across N runner processes.
+//
+// A campaign's 63-fault groups partition into N residue classes
+// (FaultSimOptions::shard_count/shard_index); each class is a *shard*
+// with its own journal in a shared directory. The dispatcher spawns one
+// runner process per shard and supervises them through on-disk *leases*:
+//
+//   lease file   = "SBSTLEASE1" + shard id + holder pid + campaign
+//                  fingerprint, rewritten ~every second by the runner's
+//                  LeaseHolder thread so the file's mtime is a
+//                  monotonic heartbeat;
+//   liveness     = a shard is healthy while its child is running and
+//                  its lease mtime (or spawn time, before the first
+//                  heartbeat lands) is younger than stale_after_s;
+//   revocation   = a stale lease or an abnormal child exit kills the
+//                  runner (SIGKILL for stale) and re-dispatches the
+//                  shard under capped exponential backoff with
+//                  deterministic jitter, up to max_shard_retries;
+//   exclusion    = a fresh lease held by a live foreign pid blocks
+//                  dispatch of that shard (two holders would race the
+//                  same journal), and a lease with a different
+//                  fingerprint marks a directory collision.
+//
+// Every failure mode degrades to "the shard's journal is missing some
+// groups and a re-dispatch (or later resume) re-simulates them" — the
+// journal's append-only later-record-wins semantics make duplicated
+// work (re-dispatch races, speculative re-execution) harmless, never
+// wrong. merge_journals (journal.h) reconciles the shard journals into
+// one that resumes bit-identically to an unsharded run.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/atomic_file.h"
+
+namespace sbst::campaign {
+
+/// Contents of a lease file (freshness lives in the file mtime, not in
+/// the payload — rewriting the same bytes is the heartbeat).
+struct LeaseInfo {
+  std::uint32_t shard = 0;
+  std::uint32_t shard_count = 0;
+  std::int64_t pid = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+std::string encode_lease(const LeaseInfo& info);
+bool decode_lease(std::string_view text, LeaseInfo* out);
+
+/// Canonical per-shard file names inside the dispatch journal
+/// directory, shared by dispatcher, runners and the merge recipe
+/// (shard-<i>-of-<N>.sbstj / .lease / .status).
+std::string shard_journal_path(const std::string& dir, unsigned shard,
+                               unsigned shard_count);
+std::string shard_lease_path(const std::string& dir, unsigned shard,
+                             unsigned shard_count);
+std::string shard_status_path(const std::string& dir, unsigned shard,
+                              unsigned shard_count);
+
+/// RAII heartbeat: a background thread rewrites the lease file (atomic
+/// tmp+rename, so readers never see a torn lease) every `period_s`,
+/// bumping its mtime; the destructor stops the thread and removes the
+/// file — a released lease disappears instead of going stale. Never
+/// throws out of the heartbeat: an unwritable lease directory means the
+/// dispatcher will see staleness and act, which is the contract.
+class LeaseHolder {
+ public:
+  LeaseHolder(std::string path, const LeaseInfo& info, double period_s = 1.0);
+  ~LeaseHolder();
+  LeaseHolder(const LeaseHolder&) = delete;
+  LeaseHolder& operator=(const LeaseHolder&) = delete;
+
+ private:
+  const std::string path_;
+  const std::string content_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+struct DispatchOptions {
+  /// Number of shards (= residue classes = runner processes).
+  unsigned shards = 1;
+  /// Directory for shard journals, leases and status files. Must exist.
+  std::string journal_dir;
+  /// Re-dispatches a shard gets after an abnormal death or stale lease
+  /// before it is declared failed (so max_shard_retries + 1 attempts).
+  unsigned max_shard_retries = 3;
+  /// A running shard whose lease mtime (or spawn, before the first
+  /// heartbeat) is older than this is declared dead and re-dispatched.
+  double stale_after_s = 10.0;
+  /// Supervision loop wake period.
+  double poll_period_s = 0.2;
+  /// Backoff before re-dispatch attempt k: min(cap, initial * 2^(k-1)),
+  /// scaled by a deterministic jitter in [0.75, 1.25) hashed from
+  /// (shard, attempt) so simultaneous deaths don't re-dispatch in
+  /// lockstep yet tests stay reproducible.
+  double backoff_initial_s = 0.5;
+  double backoff_cap_s = 30.0;
+  /// When every other shard is done and exactly one straggler is still
+  /// running, launch a duplicate runner for it against ".spec" journal/
+  /// lease files; first completion wins, the loser is terminated.
+  /// Duplicate group results are safe — merge is later-record-wins.
+  bool speculative = false;
+  /// Campaign fingerprint, for lease collision checks.
+  std::uint64_t fingerprint = 0;
+  /// Builds the runner argv for one shard (argv[0] = executable path).
+  /// The dispatcher owns which journal/lease/status files a runner uses
+  /// so speculative duplicates can be redirected to .spec files.
+  std::function<std::vector<std::string>(
+      unsigned shard, const std::string& journal, const std::string& lease,
+      const std::string& status)>
+      make_runner_argv;
+  /// Dispatcher roll-up heartbeat ("sbst-dispatch-status-v1"): per-shard
+  /// state plus groups_done/groups_total folded in from the runners'
+  /// own --status files. Empty disables.
+  std::string status_path;
+  double heartbeat_period_s = 1.0;
+  util::Durability durability = util::Durability::kFlush;
+  /// Drain flag (usually util::drain_requested()): when set, running
+  /// shards get one SIGTERM (they drain and exit resumable) and nothing
+  /// new is dispatched.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Supervision log (re-dispatch, staleness, backoff). nullptr = stderr.
+  std::FILE* log = nullptr;
+};
+
+struct ShardOutcome {
+  unsigned shard = 0;
+  /// Runner processes spawned for this shard (1 = clean first try;
+  /// speculative duplicates not included).
+  unsigned attempts = 0;
+  /// Re-dispatches after abnormal death or stale lease.
+  unsigned redispatches = 0;
+  /// Of those, re-dispatches triggered by a stale heartbeat.
+  unsigned stale_leases = 0;
+  bool completed = false;  // a runner finished the whole shard (exit 0)
+  /// Drained mid-run (exit 3): the shard journal resumes where it left.
+  bool resumable = false;
+  /// Retries exhausted, foreign lease, or spawn failure.
+  bool failed = false;
+  std::string journal;
+  std::string error;  // human-readable failure reason when failed
+};
+
+struct DispatchResult {
+  std::vector<ShardOutcome> shards;
+  /// Every journal file a runner may have written results into —
+  /// shard journals plus any speculative duplicates. The merge set.
+  std::vector<std::string> journals;
+  std::size_t speculative_launches = 0;
+  bool interrupted = false;  // drain requested mid-dispatch
+
+  bool all_completed() const {
+    for (const ShardOutcome& s : shards) {
+      if (!s.completed) return false;
+    }
+    return !shards.empty();
+  }
+  bool any_failed() const {
+    for (const ShardOutcome& s : shards) {
+      if (s.failed) return true;
+    }
+    return false;
+  }
+};
+
+/// Runs the dispatch loop until every shard completes, fails, or a
+/// drain is requested. Throws std::runtime_error on unusable options
+/// (no shards, no argv factory, missing journal_dir).
+DispatchResult run_dispatch(const DispatchOptions& options);
+
+}  // namespace sbst::campaign

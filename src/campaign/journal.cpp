@@ -378,6 +378,64 @@ RepairStats repair_journal(const std::string& path, const std::string& out,
   return stats;
 }
 
+MergeStats merge_journals(const std::vector<std::string>& inputs,
+                          const std::string& out,
+                          util::Durability durability) {
+  if (inputs.empty()) {
+    throw std::runtime_error("journal merge needs at least one input");
+  }
+  MergeStats stats;
+  // Concatenation in input-file order: within one file later records
+  // already win (compaction semantics), and across files a later input
+  // supersedes an earlier one the same way a later append would.
+  std::vector<fault::GroupRecord> all;
+  std::vector<std::size_t> source;  // all[i] came from inputs[source[i]]
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::optional<JournalLoad> loaded = load_journal_raw(inputs[i]);
+    if (!loaded) throw std::runtime_error("cannot open " + inputs[i]);
+    if (loaded->empty_file) {
+      throw std::runtime_error(inputs[i] +
+                               " is an empty journal (no header yet)");
+    }
+    if (i == 0) {
+      stats.meta = loaded->meta;
+    } else if (loaded->meta.fingerprint != stats.meta.fingerprint ||
+               loaded->meta.num_groups != stats.meta.num_groups ||
+               loaded->meta.num_faults != stats.meta.num_faults) {
+      throw std::runtime_error(
+          inputs[i] + " records a different campaign than " + inputs[0] +
+          " (fingerprint, group universe or fault count differ); merging "
+          "them would corrupt both");
+    }
+    MergeInputStats in;
+    in.path = inputs[i];
+    in.records = loaded->records.size();
+    in.damaged = loaded->damaged();
+    stats.inputs.push_back(std::move(in));
+    for (fault::GroupRecord& rec : loaded->records) {
+      all.push_back(std::move(rec));
+      source.push_back(i);
+    }
+  }
+  stats.records_in = all.size();
+  std::unordered_map<std::uint64_t, std::size_t> latest;
+  for (std::size_t i = 0; i < all.size(); ++i) latest[all[i].group] = i;
+  std::vector<fault::GroupRecord> winners;
+  winners.reserve(latest.size());
+  for (const auto& [group, idx] : latest) {
+    winners.push_back(all[idx]);
+    ++stats.inputs[source[idx]].winners;
+  }
+  std::sort(winners.begin(), winners.end(),
+            [](const fault::GroupRecord& a, const fault::GroupRecord& b) {
+              return a.group < b.group;
+            });
+  stats.records_out = winners.size();
+  util::write_file_atomic(out, encode_journal(stats.meta, winners),
+                          durability);
+  return stats;
+}
+
 JournalSession open_journal_session(const std::string& path,
                                     const JournalMeta& meta,
                                     bool retry_inconclusive,

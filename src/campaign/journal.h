@@ -208,6 +208,40 @@ RepairStats repair_journal(const std::string& path,
                            util::Durability durability =
                                util::Durability::kFsync);
 
+/// Per-input accounting of a merge: what each shard journal brought and
+/// how much of it survived conflict resolution.
+struct MergeInputStats {
+  std::string path;
+  std::size_t records = 0;  // intact records contributed (file order)
+  std::size_t winners = 0;  // of those, records that won their group
+  bool damaged = false;     // salvage dropped spans/tail from this input
+};
+
+struct MergeStats {
+  JournalMeta meta;
+  std::vector<MergeInputStats> inputs;
+  std::size_t records_in = 0;   // sum of intact input records
+  std::size_t records_out = 0;  // distinct groups in the merged journal
+};
+
+/// Merges shard journals into one: concatenates every input's intact
+/// records in input-file order and keeps the winning (latest) record
+/// per group — exactly the conflict resolution of in-journal
+/// compaction, so a group present in several shards (speculative
+/// re-execution, quarantined copy later healed) resolves to the same
+/// record compaction would pick, with later *inputs* winning ties the
+/// way later *appends* do within one file. The first input defines the
+/// campaign identity; any input whose fingerprint/num_groups/num_faults
+/// differ is refused (throws) — merging foreign campaigns would be
+/// silent corruption. Damaged inputs are salvaged like any load: their
+/// lost records simply re-simulate on resume. Writes `out` atomically
+/// in SBSTJRN1 format. Throws on < 1 input, missing files, or corrupt
+/// headers.
+MergeStats merge_journals(const std::vector<std::string>& inputs,
+                          const std::string& out,
+                          util::Durability durability =
+                              util::Durability::kFsync);
+
 /// One campaign's journal, opened for seeding + appending — the shared
 /// storage half of both campaign execution modes (in-process threads and
 /// the process-isolation supervisor).

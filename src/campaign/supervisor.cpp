@@ -199,6 +199,9 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
   CampaignResult out;
   const fault::GroupPlan plan(faults, options.sim);
   out.groups_total = plan.num_groups();
+  out.shard_groups_total = shard_groups(out.groups_total, options.sim);
+  // run_campaign validated shard_index < shard_count before dispatching.
+  const bool sharded = options.sim.shard_count > 1;
 
   const std::atomic<bool>* cancel = options.sim.cancel;
   if (options.handle_signals) {
@@ -216,18 +219,27 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
 
   out.result = plan.make_result();
   out.result.groups_total = out.groups_total;
+  out.result.groups_scheduled = out.shard_groups_total;
   std::size_t done = 0;
 
   std::optional<telemetry::CampaignTelemetry> tele;
   if (!options.telemetry.metrics_path.empty() ||
       !options.telemetry.status_path.empty()) {
-    tele.emplace(options.telemetry, "isolate", out.groups_total);
+    telemetry::TelemetryOptions topt = options.telemetry;
+    topt.shard_index = options.sim.shard_index;
+    topt.shard_count = options.sim.shard_count;
+    tele.emplace(topt, "isolate", out.shard_groups_total);
   }
 
   // A journaled record resolves its group without touching a worker;
-  // everything else forms the dispatch queue, in group order.
+  // everything else forms the dispatch queue, in group order. Under a
+  // shard restriction, out-of-class groups are neither queued nor
+  // seeded — the shard's result covers only its residue class.
   std::deque<ipc::GroupRequest> pending;
   for (std::size_t g = 0; g < out.groups_total; ++g) {
+    if (sharded && g % options.sim.shard_count != options.sim.shard_index) {
+      continue;
+    }
     const auto it = journal.seeds.find(g);
     if (it == journal.seeds.end()) {
       pending.push_back({g, 0});
@@ -358,8 +370,9 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
     attempt_cost.erase(rec.group);
     ++done;
     if (options.sim.progress) {
+      // Shard-local total: ETA rates only this shard's fresh groups.
       options.sim.progress(
-          fault::Progress{done, out.seeded_groups, out.groups_total});
+          fault::Progress{done, out.seeded_groups, out.shard_groups_total});
     }
   };
 

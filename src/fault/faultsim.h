@@ -152,6 +152,15 @@ struct FaultSimOptions {
   /// with FaultSimResult::cancelled set. Safe to flip from a signal
   /// handler or another thread.
   const std::atomic<bool>* cancel = nullptr;
+  /// Shard restriction for distributed campaigns: when shard_count > 1,
+  /// only groups with group % shard_count == shard_index are scheduled;
+  /// every other group is left untouched (simulated == 0, no record).
+  /// The group universe, sampling and record encodings are unchanged, so
+  /// shard runs share the campaign fingerprint and their journals merge
+  /// losslessly (campaign/journal.h merge_journals). Progress totals and
+  /// FaultSimResult::groups_scheduled are shard-local.
+  std::uint32_t shard_count = 0;  // 0 or 1 = unsharded
+  std::uint32_t shard_index = 0;  // must be < shard_count when sharded
   /// Wall-clock bound per fault group in milliseconds (0 = unlimited).
   /// A group exceeding it stops early; its faults without a verdict are
   /// recorded as timed out (inconclusive), never as undetected.
@@ -202,9 +211,13 @@ struct FaultSimResult {
   /// Cycles the good machine ran for (environment stop or max_cycles).
   std::uint64_t good_cycles = 0;
   /// Groups resolved by this run or a seed hook vs. the campaign total;
-  /// groups_done < groups_total iff the run was cancelled mid-campaign.
+  /// groups_done < groups_scheduled iff the run was cancelled mid-way.
   std::size_t groups_done = 0;
   std::size_t groups_total = 0;
+  /// Groups this run was responsible for: equal to groups_total unless a
+  /// shard restriction (FaultSimOptions::shard_count) narrowed the
+  /// schedule to one residue class.
+  std::size_t groups_scheduled = 0;
   /// True when options.cancel was observed set: some groups were never
   /// started and their faults are left with simulated == 0 (resumable).
   bool cancelled = false;

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "fault/event_kernel.h"
@@ -179,6 +180,7 @@ FaultSimResult GroupPlan::make_result() const {
   res.timed_out.assign(num_faults_, 0);
   res.quarantined.assign(num_faults_, 0);
   res.groups_total = num_groups();
+  res.groups_scheduled = res.groups_total;
   return res;
 }
 
@@ -382,6 +384,27 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
   FaultSimResult res = plan.make_result();
   const std::size_t num_groups = plan.num_groups();
 
+  // Shard restriction: schedule only this shard's residue class. The
+  // group universe (and therefore record encodings, sampling and the
+  // campaign fingerprint) is untouched — a shard run is an ordinary
+  // campaign that happens to leave the other residue classes unstarted.
+  const bool sharded = options.shard_count > 1;
+  if (sharded && options.shard_index >= options.shard_count) {
+    throw std::runtime_error("shard index " +
+                             std::to_string(options.shard_index) +
+                             " out of range for " +
+                             std::to_string(options.shard_count) + " shards");
+  }
+  std::vector<std::size_t> schedule;
+  schedule.reserve(sharded ? num_groups / options.shard_count + 1
+                           : num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    if (!sharded || g % options.shard_count == options.shard_index) {
+      schedule.push_back(g);
+    }
+  }
+  res.groups_scheduled = schedule.size();
+
   // Wall-clock bounds. When neither is configured the hot loop performs
   // no clock reads at all, keeping the no-timeout path byte-identical to
   // the historical engine.
@@ -430,7 +453,7 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     p.seeded = seeded ? groups_seeded.fetch_add(1) + 1
                       : groups_seeded.load(std::memory_order_relaxed);
     p.done = groups_done.fetch_add(1) + 1;
-    p.total = num_groups;
+    p.total = schedule.size();  // shard-local: ETA rates this shard only
     if (options.progress) {
       std::lock_guard<std::mutex> lock(hook_mutex);
       options.progress(p);
@@ -498,14 +521,14 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
 
   unsigned threads =
       options.threads == 0 ? util::hardware_threads() : options.threads;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(num_groups, 1)));
+  threads = static_cast<unsigned>(std::min<std::size_t>(
+      threads, std::max<std::size_t>(schedule.size(), 1)));
 
   if (threads <= 1) {
     GroupSimulator sim(netlist, faults, plan, make_env, options,
                        trace_source);
     sim.set_run_deadline(run_deadline);
-    for (std::size_t group = 0; group < num_groups; ++group) {
+    for (std::size_t group : schedule) {
       if (options.cancel &&
           options.cancel->load(std::memory_order_relaxed)) {
         break;
@@ -519,14 +542,14 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
     util::ThreadPool pool(threads);
     std::vector<std::unique_ptr<GroupSimulator>> workers(pool.size());
     pool.run(
-        num_groups,
-        [&](std::size_t group, unsigned w) {
+        schedule.size(),
+        [&](std::size_t slot, unsigned w) {
           if (!workers[w]) {
             workers[w] = std::make_unique<GroupSimulator>(
                 netlist, faults, plan, make_env, options, trace_source);
             workers[w]->set_run_deadline(run_deadline);
           }
-          process_group(*workers[w], group);
+          process_group(*workers[w], schedule[slot]);
         },
         options.cancel);
   }
@@ -541,7 +564,7 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
   res.groups_done = groups_done.load(std::memory_order_relaxed);
   res.cancelled = options.cancel &&
                   options.cancel->load(std::memory_order_relaxed) &&
-                  res.groups_done < res.groups_total;
+                  res.groups_done < res.groups_scheduled;
   return res;
 }
 

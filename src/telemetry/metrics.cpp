@@ -190,6 +190,10 @@ void CampaignTelemetry::write_status_locked(const char* state) {
   append_json_string(out, state);
   out += ",\"mode\":";
   append_json_string(out, mode_);
+  if (opt_.shard_count > 1) {
+    append_u64(out, "shard", opt_.shard_index);
+    append_u64(out, "shard_count", opt_.shard_count);
+  }
   append_u64(out, "groups_total", groups_total_);
   append_u64(out, "groups_done", records_);
   append_u64(out, "groups_seeded", seeded_);

@@ -99,6 +99,12 @@ struct TelemetryOptions {
   /// its own policy here so "--durability fsync" makes the heartbeat
   /// and the metrics stream power-loss-safe along with the journal.
   util::Durability durability = util::Durability::kFlush;
+  /// Shard identity of this runner (campaign layer fills these from
+  /// FaultSimOptions). When shard_count > 1 the status heartbeat gains
+  /// "shard"/"shard_count" fields and groups_total is shard-local, so a
+  /// dispatcher can roll several shard heartbeats into one view.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;  // 0 or 1 = unsharded
 };
 
 /// Thread-safe telemetry sink for one campaign run. record() is called

@@ -19,6 +19,12 @@ ArgParser& ArgParser::value(std::string_view name, std::string* out) {
   return *this;
 }
 
+ArgParser& ArgParser::value_multi(std::string_view name,
+                                  std::vector<std::string>* out) {
+  specs_.push_back({std::string(name), Kind::kMulti, out});
+  return *this;
+}
+
 ArgParser& ArgParser::value_u64(std::string_view name, std::uint64_t* out) {
   specs_.push_back({std::string(name), Kind::kU64, out});
   return *this;
@@ -73,6 +79,9 @@ std::vector<std::string> ArgParser::parse(std::size_t min_positional,
     switch (spec->kind) {
       case Kind::kString:
         *static_cast<std::string*>(spec->out) = v;
+        break;
+      case Kind::kMulti:
+        static_cast<std::vector<std::string>*>(spec->out)->push_back(v);
         break;
       case Kind::kU64:
         *static_cast<std::uint64_t*>(spec->out) = parse_u64(arg, v);

@@ -41,6 +41,11 @@ class ArgParser {
   ArgParser& value_size(std::string_view name, std::size_t* out);
   ArgParser& value_int(std::string_view name, int* out);
   ArgParser& value_unsigned(std::string_view name, unsigned* out);
+  /// Repeatable string-valued flag (`--journal a.sbstj --journal
+  /// b.sbstj`): each occurrence appends its value to *out in command-
+  /// line order.
+  ArgParser& value_multi(std::string_view name,
+                         std::vector<std::string>* out);
   /// Bounded count (`--threads N`, `--workers N`, `--max-group-retries K`):
   /// the value must lie in [1, 4096]. 0 is rejected loudly rather than
   /// silently meaning "auto" or "never retry", and absurd counts (a typo
@@ -54,7 +59,9 @@ class ArgParser {
                                  std::size_t max_positional);
 
  private:
-  enum class Kind { kBool, kString, kU64, kSize, kInt, kUnsigned, kCount };
+  enum class Kind {
+    kBool, kString, kMulti, kU64, kSize, kInt, kUnsigned, kCount
+  };
   struct Spec {
     std::string name;
     Kind kind;

@@ -28,6 +28,9 @@ void install_drain_handlers() {
                 "drain flag must be async-signal-safe");
   std::signal(SIGINT, drain_handler);
   std::signal(SIGTERM, drain_handler);
+  // A campaign launched over ssh gets SIGHUP when the connection drops;
+  // without this it died undrained, losing the in-flight groups.
+  std::signal(SIGHUP, drain_handler);
 }
 
 const std::atomic<bool>& drain_requested() { return g_drain; }

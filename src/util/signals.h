@@ -1,18 +1,19 @@
 // Graceful-drain signal handling for long-running campaigns.
 //
-// The first SIGINT/SIGTERM sets a process-wide atomic drain flag that
-// cooperating loops (fault-sim group scheduler, campaign runner) poll
-// between units of work; a second signal restores the default handler
-// and re-raises, so an unresponsive process can still be killed with a
-// second Ctrl-C.
+// The first SIGINT/SIGTERM/SIGHUP sets a process-wide atomic drain flag
+// that cooperating loops (fault-sim group scheduler, campaign runner)
+// poll between units of work; a second signal restores the default
+// handler and re-raises, so an unresponsive process can still be killed
+// with a second Ctrl-C. SIGHUP is in the set because campaigns launched
+// over ssh must drain, not die, when the connection drops.
 #pragma once
 
 #include <atomic>
 
 namespace sbst::util {
 
-/// Installs SIGINT and SIGTERM handlers that set the drain flag.
-/// Idempotent; safe to call more than once.
+/// Installs SIGINT, SIGTERM and SIGHUP handlers that set the drain
+/// flag. Idempotent; safe to call more than once.
 void install_drain_handlers();
 
 /// The process-wide drain flag. Point FaultSimOptions::cancel (or any

@@ -109,6 +109,30 @@ TEST(ArgParser, CountFlagRejectsZeroAndAbsurdValues) {
   }
 }
 
+// `sbst stats --journal a --journal b` aggregates several inputs: each
+// occurrence of a repeatable flag appends, in command-line order.
+TEST(ArgParser, MultiValueFlagAppendsEveryOccurrence) {
+  const auto args =
+      argv_of({"--journal", "a.sbstj", "--journal", "b.sbstj", "--journal",
+               "c.sbstj"});
+  std::vector<std::string> journals;
+  ArgParser(static_cast<int>(args.size()), args.data())
+      .value_multi("--journal", &journals)
+      .parse(0, 0);
+  ASSERT_EQ(journals.size(), 3u);
+  EXPECT_EQ(journals[0], "a.sbstj");
+  EXPECT_EQ(journals[1], "b.sbstj");
+  EXPECT_EQ(journals[2], "c.sbstj");
+
+  // The trailing-value and unknown-flag contracts hold for kMulti too.
+  const auto trailing = argv_of({"--journal"});
+  std::vector<std::string> out;
+  EXPECT_THROW(ArgParser(static_cast<int>(trailing.size()), trailing.data())
+                   .value_multi("--journal", &out)
+                   .parse(0, 0),
+               ArgError);
+}
+
 TEST(ParseU64, AcceptsFullRangeRejectsJunk) {
   EXPECT_EQ(parse_u64("x", "0"), 0u);
   EXPECT_EQ(parse_u64("x", "18446744073709551615"),

@@ -40,6 +40,14 @@ TEST_F(SignalsTest, SigintSetsFlagInsteadOfKilling) {
   EXPECT_EQ(drain_signal(), SIGINT);
 }
 
+TEST_F(SignalsTest, SighupSetsFlagInsteadOfKilling) {
+  // A dropped ssh session must drain the campaign like Ctrl-C does, not
+  // kill it with the journal's final records unflushed.
+  ASSERT_EQ(std::raise(SIGHUP), 0);
+  EXPECT_TRUE(drain_requested().load());
+  EXPECT_EQ(drain_signal(), SIGHUP);
+}
+
 TEST_F(SignalsTest, ResetClearsFlagAndSignal) {
   ASSERT_EQ(std::raise(SIGTERM), 0);
   reset_drain();

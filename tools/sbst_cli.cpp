@@ -52,20 +52,50 @@
 //                                      dashboards. Both files are written
 //                                      whole-file-atomically, so readers
 //                                      never see a torn line.
-//   sbst stats METRICS.ndjson          aggregate a --metrics file: group
-//        [--journal F.sbstj]           latency percentiles, per-engine
+//                                      Sharded campaigns: --shard i/N
+//                                      restricts the run to the i-th
+//                                      residue class of 63-fault groups
+//                                      (fingerprint unchanged, so shard
+//                                      journals merge; progress/status
+//                                      are labelled and rated per
+//                                      shard); --lease FILE maintains a
+//                                      heartbeat lease file for the
+//                                      dispatcher (see sbst dispatch).
+//   sbst dispatch FILE.s --shards N --journal-dir D
+//              [--workers-per-shard K] [--max-shard-retries R]
+//              [--stale-after SEC] [--backoff-ms MS] [--speculative]
+//              [--status F.json] [--sample N] [--engine E]
+//              [--durability D] [-o MERGED.sbstj]
+//                                      fan one campaign out over N shard
+//                                      runner processes, supervised via
+//                                      on-disk leases (mtime heartbeat).
+//                                      A shard whose runner dies or
+//                                      whose lease goes stale is
+//                                      re-dispatched under capped,
+//                                      jittered exponential backoff;
+//                                      --speculative duplicates the
+//                                      last straggler (merge dedups).
+//                                      With -o the shard journals are
+//                                      merged when all shards complete.
+//                                      Exit 0 all complete, 3 drained
+//                                      (resumable), 1 otherwise.
+//   sbst stats METRICS.ndjson...       aggregate --metrics files: group
+//        [--journal F.sbstj]...        latency percentiles, per-engine
 //                                      attribution, gate-evaluation
 //                                      activity, retry/quarantine counts.
-//                                      Exits non-zero when the file is
+//                                      Several inputs (e.g. one per
+//                                      shard) aggregate into one report;
+//                                      journal inputs fold winning
+//                                      records across all journals.
+//                                      Exits non-zero when the input is
 //                                      empty or has malformed lines.
-//                                      --journal (instead of a metrics
-//                                      file) derives the counter lines
-//                                      straight from a campaign journal's
-//                                      winning records — post-hoc
-//                                      reconstruction when a crash
-//                                      landed between periodic --metrics
-//                                      rewrites (latency fields are not
-//                                      recorded in journals and read 0).
+//                                      --journal derives the counter
+//                                      lines straight from a campaign
+//                                      journal's winning records —
+//                                      post-hoc reconstruction when a
+//                                      crash landed between periodic
+//                                      --metrics rewrites (latency
+//                                      fields are not journaled, read 0).
 //   sbst journal <verb> F.sbstj        offline journal toolchain:
 //        [-o OUT] [--durability D]       inspect  header, fingerprint,
 //                                                 per-verdict record
@@ -86,8 +116,18 @@
 //                                                 group (retries and
 //                                                 heals leave dead
 //                                                 records behind)
-//                                      repair/compact swap atomically and
-//                                      default to --durability fsync.
+//   sbst journal merge A.sbstj B.sbstj ... -o OUT.sbstj
+//                                        merge    reconcile shard
+//                                                 journals: refuses
+//                                                 fingerprint mismatches,
+//                                                 resolves per-group
+//                                                 conflicts exactly like
+//                                                 compaction (later
+//                                                 record wins), reports
+//                                                 per-shard contribution
+//                                      repair/compact/merge swap
+//                                      atomically and default to
+//                                      --durability fsync.
 //   sbst fuzz [--seed S] [--iters N] [--body N] [-o repro.s]
 //             [--no-shrink] [--inject-alu-bug]
 //                                      differential co-sim fuzzing: random
@@ -99,6 +139,8 @@
 //
 // Programs must end with the `halt` pseudo-instruction (a store to
 // 0xFFFFFFFC).
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -106,10 +148,13 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.h"
+#include "campaign/dispatch.h"
 #include "core/program.h"
 #include "core/report.h"
 #include "iss/iss.h"
@@ -123,6 +168,7 @@
 #include "util/argparse.h"
 #include "util/atomic_file.h"
 #include "util/parallel.h"
+#include "util/signals.h"
 #include "verify/cosim_fuzz.h"
 
 using namespace sbst;
@@ -133,8 +179,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sbst "
-      "<info|asm|disasm|run|cosim|selftest|grade|stats|journal|fuzz|lint> "
-      "...\n"
+      "<info|asm|disasm|run|cosim|selftest|grade|dispatch|stats|journal|"
+      "fuzz|lint> ...\n"
       "see the header of tools/sbst_cli.cpp for details\n");
   return 2;
 }
@@ -335,6 +381,8 @@ int cmd_grade(int argc, char** argv) {
   std::string metrics;
   std::string status;
   std::string durability = "flush";
+  std::string shard;  // "i/N": run only the i-th residue class of groups
+  std::string lease;  // heartbeat lease file for the dispatcher
   std::size_t trace_mem_mb = 1024;
   const auto pos = util::ArgParser(argc, argv)
                        .value_size("--sample", &sample)
@@ -345,6 +393,8 @@ int cmd_grade(int argc, char** argv) {
                        .value("--journal", &journal)
                        .value("--metrics", &metrics)
                        .value("--status", &status)
+                       .value("--shard", &shard)
+                       .value("--lease", &lease)
                        .value_u64("--group-timeout", &group_timeout_s)
                        .value_u64("--time-budget", &time_budget_s)
                        .flag("--retry-timeouts", &retry_timeouts)
@@ -361,6 +411,19 @@ int cmd_grade(int argc, char** argv) {
                    crash_group != std::numeric_limits<std::uint64_t>::max())) {
     throw util::ArgError(
         "--workers/--worker-mem-mb/--crash-group only apply to --isolate");
+  }
+  unsigned shard_index = 0, shard_count = 0;
+  if (!shard.empty()) {
+    char extra = 0;
+    if (std::sscanf(shard.c_str(), "%u/%u%c", &shard_index, &shard_count,
+                    &extra) != 2 ||
+        shard_count < 2 || shard_index >= shard_count) {
+      throw util::ArgError("--shard wants i/N with 0 <= i < N and N >= 2, "
+                           "got '" + shard + "'");
+    }
+  }
+  if (!lease.empty() && shard.empty()) {
+    throw util::ArgError("--lease only applies to --shard runs");
   }
   const isa::Program p = load_program(pos[0]);
   plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
@@ -403,13 +466,20 @@ int cmd_grade(int argc, char** argv) {
   copt.sim.threads = threads;
   copt.sim.group_timeout_ms = group_timeout_s * 1000;
   copt.sim.time_budget_ms = time_budget_s * 1000;
+  copt.sim.shard_index = shard_index;
+  copt.sim.shard_count = shard_count;
   if (progress) {
     // stderr so the stdout report stays machine-diffable. Serialized by
     // the engine. telemetry::eta_seconds extrapolates the per-group
     // rate of groups simulated by *this run* (done - seeded) and
     // returns negative — rendered "--:--" — until that is meaningful.
+    // Under --shard, Progress.total is already shard-local (the ETA
+    // rates only this shard's fresh groups) and the label carries the
+    // shard id so interleaved shard logs stay attributable.
+    const std::string label =
+        shard.empty() ? std::string("[grade]") : "[shard " + shard + "]";
     const auto t0 = std::chrono::steady_clock::now();
-    copt.sim.progress = [t0](const fault::Progress& p) {
+    copt.sim.progress = [t0, label](const fault::Progress& p) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
@@ -421,8 +491,8 @@ int cmd_grade(int argc, char** argv) {
       } else {
         std::snprintf(eta, sizeof(eta), "--:--");
       }
-      std::fprintf(stderr, "\r[grade] %zu/%zu groups  elapsed %.1fs  eta %s ",
-                   p.done, p.total, elapsed, eta);
+      std::fprintf(stderr, "\r%s %zu/%zu groups  elapsed %.1fs  eta %s ",
+                   label.c_str(), p.done, p.total, elapsed, eta);
       if (p.done == p.total) std::fputc('\n', stderr);
     };
   }
@@ -436,6 +506,19 @@ int cmd_grade(int argc, char** argv) {
   fp = campaign::fingerprint_u64(fp, copt.sim.sample);
   fp = campaign::fingerprint_u64(fp, copt.sim.sample_seed);
   fp = campaign::fingerprint_u64(fp, copt.sim.max_cycles);
+  // Note: the shard restriction is deliberately NOT part of the
+  // fingerprint — every shard of a campaign shares one identity, which
+  // is exactly what makes their journals mutually mergeable.
+
+  std::optional<campaign::LeaseHolder> lease_holder;
+  if (!lease.empty()) {
+    campaign::LeaseInfo li;
+    li.shard = shard_index;
+    li.shard_count = shard_count;
+    li.pid = static_cast<std::int64_t>(::getpid());
+    li.fingerprint = fp;
+    lease_holder.emplace(lease, li);
+  }
 
   const bool sampled = sample != 0 && sample < faults.size();
   if (isolate) {
@@ -489,7 +572,7 @@ int cmd_grade(int argc, char** argv) {
   }
   if (cres.resumed) {
     std::printf("resumed from %s: %zu/%zu groups already journaled\n",
-                journal.c_str(), cres.seeded_groups, cres.groups_total);
+                journal.c_str(), cres.seeded_groups, cres.shard_groups_total);
   }
   if (cres.worker_restarts != 0) {
     std::fprintf(stderr,
@@ -504,20 +587,49 @@ int cmd_grade(int argc, char** argv) {
   }
 
   if (cres.interrupted) {
-    const char* signame = cres.signal == SIGTERM ? "SIGTERM" : "SIGINT";
+    const char* signame = cres.signal == SIGTERM   ? "SIGTERM"
+                          : cres.signal == SIGHUP ? "SIGHUP"
+                                                  : "SIGINT";
+    const char* prefix = shard.empty() ? "" : "shard ";
+    const char* shard_id = shard.empty() ? "" : shard.c_str();
     if (!journal.empty()) {
       std::fprintf(stderr,
-                   "interrupted (%s): resumable — %zu/%zu groups done and "
-                   "journaled in %s; rerun the same command to continue\n",
-                   signame, cres.groups_done, cres.groups_total,
-                   journal.c_str());
+                   "%s%s%sinterrupted (%s): resumable — %zu/%zu groups done "
+                   "and journaled in %s; rerun the same command to continue\n",
+                   prefix, shard_id, shard.empty() ? "" : " ", signame,
+                   cres.groups_done, cres.shard_groups_total, journal.c_str());
     } else {
       std::fprintf(stderr,
-                   "interrupted (%s): %zu/%zu groups done but discarded — "
-                   "pass --journal FILE to make campaigns resumable\n",
-                   signame, cres.groups_done, cres.groups_total);
+                   "%s%s%sinterrupted (%s): %zu/%zu groups done but "
+                   "discarded — pass --journal FILE to make campaigns "
+                   "resumable\n",
+                   prefix, shard_id, shard.empty() ? "" : " ", signame,
+                   cres.groups_done, cres.shard_groups_total);
     }
     return 3;
+  }
+
+  if (shard_count > 1) {
+    // A shard's coverage table would be meaningless (every out-of-class
+    // group would read undetected); report completion and point at the
+    // merge instead. Quarantines still surface — they are shard results.
+    std::printf("shard %u/%u complete: %zu/%zu shard groups done (journal "
+                "%s; campaign universe %zu groups)\n",
+                shard_index, shard_count, cres.groups_done,
+                cres.shard_groups_total,
+                journal.empty() ? "none" : journal.c_str(), cres.groups_total);
+    if (cres.faults_timed_out != 0) {
+      std::printf("%zu collapsed faults inconclusive (wall-clock bound)\n",
+                  cres.faults_timed_out);
+    }
+    if (!cres.quarantined_groups.empty()) {
+      std::printf("%zu collapsed faults quarantined across %zu group(s)\n",
+                  cres.faults_quarantined, cres.quarantined_groups.size());
+    }
+    std::printf("merge the shard journals (`sbst journal merge ... -o "
+                "MERGED.sbstj`) and grade with --journal MERGED.sbstj for "
+                "the coverage table\n");
+    return 0;
   }
 
   const core::CoverageReport rep =
@@ -560,75 +672,279 @@ int cmd_grade(int argc, char** argv) {
   return 0;
 }
 
-int cmd_stats(int argc, char** argv) {
-  std::string journal;
-  const auto pos =
-      util::ArgParser(argc, argv).value("--journal", &journal).parse(0, 1);
-  if (journal.empty() == pos.empty()) {
+int cmd_dispatch(int argc, char** argv) {
+  unsigned shards = 0;
+  std::string journal_dir;
+  unsigned workers_per_shard = 0;
+  unsigned max_shard_retries = 3;
+  std::uint64_t stale_after_s = 10;
+  std::uint64_t backoff_ms = 500;
+  std::uint64_t backoff_cap_ms = 30'000;
+  bool speculative = false;
+  std::string status;
+  std::string engine = "event";
+  std::size_t sample = 6300;
+  std::uint64_t group_timeout_s = 0;
+  std::string durability = "flush";
+  std::string merged;
+  const auto pos = util::ArgParser(argc, argv)
+                       .value_count("--shards", &shards)
+                       .value("--journal-dir", &journal_dir)
+                       .value_count("--workers-per-shard", &workers_per_shard)
+                       .value_unsigned("--max-shard-retries",
+                                       &max_shard_retries)
+                       .value_u64("--stale-after", &stale_after_s)
+                       .value_u64("--backoff-ms", &backoff_ms)
+                       .value_u64("--backoff-cap-ms", &backoff_cap_ms)
+                       .flag("--speculative", &speculative)
+                       .value("--status", &status)
+                       .value("--engine", &engine)
+                       .value_size("--sample", &sample)
+                       .value_u64("--group-timeout", &group_timeout_s)
+                       .value("--durability", &durability)
+                       .value("-o", &merged)
+                       .parse(1, 1);
+  if (shards < 2) {
     throw util::ArgError(
-        "pass exactly one input: METRICS.ndjson or --journal F.sbstj");
+        "--shards wants N >= 2 (a single shard is just sbst grade)");
+  }
+  if (journal_dir.empty()) {
+    throw util::ArgError("--journal-dir is required");
+  }
+  if (engine != "event" && engine != "sweep") {
+    throw util::ArgError("unknown --engine '" + engine +
+                         "' (want event or sweep)");
+  }
+  util::parse_durability(durability);  // fail fast, runners re-parse
+
+  // Same preamble as cmd_grade: the dispatcher computes the campaign
+  // fingerprint itself (for lease collision checks) and verifies the
+  // program halts once, before forking N runners that would all fail.
+  const isa::Program p = load_program(pos[0]);
+  plasma::PlasmaCpu cpu = plasma::build_plasma_cpu();
+  const plasma::GateRunResult gr = plasma::run_gate_cpu(cpu, p, 10'000'000);
+  if (!gr.halted) {
+    std::fprintf(stderr, "program does not halt on the gate-level CPU\n");
+    return 1;
+  }
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  const fault::FaultSimOptions sim_defaults;
+  std::uint64_t fp = campaign::fingerprint_init();
+  fp = campaign::fingerprint_bytes(fp, p.words.data(), p.words.size() * 4);
+  fp = campaign::fingerprint_u64(fp, cpu.netlist.size());
+  fp = campaign::fingerprint_u64(fp, faults.size());
+  fp = campaign::fingerprint_u64(fp, sample);
+  fp = campaign::fingerprint_u64(fp, sim_defaults.sample_seed);
+  fp = campaign::fingerprint_u64(fp, 10'000'000);
+
+  char exebuf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exebuf, sizeof(exebuf) - 1);
+  const std::string exe =
+      n > 0 ? std::string(exebuf, static_cast<std::size_t>(n))
+            : std::string("/proc/self/exe");
+  const std::string prog = pos[0];
+
+  util::install_drain_handlers();
+  campaign::DispatchOptions dopt;
+  dopt.shards = shards;
+  dopt.journal_dir = journal_dir;
+  dopt.max_shard_retries = max_shard_retries;
+  dopt.stale_after_s = static_cast<double>(stale_after_s);
+  dopt.backoff_initial_s = static_cast<double>(backoff_ms) / 1000.0;
+  dopt.backoff_cap_s = static_cast<double>(backoff_cap_ms) / 1000.0;
+  dopt.speculative = speculative;
+  dopt.fingerprint = fp;
+  dopt.status_path = status;
+  dopt.durability = util::parse_durability(durability);
+  dopt.cancel = &util::drain_requested();
+  dopt.make_runner_argv = [&](unsigned shard, const std::string& journal,
+                              const std::string& lease,
+                              const std::string& shard_status) {
+    std::vector<std::string> argv = {
+        exe,         "grade",
+        prog,        "--shard",
+        std::to_string(shard) + "/" + std::to_string(shards),
+        "--journal", journal,
+        "--lease",   lease,
+        "--status",  shard_status,
+        "--sample",  std::to_string(sample),
+        "--engine",  engine,
+        "--durability", durability};
+    if (workers_per_shard != 0) {
+      argv.push_back("--threads");
+      argv.push_back(std::to_string(workers_per_shard));
+    }
+    if (group_timeout_s != 0) {
+      argv.push_back("--group-timeout");
+      argv.push_back(std::to_string(group_timeout_s));
+    }
+    return argv;
+  };
+
+  std::printf("dispatching %u shard(s) of %s into %s (campaign %016llx)\n",
+              shards, prog.c_str(), journal_dir.c_str(),
+              static_cast<unsigned long long>(fp));
+  const campaign::DispatchResult res = campaign::run_dispatch(dopt);
+
+  for (const campaign::ShardOutcome& s : res.shards) {
+    const char* state = s.completed    ? "complete"
+                        : s.resumable ? "resumable"
+                        : s.failed    ? "failed"
+                                      : "incomplete";
+    std::printf("shard %u/%u: %s (%u attempt(s), %u re-dispatch(es)%s)%s%s\n",
+                s.shard, shards, state, s.attempts, s.redispatches,
+                s.stale_leases != 0 ? ", stale lease" : "",
+                s.error.empty() ? "" : " — ", s.error.c_str());
+  }
+  if (res.speculative_launches != 0) {
+    std::printf("%zu speculative duplicate(s) launched\n",
+                res.speculative_launches);
   }
 
-  if (!journal.empty()) {
-    // Counter reconstruction from the journal itself: the metrics file
-    // is rewritten periodically, so a crash can lose up to a rewrite
-    // window of records — the journal has every one of them. Winning
-    // records only, matching what a resume would see; counter lines are
-    // bit-equal to a clean run's `sbst stats` output, latency fields
-    // (never journaled) read zero.
-    const auto loaded = campaign::load_journal_raw(journal);
+  if (res.interrupted) {
+    const int sig = util::drain_signal();
+    std::fprintf(stderr,
+                 "interrupted (%s): resumable — rerun the same command to "
+                 "continue from the shard journals in %s\n",
+                 sig == SIGTERM   ? "SIGTERM"
+                 : sig == SIGHUP ? "SIGHUP"
+                                 : "SIGINT",
+                 journal_dir.c_str());
+    return 3;
+  }
+  if (!res.all_completed()) {
+    std::fprintf(stderr,
+                 "dispatch incomplete: merge the shard journals anyway and "
+                 "resume off the merged journal to re-simulate exactly the "
+                 "missing groups\n");
+    return 1;
+  }
+
+  if (!merged.empty()) {
+    // Merge everything a runner may have written — shard journals plus
+    // speculative duplicates; later-record-wins dedups the overlap.
+    std::vector<std::string> inputs;
+    for (const std::string& j : res.journals) {
+      if (std::ifstream(j, std::ios::binary).good()) inputs.push_back(j);
+    }
+    const campaign::MergeStats m =
+        campaign::merge_journals(inputs, merged, dopt.durability);
+    std::printf("merged %zu journal(s) -> %s: %zu group(s) of %llu\n",
+                m.inputs.size(), merged.c_str(), m.records_out,
+                static_cast<unsigned long long>(m.meta.num_groups));
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  std::vector<std::string> journals;
+  const auto pos = util::ArgParser(argc, argv)
+                       .value_multi("--journal", &journals)
+                       .parse(0, 4096);
+  if (journals.empty() && pos.empty()) {
+    throw util::ArgError(
+        "pass at least one input: METRICS.ndjson files and/or --journal "
+        "F.sbstj (repeatable, e.g. one per shard)");
+  }
+
+  telemetry::MetricsFolder folder;
+  std::size_t malformed = 0;
+
+  // NDJSON inputs fold line by line into one aggregate.
+  for (const std::string& path : pos) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      telemetry::GroupMetric m;
+      if (telemetry::metric_from_json(line, &m)) {
+        folder.fold(m);
+      } else {
+        ++malformed;
+        folder.count_malformed();
+      }
+    }
+  }
+
+  // Journal inputs: counter reconstruction from the journals themselves.
+  // The metrics file is rewritten periodically, so a crash can lose up
+  // to a rewrite window of records — the journal has every one of them.
+  // Winning records across ALL journals (the concatenation, exactly as
+  // `journal merge` resolves conflicts), so shard journals holding
+  // duplicate groups — speculative re-execution — count each group
+  // once. Counter lines are bit-equal to a clean run's `sbst stats`
+  // output; latency fields (never journaled) read zero.
+  std::vector<fault::GroupRecord> records;
+  std::uint64_t num_groups = 0;
+  bool have_meta = false;
+  std::uint64_t meta_fp = 0;
+  for (const std::string& path : journals) {
+    const auto loaded = campaign::load_journal_raw(path);
     if (!loaded) {
-      std::fprintf(stderr, "error: cannot open %s\n", journal.c_str());
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
       return 1;
     }
     if (loaded->empty_file) {
-      std::fprintf(stderr, "error: %s is an empty journal\n", journal.c_str());
+      std::fprintf(stderr, "error: %s is an empty journal\n", path.c_str());
+      return 1;
+    }
+    if (!have_meta) {
+      have_meta = true;
+      meta_fp = loaded->meta.fingerprint;
+      num_groups = loaded->meta.num_groups;
+    } else if (loaded->meta.fingerprint != meta_fp) {
+      std::fprintf(stderr,
+                   "error: %s records a different campaign than the first "
+                   "--journal input; aggregating them would be meaningless\n",
+                   path.c_str());
       return 1;
     }
     if (loaded->damaged()) {
       std::fprintf(stderr,
                    "warning: %s is damaged (%zu span(s), torn tail %zu "
                    "bytes); stats cover the %zu salvaged record(s)\n",
-                   journal.c_str(), loaded->stats.skipped_records,
+                   path.c_str(), loaded->stats.skipped_records,
                    loaded->dropped_bytes, loaded->stats.salvaged);
     }
-    telemetry::MetricsFolder folder;
-    for (const fault::GroupRecord& rec :
-         campaign::winning_records(loaded->records)) {
+    records.insert(records.end(), loaded->records.begin(),
+                   loaded->records.end());
+  }
+  std::size_t journal_groups = 0;
+  if (!journals.empty()) {
+    const std::vector<fault::GroupRecord> winners =
+        campaign::winning_records(records);
+    journal_groups = winners.size();
+    for (const fault::GroupRecord& rec : winners) {
       folder.fold(campaign::to_group_metric(rec, /*seeded=*/false, 0.0));
     }
-    const telemetry::MetricsSummary s = folder.finish();
-    std::printf("source: journal %s (%llu/%llu groups journaled; latency "
-                "not recorded in journals)\n",
-                journal.c_str(), static_cast<unsigned long long>(s.records),
-                static_cast<unsigned long long>(loaded->meta.num_groups));
-    std::ostringstream os;
-    telemetry::print_metrics_summary(os, s);
-    std::fputs(os.str().c_str(), stdout);
-    if (s.records == 0) {
-      std::fprintf(stderr, "error: %s holds no records\n", journal.c_str());
-      return 1;
-    }
-    return 0;
   }
 
-  std::ifstream in(pos[0], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", pos[0].c_str());
-    return 1;
+  const telemetry::MetricsSummary s = folder.finish();
+  if (!journals.empty()) {
+    std::printf("source: %zu journal(s) (%llu/%llu groups journaled; "
+                "latency not recorded in journals)",
+                journals.size(),
+                static_cast<unsigned long long>(journal_groups),
+                static_cast<unsigned long long>(num_groups));
+    if (!pos.empty()) std::printf(" + %zu metrics file(s)", pos.size());
+    std::printf("\n");
+  } else if (pos.size() > 1) {
+    std::printf("source: %zu metrics files\n", pos.size());
   }
-  const telemetry::MetricsSummary s = telemetry::summarize_metrics(in);
   std::ostringstream os;
   telemetry::print_metrics_summary(os, s);
   std::fputs(os.str().c_str(), stdout);
   if (s.records == 0) {
-    std::fprintf(stderr, "error: %s holds no metric records\n",
-                 pos[0].c_str());
+    std::fprintf(stderr, "error: inputs hold no metric records\n");
     return 1;
   }
-  if (s.malformed != 0) {
-    std::fprintf(stderr, "error: %zu malformed line(s) in %s\n", s.malformed,
-                 pos[0].c_str());
+  if (malformed != 0) {
+    std::fprintf(stderr, "error: %zu malformed line(s) across inputs\n",
+                 malformed);
     return 1;
   }
   return 0;
@@ -680,18 +996,48 @@ int cmd_journal(int argc, char** argv) {
   const auto pos = util::ArgParser(argc, argv)
                        .value("-o", &out)
                        .value("--durability", &durability)
-                       .parse(2, 2);
+                       .parse(2, 4096);
   const std::string verb = pos[0];
   const std::string path = pos[1];
   if (verb != "inspect" && verb != "verify" && verb != "repair" &&
-      verb != "compact") {
+      verb != "compact" && verb != "merge") {
     throw util::ArgError("unknown journal verb '" + verb +
-                         "' (want inspect, verify, repair or compact)");
+                         "' (want inspect, verify, repair, compact or "
+                         "merge)");
   }
-  if (!out.empty() && verb != "repair" && verb != "compact") {
-    throw util::ArgError("-o only applies to repair and compact");
+  if (verb != "merge" && pos.size() != 2) {
+    throw util::ArgError("journal " + verb + " takes exactly one journal");
+  }
+  if (!out.empty() && verb != "repair" && verb != "compact" &&
+      verb != "merge") {
+    throw util::ArgError("-o only applies to repair, compact and merge");
   }
   const util::Durability dur = util::parse_durability(durability);
+
+  if (verb == "merge") {
+    if (out.empty()) {
+      throw util::ArgError("journal merge requires -o OUT.sbstj");
+    }
+    const std::vector<std::string> inputs(pos.begin() + 1, pos.end());
+    const campaign::MergeStats m = campaign::merge_journals(inputs, out, dur);
+    std::printf("merged %zu journal(s) -> %s: %zu record(s) in, %zu "
+                "group(s) out (campaign %016llx, %llu groups)\n",
+                m.inputs.size(), out.c_str(), m.records_in, m.records_out,
+                static_cast<unsigned long long>(m.meta.fingerprint),
+                static_cast<unsigned long long>(m.meta.num_groups));
+    for (const campaign::MergeInputStats& in : m.inputs) {
+      std::printf("  %s: %zu record(s), %zu winner(s)%s\n", in.path.c_str(),
+                  in.records, in.winners,
+                  in.damaged ? " (damaged; salvaged records only)" : "");
+    }
+    if (m.records_out < m.meta.num_groups) {
+      std::printf("%llu group(s) still missing; a resume off the merged "
+                  "journal re-simulates exactly those\n",
+                  static_cast<unsigned long long>(m.meta.num_groups -
+                                                  m.records_out));
+    }
+    return 0;
+  }
 
   if (verb == "inspect" || verb == "verify") {
     const auto loaded = campaign::load_journal_raw(path);
@@ -830,6 +1176,7 @@ int main(int argc, char** argv) {
     if (cmd == "cosim") return cmd_cosim(argc - 2, argv + 2);
     if (cmd == "selftest") return cmd_selftest(argc - 2, argv + 2);
     if (cmd == "grade") return cmd_grade(argc - 2, argv + 2);
+    if (cmd == "dispatch") return cmd_dispatch(argc - 2, argv + 2);
     if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
     if (cmd == "journal") return cmd_journal(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
