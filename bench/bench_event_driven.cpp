@@ -1,9 +1,13 @@
-// Event-driven differential kernel vs. the full-sweep kernel: grades the
-// Plasma Phase A+B self-test (sampled campaign) and the Parwan self-test
-// with both engines, verifies the results are bit-identical, and records
-// wall-clock, evaluated-gate counts (total, per group, per cycle) and
-// good-trace memory in BENCH_event_driven.json so the activity-factor
-// reduction is tracked across PRs.
+// Event-driven differential kernel vs. the full-sweep kernel, each in
+// both kernel flavors (compiled SoA program vs. interpreted per-gate
+// reference): grades the Plasma Phase A+B self-test (sampled campaign)
+// and the Parwan self-test with all four engine x kernel legs, verifies
+// every leg is bit-identical, and records wall-clock, evaluated-gate
+// counts (total, per group, per cycle) and good-trace memory in
+// BENCH_event_driven.json so both the activity-factor reduction and the
+// compiled-kernel speedup are tracked across PRs. The "sweep"/"event"
+// keys are the compiled (default) legs; "sweep_interp"/"event_interp"
+// are the interpreted reference legs.
 //
 // Usage: bench_event_driven [--full] [--out FILE.json]
 //        default grades a 630-fault Plasma sample (10 groups);
@@ -20,6 +24,7 @@
 #include "parwan/sbst.h"
 #include "parwan/testbench.h"
 #include "plasma/testbench.h"
+#include "util/parallel.h"
 
 #include "bench_common.h"
 
@@ -42,8 +47,9 @@ struct Target {
   std::size_t groups = 0;
   std::uint64_t good_cycles = 0;
   double coverage_percent = 0.0;
-  bool identical = false;
-  EngineRun sweep, event;
+  bool identical = false;  // all four legs bit-identical
+  EngineRun sweep, event;  // compiled (default) kernels
+  EngineRun sweep_interp, event_interp;
 
   double reduction() const {
     return event.gates_evaluated == 0
@@ -53,6 +59,12 @@ struct Target {
   }
   double speedup() const {
     return event.seconds == 0.0 ? 0.0 : sweep.seconds / event.seconds;
+  }
+  double sweep_kernel_speedup() const {
+    return sweep.seconds == 0.0 ? 0.0 : sweep_interp.seconds / sweep.seconds;
+  }
+  double event_kernel_speedup() const {
+    return event.seconds == 0.0 ? 0.0 : event_interp.seconds / event.seconds;
   }
 };
 
@@ -73,11 +85,24 @@ Target run_target(const std::string& name, const nl::Netlist& netlist,
                         : opt.sample;
   t.groups = (t.faults_graded + 62) / 63;
 
-  fault::FaultSimResult results[2];
-  for (int pass = 0; pass < 2; ++pass) {
-    const bool is_event = pass == 1;
-    opt.engine = is_event ? fault::Engine::kEvent : fault::Engine::kSweep;
-    EngineRun& run = is_event ? t.event : t.sweep;
+  struct Leg {
+    fault::Engine engine;
+    fault::KernelFlavor kernel;
+    EngineRun Target::*run;
+  };
+  const Leg legs[4] = {
+      {fault::Engine::kSweep, fault::KernelFlavor::kInterp,
+       &Target::sweep_interp},
+      {fault::Engine::kSweep, fault::KernelFlavor::kCompiled, &Target::sweep},
+      {fault::Engine::kEvent, fault::KernelFlavor::kInterp,
+       &Target::event_interp},
+      {fault::Engine::kEvent, fault::KernelFlavor::kCompiled, &Target::event},
+  };
+  fault::FaultSimResult results[4];
+  for (int pass = 0; pass < 4; ++pass) {
+    opt.engine = legs[pass].engine;
+    opt.kernel = legs[pass].kernel;
+    EngineRun& run = t.*(legs[pass].run);
     const auto t0 = std::chrono::steady_clock::now();
     results[pass] = fault::run_fault_sim(netlist, faults, env, opt);
     run.seconds =
@@ -89,7 +114,9 @@ Target run_target(const std::string& name, const nl::Netlist& netlist,
     run.trace_fallback = results[pass].trace_fallback;
   }
   t.good_cycles = results[0].good_cycles;
-  t.identical = identical_results(results[0], results[1]);
+  t.identical = identical_results(results[0], results[1]) &&
+                identical_results(results[0], results[2]) &&
+                identical_results(results[0], results[3]);
   t.coverage_percent = fault::overall_coverage(faults, results[0]).percent();
 
   std::printf("\n%s: %zu faults, %zu groups, %llu good cycles\n",
@@ -104,20 +131,24 @@ Target run_target(const std::string& name, const nl::Netlist& netlist,
         r.sim_cycles ? static_cast<double>(r.gates_evaluated) /
                            static_cast<double>(r.sim_cycles)
                      : 0.0;
-    std::printf("  %-6s %8.3fs  %14llu gate-evals  %12.0f /group"
+    std::printf("  %-13s %8.3fs  %14llu gate-evals  %12.0f /group"
                 "  %8.1f /cycle%s\n",
                 tag, r.seconds,
                 static_cast<unsigned long long>(r.gates_evaluated),
                 per_group, per_cycle,
                 r.trace_fallback ? "  [FELL BACK TO SWEEP]" : "");
   };
+  row("sweep-interp", t.sweep_interp);
   row("sweep", t.sweep);
+  row("event-interp", t.event_interp);
   row("event", t.event);
   std::printf("  evaluated-gate reduction %.1fx, wall-clock speedup %.2fx,"
               " trace %.2f MiB, results %s\n",
               t.reduction(), t.speedup(),
               static_cast<double>(t.event.trace_bytes) / (1024.0 * 1024.0),
               t.identical ? "bit-identical" : "MISMATCH");
+  std::printf("  compiled-kernel speedup: sweep %.2fx, event %.2fx\n",
+              t.sweep_kernel_speedup(), t.event_kernel_speedup());
   return t;
 }
 
@@ -153,7 +184,8 @@ int main(int argc, char** argv) {
   }
 
   bench::header("Event-driven kernel",
-                "Differential fault simulation vs. full sweep");
+                "Differential fault simulation vs. full sweep, "
+                "compiled vs. interpreted kernels");
 
   std::vector<Target> targets;
 
@@ -195,9 +227,11 @@ int main(int argc, char** argv) {
                "  \"bench\": \"event_driven\",\n"
                "  \"sampled\": %s,\n"
                "  \"threads\": 1,\n"
+               "  \"hardware_concurrency\": %u,\n"
                "  \"bit_identical\": %s,\n"
                "  \"targets\": [\n",
-               full ? "false" : "true", all_identical ? "true" : "false");
+               full ? "false" : "true", util::hardware_threads(),
+               all_identical ? "true" : "false");
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const Target& t = targets[i];
     std::fprintf(f,
@@ -212,13 +246,18 @@ int main(int argc, char** argv) {
                  t.name.c_str(), t.netlist_gates, t.faults_graded, t.groups,
                  static_cast<unsigned long long>(t.good_cycles),
                  t.coverage_percent, t.identical ? "true" : "false");
+    emit_engine(f, "sweep_interp", t, t.sweep_interp, ",");
     emit_engine(f, "sweep", t, t.sweep, ",");
+    emit_engine(f, "event_interp", t, t.event_interp, ",");
     emit_engine(f, "event", t, t.event, ",");
     std::fprintf(f,
                  "      \"gate_eval_reduction\": %.2f,\n"
-                 "      \"wall_clock_speedup\": %.3f\n"
+                 "      \"wall_clock_speedup\": %.3f,\n"
+                 "      \"sweep_kernel_speedup\": %.3f,\n"
+                 "      \"event_kernel_speedup\": %.3f\n"
                  "    }%s\n",
-                 t.reduction(), t.speedup(),
+                 t.reduction(), t.speedup(), t.sweep_kernel_speedup(),
+                 t.event_kernel_speedup(),
                  i + 1 < targets.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -105,11 +105,16 @@ int main(int argc, char** argv) {
                "  \"fault_groups\": %zu,\n"
                "  \"sampled\": %s,\n"
                "  \"hardware_concurrency\": %u,\n"
+               "  \"single_core\": %s,\n"
                "  \"coverage_percent\": %.4f,\n"
                "  \"deterministic_across_threads\": %s,\n"
                "  \"runs\": [\n",
                pab.name.c_str(), ctx.cpu.netlist.size(), graded, groups,
-               full ? "false" : "true", hw, cov.percent(),
+               full ? "false" : "true", hw,
+               // Caveat for readers of the speedup column: on a
+               // single-core box the thread sweep measures scheduling
+               // overhead, not parallel scaling.
+               hw == 1 ? "true" : "false", cov.percent(),
                deterministic ? "true" : "false");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     std::fprintf(f,

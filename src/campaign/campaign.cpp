@@ -67,7 +67,15 @@ telemetry::GroupMetric to_group_metric(const fault::GroupRecord& rec,
   m.cycles = rec.cycles;
   m.gates_evaluated = rec.gates_evaluated;
   m.sim_cycles = rec.sim_cycles;
+  m.evals_and = rec.evals_by_kind[0];
+  m.evals_or = rec.evals_by_kind[1];
+  m.evals_xor = rec.evals_by_kind[2];
+  m.evals_mux = rec.evals_by_kind[3];
   m.duration_ms = duration_ms;
+  if (!seeded && rec.gates_evaluated != 0) {
+    m.eval_ns_per_gate = duration_ms * 1e6 /
+                         static_cast<double>(rec.gates_evaluated);
+  }
   if (rec.quarantined) {
     m.attempts = rec.error.attempts;
     m.max_rss_kb = rec.error.max_rss_kb;

@@ -25,10 +25,14 @@ constexpr std::size_t kErrorBytes = 4 + 4 + 4 + 8 + 8;
 // set (every record written since work accounting; absent in journals
 // from older runs, which decode with zero counters).
 constexpr std::size_t kWorkBytes = 8 + 8 + 1;
+// Four per-base-op evaluation tallies, present when flags bit3 is set
+// (every record written since per-kind accounting; older journals
+// decode with zero tallies).
+constexpr std::size_t kKindBytes = 4 * 8;
 // group + count + flags + detected_mask + cycles + 63 detect cycles
-// + optional quarantine error + optional work section.
+// + optional quarantine error + optional work/kind sections.
 constexpr std::size_t kMaxPayload =
-    8 + 4 + 1 + 8 + 8 + 63 * 8 + kErrorBytes + kWorkBytes;
+    8 + 4 + 1 + 8 + 8 + 63 * 8 + kErrorBytes + kWorkBytes + kKindBytes;
 // Smallest well-formed frame: len + crc + a zero-fault legacy payload.
 // Resynchronization never needs to look for anything shorter.
 constexpr std::size_t kMinFrame = 4 + 4 + (8 + 4 + 1 + 8 + 8);
@@ -169,7 +173,7 @@ std::string encode_record_payload(const fault::GroupRecord& rec) {
   put(out, rec.group);
   put(out, rec.count);
   put(out, static_cast<std::uint8_t>((rec.timed_out ? 1 : 0) |
-                                     (rec.quarantined ? 2 : 0) | 4));
+                                     (rec.quarantined ? 2 : 0) | 4 | 8));
   put(out, rec.detected_mask);
   put(out, rec.cycles);
   for (std::int64_t c : rec.detect_cycle) put(out, c);
@@ -186,6 +190,8 @@ std::string encode_record_payload(const fault::GroupRecord& rec) {
   put(out, rec.gates_evaluated);
   put(out, rec.sim_cycles);
   put(out, static_cast<std::uint8_t>(rec.engine_used));
+  // Per-kind section (flags bit3): base-op evaluation tallies.
+  for (std::uint64_t k : rec.evals_by_kind) put(out, k);
   return out;
 }
 
@@ -204,9 +210,13 @@ bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec) {
   // work accounting existed lack it; their records decode with zero
   // counters (honest: that work was never measured).
   const bool has_work = (flags & 4) != 0;
+  // bit3: record carries per-base-op evaluation tallies (zero when
+  // decoded from journals that predate them).
+  const bool has_kinds = (flags & 8) != 0;
   const std::size_t tail = r.count * sizeof(std::int64_t) +
                            (r.quarantined ? kErrorBytes : 0) +
-                           (has_work ? kWorkBytes : 0);
+                           (has_work ? kWorkBytes : 0) +
+                           (has_kinds ? kKindBytes : 0);
   if (r.count > 63 || payload.size() - q != tail) return false;
   r.detect_cycle.resize(r.count);
   for (std::uint32_t i = 0; i < r.count; ++i) {
@@ -228,6 +238,9 @@ bool decode_record_payload(std::string_view payload, fault::GroupRecord* rec) {
       return false;
     }
     r.engine_used = static_cast<fault::GroupEngine>(engine);
+  }
+  if (has_kinds) {
+    for (std::uint64_t& k : r.evals_by_kind) get(payload, q, &k);
   }
   *rec = std::move(r);
   return true;

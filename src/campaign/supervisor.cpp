@@ -268,6 +268,10 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
         Clock::now() + std::chrono::milliseconds(options.sim.time_budget_ms);
   }
 
+  // The compiled program is built once, before any fork, so worker
+  // processes inherit it copy-on-write like the good trace.
+  std::shared_ptr<const nl::CompiledNetlist> compiled = nl::compile(netlist);
+
   // Event engine: record the good trace eagerly, before any fork, so
   // every worker process inherits the finished trace copy-on-write
   // instead of each re-recording it after fork. Skipped when the
@@ -279,7 +283,7 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
             ? 0
             : options.sim.trace_mem_mb * std::size_t{1024} * 1024;
     trace_source = std::make_shared<fault::SharedTraceSource>(
-        netlist, make_env, options.sim.max_cycles, cap_bytes);
+        netlist, make_env, options.sim.max_cycles, cap_bytes, compiled);
     // Like a single group, the good run must fit within group_timeout_ms
     // (otherwise every group would time out under the event engine too);
     // exceeding it falls back to the sweep kernel.
@@ -298,7 +302,7 @@ CampaignResult run_campaign_isolated(const nl::Netlist& netlist,
   // Built once, before any fork: children inherit the levelized
   // simulator copy-on-write. The supervisor itself never simulates.
   fault::GroupSimulator sim(netlist, faults, plan, make_env, options.sim,
-                            trace_source);
+                            trace_source, compiled);
   sim.set_run_deadline(run_deadline);
   WorkerContext ctx{sim, options.iso, options.sim.time_budget_ms};
 

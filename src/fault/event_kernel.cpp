@@ -9,6 +9,29 @@ namespace sbst::fault {
 
 using sim::Word;
 
+void aggregate_seed_forces(const std::vector<detail::Injection>& list,
+                           std::vector<SeedForce>* out) {
+  out->clear();
+  for (const detail::Injection& i : list) {
+    SeedForce* f = nullptr;
+    for (SeedForce& s : *out) {
+      if (s.gate == i.gate) {
+        f = &s;
+        break;
+      }
+    }
+    if (f == nullptr) {
+      out->push_back(SeedForce{i.gate, 0, 0});
+      f = &out->back();
+    }
+    if (i.stuck) {
+      f->set |= i.mask;
+    } else {
+      f->clr |= i.mask;
+    }
+  }
+}
+
 EventKernel::EventKernel(const nl::Netlist& netlist,
                          const nl::Levelization& lv,
                          const std::vector<nl::GateId>& po_bits,
@@ -45,30 +68,8 @@ void EventKernel::simulate(const detail::InjectionTable& inj, int count,
       comb_injected_.push_back(g);
     }
   }
-  auto aggregate = [](const std::vector<detail::Injection>& list,
-                      std::vector<SeedForce>* out) {
-    out->clear();
-    for (const detail::Injection& i : list) {
-      SeedForce* f = nullptr;
-      for (SeedForce& s : *out) {
-        if (s.gate == i.gate) {
-          f = &s;
-          break;
-        }
-      }
-      if (f == nullptr) {
-        out->push_back(SeedForce{i.gate, 0, 0});
-        f = &out->back();
-      }
-      if (i.stuck) {
-        f->set |= i.mask;
-      } else {
-        f->clr |= i.mask;
-      }
-    }
-  };
-  aggregate(inj.sources(), &src_forces_);
-  aggregate(inj.dff_q(), &q_forces_);
+  aggregate_seed_forces(inj.sources(), &src_forces_);
+  aggregate_seed_forces(inj.dff_q(), &q_forces_);
 
   diverged_dffs_.clear();
   next_diverged_.clear();
@@ -93,7 +94,7 @@ void EventKernel::simulate(const detail::InjectionTable& inj, int count,
       }
     }
 
-    const Word* const plane = tr.plane(cycle);
+    const Word* const plane = tr.cycle_base(cycle);
     const std::uint64_t st = ++stamp_;
     Word po_acc = 0;
     std::uint32_t lvl_hi = 0;
@@ -192,6 +193,8 @@ void EventKernel::simulate(const detail::InjectionTable& inj, int count,
         v_[g] = w;
         mark_[g] = st;
         ++evals;
+        ++stats_.evals_by_kind[static_cast<std::size_t>(
+            nl::op_class(gate.kind))];
         const Word dv = (w ^ GoodTrace::broadcast_bit(plane, g)) & live;
         if (dv != 0) {
           if (is_po_[g]) po_acc |= dv;

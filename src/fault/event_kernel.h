@@ -43,6 +43,20 @@ struct KernelDeadlines {
       std::chrono::steady_clock::time_point::max();
 };
 
+/// One injection site's aggregated set/clear masks, re-forced against
+/// the good trace every cycle (sources and DFF Q outputs). Shared by
+/// both event-kernel flavors.
+struct SeedForce {
+  nl::GateId gate;
+  sim::Word set;
+  sim::Word clr;
+};
+
+/// Folds an injection list (inj.sources() / inj.dff_q()) into one
+/// SeedForce per distinct gate.
+void aggregate_seed_forces(const std::vector<detail::Injection>& list,
+                           std::vector<SeedForce>* out);
+
 /// Per-worker differential simulator state. Not thread-safe; the trace
 /// is immutable and shared. `netlist` and `lv` must outlive the kernel.
 class EventKernel {
@@ -83,11 +97,6 @@ class EventKernel {
   std::vector<std::pair<nl::GateId, Word>> next_diverged_;
 
   // Per-group injection site partition (rebuilt by simulate()).
-  struct SeedForce {
-    nl::GateId gate;
-    Word set;
-    Word clr;
-  };
   std::vector<nl::GateId> comb_injected_;  // slotted comb gates
   std::vector<nl::GateId> dffd_gates_;     // D-pin-injected DFFs
   std::vector<SeedForce> src_forces_;      // PI/const, aggregated per gate

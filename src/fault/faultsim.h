@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/fault.h"
 #include "sim/logicsim.h"
 
@@ -95,6 +96,14 @@ struct GroupRecord {
   /// Kernel that produced the verdicts (engine-dependent counters above
   /// only compare between records with equal engines).
   GroupEngine engine_used = GroupEngine::kNone;
+  /// Gate evaluations split by compiled base op (AND/OR/XOR/MUX, in
+  /// nl::CompiledOp order; inverting kinds fold into their base op, BUFs
+  /// into the gate they forward). Sums to gates_evaluated. Sweep-kernel
+  /// tallies are a pure function of (netlist, cycles) and therefore
+  /// bit-stable across kernel flavors; event-kernel tallies count the
+  /// evaluations actually performed. Zero for records journaled before
+  /// this accounting existed.
+  std::array<std::uint64_t, nl::kNumCompiledOps> evals_by_kind = {0, 0, 0, 0};
 };
 
 /// Simulation kernel selection. Both kernels produce bit-identical
@@ -108,6 +117,19 @@ enum class Engine : std::uint8_t {
   kEvent,
   /// Full levelized sweep of every gate each cycle (historical engine).
   kSweep,
+};
+
+/// Inner-loop implementation selection, orthogonal to Engine. Both
+/// flavors are bit-identical in every verdict and every deterministic
+/// counter; the campaign fingerprint deliberately excludes the flavor,
+/// so journals written under one resume under the other. kInterp is the
+/// escape hatch (and the differential-testing reference).
+enum class KernelFlavor : std::uint8_t {
+  /// Compiled SoA program (nl::CompiledNetlist): branch-free per-run
+  /// sweeps, folded inversions/BUF chains, compiled fanout CSR.
+  kCompiled,
+  /// Original per-gate interpreted kernels.
+  kInterp,
 };
 
 /// Snapshot passed to the progress callback after each resolved group.
@@ -125,6 +147,9 @@ struct FaultSimOptions {
   std::uint64_t max_cycles = 1'000'000;
   /// Kernel used to simulate fault groups; see Engine.
   Engine engine = Engine::kEvent;
+  /// Inner-loop flavor for either engine; see KernelFlavor. Results are
+  /// bit-identical across flavors (not part of the fingerprint).
+  KernelFlavor kernel = KernelFlavor::kCompiled;
   /// Memory cap for the event engine's recorded good trace, in MiB
   /// (0 = unlimited). One packed bit per gate per cycle; exceeding the
   /// cap silently falls back to the sweep kernel for the whole run
@@ -240,9 +265,14 @@ struct FaultSimResult {
 
 /// Work counters exposed by GroupSimulator for benchmarks: gate
 /// evaluations actually performed and machine cycles simulated.
+/// `gates_evaluated`, `cycles` and `evals_by_kind` are deterministic
+/// (bit-stable for a fixed netlist/engine); `eval_ns` is run-local wall
+/// clock spent inside simulate(), like GroupMetric::duration_ms.
 struct KernelStats {
   std::uint64_t gates_evaluated = 0;
   std::uint64_t cycles = 0;
+  std::array<std::uint64_t, nl::kNumCompiledOps> evals_by_kind = {0, 0, 0, 0};
+  std::uint64_t eval_ns = 0;
 };
 
 /// Runs sequential fault simulation of `faults` on `netlist` inside the
@@ -312,10 +342,15 @@ class SharedTraceSource;
 /// null selects the sweep kernel unconditionally.
 class GroupSimulator {
  public:
+  /// `compiled` is the campaign-shared program (nl::compile(netlist));
+  /// pass null to compile privately. Like the good trace it is built
+  /// once per campaign and inherited copy-on-write by forked workers.
   GroupSimulator(const nl::Netlist& netlist, const nl::FaultList& faults,
                  const GroupPlan& plan, EnvFactory make_env,
                  const FaultSimOptions& options,
-                 std::shared_ptr<SharedTraceSource> trace_source = nullptr);
+                 std::shared_ptr<SharedTraceSource> trace_source = nullptr,
+                 std::shared_ptr<const nl::CompiledNetlist> compiled =
+                     nullptr);
   ~GroupSimulator();
   GroupSimulator(const GroupSimulator&) = delete;
   GroupSimulator& operator=(const GroupSimulator&) = delete;

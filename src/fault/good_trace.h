@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "sim/logicsim.h"
 
@@ -26,12 +27,27 @@ namespace sbst::fault {
 class Environment;
 using EnvFactory = std::function<std::unique_ptr<Environment>()>;
 
-/// Immutable packed good-value bitplanes: plane t holds one bit per gate
-/// with the value after drive+eval of cycle t (the instant the sweep
-/// kernel compares primary outputs). Shared read-only across worker
-/// threads and inherited copy-on-write by forked --isolate workers.
+/// Immutable packed good-value bitplanes holding, for every cycle, one
+/// bit per gate with the value after drive+eval of that cycle (the
+/// instant the sweep kernel compares primary outputs). Shared read-only
+/// across worker threads and inherited copy-on-write by forked
+/// --isolate workers.
+///
+/// Storage is tiled cycle-block × gate-block rather than cycle-major:
+/// cycles are grouped 8 per block (kCycleBlock) and within a block the 8
+/// words of one 64-gate group are contiguous. The event-driven kernel
+/// reconstructs the same handful of gates across *adjacent* cycles, and
+/// under this tiling those reads land on the same cache line instead of
+/// a full plane apart.
 class GoodTrace {
  public:
+  /// Cycles per tile block; a 64-gate word group spans exactly one
+  /// 64-byte cache line per block.
+  static constexpr std::uint64_t kCycleBlock = 8;
+
+  /// `planes` must be tiled (see record_good_trace): block b holds
+  /// words [b * words_per_cycle * 8, ...), laid out word-group-major
+  /// with the 8 cycle samples of each group adjacent.
   GoodTrace(std::size_t num_gates, std::vector<sim::Word> planes,
             std::uint64_t cycles)
       : words_per_cycle_((num_gates + 63) / 64),
@@ -45,19 +61,20 @@ class GoodTrace {
     return planes_.size() * sizeof(sim::Word);
   }
 
-  /// Packed plane of cycle t (words_per_cycle words).
-  const sim::Word* plane(std::uint64_t t) const {
-    return planes_.data() + t * words_per_cycle_;
+  /// Base pointer for cycle t; pass to broadcast_bit to read gates.
+  const sim::Word* cycle_base(std::uint64_t t) const {
+    return planes_.data() + (t >> 3) * (words_per_cycle_ * kCycleBlock) +
+           (t & 7);
   }
 
   /// Good value of gate g at cycle t, broadcast to a full word.
   sim::Word broadcast(std::uint64_t t, nl::GateId g) const {
-    return broadcast_bit(plane(t), g);
+    return broadcast_bit(cycle_base(t), g);
   }
 
-  /// Broadcasts one bit of a packed plane to all 64 machine lanes.
-  static sim::Word broadcast_bit(const sim::Word* plane, nl::GateId g) {
-    return sim::Word{0} - ((plane[g >> 6] >> (g & 63)) & 1);
+  /// Broadcasts one bit of a tiled cycle base to all 64 machine lanes.
+  static sim::Word broadcast_bit(const sim::Word* base, nl::GateId g) {
+    return sim::Word{0} - ((base[(g >> 6) << 3] >> (g & 63)) & 1);
   }
 
  private:
@@ -69,13 +86,15 @@ class GoodTrace {
 /// Runs the environment once on a plain LogicSim and records the packed
 /// trace. Returns nullptr — the caller then falls back to the sweep
 /// kernel — when the trace would exceed `mem_cap_bytes` (0 = unlimited)
-/// or when `deadline`/`cancel` fire mid-recording.
+/// or when `deadline`/`cancel` fire mid-recording. A campaign-shared
+/// compiled program may be passed to skip re-compiling the netlist.
 std::shared_ptr<const GoodTrace> record_good_trace(
     const nl::Netlist& netlist, const EnvFactory& make_env,
     std::uint64_t max_cycles, std::size_t mem_cap_bytes,
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max(),
-    const std::atomic<bool>* cancel = nullptr);
+    const std::atomic<bool>* cancel = nullptr,
+    std::shared_ptr<const nl::CompiledNetlist> compiled = nullptr);
 
 /// One-per-campaign lazy trace holder shared by every worker's
 /// GroupSimulator. The first simulate() call records (serialized by
@@ -87,11 +106,14 @@ std::shared_ptr<const GoodTrace> record_good_trace(
 class SharedTraceSource {
  public:
   SharedTraceSource(const nl::Netlist& netlist, EnvFactory make_env,
-                    std::uint64_t max_cycles, std::size_t mem_cap_bytes)
+                    std::uint64_t max_cycles, std::size_t mem_cap_bytes,
+                    std::shared_ptr<const nl::CompiledNetlist> compiled =
+                        nullptr)
       : netlist_(&netlist),
         make_env_(std::move(make_env)),
         max_cycles_(max_cycles),
-        mem_cap_bytes_(mem_cap_bytes) {}
+        mem_cap_bytes_(mem_cap_bytes),
+        compiled_(std::move(compiled)) {}
 
   /// Campaign wall-clock deadline and cancel flag honoured while
   /// recording. Set before the first get() (i.e. before workers start).
@@ -104,7 +126,8 @@ class SharedTraceSource {
   std::shared_ptr<const GoodTrace> get() {
     std::call_once(once_, [this] {
       trace_ = record_good_trace(*netlist_, make_env_, max_cycles_,
-                                 mem_cap_bytes_, deadline_, cancel_);
+                                 mem_cap_bytes_, deadline_, cancel_,
+                                 compiled_);
       attempted_.store(true, std::memory_order_release);
     });
     return trace_;
@@ -125,6 +148,7 @@ class SharedTraceSource {
   EnvFactory make_env_;
   std::uint64_t max_cycles_;
   std::size_t mem_cap_bytes_;
+  std::shared_ptr<const nl::CompiledNetlist> compiled_;
   std::chrono::steady_clock::time_point deadline_ =
       std::chrono::steady_clock::time_point::max();
   const std::atomic<bool>* cancel_ = nullptr;

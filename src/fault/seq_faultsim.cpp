@@ -10,10 +10,12 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/compiled_event_kernel.h"
 #include "fault/event_kernel.h"
 #include "fault/faultsim.h"
 #include "fault/good_trace.h"
 #include "fault/injection.h"
+#include "netlist/compiled.h"
 #include "util/parallel.h"
 
 namespace sbst::fault {
@@ -47,6 +49,71 @@ void eval_with_injections(sim::LogicSim& s, const InjectionTable& inj) {
       v[g] = sim::eval_gate(gate.kind, a, b, c);
     }
   }
+}
+
+/// Per-group fixup sites for the compiled sweep: the slotted (injected)
+/// combinational gates, grouped by level. Rebuilt per group.
+struct CompiledFixups {
+  std::vector<std::vector<nl::GateId>> by_level;  // sized max_level + 1
+  std::vector<std::uint32_t> levels;              // touched levels, sorted
+
+  void rebuild(const nl::CompiledNetlist& cn, const nl::Netlist& netlist,
+               const InjectionTable& inj) {
+    for (std::uint32_t lvl : levels) by_level[lvl].clear();
+    levels.clear();
+    if (by_level.size() < static_cast<std::size_t>(cn.lv.max_level) + 1) {
+      by_level.resize(static_cast<std::size_t>(cn.lv.max_level) + 1);
+    }
+    for (nl::GateId g : inj.slotted_gates()) {
+      if (netlist.gate(g).kind == nl::GateKind::kDff) continue;
+      const std::uint32_t lvl = cn.lv.level[g];
+      if (by_level[lvl].empty()) levels.push_back(lvl);
+      by_level[lvl].push_back(g);
+    }
+    std::sort(levels.begin(), levels.end());
+  }
+};
+
+/// Compiled-flavor fault-aware sweep: branch-free per-run evaluation,
+/// with the handful of injected gates re-evaluated interpretively at the
+/// end of their level (their consumers sit at strictly higher levels, so
+/// the fixup lands before anything reads the forced word). Operands are
+/// read through the fold roots because copies materialize only after the
+/// sweep. Bit-identical to eval_with_injections on every gate.
+void eval_compiled_with_injections(sim::LogicSim& s,
+                                   const nl::CompiledNetlist& cn,
+                                   const InjectionTable& inj,
+                                   const CompiledFixups& fixups) {
+  const nl::Netlist& netlist = s.netlist();
+  Word* const v = s.values().data();
+  if (fixups.levels.empty()) {
+    for (const nl::CompiledRun& r : cn.runs) nl::eval_run(cn, r, v);
+  } else {
+    auto rd = [&](nl::GateId d) -> Word {
+      return d < cn.num_gates ? v[cn.fold_root[d]] : 0;
+    };
+    std::size_t fx = 0;
+    const std::uint32_t num_levels = cn.lv.max_level + 1;
+    for (std::uint32_t lvl = 0; lvl < num_levels; ++lvl) {
+      for (std::uint32_t r = cn.level_run_begin[lvl];
+           r < cn.level_run_begin[lvl + 1]; ++r) {
+        nl::eval_run(cn, cn.runs[r], v);
+      }
+      if (fx < fixups.levels.size() && fixups.levels[fx] == lvl) {
+        for (nl::GateId g : fixups.by_level[lvl]) {
+          const nl::Gate& gate = netlist.gate(g);
+          const detail::GateForce& f = inj.force_record(inj.slot(g));
+          Word a = (rd(gate.in[0]) | f.set[1]) & ~f.clr[1];
+          Word b = (rd(gate.in[1]) | f.set[2]) & ~f.clr[2];
+          Word c = (rd(gate.in[2]) | f.set[3]) & ~f.clr[3];
+          const Word w = sim::eval_gate(gate.kind, a, b, c);
+          v[g] = (w | f.set[0]) & ~f.clr[0];
+        }
+        ++fx;
+      }
+    }
+  }
+  nl::apply_copies(cn, v);
 }
 
 /// Applies stuck-at forcing on source gates (PIs, constants) and DFF
@@ -218,39 +285,80 @@ struct GroupSimulator::Impl {
   EnvFactory make_env;
   std::uint64_t max_cycles;
   std::uint64_t group_timeout_ms;
+  KernelFlavor kernel;
   std::chrono::steady_clock::time_point run_deadline =
       std::chrono::steady_clock::time_point::max();
+  // Campaign-shared compiled program (compiled privately when the caller
+  // did not pass one). Initialized before `sim` so the simulator can
+  // reuse it.
+  std::shared_ptr<const nl::CompiledNetlist> compiled;
   sim::LogicSim sim;
   InjectionTable inj;
+  // Per-cycle static sweep tallies: how many comb gates of each base-op
+  // class one full sweep evaluates (folded BUFs class as the AND lane
+  // they forward through). A pure function of the netlist, so sweep
+  // evals_by_kind stays bit-stable across kernel flavors.
+  std::array<std::uint64_t, nl::kNumCompiledOps> sweep_kinds_per_cycle = {
+      0, 0, 0, 0};
+  CompiledFixups fixups;
   // Event-engine state: the campaign-shared trace source (null = sweep),
-  // the differential kernel built on first successful trace fetch, and a
-  // latch that pins the sweep fallback once recording has failed.
+  // the flavor-selected differential kernel built on first successful
+  // trace fetch, and a latch that pins the sweep fallback once recording
+  // has failed. Both flavors can coexist: groups whose injections land
+  // on compile-time-folded gates fall back to the interpreted kernel.
   std::shared_ptr<SharedTraceSource> trace_source;
   std::optional<EventKernel> event;
+  std::optional<CompiledEventKernel> cevent;
+  std::shared_ptr<const GoodTrace> trace;
   bool event_unavailable = false;
   KernelStats sweep_stats;
+  std::uint64_t eval_ns = 0;
 
   Impl(const nl::Netlist& n, const nl::FaultList& f, const GroupPlan& p,
        EnvFactory env, const FaultSimOptions& options,
-       std::shared_ptr<SharedTraceSource> trace)
+       std::shared_ptr<SharedTraceSource> trace_src,
+       std::shared_ptr<const nl::CompiledNetlist> comp)
       : netlist(n),
         faults(f),
         plan(p),
         make_env(std::move(env)),
         max_cycles(options.max_cycles),
         group_timeout_ms(options.group_timeout_ms),
-        sim(n),
+        kernel(options.kernel),
+        compiled(comp ? std::move(comp) : nl::compile(n)),
+        sim(n, compiled),
         inj(n.size()),
-        trace_source(std::move(trace)) {}
+        trace_source(std::move(trace_src)) {
+    for (nl::GateId g : compiled->lv.comb_order) {
+      ++sweep_kinds_per_cycle[static_cast<std::size_t>(
+          nl::op_class(n.gate(g).kind))];
+    }
+  }
+
+  /// True when every non-DFF injection site of the current group has a
+  /// compiled node (faults never sit on BUF gates — fault.h strips them
+  /// from the universe — but hand-built fault lists can, and those
+  /// groups run the interpreted kernels instead).
+  bool group_compilable() const {
+    for (nl::GateId g : inj.slotted_gates()) {
+      if (netlist.gate(g).kind != nl::GateKind::kDff &&
+          compiled->node_of_gate[g] == nl::kNoNode) {
+        return false;
+      }
+    }
+    return true;
+  }
 };
 
-GroupSimulator::GroupSimulator(const nl::Netlist& netlist,
-                               const nl::FaultList& faults,
-                               const GroupPlan& plan, EnvFactory make_env,
-                               const FaultSimOptions& options,
-                               std::shared_ptr<SharedTraceSource> trace_source)
+GroupSimulator::GroupSimulator(
+    const nl::Netlist& netlist, const nl::FaultList& faults,
+    const GroupPlan& plan, EnvFactory make_env,
+    const FaultSimOptions& options,
+    std::shared_ptr<SharedTraceSource> trace_source,
+    std::shared_ptr<const nl::CompiledNetlist> compiled)
     : impl_(std::make_unique<Impl>(netlist, faults, plan, std::move(make_env),
-                                   options, std::move(trace_source))) {}
+                                   options, std::move(trace_source),
+                                   std::move(compiled))) {}
 
 GroupSimulator::~GroupSimulator() = default;
 
@@ -261,16 +369,23 @@ void GroupSimulator::set_run_deadline(
 
 KernelStats GroupSimulator::stats() const {
   KernelStats s = impl_->sweep_stats;
-  if (impl_->event) {
-    s.gates_evaluated += impl_->event->stats().gates_evaluated;
-    s.cycles += impl_->event->stats().cycles;
-  }
+  const auto fold = [&s](const KernelStats& k) {
+    s.gates_evaluated += k.gates_evaluated;
+    s.cycles += k.cycles;
+    for (std::size_t i = 0; i < s.evals_by_kind.size(); ++i) {
+      s.evals_by_kind[i] += k.evals_by_kind[i];
+    }
+  };
+  if (impl_->event) fold(impl_->event->stats());
+  if (impl_->cevent) fold(impl_->cevent->stats());
+  s.eval_ns = impl_->eval_ns;
   return s;
 }
 
 GroupRecord GroupSimulator::simulate(std::size_t group) {
   using Clock = std::chrono::steady_clock;
   Impl& im = *impl_;
+  const Clock::time_point started = Clock::now();
   const std::vector<std::size_t>& active = im.plan.active();
   const std::size_t base = group * kFaultsPerGroup;
   const int count = static_cast<int>(im.plan.group_count(group));
@@ -286,17 +401,24 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
   }
   const Word all_mask = (Word{1} << count) - 1;  // count <= 63
 
+  // Per-group flavor guard: the compiled kernels require every injected
+  // comb gate to exist as a compiled node.
+  const bool use_compiled =
+      im.kernel == KernelFlavor::kCompiled && im.group_compilable();
+  const auto finish = [&](GroupRecord& r) -> GroupRecord {
+    im.eval_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             started)
+            .count());
+    return std::move(r);
+  };
+
   // Event engine: fetch the campaign-shared good trace (the first fetch
   // records it; recording honours the run deadline and cancel flag). A
   // failed recording latches the sweep fallback for this worker.
-  if (im.trace_source && !im.event && !im.event_unavailable) {
-    std::shared_ptr<const GoodTrace> trace = im.trace_source->get();
-    if (trace) {
-      im.event.emplace(im.netlist, im.sim.levelization(), im.sim.po_bits(),
-                       std::move(trace));
-    } else {
-      im.event_unavailable = true;
-    }
+  if (im.trace_source && !im.trace && !im.event_unavailable) {
+    im.trace = im.trace_source->get();
+    if (!im.trace) im.event_unavailable = true;
   }
 
   const bool has_clock_bounds =
@@ -307,20 +429,40 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
           ? Clock::now() + std::chrono::milliseconds(im.group_timeout_ms)
           : Clock::time_point::max();
 
-  if (im.event) {
-    const std::uint64_t before = im.event->stats().gates_evaluated;
-    const std::uint64_t before_cycles = im.event->stats().cycles;
+  if (im.trace) {
     KernelDeadlines deadlines;
     deadlines.active = has_clock_bounds;
     deadlines.group_deadline = group_deadline;
     deadlines.run_deadline = im.run_deadline;
-    im.event->simulate(im.inj, count, deadlines, &rec);
-    rec.gates_evaluated = im.event->stats().gates_evaluated - before;
-    rec.sim_cycles = im.event->stats().cycles - before_cycles;
-    rec.engine_used = GroupEngine::kEvent;
-    return rec;
+    const auto run_event = [&](auto& kernel) {
+      const KernelStats before = kernel.stats();
+      kernel.simulate(im.inj, count, deadlines, &rec);
+      const KernelStats& after = kernel.stats();
+      rec.gates_evaluated = after.gates_evaluated - before.gates_evaluated;
+      rec.sim_cycles = after.cycles - before.cycles;
+      for (std::size_t i = 0; i < rec.evals_by_kind.size(); ++i) {
+        rec.evals_by_kind[i] =
+            after.evals_by_kind[i] - before.evals_by_kind[i];
+      }
+      rec.engine_used = GroupEngine::kEvent;
+    };
+    if (use_compiled) {
+      if (!im.cevent) {
+        im.cevent.emplace(im.netlist, *im.compiled, im.sim.po_bits(),
+                          im.trace);
+      }
+      run_event(*im.cevent);
+    } else {
+      if (!im.event) {
+        im.event.emplace(im.netlist, im.sim.levelization(), im.sim.po_bits(),
+                         im.trace);
+      }
+      run_event(*im.event);
+    }
+    return finish(rec);
   }
 
+  if (use_compiled) im.fixups.rebuild(*im.compiled, im.netlist, im.inj);
   im.sim.reset();
   apply_state_injections(im.sim, im.inj);
   std::unique_ptr<Environment> env = im.make_env();
@@ -340,7 +482,11 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
     }
     env->drive(im.sim, cycle);
     apply_state_injections(im.sim, im.inj);
-    eval_with_injections(im.sim, im.inj);
+    if (use_compiled) {
+      eval_compiled_with_injections(im.sim, *im.compiled, im.inj, im.fixups);
+    } else {
+      eval_with_injections(im.sim, im.inj);
+    }
     ++evaluated_cycles;
 
     const Word diff = po_diff(im.sim) & all_mask & ~detected;
@@ -365,13 +511,23 @@ GroupRecord GroupSimulator::simulate(std::size_t group) {
   }
   rec.detected_mask = detected;
   rec.cycles = cycle;
+  // Sweep work counters are normalized to the interpreted sweep (every
+  // comb gate once per cycle, folded BUFs included), so they are a pure
+  // function of (netlist, evaluated_cycles) and bit-stable across
+  // kernel flavors — journals written under either flavor agree.
   rec.gates_evaluated =
       evaluated_cycles * im.sim.levelization().comb_order.size();
   rec.sim_cycles = evaluated_cycles;
+  for (std::size_t i = 0; i < rec.evals_by_kind.size(); ++i) {
+    rec.evals_by_kind[i] = evaluated_cycles * im.sweep_kinds_per_cycle[i];
+  }
   rec.engine_used = GroupEngine::kSweep;
   im.sweep_stats.cycles += evaluated_cycles;
   im.sweep_stats.gates_evaluated += rec.gates_evaluated;
-  return rec;
+  for (std::size_t i = 0; i < rec.evals_by_kind.size(); ++i) {
+    im.sweep_stats.evals_by_kind[i] += rec.evals_by_kind[i];
+  }
+  return finish(rec);
 }
 
 FaultSimResult run_fault_sim(const nl::Netlist& netlist,
@@ -415,6 +571,10 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
           ? Clock::now() + std::chrono::milliseconds(options.time_budget_ms)
           : Clock::time_point::max();
 
+  // The compiled program is built once and shared read-only by every
+  // worker, exactly like the good trace.
+  std::shared_ptr<const nl::CompiledNetlist> compiled = nl::compile(netlist);
+
   // Event engine: one lazily recorded good trace shared read-only by
   // every worker (a campaign fully seeded from its journal never pays
   // for recording at all).
@@ -425,7 +585,7 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
             ? 0
             : options.trace_mem_mb * std::size_t{1024} * 1024;
     trace_source = std::make_shared<SharedTraceSource>(
-        netlist, make_env, options.max_cycles, cap_bytes);
+        netlist, make_env, options.max_cycles, cap_bytes, compiled);
     // The good run is bounded like a single group: if it cannot finish
     // within group_timeout_ms, every group would time out under the
     // event engine too, so falling back to the sweep kernel preserves
@@ -526,7 +686,7 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
 
   if (threads <= 1) {
     GroupSimulator sim(netlist, faults, plan, make_env, options,
-                       trace_source);
+                       trace_source, compiled);
     sim.set_run_deadline(run_deadline);
     for (std::size_t group : schedule) {
       if (options.cancel &&
@@ -546,7 +706,8 @@ FaultSimResult run_fault_sim(const nl::Netlist& netlist,
         [&](std::size_t slot, unsigned w) {
           if (!workers[w]) {
             workers[w] = std::make_unique<GroupSimulator>(
-                netlist, faults, plan, make_env, options, trace_source);
+                netlist, faults, plan, make_env, options, trace_source,
+                compiled);
             workers[w]->set_run_deadline(run_deadline);
           }
           process_group(*workers[w], schedule[slot]);

@@ -135,4 +135,30 @@ std::vector<std::uint8_t> live_mask(const Netlist& nl) {
   return live;
 }
 
+std::vector<std::uint8_t> live_mask(const Netlist& nl,
+                                    const std::vector<GateId>& fold_root) {
+  std::vector<std::uint8_t> live = live_mask(nl);
+  const std::size_t n = nl.size();
+  if (fold_root.size() != n) return live;
+  // Alias liveness = root liveness, in both directions: a live BUF keeps
+  // its root live (the chain still forwards an observable value), and a
+  // BUF whose root is live is not dead logic — the compiler folded it,
+  // the synthesizer would not sweep it.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId g = 0; g < n; ++g) {
+      const GateId r = fold_root[g];
+      if (r >= n || r == g) continue;
+      const std::uint8_t merged = live[g] | live[r];
+      if (merged != live[g] || merged != live[r]) {
+        live[g] = merged;
+        live[r] = merged;
+        changed = true;
+      }
+    }
+  }
+  return live;
+}
+
 }  // namespace sbst::nl

@@ -3,7 +3,13 @@
 namespace sbst::sim {
 
 LogicSim::LogicSim(const nl::Netlist& netlist)
-    : nl_(&netlist), lv_(nl::levelize(netlist)), val_(netlist.size(), 0) {
+    : LogicSim(netlist, nl::compile(netlist)) {}
+
+LogicSim::LogicSim(const nl::Netlist& netlist,
+                   std::shared_ptr<const nl::CompiledNetlist> compiled)
+    : nl_(&netlist),
+      cn_(std::move(compiled)),
+      val_(netlist.size() + 1, 0) {
   for (const nl::Port& p : netlist.outputs()) {
     po_bits_.insert(po_bits_.end(), p.bits.begin(), p.bits.end());
   }
@@ -21,6 +27,7 @@ void LogicSim::reset() {
       default: break;
     }
   }
+  val_[cn_->zero_slot] = 0;
 }
 
 void LogicSim::set_input(const nl::Port& port, std::uint64_t value) {
@@ -33,9 +40,15 @@ void LogicSim::set_input(const nl::Port& port, std::uint64_t value) {
 void LogicSim::set_input_word(nl::GateId g, Word w) { val_[g] = w; }
 
 void LogicSim::eval() {
+  Word* const v = val_.data();
+  for (const nl::CompiledRun& r : cn_->runs) nl::eval_run(*cn_, r, v);
+  nl::apply_copies(*cn_, v);
+}
+
+void LogicSim::eval_reference() {
   const nl::Netlist& netlist = *nl_;
   Word* const v = val_.data();
-  for (nl::GateId g : lv_.comb_order) {
+  for (nl::GateId g : cn_->lv.comb_order) {
     const nl::Gate& gate = netlist.gate(g);
     v[g] = eval_gate(gate.kind, v[gate.in[0]],
                      gate.in[1] == nl::kNoGate ? 0 : v[gate.in[1]],
@@ -45,14 +58,16 @@ void LogicSim::eval() {
 
 void LogicSim::step_clock() {
   // Two-phase: sample all D inputs, then update, so DFF->DFF paths see
-  // pre-edge values.
+  // pre-edge values. D is read through the compiled fold root — the
+  // same value as the original driver since copies ran in eval().
   thread_local std::vector<Word> next;
-  next.resize(lv_.dffs.size());
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    next[i] = val_[nl_->gate(lv_.dffs[i]).in[0]];
+  const std::size_t num_dffs = cn_->dff_gate.size();
+  next.resize(num_dffs);
+  for (std::size_t i = 0; i < num_dffs; ++i) {
+    next[i] = val_[cn_->dff_d[i]];
   }
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    val_[lv_.dffs[i]] = next[i];
+  for (std::size_t i = 0; i < num_dffs; ++i) {
+    val_[cn_->dff_gate[i]] = next[i];
   }
 }
 

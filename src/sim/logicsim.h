@@ -6,11 +6,19 @@
 // for this project because every DFF elaborated by the DSL has a defined
 // reset value and designs are reset before use (enforced by
 // Netlist::check + the DSL, see DESIGN.md).
+//
+// Evaluation runs the compiled SoA program (nl::CompiledNetlist):
+// branch-free per-(level, op) runs with folded inversions and BUF
+// chains. eval_reference() keeps the original per-gate interpreted
+// sweep for differential testing; both produce bit-identical values on
+// every net, folded BUFs included.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/levelize.h"
 #include "netlist/netlist.h"
 
@@ -39,14 +47,23 @@ inline Word eval_gate(nl::GateKind k, Word a, Word b, Word c) {
   }
 }
 
-/// Compiled simulator state for one netlist. Holds a precomputed
-/// levelization; construction is O(gates), evaluation is a flat sweep.
+/// Compiled simulator state for one netlist. Holds a shared compiled
+/// program; construction is O(gates) (or O(1) when a pre-compiled
+/// program is supplied), evaluation is a flat branch-free sweep.
 class LogicSim {
  public:
   explicit LogicSim(const nl::Netlist& netlist);
+  /// Reuses a campaign-shared compiled program (must be compiled from
+  /// `netlist`) instead of compiling again.
+  LogicSim(const nl::Netlist& netlist,
+           std::shared_ptr<const nl::CompiledNetlist> compiled);
 
   const nl::Netlist& netlist() const { return *nl_; }
-  const nl::Levelization& levelization() const { return lv_; }
+  const nl::Levelization& levelization() const { return cn_->lv; }
+  const nl::CompiledNetlist& compiled() const { return *cn_; }
+  const std::shared_ptr<const nl::CompiledNetlist>& compiled_ptr() const {
+    return cn_;
+  }
 
   /// Loads DFF reset values and clears inputs.
   void reset();
@@ -57,8 +74,11 @@ class LogicSim {
   /// Drives one net (must be an INPUT gate) with a raw simulation word.
   void set_input_word(nl::GateId g, Word w);
 
-  /// Propagates through the combinational logic.
+  /// Propagates through the combinational logic (compiled sweep).
   void eval();
+  /// Original per-gate interpreted sweep. Bit-identical to eval() on
+  /// every net; kept as the differential-testing reference.
+  void eval_reference();
 
   /// Clocks every DFF: state <- D. Call after eval().
   void step_clock();
@@ -70,7 +90,9 @@ class LogicSim {
   /// pure logic simulation all bits agree).
   std::uint64_t read_output(const nl::Port& port, int machine = 63) const;
 
-  /// Direct access for the fault simulator.
+  /// Direct access for the fault simulator. The vector holds one word
+  /// per gate plus a trailing always-zero slot (CompiledNetlist's
+  /// zero_slot) that stands in for unconnected pins.
   std::vector<Word>& values() { return val_; }
   const std::vector<Word>& values() const { return val_; }
 
@@ -81,7 +103,7 @@ class LogicSim {
 
  private:
   const nl::Netlist* nl_;
-  nl::Levelization lv_;
+  std::shared_ptr<const nl::CompiledNetlist> cn_;
   std::vector<Word> val_;
   std::vector<nl::GateId> po_bits_;
 };

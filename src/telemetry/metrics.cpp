@@ -40,9 +40,16 @@ std::string metric_to_json(const GroupMetric& m) {
   append_u64(out, "cycles", m.cycles);
   append_u64(out, "gates_evaluated", m.gates_evaluated);
   append_u64(out, "sim_cycles", m.sim_cycles);
+  append_u64(out, "evals_and", m.evals_and);
+  append_u64(out, "evals_or", m.evals_or);
+  append_u64(out, "evals_xor", m.evals_xor);
+  append_u64(out, "evals_mux", m.evals_mux);
   append_u64(out, "attempts", m.attempts);
   char buf[48];
   std::snprintf(buf, sizeof(buf), ",\"duration_ms\":%.3f", m.duration_ms);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"eval_ns_per_gate\":%.3f",
+                m.eval_ns_per_gate);
   out += buf;
   append_u64(out, "max_rss_kb", m.max_rss_kb);
   append_u64(out, "cpu_ms", m.cpu_ms);
@@ -86,12 +93,23 @@ bool metric_from_json(std::string_view line, GroupMetric* out) {
   u64("cycles", &m.cycles);
   u64("gates_evaluated", &m.gates_evaluated);
   u64("sim_cycles", &m.sim_cycles);
+  u64("evals_and", &m.evals_and);
+  u64("evals_or", &m.evals_or);
+  u64("evals_xor", &m.evals_xor);
+  u64("evals_mux", &m.evals_mux);
   u32("attempts", &m.attempts);
   if (const auto it = obj.find("duration_ms"); it != obj.end()) {
     if (it->second.kind != JsonValue::Kind::kNumber || it->second.number < 0) {
       ok = false;
     } else {
       m.duration_ms = it->second.number;
+    }
+  }
+  if (const auto it = obj.find("eval_ns_per_gate"); it != obj.end()) {
+    if (it->second.kind != JsonValue::Kind::kNumber || it->second.number < 0) {
+      ok = false;
+    } else {
+      m.eval_ns_per_gate = it->second.number;
     }
   }
   u64("max_rss_kb", &m.max_rss_kb);

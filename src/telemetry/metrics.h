@@ -8,19 +8,22 @@
 //   {"group":17,"faults":63,"detected":61,"engine":"event",
 //    "seeded":false,"timed_out":false,"quarantined":false,
 //    "cycles":2101,"gates_evaluated":184223,"sim_cycles":9120,
-//    "attempts":1,"duration_ms":12.413,"max_rss_kb":0,"cpu_ms":0}
+//    "evals_and":120034,"evals_or":40011,"evals_xor":24178,
+//    "evals_mux":0,"attempts":1,"duration_ms":12.413,
+//    "eval_ns_per_gate":67.381,"max_rss_kb":0,"cpu_ms":0}
 //
 // The fields split into two classes:
 //
 //   * counter fields (group, faults, detected, engine, verdict flags,
-//     cycles, gates_evaluated, sim_cycles) are a pure function of the
-//     group's GroupRecord — bit-stable across thread counts, --isolate
-//     and journal resumes for a fixed engine. CI diffs these.
-//   * run-local fields (seeded, attempts, duration_ms, max_rss_kb,
-//     cpu_ms) describe what *this* run spent on the group: wall clock,
-//     worker attempts consumed, and (isolated mode) the rusage of
-//     worker attempts that died on it. Humans read these as latency
-//     percentiles via `sbst stats`.
+//     cycles, gates_evaluated, sim_cycles, evals_and/or/xor/mux) are a
+//     pure function of the group's GroupRecord — bit-stable across
+//     thread counts, --isolate and journal resumes for a fixed engine.
+//     CI diffs these.
+//   * run-local fields (seeded, attempts, duration_ms, eval_ns_per_gate,
+//     max_rss_kb, cpu_ms) describe what *this* run spent on the group:
+//     wall clock, per-evaluation cost, worker attempts consumed, and
+//     (isolated mode) the rusage of worker attempts that died on it.
+//     Humans read these as latency percentiles via `sbst stats`.
 //
 // Both sinks are written with util::write_file_atomic, so a reader —
 // a dashboard tailing the status file, `sbst stats` mid-campaign —
@@ -55,10 +58,22 @@ struct GroupMetric {
   std::uint64_t cycles = 0;  // good-machine cycles the group ran
   std::uint64_t gates_evaluated = 0;
   std::uint64_t sim_cycles = 0;
+  /// Gate evaluations split by compiled base-op class (AND/OR/XOR/MUX —
+  /// see nl::CompiledOp; NAND folds into AND, etc.). Counter fields:
+  /// pure functions of the group's record. Zero on records that predate
+  /// per-kind accounting.
+  std::uint64_t evals_and = 0;
+  std::uint64_t evals_or = 0;
+  std::uint64_t evals_xor = 0;
+  std::uint64_t evals_mux = 0;
   /// Worker attempts this group consumed (isolated mode; 1 elsewhere).
   std::uint32_t attempts = 1;
   /// Wall clock this run spent resolving the group (~0 when seeded).
   double duration_ms = 0.0;
+  /// Run-local like duration_ms: wall nanoseconds per gate evaluation
+  /// this run achieved on the group (duration_ms / gates_evaluated,
+  /// scaled; 0 when seeded or when no gate was evaluated).
+  double eval_ns_per_gate = 0.0;
   /// Isolated mode: peak RSS and summed user+sys CPU of worker attempts
   /// that *died* on this group (wait4 rusage) — a surviving worker's
   /// rusage is unknowable while it lives. 0 in threaded mode.

@@ -29,6 +29,7 @@ void MetricsFolder::fold(const GroupMetric& m) {
     ++s.simulated;
     durations_.push_back(m.duration_ms);
     s.total_ms += m.duration_ms;
+    simulated_gates_ += m.gates_evaluated;
   }
   if (m.timed_out) ++s.timed_out_groups;
   if (m.quarantined) ++s.quarantined_groups;
@@ -40,6 +41,10 @@ void MetricsFolder::fold(const GroupMetric& m) {
   if (m.attempts > 1) s.retries += m.attempts - 1;
   s.gates_evaluated += m.gates_evaluated;
   s.sim_cycles += m.sim_cycles;
+  s.evals_and += m.evals_and;
+  s.evals_or += m.evals_or;
+  s.evals_xor += m.evals_xor;
+  s.evals_mux += m.evals_mux;
   s.max_rss_kb = std::max(s.max_rss_kb, m.max_rss_kb);
   s.cpu_ms += m.cpu_ms;
 }
@@ -52,6 +57,10 @@ MetricsSummary MetricsFolder::finish() {
   summary_.p95_ms = percentile_nearest_rank(durations_, 95.0);
   summary_.p99_ms = percentile_nearest_rank(durations_, 99.0);
   if (!durations_.empty()) summary_.max_ms = durations_.back();
+  if (simulated_gates_ != 0) {
+    summary_.eval_ns_per_gate =
+        summary_.total_ms * 1e6 / static_cast<double>(simulated_gates_);
+  }
   return summary_;
 }
 
@@ -94,6 +103,28 @@ void print_metrics_summary(std::ostream& os, const MetricsSummary& s) {
                   "gates_per_cycle=n/a\n",
                   static_cast<unsigned long long>(s.gates_evaluated),
                   static_cast<unsigned long long>(s.sim_cycles));
+  }
+  os << buf;
+  // Deliberately NOT part of the bit-stable diff set (CI greps
+  // engines/verdicts/counters): eval_ns_per_gate is run-local, and the
+  // event engine's per-kind tallies depend on the kernel flavor.
+  if (s.eval_ns_per_gate != 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "kernel: eval_ns_per_gate=%.3f evals_and=%llu "
+                  "evals_or=%llu evals_xor=%llu evals_mux=%llu\n",
+                  s.eval_ns_per_gate,
+                  static_cast<unsigned long long>(s.evals_and),
+                  static_cast<unsigned long long>(s.evals_or),
+                  static_cast<unsigned long long>(s.evals_xor),
+                  static_cast<unsigned long long>(s.evals_mux));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "kernel: eval_ns_per_gate=n/a evals_and=%llu "
+                  "evals_or=%llu evals_xor=%llu evals_mux=%llu\n",
+                  static_cast<unsigned long long>(s.evals_and),
+                  static_cast<unsigned long long>(s.evals_or),
+                  static_cast<unsigned long long>(s.evals_xor),
+                  static_cast<unsigned long long>(s.evals_mux));
   }
   os << buf;
   std::snprintf(buf, sizeof(buf),

@@ -27,6 +27,12 @@ struct MetricsSummary {
   std::uint64_t retries = 0;  // sum of (attempts - 1) over all groups
   std::uint64_t gates_evaluated = 0;
   std::uint64_t sim_cycles = 0;
+  /// Gate evaluations split by compiled base-op class (metrics.h:
+  /// GroupMetric::evals_*). Zero on streams that predate the fields.
+  std::uint64_t evals_and = 0;
+  std::uint64_t evals_or = 0;
+  std::uint64_t evals_xor = 0;
+  std::uint64_t evals_mux = 0;
   std::uint64_t max_rss_kb = 0;  // peak over groups (dead worker attempts)
   std::uint64_t cpu_ms = 0;      // summed dead-attempt CPU
   /// Wall-clock latency of the groups *simulated* in the recorded run
@@ -37,6 +43,11 @@ struct MetricsSummary {
   double p99_ms = 0.0;
   double max_ms = 0.0;
   double total_ms = 0.0;
+  /// Aggregate per-evaluation cost of the *simulated* records:
+  /// total_ms scaled against their summed gates_evaluated (seeded
+  /// records replay in ~zero time, so they are excluded from both the
+  /// numerator and the denominator). 0 when nothing was simulated.
+  double eval_ns_per_gate = 0.0;
 };
 
 /// Nearest-rank percentile (q in (0, 100]) of an ascending-sorted
@@ -60,6 +71,7 @@ class MetricsFolder {
  private:
   MetricsSummary summary_;
   std::vector<double> durations_;
+  std::uint64_t simulated_gates_ = 0;  // gates_evaluated of non-seeded recs
 };
 
 /// Folds every NDJSON line of `in` into a summary. Never throws on bad

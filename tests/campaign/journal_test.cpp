@@ -55,6 +55,9 @@ fault::GroupRecord make_record(std::uint64_t group, std::uint32_t count) {
   r.sim_cycles = group * 977 + 1;
   r.engine_used =
       group % 2 == 0 ? fault::GroupEngine::kEvent : fault::GroupEngine::kSweep;
+  for (std::size_t i = 0; i < r.evals_by_kind.size(); ++i) {
+    r.evals_by_kind[i] = group * 31 + i * 7;
+  }
   return r;
 }
 
@@ -68,6 +71,7 @@ void expect_equal(const fault::GroupRecord& a, const fault::GroupRecord& b) {
   EXPECT_EQ(a.gates_evaluated, b.gates_evaluated);
   EXPECT_EQ(a.sim_cycles, b.sim_cycles);
   EXPECT_EQ(a.engine_used, b.engine_used);
+  EXPECT_EQ(a.evals_by_kind, b.evals_by_kind);
 }
 
 const JournalMeta kMeta{0x1234abcd5678ef01ull, 10, 630};
@@ -307,13 +311,14 @@ TEST(Journal, WorkCountersRoundTripThroughPayloadCodec) {
 }
 
 TEST(Journal, LegacyPayloadWithoutWorkSectionDecodesWithZeroCounters) {
-  // Journals written before work accounting existed have no bit2 work
-  // section. Re-encode a record the old way (strip flags bit2 and the
-  // 17-byte tail) and require it to decode — with honest zero counters.
+  // Journals written before work accounting existed have neither the
+  // bit2 work section (17 bytes) nor the bit3 per-kind section (32
+  // bytes). Re-encode a record the old way (strip both flag bits and
+  // the tail) and require it to decode — with honest zero counters.
   const fault::GroupRecord rec = make_record(2, 63);
   std::string payload = encode_record_payload(rec);
-  payload.resize(payload.size() - (8 + 8 + 1));  // drop the work section
-  payload[8 + 4] &= static_cast<char>(~4);       // clear flags bit2
+  payload.resize(payload.size() - (8 + 8 + 1) - 4 * 8);
+  payload[8 + 4] &= static_cast<char>(~(4 | 8));
   fault::GroupRecord back;
   ASSERT_TRUE(decode_record_payload(payload, &back));
   EXPECT_EQ(back.group, rec.group);
@@ -322,11 +327,23 @@ TEST(Journal, LegacyPayloadWithoutWorkSectionDecodesWithZeroCounters) {
   EXPECT_EQ(back.gates_evaluated, 0u);
   EXPECT_EQ(back.sim_cycles, 0u);
   EXPECT_EQ(back.engine_used, fault::GroupEngine::kNone);
+  for (std::uint64_t k : back.evals_by_kind) EXPECT_EQ(k, 0u);
+
+  // A journal with the work section but not the per-kind tallies (the
+  // intermediate format) still round-trips the work counters.
+  std::string mid = encode_record_payload(rec);
+  mid.resize(mid.size() - 4 * 8);
+  mid[8 + 4] &= static_cast<char>(~8);
+  ASSERT_TRUE(decode_record_payload(mid, &back));
+  EXPECT_EQ(back.gates_evaluated, rec.gates_evaluated);
+  EXPECT_EQ(back.engine_used, rec.engine_used);
+  for (std::uint64_t k : back.evals_by_kind) EXPECT_EQ(k, 0u);
 
   // A work section with an engine byte from the future is corruption,
-  // not silently accepted.
+  // not silently accepted. The engine byte sits just ahead of the four
+  // per-kind tallies.
   std::string bogus = encode_record_payload(rec);
-  bogus.back() = 7;
+  bogus[bogus.size() - 4 * 8 - 1] = 7;
   EXPECT_FALSE(decode_record_payload(bogus, &back));
 }
 

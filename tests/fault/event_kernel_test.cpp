@@ -365,6 +365,154 @@ TEST(EventKernel, JournalResumeMixesEngines) {
   std::remove(journal.c_str());
 }
 
+TEST(EventKernel, CompiledKernelIdenticalToInterpBothEngines) {
+  // Kernel-flavor identity: the compiled SoA kernels (default) and the
+  // interpreted reference must be bit-identical under both engines and
+  // every thread count — including the sweep engine's work counters,
+  // which are normalized to be a pure function of the netlist.
+  const parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  const parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  ASSERT_TRUE(st.halted);
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  const auto env = parwan::make_parwan_env_factory(cpu, st.image);
+  FaultSimOptions opt;
+  opt.max_cycles = 10000;
+  opt.sample = 630;
+  opt.threads = 1;
+  for (Engine engine : {Engine::kSweep, Engine::kEvent}) {
+    opt.engine = engine;
+    opt.kernel = KernelFlavor::kInterp;
+    const FaultSimResult interp =
+        run_fault_sim(cpu.netlist, faults, env, opt);
+    opt.kernel = KernelFlavor::kCompiled;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      opt.threads = threads;
+      const FaultSimResult compiled =
+          run_fault_sim(cpu.netlist, faults, env, opt);
+      expect_identical(interp, compiled,
+                       engine == Engine::kSweep ? "sweep kernels"
+                                                : "event kernels");
+      if (engine == Engine::kSweep) {
+        // Sweep counters are flavor-stable by design (journal records
+        // must not depend on the kernel that produced them).
+        EXPECT_EQ(interp.gates_evaluated, compiled.gates_evaluated);
+      }
+    }
+    opt.threads = 1;
+  }
+}
+
+TEST(EventKernel, CompiledKernelIdenticalOnSyntheticNetlists) {
+  // The synthetic meshes cover injection kinds (NOT/BUF duplicated
+  // pins, constants, DFF D/Q) that the CPU fault samples may miss.
+  for (const bool seq : {false, true}) {
+    const nl::Netlist n = seq ? make_seq_netlist() : make_comb_netlist();
+    const nl::FaultList fl = nl::enumerate_faults(n);
+    FaultSimOptions opt;
+    opt.max_cycles = 4096;
+    opt.threads = 1;
+    for (Engine engine : {Engine::kSweep, Engine::kEvent}) {
+      opt.engine = engine;
+      opt.kernel = KernelFlavor::kInterp;
+      const FaultSimResult interp =
+          run_fault_sim(n, fl, pattern_env(400), opt);
+      opt.kernel = KernelFlavor::kCompiled;
+      const FaultSimResult compiled =
+          run_fault_sim(n, fl, pattern_env(400), opt);
+      expect_identical(interp, compiled, seq ? "seq mesh" : "comb mesh");
+    }
+  }
+}
+
+TEST(EventKernel, CompiledKernelIdenticalUnderIsolation) {
+  const parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  const parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  const auto env = parwan::make_parwan_env_factory(cpu, st.image);
+  constexpr std::uint64_t kFp = 0xe4e47dead0003ull;
+
+  campaign::CampaignOptions base;
+  base.sim.max_cycles = 10000;
+  base.sim.sample = 630;
+  base.sim.threads = 1;
+  base.sim.engine = Engine::kEvent;
+
+  campaign::CampaignOptions interp_opt = base;
+  interp_opt.sim.kernel = KernelFlavor::kInterp;
+  const campaign::CampaignResult interp =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, interp_opt);
+
+  // Compiled kernel inside forked workers: the shared compiled program
+  // is built pre-fork and inherited COW, like the recorded good trace.
+  campaign::CampaignOptions iso_opt = base;
+  iso_opt.sim.kernel = KernelFlavor::kCompiled;
+  iso_opt.isolate = true;
+  iso_opt.iso.workers = 2;
+  const campaign::CampaignResult iso =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, iso_opt);
+  expect_identical(interp.result, iso.result, "isolated compiled kernel");
+  EXPECT_EQ(iso.result.groups_done, iso.result.groups_total);
+}
+
+TEST(EventKernel, JournalResumeMixesKernelFlavors) {
+  // A journal written by the interpreted kernel must seed a resume on
+  // the compiled kernel (and vice versa): records carry no flavor, and
+  // the fingerprint deliberately excludes it.
+  const parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  const parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  const auto env = parwan::make_parwan_env_factory(cpu, st.image);
+  constexpr std::uint64_t kFp = 0xe4e47dead0004ull;
+
+  campaign::CampaignOptions base;
+  base.sim.max_cycles = 10000;
+  base.sim.sample = 630;
+  base.sim.threads = 1;
+  base.sim.engine = Engine::kEvent;
+
+  campaign::CampaignOptions full = base;
+  full.sim.kernel = KernelFlavor::kCompiled;
+  const campaign::CampaignResult uninterrupted =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, full);
+
+  const std::string journal = temp_path("kernel_mixed_resume.sbstj");
+  std::remove(journal.c_str());
+
+  std::atomic<bool> stop{false};
+  campaign::CampaignOptions first = base;
+  first.journal = journal;
+  first.sim.kernel = KernelFlavor::kInterp;
+  first.sim.cancel = &stop;
+  first.sim.progress = [&stop](const fault::Progress& p) {
+    if (p.done >= 3) stop.store(true);
+  };
+  const campaign::CampaignResult partial =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, first);
+  ASSERT_TRUE(partial.interrupted);
+  ASSERT_LT(partial.groups_done, partial.groups_total);
+
+  campaign::CampaignOptions second = base;
+  second.journal = journal;
+  second.sim.kernel = KernelFlavor::kCompiled;
+  const campaign::CampaignResult resumed =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, second);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.groups_done, resumed.groups_total);
+  expect_identical(uninterrupted.result, resumed.result,
+                   "interp-journal resumed under compiled kernel");
+
+  campaign::CampaignOptions third = base;
+  third.journal = journal;
+  third.sim.kernel = KernelFlavor::kInterp;
+  const campaign::CampaignResult reread =
+      campaign::run_campaign(cpu.netlist, faults, env, kFp, third);
+  EXPECT_TRUE(reread.resumed);
+  EXPECT_EQ(reread.seeded_groups, reread.groups_total);
+  expect_identical(uninterrupted.result, reread.result,
+                   "compiled-journal reread under interp kernel");
+  std::remove(journal.c_str());
+}
+
 TEST(EventKernel, FullySeededResumeRecordsNoTrace) {
   // A campaign whose journal already resolves every group must not pay
   // for good-trace recording (SharedTraceSource is lazy).

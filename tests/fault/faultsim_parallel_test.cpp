@@ -101,6 +101,68 @@ TEST(FaultSimParallel, ParwanSelfTestBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(FaultSimParallel, CompiledKernelBitIdenticalAcrossThreadCounts) {
+  // The compiled kernel is the default; pin the interpreted reference
+  // at one thread and require the compiled flavor to match it bit for
+  // bit at every thread count (shared compiled program, one COW copy
+  // of the SoA arrays across workers).
+  const nl::Netlist n = make_comb_netlist();
+  const nl::FaultList fl = nl::enumerate_faults(n);
+  VectorSet vs;
+  for (unsigned v = 0; v < 16; ++v) {
+    vs.push_back({{"in", v * 0x1111u}});
+  }
+  FaultSimOptions opt;
+  opt.threads = 1;
+  opt.kernel = KernelFlavor::kInterp;
+  const FaultSimResult interp = grade_vectors(n, fl, vs, opt);
+  opt.kernel = KernelFlavor::kCompiled;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    opt.threads = threads;
+    const FaultSimResult compiled = grade_vectors(n, fl, vs, opt);
+    expect_identical(interp, compiled, "compiled kernel");
+  }
+  // Work-counter contract: sweep counters are normalized to the
+  // interpreted sweep (pure function of netlist and cycles), so under
+  // the sweep engine they must be bit-stable across kernel flavors.
+  // Event-engine counters report each flavor's actual work and are
+  // exempt — only verdicts must agree there (checked above).
+  opt.threads = 1;
+  opt.engine = Engine::kSweep;
+  opt.kernel = KernelFlavor::kInterp;
+  const FaultSimResult sweep_interp = grade_vectors(n, fl, vs, opt);
+  opt.kernel = KernelFlavor::kCompiled;
+  const FaultSimResult sweep_compiled = grade_vectors(n, fl, vs, opt);
+  expect_identical(sweep_interp, sweep_compiled, "compiled sweep");
+  EXPECT_EQ(sweep_interp.gates_evaluated, sweep_compiled.gates_evaluated)
+      << "sweep work counters must be kernel-flavor-stable";
+  EXPECT_EQ(sweep_interp.sim_cycles, sweep_compiled.sim_cycles)
+      << "sweep work counters must be kernel-flavor-stable";
+}
+
+TEST(FaultSimParallel, CompiledKernelParwanIdenticalAcrossThreadCounts) {
+  const parwan::ParwanCpu cpu = parwan::build_parwan_cpu();
+  const parwan::ParwanSelfTest st = parwan::build_parwan_selftest();
+  ASSERT_TRUE(st.halted);
+  const nl::FaultList faults = nl::enumerate_faults(cpu.netlist);
+  FaultSimOptions opt;
+  opt.max_cycles = 10000;
+  opt.sample = 630;
+  opt.threads = 1;
+  opt.kernel = KernelFlavor::kInterp;
+  const FaultSimResult interp = run_fault_sim(
+      cpu.netlist, faults, parwan::make_parwan_env_factory(cpu, st.image),
+      opt);
+  opt.kernel = KernelFlavor::kCompiled;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    opt.threads = threads;
+    const FaultSimResult compiled = run_fault_sim(
+        cpu.netlist, faults, parwan::make_parwan_env_factory(cpu, st.image),
+        opt);
+    expect_identical(interp, compiled, "parwan compiled kernel");
+  }
+}
+
 TEST(FaultSimParallel, HardwareDefaultMatchesSerial) {
   const nl::Netlist n = make_comb_netlist();
   const nl::FaultList fl = nl::enumerate_faults(n);

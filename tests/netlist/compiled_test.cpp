@@ -1,0 +1,260 @@
+// Differential verification of the netlist compiler (nl::compile):
+// the compiled SoA program must be bit-identical to the interpreted
+// per-gate reference on every net of every netlist — that is the
+// contract that lets the fault-simulation kernels default to the
+// compiled flavor. The heavy hammer here is a 10k-netlist random fuzz
+// (same splitmix64 idiom as the co-sim fuzzer) over all gate kinds,
+// BUF chains, constants, MUXes and flip-flops, run for several clock
+// cycles per netlist. Alongside it: unit tests for the folding rules
+// (BUF chains, PO-bit materialization, constant aliases) and for the
+// alias-aware live_mask overload that feeds nl::lint.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/compiled.h"
+#include "netlist/levelize.h"
+#include "netlist/lint.h"
+#include "netlist/netlist.h"
+#include "sim/logicsim.h"
+
+namespace sbst::nl {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// A random netlist drawing from every combinational kind plus DFFs and
+/// constants, with BUF chains over-represented so the fold pass always
+/// has work. Acyclic by construction (fanins only reference earlier
+/// nets; DFF feedback is rewired afterwards through registered state).
+Netlist random_netlist(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  Netlist n;
+  const int width = 2 + static_cast<int>(splitmix64(s) % 7);  // 2..8
+  const Port in = n.add_input("in", width);
+  std::vector<GateId> nets(in.bits.begin(), in.bits.end());
+  nets.push_back(n.add_gate(GateKind::kConst0));
+  nets.push_back(n.add_gate(GateKind::kConst1));
+
+  constexpr GateKind kComb[] = {
+      GateKind::kAnd2, GateKind::kOr2,   GateKind::kNand2, GateKind::kNor2,
+      GateKind::kXor2, GateKind::kXnor2, GateKind::kNot,   GateKind::kBuf,
+      GateKind::kBuf,  GateKind::kMux2};  // kBuf twice: bias toward chains
+  std::vector<GateId> dffs;
+  const std::size_t gates = 8 + splitmix64(s) % 48;
+  for (std::size_t i = 0; i < gates; ++i) {
+    const auto pick = [&]() { return nets[splitmix64(s) % nets.size()]; };
+    if (splitmix64(s) % 5 == 0) {
+      const GateId q = n.add_dff(pick(), (splitmix64(s) & 1) != 0);
+      dffs.push_back(q);
+      nets.push_back(q);
+      continue;
+    }
+    const GateKind k = kComb[splitmix64(s) % (sizeof(kComb) / sizeof(*kComb))];
+    GateId g;
+    if (k == GateKind::kNot || k == GateKind::kBuf) {
+      g = n.add_gate(k, pick());
+    } else if (k == GateKind::kMux2) {
+      g = n.add_gate(k, pick(), pick(), pick());
+    } else {
+      g = n.add_gate(k, pick(), pick());
+    }
+    nets.push_back(g);
+  }
+  // DFF feedback: some D-pins re-point at late nets (registered state
+  // breaks any comb cycle this could create).
+  for (std::size_t i = 0; i < dffs.size(); i += 2) {
+    n.set_gate_input(dffs[i], 0, nets[nets.size() - 1 - (i % 5)]);
+  }
+  // Outputs: a spread of nets, deliberately including folded-BUF
+  // candidates so PO materialization is exercised.
+  std::vector<GateId> outs;
+  for (std::size_t i = 0; i < nets.size(); i += 1 + splitmix64(s) % 4) {
+    outs.push_back(nets[i]);
+  }
+  if (outs.empty()) outs.push_back(nets.back());
+  n.add_output("o", outs);
+  return n;
+}
+
+TEST(CompiledNetlist, FuzzTenThousandRandomNetlistsMatchReference) {
+  for (std::uint64_t seed = 1; seed <= 10'000; ++seed) {
+    const Netlist n = random_netlist(seed);
+    sim::LogicSim sim(n);
+    std::uint64_t s = seed ^ 0xC0FFEEull;
+    const int cycles = 2 + static_cast<int>(s % 3);
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      sim.set_input(n.input("in"), splitmix64(s));
+      sim.eval_reference();
+      const std::vector<sim::Word> ref = sim.values();
+      sim.eval();
+      for (GateId g = 0; g < n.size(); ++g) {
+        ASSERT_EQ(sim.word(g), ref[g])
+            << "seed " << seed << " cycle " << cycle << " gate " << g << ":"
+            << gate_kind_name(n.gate(g).kind);
+      }
+      sim.step_clock();
+    }
+  }
+}
+
+TEST(CompiledNetlist, BufChainsFoldToRootAndCopyOut) {
+  Netlist n;
+  const Port in = n.add_input("in", 2);
+  const GateId root = n.add_gate(GateKind::kAnd2, in.bits[0], in.bits[1]);
+  const GateId b1 = n.add_gate(GateKind::kBuf, root);
+  const GateId b2 = n.add_gate(GateKind::kBuf, b1);
+  const GateId user = n.add_gate(GateKind::kXor2, b2, in.bits[0]);
+  n.add_output("o", {user});
+
+  const auto cn = compile(n);
+  // Both BUFs fold: no compiled node, fold root is the AND, and each
+  // appears as a post-sweep copy so external readers still see the net.
+  EXPECT_EQ(cn->node_of_gate[b1], kNoNode);
+  EXPECT_EQ(cn->node_of_gate[b2], kNoNode);
+  EXPECT_EQ(cn->fold_root[b1], root);
+  EXPECT_EQ(cn->fold_root[b2], root);
+  EXPECT_EQ(cn->copy_dst.size(), 2u);
+  EXPECT_EQ(cn->num_nodes(), 2u);  // AND + XOR only
+
+  sim::LogicSim sim(n);
+  sim.set_input(n.input("in"), 3);
+  sim.eval();
+  EXPECT_EQ(sim.word(b1), sim.word(root));
+  EXPECT_EQ(sim.word(b2), sim.word(root));
+  EXPECT_EQ(sim.word(user), sim.word(root) ^ sim.word(in.bits[0]));
+}
+
+TEST(CompiledNetlist, PrimaryOutputBufIsMaterializedNotFolded) {
+  Netlist n;
+  const Port in = n.add_input("in", 2);
+  const GateId root = n.add_gate(GateKind::kOr2, in.bits[0], in.bits[1]);
+  const GateId po_buf = n.add_gate(GateKind::kBuf, root);
+  n.add_output("o", {po_buf});
+
+  const auto cn = compile(n);
+  // A PO-bit BUF keeps a real node (the event kernel accumulates PO
+  // divergence per node), lowered to AND(a, a) without inversion.
+  ASSERT_NE(cn->node_of_gate[po_buf], kNoNode);
+  const std::uint32_t node = cn->node_of_gate[po_buf];
+  EXPECT_EQ(cn->node_meta[node] & CompiledNetlist::kMetaOpMask,
+            static_cast<std::uint8_t>(CompiledOp::kAnd));
+  EXPECT_EQ(cn->node_meta[node] & CompiledNetlist::kMetaInvert, 0);
+  EXPECT_NE(cn->node_meta[node] & CompiledNetlist::kMetaPo, 0);
+
+  sim::LogicSim sim(n);
+  sim.set_input(n.input("in"), 2);
+  sim.eval();
+  EXPECT_EQ(sim.word(po_buf), sim.word(root));
+}
+
+TEST(CompiledNetlist, ConstantsAliasButNeverPropagate) {
+  Netlist n;
+  const Port in = n.add_input("in", 1);
+  const GateId c1 = n.add_gate(GateKind::kConst1);
+  const GateId anded = n.add_gate(GateKind::kAnd2, in.bits[0], c1);
+  n.add_output("o", {anded});
+
+  // No constant propagation: the AND keeps its compiled node (its
+  // output stem carries injectable faults), the constant stays a plain
+  // value slot.
+  const auto cn = compile(n);
+  EXPECT_NE(cn->node_of_gate[anded], kNoNode);
+  EXPECT_EQ(cn->fold_root[c1], c1);
+
+  sim::LogicSim sim(n);
+  sim.set_input(n.input("in"), 1);
+  sim.eval();
+  EXPECT_EQ(sim.word(anded), sim::kAllOnes);
+}
+
+TEST(CompiledNetlist, FoldRootsDanglingBufIsItsOwnRoot) {
+  Netlist n;
+  n.add_input("in", 1);
+  const GateId dangling = n.add_gate(GateKind::kBuf);  // in0 = kNoGate
+  const std::vector<GateId> roots = fold_roots(n);
+  EXPECT_EQ(roots[dangling], dangling);
+}
+
+TEST(CompiledNetlist, ZeroSlotStaysZeroAcrossEvaluation) {
+  const Netlist n = random_netlist(42);
+  sim::LogicSim sim(n);
+  sim.set_input(n.input("in"), ~0ull);
+  sim.eval();
+  ASSERT_EQ(sim.values().size(), n.size() + 1);
+  EXPECT_EQ(sim.values()[sim.compiled().zero_slot], 0u);
+}
+
+TEST(CompiledNetlist, AliasAwareLiveMaskRevivesFoldedAliases) {
+  Netlist n;
+  const Port in = n.add_input("in", 2);
+  const GateId live_root = n.add_gate(GateKind::kAnd2, in.bits[0], in.bits[1]);
+  // Dead BUF chain hanging off a live net: plain-dead, alias-live.
+  const GateId alias1 = n.add_gate(GateKind::kBuf, live_root);
+  const GateId alias2 = n.add_gate(GateKind::kBuf, alias1);
+  // Genuinely dead logic: no path to any output, not an alias.
+  const GateId dead = n.add_gate(GateKind::kXor2, in.bits[0], in.bits[1]);
+  n.add_output("o", {live_root});
+
+  const std::vector<std::uint8_t> plain = live_mask(n);
+  EXPECT_TRUE(plain[live_root]);
+  EXPECT_FALSE(plain[alias1]);
+  EXPECT_FALSE(plain[alias2]);
+  EXPECT_FALSE(plain[dead]);
+
+  const std::vector<std::uint8_t> folded = live_mask(n, fold_roots(n));
+  EXPECT_TRUE(folded[live_root]);
+  EXPECT_TRUE(folded[alias1]) << "alias of a live root must be alias-live";
+  EXPECT_TRUE(folded[alias2]);
+  EXPECT_FALSE(folded[dead]) << "real dead logic stays dead";
+}
+
+TEST(CompiledNetlist, LintSplitsDeadLogicFromFoldedAliases) {
+  Netlist n;
+  const Port in = n.add_input("in", 2);
+  const GateId live_root = n.add_gate(GateKind::kAnd2, in.bits[0], in.bits[1]);
+  const GateId alias = n.add_gate(GateKind::kBuf, live_root);
+  const GateId dead = n.add_gate(GateKind::kXor2, in.bits[0], in.bits[1]);
+  n.add_output("o", {live_root});
+
+  const LintReport rep = lint(n);
+  const LintFinding* alias_finding = nullptr;
+  const LintFinding* dead_finding = nullptr;
+  for (const LintFinding& f : rep.findings) {
+    if (f.check == LintCheck::kFoldedDeadAlias) alias_finding = &f;
+    if (f.check == LintCheck::kDeadLogic) dead_finding = &f;
+  }
+  ASSERT_NE(alias_finding, nullptr);
+  ASSERT_NE(dead_finding, nullptr);
+  EXPECT_EQ(alias_finding->severity, LintSeverity::kInfo);
+  ASSERT_EQ(alias_finding->gates.size(), 1u);
+  EXPECT_EQ(alias_finding->gates[0], alias)
+      << "finding must reference the original gate id";
+  ASSERT_EQ(dead_finding->gates.size(), 1u);
+  EXPECT_EQ(dead_finding->gates[0], dead);
+  EXPECT_EQ(lint_check_name(LintCheck::kFoldedDeadAlias), "folded-alias");
+}
+
+TEST(CompiledNetlist, PerKindNodeTalliesSumToNodeCount) {
+  const Netlist n = random_netlist(7);
+  const auto cn = compile(n);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : cn->nodes_by_op) sum += c;
+  EXPECT_EQ(sum, cn->num_nodes());
+  // And the runs partition the node array in execution order.
+  std::uint64_t covered = 0;
+  for (const CompiledRun& r : cn->runs) {
+    EXPECT_LE(r.begin, r.end);
+    covered += r.end - r.begin;
+  }
+  EXPECT_EQ(covered, cn->num_nodes());
+}
+
+}  // namespace
+}  // namespace sbst::nl
